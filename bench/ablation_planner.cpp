@@ -1,0 +1,111 @@
+// Ablation: how much do the paper's heuristics (Takeaways #1-#3) matter?
+// For several model/cluster points, compare the planner's choice against
+// deliberately-degraded strategies: tensor-parallel-only (Megatron v1),
+// pipeline-only (PipeDream-style), data-parallel-only (where it fits), and
+// an untuned microbatch. This quantifies the paper's claim that
+// "sub-optimal combinations ... can lead to up to 2x lower throughput."
+
+#include "bench_util.hpp"
+
+#include "ptdp/core/planner.hpp"
+
+using namespace ptdp;
+
+namespace {
+
+void evaluate(const sim::ClusterSpec& hw, const char* label,
+              const model::GptConfig& m, const core::ParallelConfig& cfg,
+              std::int64_t B, double best_tf) {
+  const auto res = sim::simulate_iteration(hw, m, cfg, B);
+  if (res.oom) {
+    std::printf("  %-28s -> OOM (%.0f GB)\n", label, res.memory_bytes / 1e9);
+  } else {
+    std::printf("  %-28s -> %4.0f TF/GPU (%.2fx below tuned)\n", label,
+                res.per_gpu_flops / 1e12, best_tf / (res.per_gpu_flops / 1e12));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "Heuristic vs degraded parallelization strategies");
+  const auto hw = sim::ClusterSpec::selene();
+
+  struct Case {
+    const char* name;
+    model::GptConfig m;
+    std::int64_t n, B;
+  };
+  const Case cases[] = {
+      {"39B on 512 GPUs", bench::gpt(48, 8192, 64), 512, 1536},
+      {"162B on 64 GPUs", bench::gpt(32, 20480, 128), 64, 128},
+  };
+
+  for (const Case& c : cases) {
+    core::PlannerInput input;
+    input.model = c.m;
+    input.n_gpus = c.n;
+    input.global_batch = c.B;
+    const auto plan =
+        core::plan_configuration(input, sim::make_throughput_model(hw));
+    const auto best = sim::simulate_iteration(hw, c.m, plan.best.config, c.B);
+    const double best_tf = best.per_gpu_flops / 1e12;
+    std::printf("\n%s — tuned %s: %.0f TF/GPU\n", c.name,
+                plan.best.config.str().c_str(), best_tf);
+
+    // Tensor-parallel as wide as divisibility allows (ignores Takeaway #1).
+    {
+      core::ParallelConfig cfg;
+      cfg.t = static_cast<int>(std::min<std::int64_t>(c.n, 32));
+      while (c.m.heads % cfg.t != 0 || c.n % cfg.t != 0) cfg.t /= 2;
+      cfg.d = static_cast<int>(c.n / cfg.t);
+      cfg.b = 1;
+      if (c.B % cfg.d == 0) {
+        evaluate(hw, "tensor-only (wide t)", c.m, cfg, c.B, best_tf);
+      }
+    }
+    // Pipeline-only (ignores the bubble cost of deep pipelines): deepest
+    // pipeline that divides both the layer count and the GPU count.
+    {
+      core::ParallelConfig cfg;
+      cfg.p = 1;
+      for (int p = static_cast<int>(std::min<std::int64_t>(c.m.num_layers, 64));
+           p >= 2; --p) {
+        if (c.m.num_layers % p == 0 && c.n % p == 0) {
+          cfg.p = p;
+          break;
+        }
+      }
+      cfg.d = static_cast<int>(c.n / cfg.p);
+      cfg.b = 1;
+      if (cfg.p > 1 && c.B % cfg.d == 0) {
+        evaluate(hw, "pipeline-only (deep p)", c.m, cfg, c.B, best_tf);
+      }
+    }
+    // Data-parallel only (no model parallelism — may not fit).
+    {
+      core::ParallelConfig cfg;
+      cfg.d = static_cast<int>(c.n);
+      cfg.b = 1;
+      if (c.B % cfg.d == 0) {
+        evaluate(hw, "data-only (ZeRO-less DP)", c.m, cfg, c.B, best_tf);
+      }
+    }
+    // Tuned (p,t,d) but the *wrong* microbatch (ignores Takeaway #3).
+    {
+      core::ParallelConfig cfg = plan.best.config;
+      cfg.b = cfg.b == 1 ? 8 : 1;
+      if (c.B % (cfg.b * cfg.d) == 0) {
+        if (cfg.schedule == pipeline::ScheduleType::kInterleaved &&
+            cfg.microbatches(c.B) % cfg.p != 0) {
+          cfg.v = 1;
+          cfg.schedule = pipeline::ScheduleType::kOneFOneB;
+        }
+        evaluate(hw, "tuned grid, untuned b", c.m, cfg, c.B, best_tf);
+      }
+    }
+  }
+  std::printf("\nPaper: sub-optimal combinations of tensor and pipeline "
+              "parallelism can cost up to 2x, even on fast interconnects.\n");
+  return 0;
+}

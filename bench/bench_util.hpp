@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared helpers for the experiment-reproduction binaries. Every bench
+// prints the series the corresponding paper table/figure reports, plus the
+// paper's value where the paper states one, so EXPERIMENTS.md can record
+// paper-vs-measured side by side.
+
+#include <cstdio>
+#include <vector>
+
+#include "ptdp/sim/simulator.hpp"
+
+namespace ptdp::bench {
+
+inline void header(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+inline model::GptConfig gpt(std::int64_t layers, std::int64_t hidden,
+                            std::int64_t heads) {
+  model::GptConfig c;
+  c.num_layers = layers;
+  c.hidden = hidden;
+  c.heads = heads;
+  c.vocab = 51200;
+  c.seq = 2048;
+  return c;
+}
+
+/// Sweep microbatch size and interleave factor for a fixed (p, t, d) the
+/// way the paper tunes each configuration (§3.4 / §5.1), returning the
+/// fastest non-OOM configuration.
+inline core::ParallelConfig tune(const sim::ClusterSpec& hw,
+                                 const model::GptConfig& m,
+                                 core::ParallelConfig base, std::int64_t B,
+                                 bool allow_interleave = true) {
+  double best = 1e30;
+  core::ParallelConfig best_cfg = base;
+  bool found = false;
+  for (std::int64_t b : {1, 2, 4, 8}) {
+    if (B % (b * base.d) != 0) continue;
+    for (int v : {1, 2, 3, 4}) {
+      core::ParallelConfig cfg = base;
+      cfg.b = b;
+      cfg.v = v;
+      if (v > 1) {
+        if (!allow_interleave || base.p < 2) continue;
+        if (cfg.microbatches(B) % base.p != 0) continue;
+        if (m.num_layers % (base.p * v) != 0) continue;
+        cfg.schedule = pipeline::ScheduleType::kInterleaved;
+        cfg.scatter_gather = cfg.t > 1;
+      } else {
+        if (m.num_layers % base.p != 0) continue;
+        cfg.schedule = pipeline::ScheduleType::kOneFOneB;
+      }
+      const auto res = sim::simulate_iteration(hw, m, cfg, B);
+      if (!res.oom && res.iteration_seconds < best) {
+        best = res.iteration_seconds;
+        best_cfg = cfg;
+        found = true;
+      }
+    }
+  }
+  if (!found) best_cfg.b = 0;  // sentinel: nothing fit
+  return best_cfg;
+}
+
+}  // namespace ptdp::bench

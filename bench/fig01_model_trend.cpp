@@ -1,0 +1,47 @@
+// Figure 1: the growth trend of state-of-the-art NLP model sizes that
+// motivates the paper, with this work's Table 1 configurations overlaid.
+// (A data figure, not a measurement — reproduced as the underlying table
+// plus the exponential-fit doubling time.)
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace ptdp;
+
+int main() {
+  bench::header("Figure 1", "Trend of NLP model sizes over time");
+  struct Point {
+    const char* name;
+    double year;
+    double params;
+  };
+  const Point points[] = {
+      {"ELMo", 2018.1, 94e6},          {"BERT-Large", 2018.8, 340e6},
+      {"GPT-2", 2019.1, 1.5e9},        {"Megatron-LM", 2019.7, 8.3e9},
+      {"T5-11B", 2019.8, 11e9},        {"Turing-NLG", 2020.1, 17e9},
+      {"GPT-3", 2020.4, 175e9},        {"This work (Table 1 max)", 2021.2, 1.008e12},
+  };
+  std::printf("%-26s %8s %14s\n", "model", "year", "parameters");
+  for (const Point& p : points) {
+    std::printf("%-26s %8.1f %14.2e\n", p.name, p.year, p.params);
+  }
+
+  // Least-squares fit of log10(params) vs year -> doubling time.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const int n = static_cast<int>(std::size(points));
+  for (const Point& p : points) {
+    const double x = p.year, y = std::log10(p.params);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  const double doubling_months = 12.0 * std::log10(2.0) / slope;
+  std::printf("\nExponential fit: x%.1f per year (doubling every %.1f months)\n",
+              std::pow(10.0, slope), doubling_months);
+  std::printf("Shape check (paper): exponential growth, ~10^4x in ~3 years.\n");
+  return 0;
+}

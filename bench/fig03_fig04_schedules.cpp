@@ -1,0 +1,80 @@
+// Figures 3 & 4: the pipeline schedules themselves, rendered as ASCII
+// Gantt charts from the *actual simulated timelines* (one row per device,
+// time left to right, digits = microbatch id, uppercase F = forward,
+// b = backward which takes 2x as long, '.' = pipeline bubble). These are
+// the paper's schematic figures, regenerated from the real op lists the
+// executor runs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ptdp/pipeline/schedule.hpp"
+
+using namespace ptdp::pipeline;
+
+namespace {
+
+// Renders one schedule with tf = 1, tb = 2 at 1 column per time unit.
+void render(const char* title, const ScheduleParams& sp) {
+  const double tf = 1.0 / sp.v, tb = 2.0 / sp.v;
+  const auto timeline = simulate_timeline(sp, tf, tb);
+  double makespan = 0;
+  for (const auto& rank_ops : timeline) {
+    for (const auto& t : rank_ops) makespan = std::max(makespan, t.end);
+  }
+  const double ideal = sp.m * sp.v * (tf + tb);
+  std::printf("\n%s  (p=%d, m=%d, v=%d; bubble = %.1f%%)\n", title, sp.p, sp.m,
+              sp.v, 100.0 * (makespan - ideal) / ideal);
+
+  const int cols = static_cast<int>(makespan * sp.v + 0.5);  // v columns per unit
+  for (int r = 0; r < sp.p; ++r) {
+    std::string row(static_cast<std::size_t>(cols), '.');
+    for (const TimedOp& t : timeline[static_cast<std::size_t>(r)]) {
+      const int c0 = static_cast<int>(t.start * sp.v + 0.5);
+      const int c1 = static_cast<int>(t.end * sp.v + 0.5);
+      // Microbatch id digit; uppercase = fwd, lowercase letter row = bwd.
+      const char id = static_cast<char>('1' + (t.op.microbatch % 9));
+      for (int c = c0; c < c1 && c < cols; ++c) {
+        const bool fwd = t.op.kind == Op::Kind::kForward;
+        // Dark/light per chunk (Fig. 4 bottom): chunk 0 keeps the digit,
+        // chunk 1 shows the digit for fwd but letters for visual contrast.
+        char ch = id;
+        if (!fwd) ch = static_cast<char>('a' + (t.op.microbatch % 9));
+        if (t.op.chunk == 1 && fwd) ch = id;
+        row[static_cast<std::size_t>(c)] = ch;
+      }
+      // Mark chunk-1 ops with a separator tick at the start for v > 1.
+      if (sp.v > 1 && t.op.chunk == 1 && c0 < cols) {
+        // leave as is; distinguishable by position
+      }
+    }
+    std::printf("  device %d |%s|\n", r + 1, row.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("================================================================\n");
+  std::printf("Figures 3 & 4 — pipeline schedules\n");
+  std::printf("(digits = forward of microbatch n, letters = backward of the\n");
+  std::printf(" same microbatch (2x as long, as in the paper), '.' = bubble)\n");
+  std::printf("================================================================\n");
+
+  // Figure 3: GPipe, 4 devices, 8 microbatches.
+  render("Figure 3 — GPipe (all-forward, all-backward)",
+         ScheduleParams{ScheduleType::kGPipe, 4, 8, 1});
+
+  // Figure 4 (top): default 1F1B.
+  render("Figure 4 (top) — default 1F1B (PipeDream-Flush)",
+         ScheduleParams{ScheduleType::kOneFOneB, 4, 8, 1});
+
+  // Figure 4 (bottom): interleaved 1F1B with 2 chunks per device.
+  render("Figure 4 (bottom) — interleaved 1F1B, v = 2 chunks/device",
+         ScheduleParams{ScheduleType::kInterleaved, 4, 8, 2});
+
+  std::printf("\nShape check (paper): identical bubble for GPipe and 1F1B; the\n"
+              "interleaved flush happens sooner (bubble divided by v).\n");
+  return 0;
+}

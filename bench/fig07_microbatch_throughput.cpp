@@ -1,0 +1,25 @@
+// Figure 7: per-GPU throughput vs. microbatch size for a GPT model with a
+// billion parameters (128 attention heads, hidden size 4096, 4 transformer
+// layers) on a single GPU. The paper reports up to a 1.3x ramp.
+
+#include "bench_util.hpp"
+
+using namespace ptdp;
+
+int main() {
+  bench::header("Figure 7", "Per-GPU throughput vs microbatch size (1 GPU, ~1B params)");
+  const auto hw = sim::ClusterSpec::selene();
+  const model::GptConfig m = bench::gpt(4, 4096, 128);
+  std::printf("model: %lld layers, hidden %lld, %lld heads (%.2fB params)\n\n",
+              static_cast<long long>(m.num_layers), static_cast<long long>(m.hidden),
+              static_cast<long long>(m.heads), m.paper_params() / 1e9);
+  std::printf("%12s %14s %10s\n", "microbatch b", "TFLOP/s/GPU", "vs b=1");
+  const double base = sim::single_gpu_flops(hw, m, 1);
+  for (const std::int64_t b : {1, 2, 4, 8, 16}) {
+    const double f = sim::single_gpu_flops(hw, m, b);
+    std::printf("%12lld %14.1f %9.2fx\n", static_cast<long long>(b), f / 1e12,
+                f / base);
+  }
+  std::printf("\nPaper: throughput increases by up to ~1.3x with larger b.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8: normalized estimated throughput vs. microbatch size from
+// Eq. (1), t = (b'/b + p − 1)·(t_f(b) + t_b(b)), for the Fig. 7 model with
+// (p, t) = (8, 8) and batch sizes 128 and 512. t_f(b)/t_b(b) come from the
+// cost model's per-layer times scaled by the layers-per-stage share l/p
+// (the paper measures them empirically). The paper finds b = 4 optimal for
+// both batch sizes.
+
+#include <vector>
+
+#include "bench_util.hpp"
+
+#include "ptdp/core/analytics.hpp"
+
+using namespace ptdp;
+
+int main() {
+  bench::header("Figure 8", "Eq.(1) normalized estimated throughput vs microbatch size");
+  const auto hw = sim::ClusterSpec::selene();
+  const model::GptConfig m = bench::gpt(4, 4096, 128);
+  const int p = 8, t = 8;
+  const double layers_per_stage =
+      static_cast<double>(m.num_layers) / p;  // fractional: 0.5
+
+  for (const std::int64_t B : {128, 512}) {
+    std::printf("batch size B = %lld, (p, t) = (%d, %d):\n",
+                static_cast<long long>(B), p, t);
+    std::printf("%6s %14s %14s %12s\n", "b", "t_f(b) [ms]", "batch time [s]",
+                "normalized");
+    std::vector<std::pair<std::int64_t, double>> times;
+    std::vector<double> tfs;
+    for (const std::int64_t b : {1, 2, 4, 8, 16}) {
+      core::ParallelConfig cfg;
+      cfg.p = p;
+      cfg.t = t;
+      cfg.b = b;
+      // Per-layer forward/backward cost at this microbatch size.
+      const auto one_layer = sim::chunk_cost(hw, m, cfg, 1, false, false);
+      const double tf = one_layer.fwd() * layers_per_stage;
+      const double tb = one_layer.bwd() * layers_per_stage;
+      times.emplace_back(b, core::estimated_batch_time(cfg, B, tf, tb));
+      tfs.push_back(tf);
+    }
+    double best = 1e30;
+    std::int64_t best_b = 0;
+    for (auto [b, tt] : times) {
+      if (tt < best) {
+        best = tt;
+        best_b = b;
+      }
+    }
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      std::printf("%6lld %14.3f %14.4f %12.3f\n",
+                  static_cast<long long>(times[i].first), tfs[i] * 1e3,
+                  times[i].second, best / times[i].second);
+    }
+    std::printf("  -> optimal b = %lld\n\n", static_cast<long long>(best_b));
+  }
+  std::printf("Paper: the optimal b for both batch sizes is 4.\n");
+  return 0;
+}

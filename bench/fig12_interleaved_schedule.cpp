@@ -1,0 +1,39 @@
+// Figure 12: interleaved vs non-interleaved 1F1B throughput for GPT-3 175B
+// (96 layers, 96 heads, hidden 12288) on 96 GPUs ((t, p) = (8, 12)),
+// batch size 12..60. The interleaved schedule (with scatter/gather) wins,
+// and the gap closes as the batch grows.
+
+#include "bench_util.hpp"
+
+using namespace ptdp;
+
+int main() {
+  bench::header("Figure 12", "Interleaved vs non-interleaved schedule (175B, 96 GPUs)");
+  const auto hw = sim::ClusterSpec::selene();
+  const model::GptConfig m = bench::gpt(96, 12288, 96);
+  std::printf("%6s | %17s %17s %8s\n", "batch", "non-interleaved", "interleaved(v=2)",
+              "ratio");
+  for (const std::int64_t B : {12, 24, 36, 48, 60}) {
+    core::ParallelConfig flat;
+    flat.t = 8;
+    flat.p = 12;
+    flat.d = 1;
+    flat.b = 1;
+    const auto rf =
+        sim::simulate_iteration(hw, m, flat, B, {true, /*check_memory=*/false});
+
+    core::ParallelConfig inter = flat;
+    inter.v = 2;
+    inter.schedule = pipeline::ScheduleType::kInterleaved;
+    inter.scatter_gather = true;
+    const auto ri =
+        sim::simulate_iteration(hw, m, inter, B, {true, /*check_memory=*/false});
+
+    std::printf("%6lld | %14.0f TF %14.0f TF %7.2fx\n", static_cast<long long>(B),
+                rf.per_gpu_flops / 1e12, ri.per_gpu_flops / 1e12,
+                ri.per_gpu_flops / rf.per_gpu_flops);
+  }
+  std::printf("\nShape check (paper): interleaved ahead by ~10%% at small batch; "
+              "gap narrows as the batch (and the default schedule's m) grows.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 13: tensor vs pipeline model parallelism for a 162B GPT model
+// (32 layers, hidden 20480, 128 heads) on 64 GPUs: (t, p) from (2, 32) to
+// (32, 2), batch 32 and 128, microbatch 1. Peak sits at t = 8 — the node
+// size (Takeaway #1).
+
+#include "bench_util.hpp"
+
+using namespace ptdp;
+
+int main() {
+  bench::header("Figure 13", "Tensor vs pipeline parallelism (162B, 64 GPUs)");
+  const auto hw = sim::ClusterSpec::selene();
+  const model::GptConfig m = bench::gpt(32, 20480, 128);
+  std::printf("model: %.1fB params\n\n", m.paper_params() / 1e9);
+  std::printf("%4s %4s | %12s %12s\n", "t", "p", "TF/GPU B=32", "TF/GPU B=128");
+  for (const int t : {2, 4, 8, 16, 32}) {
+    const int p = 64 / t;
+    double tf[2] = {0, 0};
+    int i = 0;
+    for (const std::int64_t B : {32, 128}) {
+      core::ParallelConfig cfg;
+      cfg.t = t;
+      cfg.p = p;
+      cfg.b = 1;
+      const auto res =
+          sim::simulate_iteration(hw, m, cfg, B, {true, /*check_memory=*/false});
+      tf[i++] = res.per_gpu_flops / 1e12;
+    }
+    std::printf("%4d %4d | %12.0f %12.0f%s\n", t, p, tf[0], tf[1],
+                t == 8 ? "   <- node size (peak expected here)" : "");
+  }
+  std::printf("\nShape check (paper): throughput peaks at t = 8 (the DGX A100 "
+              "node size); t > 8 pays inter-node all-reduces, small t pays "
+              "pipeline bubble.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 14: pipeline vs data parallelism for a 5.9B GPT model (32 layers,
+// hidden 3840, 32 heads) on 64 GPUs, batch 32/128/512, microbatch 1.
+// Throughput falls as the pipeline-parallel size rises — data parallelism
+// should do the scale-out (§3.3.1).
+
+#include "bench_util.hpp"
+
+using namespace ptdp;
+
+int main() {
+  bench::header("Figure 14", "Pipeline vs data parallelism (5.9B, 64 GPUs)");
+  const auto hw = sim::ClusterSpec::selene();
+  const model::GptConfig m = bench::gpt(32, 3840, 32);
+  std::printf("model: %.1fB params\n\n", m.paper_params() / 1e9);
+  std::printf("%4s %4s | %11s %12s %12s\n", "p", "d", "TF/GPU B=32", "TF/GPU B=128",
+              "TF/GPU B=512");
+  for (const int p : {2, 4, 8, 16, 32}) {
+    const int d = 64 / p;
+    std::printf("%4d %4d |", p, d);
+    for (const std::int64_t B : {32, 128, 512}) {
+      if (B % d != 0) {
+        std::printf(" %12s", "-");
+        continue;
+      }
+      core::ParallelConfig cfg;
+      cfg.p = p;
+      cfg.d = d;
+      cfg.b = 1;
+      const auto res =
+          sim::simulate_iteration(hw, m, cfg, B, {true, /*check_memory=*/false});
+      std::printf(" %12.0f", res.per_gpu_flops / 1e12);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape check (paper): every batch size decays with p; larger "
+              "batches decay more slowly (bubble amortization).\n");
+  return 0;
+}

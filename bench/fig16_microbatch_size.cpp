@@ -1,0 +1,33 @@
+// Figure 16: effect of microbatch size for a 91B GPT model at
+// (t, p) = (8, 8) on 64 GPUs, batch 128 and 512. Larger b improves
+// arithmetic intensity but shrinks m and grows the bubble; the paper's
+// best value for this model is b = 2.
+
+#include "bench_util.hpp"
+
+using namespace ptdp;
+
+int main() {
+  bench::header("Figure 16", "Microbatch-size tradeoff (91B, (t,p)=(8,8))");
+  const auto hw = sim::ClusterSpec::selene();
+  const model::GptConfig m = bench::gpt(64, 10240, 80);  // ~91B params
+  std::printf("model: %.1fB params\n\n", m.paper_params() / 1e9);
+  std::printf("%4s | %12s %12s\n", "b", "TF/GPU B=128", "TF/GPU B=512");
+  for (const std::int64_t b : {1, 2, 4, 8}) {
+    std::printf("%4lld |", static_cast<long long>(b));
+    for (const std::int64_t B : {128, 512}) {
+      core::ParallelConfig cfg;
+      cfg.t = 8;
+      cfg.p = 8;
+      cfg.b = b;
+      const auto res =
+          sim::simulate_iteration(hw, m, cfg, B, {true, /*check_memory=*/false});
+      std::printf(" %12.0f", res.per_gpu_flops / 1e12);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape check (paper): an interior optimum (paper: b = 2) — "
+              "kernel efficiency rises with b while the (p-1)/m bubble "
+              "grows.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 17: throughput in sequences/second with and without activation
+// recomputation for a 145B GPT model (80 layers, 96 heads, hidden 12288)
+// on 128 GPUs, (t, p) = (8, 16). Without recomputation large batches run
+// out of memory; with it, large batches reach ~2x the best non-recompute
+// throughput thanks to a smaller bubble.
+
+#include "bench_util.hpp"
+
+using namespace ptdp;
+
+int main() {
+  bench::header("Figure 17", "Activation recomputation (145B, 128 GPUs)");
+  const auto hw = sim::ClusterSpec::selene();
+  const model::GptConfig m = bench::gpt(80, 12288, 96);
+  std::printf("%6s | %16s %16s\n", "batch", "seq/s recompute", "seq/s stashed");
+  double best_without = 0, best_with = 0;
+  for (const std::int64_t B : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    std::printf("%6lld |", static_cast<long long>(B));
+    for (const bool recompute : {true, false}) {
+      core::ParallelConfig cfg;
+      cfg.t = 8;
+      cfg.p = 16;
+      cfg.b = 1;
+      cfg.recompute = recompute;
+      const auto res = sim::simulate_iteration(hw, m, cfg, B);
+      if (res.oom) {
+        std::printf(" %16s", "OOM");
+      } else {
+        std::printf(" %16.2f", res.sequences_per_second);
+        auto& best = recompute ? best_with : best_without;
+        best = std::max(best, res.sequences_per_second);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nBest without recompute: %.2f seq/s; best with: %.2f seq/s "
+              "(%.2fx)\n", best_without, best_with, best_with / best_without);
+  std::printf("Shape check (paper): recompute ~33%% slower at tiny batches, "
+              "but only recompute reaches large batches, peaking ~2x higher.\n");
+  return 0;
+}

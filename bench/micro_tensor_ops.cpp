@@ -1,0 +1,99 @@
+// Google-benchmark microbenchmarks for the tensor kernels: GEMM shapes
+// that appear in a transformer layer, and the §4.2 fused kernels against
+// their unfused compositions (measured, on this CPU substrate).
+
+#include <benchmark/benchmark.h>
+
+#include "ptdp/tensor/ops.hpp"
+
+namespace {
+
+using namespace ptdp;
+using tensor::Tensor;
+
+void BM_MatmulSquare(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTransformerShapes(benchmark::State& state) {
+  // (rows, h) -> QKV-like GEMM rows x h x 3h.
+  const std::int64_t rows = state.range(0);
+  const std::int64_t h = state.range(1);
+  Rng rng(2);
+  Tensor x = Tensor::randn({rows, h}, rng);
+  Tensor w = Tensor::randn({h, 3 * h}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * h * 3 * h);
+}
+BENCHMARK(BM_MatmulTransformerShapes)->Args({64, 64})->Args({128, 128});
+
+void BM_BiasGeluUnfused(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(3);
+  Tensor x = Tensor::randn({n, n}, rng);
+  Tensor bias = Tensor::randn({n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gelu(tensor::add_bias(x, bias)));
+  }
+  state.SetBytesProcessed(state.iterations() * n * n * sizeof(float) * 4);
+}
+BENCHMARK(BM_BiasGeluUnfused)->Arg(256);
+
+void BM_BiasGeluFused(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(3);
+  Tensor x = Tensor::randn({n, n}, rng);
+  Tensor bias = Tensor::randn({n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::fused_bias_gelu(x, bias));
+  }
+  state.SetBytesProcessed(state.iterations() * n * n * sizeof(float) * 2);
+}
+BENCHMARK(BM_BiasGeluFused)->Arg(256);
+
+void BM_CausalSoftmaxFused(benchmark::State& state) {
+  const auto s = state.range(0);
+  Rng rng(4);
+  Tensor scores = Tensor::randn({8, s, s}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::fused_scale_causal_softmax(scores, 0.125f));
+  }
+}
+BENCHMARK(BM_CausalSoftmaxFused)->Arg(64)->Arg(128);
+
+void BM_SoftmaxComposed(benchmark::State& state) {
+  const auto s = state.range(0);
+  Rng rng(4);
+  Tensor scores = Tensor::randn({8, s, s}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::softmax_lastdim(tensor::scale(scores, 0.125f)));
+  }
+}
+BENCHMARK(BM_SoftmaxComposed)->Arg(64)->Arg(128);
+
+void BM_LayerNorm(benchmark::State& state) {
+  const auto h = state.range(0);
+  Rng rng(5);
+  Tensor x = Tensor::randn({256, h}, rng);
+  Tensor gamma = Tensor::ones({h});
+  Tensor beta = Tensor::zeros({h});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::layernorm(x, gamma, beta));
+  }
+  state.SetBytesProcessed(state.iterations() * 256 * h * sizeof(float) * 2);
+}
+BENCHMARK(BM_LayerNorm)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

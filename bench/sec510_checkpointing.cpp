@@ -1,0 +1,75 @@
+// §5.10: checkpoint loading and saving. The paper's trillion-parameter
+// checkpoint is 13.8 TB; the initial load reached 1 TB/s (filesystem peak)
+// and saves reached 40% of peak write bandwidth (273 GB/s). We reproduce
+// the size/time arithmetic from the storage model, and exercise the real
+// sharded checkpoint implementation on a small model to measure this
+// library's actual serialization throughput.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.hpp"
+
+#include "ptdp/ckpt/checkpoint.hpp"
+#include "ptdp/dist/world.hpp"
+#include "ptdp/model/stage.hpp"
+#include "ptdp/runtime/stopwatch.hpp"
+
+using namespace ptdp;
+
+int main() {
+  bench::header("Section 5.10", "Checkpoint loading and saving");
+  const auto hw = sim::ClusterSpec::selene();
+
+  // ---- storage-model arithmetic for the 1T model ----
+  const model::GptConfig m1t = bench::gpt(128, 25600, 160);
+  const double P = m1t.paper_params();
+  // Checkpoint contents per parameter: fp32 master + Adam m + v + fp16 copy.
+  const double bytes_per_param = 4.0 + 4.0 + 4.0 + 2.0;
+  const double ckpt_bytes = P * bytes_per_param;
+  std::printf("1T-model checkpoint size: %5.1f TB   (paper: 13.8 TB)\n",
+              ckpt_bytes / 1e12);
+  std::printf("initial load at fs peak read (%.0f GB/s): %5.1f s\n",
+              hw.fs_read_bw / 1e9, ckpt_bytes / hw.fs_read_bw);
+  std::printf("save at 40%% of peak write (%.0f GB/s): %5.1f s   (paper saves "
+              "hit 273 GB/s)\n",
+              0.4 * hw.fs_write_bw / 1e9, ckpt_bytes / (0.4 * hw.fs_write_bw));
+
+  // ---- real sharded checkpoint on a small functional model ----
+  const auto dir = std::filesystem::temp_directory_path() / "ptdp_bench_ckpt";
+  std::filesystem::create_directories(dir);
+  model::GptConfig tiny;
+  tiny.num_layers = 4;
+  tiny.hidden = 128;
+  tiny.heads = 8;
+  tiny.vocab = 512;
+  tiny.seq = 64;
+  dist::World world(2);
+  world.run([&](dist::Comm& comm) {
+    dist::Comm tp = dist::Comm::solo();
+    model::GptStage stage(
+        tiny, tp,
+        model::StageSpec{comm.rank() == 0, comm.rank() == 1,
+                         comm.rank() == 0 ? 0 : 2, comm.rank() == 0 ? 2 : 4, false});
+    ckpt::NamedTensors tensors;
+    for (model::Param* p : stage.params()) tensors.emplace_back(p->name, &p->value);
+    const std::string path = ckpt::shard_path(dir.string(), comm.rank(), 0, 0);
+    Stopwatch sw;
+    const std::int64_t bytes = ckpt::save_checkpoint(path, tensors, {1, 0});
+    const double save_s = sw.elapsed_seconds();
+    sw.reset();
+    ckpt::load_checkpoint(path, tensors);
+    const double load_s = sw.elapsed_seconds();
+    if (comm.rank() == 0) {
+      std::printf("\nfunctional sharded checkpoint (rank 0 shard): %.2f MB, "
+                  "save %.1f ms (%.0f MB/s), load %.1f ms (%.0f MB/s)\n",
+                  bytes / 1e6, save_s * 1e3, bytes / 1e6 / save_s, load_s * 1e3,
+                  bytes / 1e6 / load_s);
+    }
+  });
+  std::filesystem::remove_all(dir);
+  std::printf("Every rank writes exactly its own shard in parallel — the "
+              "layout that lets the paper's 384 nodes saturate the parallel "
+              "filesystem.\n");
+  return 0;
+}

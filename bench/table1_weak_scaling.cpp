@@ -1,0 +1,65 @@
+// Table 1: weak-scaling throughput for GPT models from 1.7B to 1T
+// parameters on 32 to 3072 A100s, plus the §5.1 end-to-end training-time
+// estimates (Eq. 4) for GPT-3 175B and the 1T model.
+
+#include "bench_util.hpp"
+
+#include "ptdp/core/analytics.hpp"
+
+using namespace ptdp;
+
+int main() {
+  bench::header("Table 1", "Weak-scaling throughput, 1.7B -> 1T parameters");
+  const auto hw = sim::ClusterSpec::selene();
+
+  struct Row {
+    std::int64_t layers, hidden, heads;
+    int t, p;
+    std::int64_t n, batch;
+    double paper_tflops, paper_pct, paper_agg;
+  };
+  const Row rows[] = {
+      {24, 2304, 24, 1, 1, 32, 512, 137, 44, 4.4},
+      {30, 3072, 32, 2, 1, 64, 512, 138, 44, 8.8},
+      {36, 4096, 32, 4, 1, 128, 512, 142, 46, 18.2},
+      {40, 6144, 48, 8, 1, 256, 1024, 135, 43, 34.6},
+      {48, 8192, 64, 8, 2, 512, 1536, 138, 44, 70.8},
+      {60, 10240, 80, 8, 4, 1024, 1792, 140, 45, 143.8},
+      {80, 12288, 96, 8, 8, 1536, 2304, 148, 47, 227.1},
+      {96, 16384, 128, 8, 16, 1920, 2160, 155, 50, 297.4},
+      {105, 20480, 128, 8, 35, 2520, 2520, 163, 52, 410.2},
+      {128, 25600, 160, 8, 64, 3072, 3072, 163, 52, 502.0},
+  };
+
+  std::printf(
+      "%9s %6s %6s %6s | %3s %3s %4s %6s %3s %3s | %9s %7s %9s | %9s %7s %9s\n",
+      "params(B)", "heads", "hidden", "layers", "t", "p", "GPUs", "batch", "b",
+      "v", "TF/s/GPU", "% peak", "agg PF/s", "paper TF", "paper%", "paper PF");
+  for (const Row& r : rows) {
+    const model::GptConfig m = bench::gpt(r.layers, r.hidden, r.heads);
+    core::ParallelConfig base;
+    base.t = r.t;
+    base.p = r.p;
+    base.d = static_cast<int>(r.n / (static_cast<std::int64_t>(r.t) * r.p));
+    const core::ParallelConfig cfg = bench::tune(hw, m, base, r.batch);
+    const auto res = sim::simulate_iteration(hw, m, cfg, r.batch);
+    std::printf(
+        "%9.1f %6lld %6lld %6lld | %3d %3d %4lld %6lld %3lld %3d | %9.0f %6.0f%% "
+        "%9.1f | %9.0f %6.0f%% %9.1f\n",
+        m.paper_params() / 1e9, static_cast<long long>(r.heads),
+        static_cast<long long>(r.hidden), static_cast<long long>(r.layers), cfg.t,
+        cfg.p, static_cast<long long>(r.n), static_cast<long long>(r.batch),
+        static_cast<long long>(cfg.b), cfg.v, res.per_gpu_flops / 1e12,
+        100 * res.percent_of_peak, res.aggregate_flops / 1e15, r.paper_tflops,
+        r.paper_pct, r.paper_agg);
+  }
+
+  std::printf("\nEnd-to-end training-time estimates (Eq. 4):\n");
+  const double gpt3_days = core::training_time_days(300e9, 175e9, 1024, 140e12);
+  std::printf("  GPT-3 175B, 300B tokens, 1024 GPUs @140 TF: %5.1f days (paper: 34)\n",
+              gpt3_days);
+  const double t1_days = core::training_time_days(450e9, 1e12, 3072, 163e12);
+  std::printf("  1T model, 450B tokens, 3072 GPUs @163 TF:   %5.1f days (paper: 84)\n",
+              t1_days);
+  return 0;
+}

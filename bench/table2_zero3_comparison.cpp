@@ -1,0 +1,83 @@
+// Table 2: PTD Parallelism vs. ZeRO-3 (without model parallelism) for the
+// 175B GPT-3 and the 530B model — per-GPU throughput and training time for
+// 300B tokens, with the number of GPUs doubling at fixed global batch.
+
+#include "bench_util.hpp"
+
+#include "ptdp/sim/zero_model.hpp"
+
+using namespace ptdp;
+
+namespace {
+
+double training_days(double iteration_seconds, std::int64_t batch,
+                     std::int64_t seq) {
+  const double iters = 300e9 / (static_cast<double>(batch) * seq);
+  return iters * iteration_seconds / 86400.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 2", "PTD-P vs ZeRO-3 (no model parallelism)");
+  const auto hw = sim::ClusterSpec::selene();
+  const model::GptConfig gpt3 = bench::gpt(96, 12288, 96);    // 174.6B
+  const model::GptConfig gpt530 = bench::gpt(105, 20480, 128);  // 529.6B
+
+  std::printf("%-8s %9s %5s %6s %6s %3s | %9s %10s | %8s %9s\n", "scheme",
+              "params(B)", "mp", "batch", "GPUs", "b", "TF/s/GPU", "days/300B",
+              "paperTF", "paperDays");
+
+  struct ZRow {
+    const model::GptConfig* m;
+    std::int64_t batch, n, b;
+    double paper_tf, paper_days;
+    bool oom_note;
+  };
+  const ZRow zrows[] = {
+      {&gpt3, 1536, 384, 4, 144, 90, false},  {&gpt3, 1536, 768, 2, 88, 74, false},
+      {&gpt3, 1536, 1536, 1, 44, 74, false},  {&gpt530, 2560, 640, 4, 138, 169, true},
+      {&gpt530, 2240, 1120, 2, 98, 137, false},
+      {&gpt530, 2240, 2240, 1, 48, 140, false},
+  };
+  for (const ZRow& r : zrows) {
+    const auto res = sim::simulate_zero3_iteration(hw, *r.m, r.batch, r.n, r.b);
+    std::printf("%-8s %9.1f %5d %6lld %6lld %3lld | %9.0f %10.0f | %8.0f %9.0f%s\n",
+                "ZeRO-3", r.m->paper_params() / 1e9, 1,
+                static_cast<long long>(r.batch), static_cast<long long>(r.n),
+                static_cast<long long>(r.b), res.per_gpu_flops / 1e12,
+                training_days(res.iteration_seconds, r.batch, r.m->seq), r.paper_tf,
+                r.paper_days,
+                r.oom_note ? "  (*paper grew batch/GPUs to fit, as here)" : "");
+  }
+
+  struct PRow {
+    const model::GptConfig* m;
+    int t, p;
+    std::int64_t batch, n;
+    double paper_tf, paper_days;
+  };
+  const PRow prows[] = {
+      {&gpt3, 8, 12, 1536, 384, 153, 84},   {&gpt3, 8, 12, 1536, 768, 149, 43},
+      {&gpt3, 8, 12, 1536, 1536, 141, 23},  {&gpt530, 8, 35, 2240, 560, 171, 156},
+      {&gpt530, 8, 35, 2240, 1120, 167, 80}, {&gpt530, 8, 35, 2240, 2240, 159, 42},
+  };
+  for (const PRow& r : prows) {
+    core::ParallelConfig cfg;
+    cfg.t = r.t;
+    cfg.p = r.p;
+    cfg.d = static_cast<int>(r.n / (static_cast<std::int64_t>(r.t) * r.p));
+    cfg.b = 1;
+    const auto res = sim::simulate_iteration(hw, *r.m, cfg, r.batch);
+    std::printf("%-8s %9.1f %5lld %6lld %6lld %3d | %9.0f %10.0f | %8.0f %9.0f\n",
+                "PTD-P", r.m->paper_params() / 1e9,
+                static_cast<long long>(cfg.model_parallel_size()),
+                static_cast<long long>(r.batch), static_cast<long long>(r.n), 1,
+                res.per_gpu_flops / 1e12,
+                training_days(res.iteration_seconds, r.batch, r.m->seq), r.paper_tf,
+                r.paper_days);
+  }
+  std::printf("\nHeadline (§5.2): at doubled GPU counts PTD-P outperforms ZeRO-3 "
+              "by ~70%% due to less cross-node communication.\n");
+  return 0;
+}

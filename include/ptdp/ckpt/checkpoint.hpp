@@ -1,0 +1,54 @@
+#pragma once
+
+// Sharded distributed checkpointing (§5.10). Each rank saves exactly the
+// shards it owns — model parameters plus optimizer state — to its own file,
+// mirroring Megatron's per-rank checkpoint layout (the trillion-parameter
+// model's 13.8 TB checkpoint is written this way in parallel). Files carry
+// a magic/version header and a CRC32 per tensor so corruption is detected
+// at load, and loading matches tensors by name so a resume into a freshly
+// constructed model is exact.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ptdp/tensor/tensor.hpp"
+
+namespace ptdp::ckpt {
+
+/// Named tensor list — what gets saved/restored.
+using NamedTensors = std::vector<std::pair<std::string, tensor::Tensor*>>;
+
+struct CheckpointMeta {
+  std::uint64_t step = 0;   ///< training step the checkpoint represents
+  std::uint64_t extra = 0;  ///< caller-defined (e.g. tokens consumed)
+};
+
+/// CRC32 (IEEE, reflected) of a byte range.
+std::uint32_t crc32(const void* data, std::size_t len);
+
+/// Writes header + every tensor (name, shape, crc, payload) to `path`.
+/// Returns bytes written.
+std::int64_t save_checkpoint(const std::string& path, const NamedTensors& tensors,
+                             const CheckpointMeta& meta);
+
+/// Loads into the given tensors (matched by name; shapes must agree; CRCs
+/// must verify). Throws CheckError on any mismatch or corruption.
+CheckpointMeta load_checkpoint(const std::string& path, const NamedTensors& tensors);
+
+/// Reads just the metadata (cheap).
+CheckpointMeta peek_checkpoint(const std::string& path);
+
+/// Order-insensitive load: matches tensors by name instead of position.
+/// Used when loading resharded checkpoints, whose tensor order reflects
+/// the source layout rather than the target model's enumeration. Every
+/// requested tensor must be present (extra tensors in the file are
+/// ignored); shapes and CRCs are verified as in load_checkpoint.
+CheckpointMeta load_checkpoint_by_name(const std::string& path,
+                                       const NamedTensors& tensors);
+
+/// Canonical per-rank file name: <dir>/shard-p<pi>-t<ti>-d<di>.ckpt
+std::string shard_path(const std::string& dir, int p_idx, int t_idx, int d_idx);
+
+}  // namespace ptdp::ckpt

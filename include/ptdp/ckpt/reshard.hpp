@@ -1,0 +1,54 @@
+#pragma once
+
+// Checkpoint resharding — the counterpart of Megatron's checkpoint
+// conversion tools. A training run saves one shard per rank for its
+// (p, t, d) layout; these utilities reassemble those shards into a single
+// serial (p = t = 1) checkpoint and re-split a serial checkpoint for a new
+// tensor-parallel width, so models can be trained under one layout and
+// served or fine-tuned under another.
+//
+// Shard geometry is a pure function of the canonical parameter name
+// (the same convention init_weight_shard uses), so resharding needs no
+// side-channel metadata:
+//   column-parallel weights (attn.qkv, mlp.fc1) ....... split on axis 1
+//   their biases ...................................... split on axis 0
+//   row-parallel weights (attn.proj, mlp.fc2) ......... split on axis 0
+//   vocab-parallel embedding (embedding.word) ......... split on axis 0
+//   LayerNorms, row-parallel biases, positions ........ replicated
+// Optimizer state (.adam_m/.adam_v/.fp32_master/.sgd_velocity) shards
+// exactly like its base parameter.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ptdp/ckpt/checkpoint.hpp"
+
+namespace ptdp::ckpt {
+
+/// Owning (name, tensor) list read straight from a checkpoint file.
+using OwnedTensors = std::vector<std::pair<std::string, tensor::Tensor>>;
+
+/// Reads every tensor in a checkpoint without prior knowledge of its
+/// contents (unlike load_checkpoint, which validates against a model).
+OwnedTensors read_all(const std::string& path, CheckpointMeta* meta = nullptr);
+
+/// Tensor-parallel shard axis for a canonical parameter name:
+/// 0 or 1 for sharded tensors, -1 for replicated ones.
+int shard_axis(const std::string& name);
+
+/// Merges the per-rank shards of a (p, t, d=dp_rank-slice) run under `dir`
+/// into one serial checkpoint at `out_path`. Reads shard-p{i}-t{j}-d{d_idx}
+/// for all i < p, j < t. Duplicated names across pipeline stages (the tied
+/// embedding and its optimizer state) are de-duplicated; replicated tensors
+/// are verified identical across tensor ranks.
+CheckpointMeta merge_shards(const std::string& dir, int p, int t,
+                            const std::string& out_path, int d_idx = 0);
+
+/// Splits a serial checkpoint into `t` tensor-parallel shard files under
+/// `dir` (pipeline size 1): shard-p0-t{j}-d{d_idx} for j < t. Sharded
+/// dimensions must divide by t.
+void split_shards(const std::string& merged_path, int t, const std::string& dir,
+                  int d_idx = 0);
+
+}  // namespace ptdp::ckpt

@@ -1,0 +1,97 @@
+#pragma once
+
+// The paper's analytical models (§2.2, §3, §5.1, Appendix):
+//   - pipeline bubble fractions for all schedules,
+//   - Eq. (1) estimated batch processing time,
+//   - communication-volume cost models per parallel dimension (§3.2, §4.1),
+//   - per-GPU memory footprint with/without activation recomputation and
+//     the optimal checkpoint count c* (§3.5),
+//   - Eq. (4) end-to-end training time.
+// Every formula is unit-tested against the paper's own worked numbers.
+
+#include <cstdint>
+
+#include "ptdp/core/parallel_config.hpp"
+#include "ptdp/model/config.hpp"
+
+namespace ptdp::core {
+
+// ---- pipeline bubble (§2.2, §3.2, §3.3) ------------------------------------------
+
+/// Bubble fraction t_pb/t_id = (p−1)/(v·m).
+double bubble_fraction(const ParallelConfig& cfg, std::int64_t global_batch);
+
+/// Eq. (1): total batch time ignoring communication,
+/// (b'/b + p − 1) · (t_f(b) + t_b(b)), with b' = B/d.
+double estimated_batch_time(const ParallelConfig& cfg, std::int64_t global_batch,
+                            double tf_of_b, double tb_of_b);
+
+// ---- communication volumes (bytes; fp16 activations => 2 bytes/element) ---------
+
+/// Point-to-point bytes between consecutive pipeline stages per microbatch
+/// per direction: 2·b·s·h, divided by t under scatter/gather (§4.1).
+double pipeline_p2p_bytes_per_microbatch(const model::GptConfig& m,
+                                         const ParallelConfig& cfg);
+
+/// Total pipeline p2p bytes per device per batch per direction. The
+/// interleaved schedule communicates v× more (§2.2.2): each of the v chunk
+/// boundaries on a device sends every microbatch.
+double pipeline_p2p_bytes_per_batch(const model::GptConfig& m,
+                                    const ParallelConfig& cfg,
+                                    std::int64_t global_batch);
+
+/// Tensor-parallel all-reduce bytes per device per microbatch:
+/// l_stage · 8·b·s·h·(t−1)/t elements (§3.2), ×2 bytes.
+double tensor_parallel_bytes_per_microbatch(const model::GptConfig& m,
+                                            const ParallelConfig& cfg);
+
+/// Data-parallel grad all-reduce bytes per device per batch:
+/// ring all-reduce moves 2·(d−1)/d · |grads| bytes (fp32 grads).
+double data_parallel_bytes_per_batch(const model::GptConfig& m,
+                                     const ParallelConfig& cfg);
+
+// ---- memory footprint (§3.5 and Takeaway #2) -------------------------------------
+
+struct MemoryEstimate {
+  double param_bytes = 0;      ///< fp16 weights
+  double optimizer_bytes = 0;  ///< fp32 master + Adam moments + fp32 grads
+  double activation_bytes = 0; ///< stashed activations at schedule peak
+  double total() const { return param_bytes + optimizer_bytes + activation_bytes; }
+  bool fits(double capacity_bytes) const { return total() <= capacity_bytes; }
+};
+
+/// Parameters resident per GPU (the model-parallel shard).
+double params_per_gpu(const model::GptConfig& m, const ParallelConfig& cfg);
+
+/// Activation bytes stashed per layer per microbatch (fp16):
+/// full: s·b·h·(34 + 5·a·s/h);  with recomputation: the 2·s·b·h input only.
+double activation_bytes_per_layer(const model::GptConfig& m, std::int64_t b,
+                                  bool recompute);
+
+/// Peak per-GPU footprint for the schedule's in-flight microbatch count.
+MemoryEstimate memory_per_gpu(const model::GptConfig& m, const ParallelConfig& cfg,
+                              std::int64_t global_batch);
+
+/// §3.5: total activation memory with c checkpoints per l-layer stage:
+/// c·A_input + (l/c)·A_intermediate.
+double checkpoint_memory(double c, double l, double a_input, double a_intermediate);
+
+/// §3.5: minimizer c* = sqrt(l · A_intermediate / A_input).
+double optimal_checkpoints(double l, double a_input, double a_intermediate);
+
+// ---- FLOPs and end-to-end time (§5.1, Appendix) -----------------------------------
+
+/// Eq. (3) FLOPs per iteration (with activation recomputation).
+double flops_per_iteration(const model::GptConfig& m, std::int64_t global_batch);
+
+/// Per-transformer-layer forward FLOPs, 24·B·s·h² + 4·B·s²·h (Appendix).
+double layer_forward_flops(const model::GptConfig& m, std::int64_t batch);
+
+/// Eq. (4): end-to-end training time ≈ 8·T·P / (n·X), in seconds.
+/// T = tokens, P = parameters, n = GPUs, X = per-GPU FLOP/s.
+double training_time_seconds(double tokens, double params, double n_gpus,
+                             double flops_per_gpu);
+double training_time_days(double tokens, double params, double n_gpus,
+                          double flops_per_gpu);
+
+}  // namespace ptdp::core

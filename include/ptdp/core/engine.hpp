@@ -1,0 +1,123 @@
+#pragma once
+
+// PtdpEngine: the end-to-end PTD-P trainer. Given a world communicator and
+// a (p, t, d) configuration it
+//   - builds the Megatron-style process groups,
+//   - constructs this rank's v model chunks (tensor-parallel within the
+//     tensor group, layer-striped across virtual pipeline stages),
+//   - runs each batch through the chosen pipeline schedule,
+//   - all-reduces the tied-embedding grads over the embedding group and all
+//     grads over the data-parallel group,
+//   - optionally clips, then steps the optimizer (optionally with bf16
+//     mixed precision and dynamic loss scaling),
+// preserving strict optimizer semantics: tests verify that every layout
+// produces the same weights as serial training.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ptdp/ckpt/checkpoint.hpp"
+#include "ptdp/core/parallel_config.hpp"
+#include "ptdp/dist/process_groups.hpp"
+#include "ptdp/optim/lr_scheduler.hpp"
+#include "ptdp/optim/mixed_precision.hpp"
+#include "ptdp/optim/optimizer.hpp"
+#include "ptdp/pipeline/executor.hpp"
+
+namespace ptdp::core {
+
+struct EngineOptions {
+  model::GptConfig model;
+  ParallelConfig parallel;
+  std::int64_t global_batch = 8;
+
+  /// kZeroAdam shards Adam state over the data-parallel group (§6's
+  /// "ZeRO can be combined with model parallelism"): the engine skips its
+  /// own data-parallel grad all-reduce and the sharded optimizer
+  /// reduce-scatters grads / all-gathers params instead. Incompatible with
+  /// mixed_precision and grad_clip (state lives in shards).
+  enum class Opt { kSgd, kAdam, kZeroAdam };
+  Opt optimizer = Opt::kSgd;
+  optim::SgdOptions sgd{};
+  optim::AdamOptions adam{};
+  bool mixed_precision = false;
+  optim::LossScalerOptions scaler{};
+  double grad_clip = 0.0;  ///< 0 disables clipping
+  /// Data-parallel grad all-reduce bucketing: grads are flattened into
+  /// buckets of up to this many elements and reduced per bucket (DDP
+  /// style: fewer, larger messages). 0 = one all-reduce per parameter.
+  std::int64_t dp_bucket_elems = 1 << 16;
+  /// Optional LR schedule (warmup + cosine); overrides the optimizer's
+  /// static learning rate when set.
+  std::optional<optim::LrScheduleOptions> lr_schedule;
+};
+
+/// Per-step telemetry reported by PtdpEngine::last_stats().
+struct StepStats {
+  std::int64_t step = 0;       ///< 0-indexed global step just completed
+  float loss = 0.0f;           ///< global mean loss
+  double grad_norm = 0.0;      ///< pre-clip norm (0 when clipping is off)
+  float lr = 0.0f;             ///< learning rate applied this step
+  double step_seconds = 0.0;   ///< wall-clock time of train_step
+  std::int64_t tokens = 0;     ///< global tokens consumed (B * s)
+  double tokens_per_second = 0.0;
+};
+
+class PtdpEngine {
+ public:
+  /// Collective: every world rank constructs its engine simultaneously.
+  PtdpEngine(dist::Comm& world, EngineOptions options);
+
+  PtdpEngine(const PtdpEngine&) = delete;
+  PtdpEngine& operator=(const PtdpEngine&) = delete;
+
+  /// One training step over this data-parallel rank's m microbatches.
+  /// Returns the global mean loss (identical on every rank).
+  float train_step(std::span<const model::Microbatch> microbatches);
+
+  /// Validation: forward-only global mean loss over this rank's
+  /// microbatches with dropout disabled. No parameter or optimizer state
+  /// changes; every rank returns the same value. Each data-parallel
+  /// replica should pass its own (equal-count) shard of the eval set.
+  float evaluate(std::span<const model::Microbatch> microbatches);
+
+  const dist::ProcessGroups& groups() const { return *groups_; }
+  const EngineOptions& options() const { return options_; }
+  model::ParamRefs params();
+  model::GptStage& chunk(int i) { return *chunks_[static_cast<std::size_t>(i)]; }
+  int num_chunks() const { return static_cast<int>(chunks_.size()); }
+  optim::Optimizer& optimizer() { return *optimizer_; }
+  double last_grad_norm() const { return last_grad_norm_; }
+  const StepStats& last_stats() const { return stats_; }
+  std::int64_t steps_completed() const { return step_counter_; }
+
+  /// Per-rank sharded checkpoint I/O (one file per rank under `dir`).
+  void save_checkpoint(const std::string& dir, std::uint64_t step);
+  std::uint64_t load_checkpoint(const std::string& dir);
+
+  /// Loads a *resharded* checkpoint (produced by ckpt::merge_shards /
+  /// ckpt::split_shards from a run under a different layout). Matches
+  /// tensors by name, so the source layout's ordering doesn't matter.
+  /// The current engine must have p == 1 (resharding targets pipeline-less
+  /// layouts); every data-parallel replica loads the same shard.
+  std::uint64_t load_resharded(const std::string& dir);
+
+ private:
+  ckpt::NamedTensors checkpoint_tensors();
+
+  EngineOptions options_;
+  std::unique_ptr<dist::ProcessGroups> groups_;
+  std::vector<std::unique_ptr<model::GptStage>> chunks_;
+  std::unique_ptr<pipeline::PipelineExecutor> executor_;
+  std::unique_ptr<optim::Optimizer> optimizer_;
+  optim::MixedPrecisionOptimizer* mixed_ = nullptr;  ///< non-owning view
+  double last_grad_norm_ = 0.0;
+  std::optional<optim::LrSchedule> lr_schedule_;
+  std::int64_t step_counter_ = 0;
+  StepStats stats_;
+};
+
+}  // namespace ptdp::core

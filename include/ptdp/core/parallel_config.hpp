@@ -1,0 +1,70 @@
+#pragma once
+
+// The PTD-P parallelization configuration (§3.1 notation): pipeline size p,
+// tensor size t, data-parallel size d, microbatch size b, interleaving
+// factor v, plus the schedule and optimization toggles evaluated in §5.
+
+#include <cstdint>
+#include <string>
+
+#include "ptdp/model/config.hpp"
+#include "ptdp/pipeline/schedule.hpp"
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::core {
+
+struct ParallelConfig {
+  int p = 1;           ///< pipeline-model-parallel size
+  int t = 1;           ///< tensor-model-parallel size
+  int d = 1;           ///< data-parallel size
+  std::int64_t b = 1;  ///< microbatch size
+  int v = 1;           ///< model chunks per device (interleaving factor)
+  pipeline::ScheduleType schedule = pipeline::ScheduleType::kOneFOneB;
+  bool scatter_gather = false;  ///< §4.1 communication optimization
+  bool recompute = true;        ///< §3.5 activation recomputation
+
+  /// Total GPUs: n = p·t·d.
+  std::int64_t n() const { return static_cast<std::int64_t>(p) * t * d; }
+
+  /// Microbatches per pipeline per batch: m = B / (b·d) (§3.1).
+  std::int64_t microbatches(std::int64_t global_batch) const {
+    return global_batch / (b * d);
+  }
+
+  /// Model-parallel size M = t·p (Takeaway #2).
+  std::int64_t model_parallel_size() const {
+    return static_cast<std::int64_t>(t) * p;
+  }
+
+  pipeline::ScheduleParams schedule_params(std::int64_t global_batch) const {
+    return pipeline::ScheduleParams{schedule, p,
+                                    static_cast<int>(microbatches(global_batch)), v};
+  }
+
+  /// Throws unless the configuration is consistent with the model and batch.
+  void validate(const model::GptConfig& m, std::int64_t global_batch) const {
+    PTDP_CHECK(p >= 1 && t >= 1 && d >= 1 && b >= 1 && v >= 1);
+    PTDP_CHECK_EQ(global_batch % (b * d), 0)
+        << "B=" << global_batch << " must divide by b*d=" << b * d;
+    PTDP_CHECK_EQ(m.num_layers % (static_cast<std::int64_t>(p) * v), 0)
+        << "layers " << m.num_layers << " must divide by p*v=" << p * v;
+    PTDP_CHECK_EQ(m.heads % t, 0);
+    PTDP_CHECK_EQ(m.vocab % t, 0);
+    if (schedule == pipeline::ScheduleType::kInterleaved) {
+      PTDP_CHECK_GE(v, 2);
+      PTDP_CHECK_EQ(microbatches(global_batch) % p, 0)
+          << "interleaving requires m to be a multiple of p (§2.2.2)";
+    } else {
+      PTDP_CHECK_EQ(v, 1);
+    }
+  }
+
+  std::string str() const {
+    return "(p=" + std::to_string(p) + ", t=" + std::to_string(t) +
+           ", d=" + std::to_string(d) + ", b=" + std::to_string(b) +
+           ", v=" + std::to_string(v) + ", " + pipeline::schedule_name(schedule) +
+           (scatter_gather ? ", s/g" : "") + (recompute ? ", recompute" : "") + ")";
+  }
+};
+
+}  // namespace ptdp::core

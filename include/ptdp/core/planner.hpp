@@ -1,0 +1,68 @@
+#pragma once
+
+// Configuration planner implementing the paper's guiding heuristics:
+//   Takeaway #1 — tensor parallelism up to the node size (g for g-GPU
+//                 servers), pipeline parallelism across nodes beyond that;
+//   Takeaway #2 — model-parallel size M = t·p just large enough that
+//                 parameters + optimizer state + activations fit in GPU
+//                 memory, data parallelism for the rest of the scale-out;
+//   Takeaway #3 — the microbatch size is swept per configuration because
+//                 it trades arithmetic intensity against pipeline bubble.
+//
+// The planner enumerates all valid (p, t, d, b, v) decompositions, filters
+// by memory, and ranks with a pluggable throughput model — the bundled
+// analytic model uses Eq. (1) plus the §3.2 communication-volume terms;
+// ptdp::sim supplies a full cluster-simulation model.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ptdp/core/analytics.hpp"
+#include "ptdp/core/parallel_config.hpp"
+
+namespace ptdp::core {
+
+struct PlannerInput {
+  model::GptConfig model;
+  std::int64_t n_gpus = 8;
+  int gpus_per_node = 8;
+  double gpu_memory_bytes = 80e9;  ///< 80-GB A100
+  std::int64_t global_batch = 512;
+  std::vector<std::int64_t> microbatch_candidates = {1, 2, 4, 8};
+  bool allow_interleaving = true;
+  int max_interleave = 2;
+};
+
+/// Estimated seconds per batch for a candidate configuration (lower is
+/// better). Must be a total order over candidates.
+using ThroughputModel = std::function<double(
+    const model::GptConfig&, const ParallelConfig&, std::int64_t global_batch)>;
+
+/// Eq. (1)-based estimate plus communication-volume penalties: tensor
+/// parallelism over inter-node links is heavily penalized (Takeaway #1
+/// falls out of the bandwidth ratio, not a special case).
+ThroughputModel analytic_throughput_model(double peak_flops = 312e12,
+                                          double nvlink_bw = 300e9,
+                                          double ib_bw = 25e9,
+                                          int gpus_per_node = 8);
+
+struct Candidate {
+  ParallelConfig config;
+  double est_batch_seconds = 0.0;
+  MemoryEstimate memory;
+};
+
+struct Plan {
+  Candidate best;
+  std::vector<Candidate> feasible;  ///< all memory-feasible candidates, ranked
+  std::string rationale;
+};
+
+/// Throws CheckError if no configuration fits in memory.
+Plan plan_configuration(const PlannerInput& input, const ThroughputModel& model);
+inline Plan plan_configuration(const PlannerInput& input) {
+  return plan_configuration(input, analytic_throughput_model());
+}
+
+}  // namespace ptdp::core

@@ -1,0 +1,96 @@
+#pragma once
+
+// Synthetic training data. The paper trains on web-scale text we do not
+// have; the loss-curve and data-path mechanics only need a *learnable*
+// token distribution, so SyntheticCorpus mixes a zipfian unigram draw with
+// a deterministic bigram ("markov") rule — a model that learns the bigram
+// structure shows a clearly decreasing loss. Sharding and microbatching
+// reproduce Megatron's data layout: the global batch is split across
+// data-parallel replicas, each replica splits its share into microbatches.
+
+#include <cstdint>
+#include <vector>
+
+#include "ptdp/model/stage.hpp"
+#include "ptdp/runtime/rng.hpp"
+
+namespace ptdp::data {
+
+/// Deterministic synthetic token stream over a vocabulary.
+class SyntheticCorpus {
+ public:
+  SyntheticCorpus(std::int64_t vocab, std::uint64_t seed);
+
+  /// Generates a stream of n tokens.
+  std::vector<std::int32_t> generate(std::int64_t n) const;
+
+  std::int64_t vocab() const { return vocab_; }
+
+ private:
+  std::int32_t next_token(std::int32_t prev, Rng& rng) const;
+
+  std::int64_t vocab_;
+  std::uint64_t seed_;
+  std::vector<std::int32_t> bigram_successor_;  ///< deterministic rule table
+};
+
+/// Fixed-length (s+1)-token windows over a stream; sample i yields inputs
+/// stream[i*s .. i*s+s) and next-token targets stream[i*s+1 .. i*s+s].
+class TokenDataset {
+ public:
+  TokenDataset(std::vector<std::int32_t> stream, std::int64_t seq);
+
+  std::int64_t size() const { return num_samples_; }
+  std::int64_t seq() const { return seq_; }
+
+  /// Writes sample `index`'s tokens/targets (each `seq` long).
+  void sample(std::int64_t index, std::int32_t* tokens, std::int32_t* targets) const;
+
+ private:
+  std::vector<std::int32_t> stream_;
+  std::int64_t seq_;
+  std::int64_t num_samples_;
+};
+
+/// Produces this data-parallel rank's microbatches for global step `step`.
+/// Deterministic in (seed, step): every rank agrees on the global sample
+/// assignment, and the union over ranks is independent of d.
+class ShardedLoader {
+ public:
+  /// global_batch must divide by (d * microbatch_size).
+  ShardedLoader(const TokenDataset& dataset, std::int64_t global_batch,
+                std::int64_t microbatch_size, int d, int d_rank,
+                std::uint64_t seed);
+
+  /// m = global_batch / (d * microbatch_size) microbatches, tags unique
+  /// within the step and stable across (p, t) layouts.
+  std::vector<model::Microbatch> next_batch(std::int64_t step) const;
+
+  std::int64_t microbatches_per_step() const { return m_; }
+
+ private:
+  const TokenDataset& dataset_;
+  std::int64_t global_batch_, micro_b_, m_;
+  int d_, d_rank_;
+  std::uint64_t seed_;
+};
+
+// ---- masked-language-model corruption (BERT-style objective) -------------------
+
+struct MlmOptions {
+  float mask_prob = 0.15f;       ///< fraction of positions selected for loss
+  std::int32_t mask_token = -1;  ///< replacement token; -1 = vocab-1 convention
+  float keep_prob = 0.1f;        ///< of selected: left unchanged (BERT's 10%)
+  float random_prob = 0.1f;      ///< of selected: replaced by a random token
+};
+
+/// Converts a causal-LM microbatch (as produced by ShardedLoader) into a
+/// BERT-style MLM microbatch in place: targets become the *original*
+/// tokens, selected input positions are corrupted (mask token / random /
+/// unchanged per BERT's 80/10/10), and loss_weights selects exactly the
+/// corrupted positions. Deterministic in (mb.tag, position); guarantees at
+/// least one selected position. `vocab` is the model's vocabulary size.
+void apply_mlm_masking(model::Microbatch& mb, std::int64_t vocab,
+                       const MlmOptions& options, std::uint64_t seed);
+
+}  // namespace ptdp::data

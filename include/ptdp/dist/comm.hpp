@@ -1,0 +1,186 @@
+#pragma once
+
+// Communicator: an MPI-style handle over a subset of world ranks, backed by
+// the thread-world Mailbox. Point-to-point sends are buffered (non-blocking);
+// receives block for the matching (src, tag) message. Collectives are built
+// from p2p using classic ring / dissemination algorithms, mirroring what
+// NCCL does on real hardware so that communication *volume* accounting in
+// the simulator matches the functional runtime's message pattern.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "ptdp/dist/mailbox.hpp"
+#include "ptdp/runtime/check.hpp"
+#include "ptdp/runtime/rng.hpp"
+
+namespace ptdp::dist {
+
+/// Reduction operators supported by the reduce-style collectives.
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// A communicator over an ordered list of world ranks.
+///
+/// Copyable and cheap to pass by value: all heavyweight state lives in the
+/// shared Mailbox. Every member of a communicator must call collectives in
+/// the same order (standard MPI rule).
+class Comm {
+ public:
+  /// Builds the world communicator for one rank. Normally constructed by
+  /// World::run — user code receives a Comm rather than constructing one.
+  Comm(std::shared_ptr<Mailbox> mailbox, std::vector<int> members, int rank,
+       std::uint64_t comm_id)
+      : mailbox_(std::move(mailbox)),
+        members_(std::make_shared<const std::vector<int>>(std::move(members))),
+        rank_(rank),
+        comm_id_(comm_id),
+        split_seq_(std::make_shared<std::atomic<std::uint64_t>>(0)) {
+    PTDP_CHECK(mailbox_ != nullptr);
+    PTDP_CHECK_GE(rank_, 0);
+    PTDP_CHECK_LT(static_cast<std::size_t>(rank_), members_->size());
+  }
+
+  /// A single-member communicator: every collective is a no-op. Lets serial
+  /// code paths reuse the tensor-parallel layer implementations unchanged.
+  static Comm solo() {
+    return Comm(std::make_shared<Mailbox>(), std::vector<int>{0}, 0, /*comm_id=*/0);
+  }
+
+  /// Rank of the caller within this communicator.
+  int rank() const noexcept { return rank_; }
+  /// Number of members.
+  int size() const noexcept { return static_cast<int>(members_->size()); }
+  /// World rank of member r of this communicator.
+  int world_rank_of(int r) const {
+    PTDP_CHECK_GE(r, 0);
+    PTDP_CHECK_LT(r, size());
+    return (*members_)[static_cast<std::size_t>(r)];
+  }
+  /// World rank of the caller.
+  int world_rank() const { return world_rank_of(rank_); }
+  /// All member world ranks, in communicator order.
+  const std::vector<int>& members() const noexcept { return *members_; }
+
+  // ---- point-to-point -----------------------------------------------------
+
+  /// Buffered send of a trivially-copyable span to communicator rank `dst`.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send(std::span<const T> data, int dst, std::uint64_t tag = 0) const {
+    PTDP_CHECK_NE(dst, rank_) << "self-send";
+    std::vector<std::uint8_t> payload(data.size_bytes());
+    std::memcpy(payload.data(), data.data(), data.size_bytes());
+    mailbox_->post(channel(rank_, dst, tag), std::move(payload));
+  }
+
+  /// Blocking receive into `data` from communicator rank `src`. The payload
+  /// size must match `data.size_bytes()` exactly.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void recv(std::span<T> data, int src, std::uint64_t tag = 0) const {
+    PTDP_CHECK_NE(src, rank_) << "self-recv";
+    std::vector<std::uint8_t> payload = mailbox_->take(channel(src, rank_, tag));
+    PTDP_CHECK_EQ(payload.size(), data.size_bytes())
+        << "message size mismatch on tag " << tag << " src " << src;
+    std::memcpy(data.data(), payload.data(), payload.size());
+  }
+
+  /// Simultaneous exchange with a partner (both sides call with the same tag).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void sendrecv(std::span<const T> send_buf, int dst, std::span<T> recv_buf,
+                int src, std::uint64_t tag = 0) const {
+    send(send_buf, dst, tag);
+    recv(recv_buf, src, tag);
+  }
+
+  // ---- collectives ---------------------------------------------------------
+
+  /// Dissemination barrier: O(log n) rounds of token exchange.
+  void barrier() const;
+
+  /// Broadcast `data` from `root` to all members (binomial tree).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void broadcast(std::span<T> data, int root) const {
+    broadcast_bytes(as_writable_bytes(data), root);
+  }
+
+  /// In-place ring all-reduce (reduce-scatter + all-gather phases).
+  void all_reduce(std::span<float> data, ReduceOp op = ReduceOp::kSum) const;
+  void all_reduce(std::span<double> data, ReduceOp op = ReduceOp::kSum) const;
+
+  /// Convenience scalar all-reduce.
+  float all_reduce_scalar(float value, ReduceOp op = ReduceOp::kSum) const {
+    all_reduce(std::span<float>(&value, 1), op);
+    return value;
+  }
+
+  /// Ring reduce-scatter: `in.size()` must be divisible by size(); each rank
+  /// ends with the reduction of its own contiguous shard in `out`.
+  void reduce_scatter(std::span<const float> in, std::span<float> out,
+                      ReduceOp op = ReduceOp::kSum) const;
+
+  /// Ring all-gather: concatenates every member's `in` (equal sizes) into
+  /// `out` in rank order. `out.size() == in.size() * size()`.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void all_gather(std::span<const T> in, std::span<T> out) const {
+    PTDP_CHECK_EQ(out.size(), in.size() * static_cast<std::size_t>(size()));
+    all_gather_bytes(as_bytes_span(in), as_writable_bytes(out));
+  }
+
+  /// Gather variable payloads to every rank (used for control-plane metadata,
+  /// e.g. Comm::split bookkeeping). Returns one buffer per rank.
+  std::vector<std::vector<std::uint8_t>> all_gather_variable(
+      std::span<const std::uint8_t> in) const;
+
+  // ---- topology ------------------------------------------------------------
+
+  /// MPI_Comm_split: ranks passing the same `color` end up in the same child
+  /// communicator, ordered by (key, rank). Collective over all members.
+  Comm split(int color, int key) const;
+
+  /// Internal communicator id (stable across ranks of the same communicator).
+  std::uint64_t id() const noexcept { return comm_id_; }
+
+ private:
+  ChannelKey channel(int src, int dst, std::uint64_t tag) const {
+    return ChannelKey{comm_id_, world_rank_of(src), world_rank_of(dst), tag};
+  }
+
+  template <typename T>
+  static std::span<const std::uint8_t> as_bytes_span(std::span<const T> s) {
+    return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size_bytes()};
+  }
+  template <typename T>
+  static std::span<std::uint8_t> as_writable_bytes(std::span<T> s) {
+    return {reinterpret_cast<std::uint8_t*>(s.data()), s.size_bytes()};
+  }
+
+  void broadcast_bytes(std::span<std::uint8_t> data, int root) const;
+  void all_gather_bytes(std::span<const std::uint8_t> in,
+                        std::span<std::uint8_t> out) const;
+
+  template <typename F>
+  void all_reduce_impl(std::span<F> data, ReduceOp op) const;
+
+  std::uint64_t next_split_seq() const {
+    return split_seq_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<Mailbox> mailbox_;
+  std::shared_ptr<const std::vector<int>> members_;
+  int rank_;
+  std::uint64_t comm_id_;
+  // Shared among copies of this Comm on the same rank so that split ids stay
+  // consistent no matter which copy the caller splits on.
+  std::shared_ptr<std::atomic<std::uint64_t>> split_seq_;
+};
+
+}  // namespace ptdp::dist

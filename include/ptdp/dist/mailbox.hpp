@@ -1,0 +1,116 @@
+#pragma once
+
+// Tag-addressed message store backing all point-to-point communication in
+// the thread-backed world. Messages are byte buffers keyed by
+// (communicator id, source world rank, destination world rank, tag), so a
+// receiver can wait for a *specific* message regardless of arrival order —
+// the property that makes complex pipeline schedules deadlock-free.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace ptdp::dist {
+
+/// Identifies one logical message channel.
+struct ChannelKey {
+  std::uint64_t comm_id;
+  int src;  ///< world rank of sender
+  int dst;  ///< world rank of receiver
+  std::uint64_t tag;
+
+  bool operator==(const ChannelKey&) const = default;
+};
+
+struct ChannelKeyHash {
+  std::size_t operator()(const ChannelKey& k) const noexcept {
+    std::uint64_t h = k.comm_id * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(k.src) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= static_cast<std::uint64_t>(k.dst) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= k.tag + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Thrown by take() when the world has been poisoned because a peer rank
+/// failed — turns a would-be deadlock into clean error propagation.
+class WorldPoisoned : public std::runtime_error {
+ public:
+  WorldPoisoned() : std::runtime_error("peer rank failed; world poisoned") {}
+};
+
+/// Process-wide message store. Sends are buffered (never block); receives
+/// block until a matching message arrives. Messages on the same channel are
+/// delivered FIFO.
+class Mailbox {
+ public:
+  void post(const ChannelKey& key, std::vector<std::uint8_t> payload) {
+    {
+      std::lock_guard lock(mu_);
+      queues_[key].push_back(std::move(payload));
+    }
+    cv_.notify_all();
+  }
+
+  std::vector<std::uint8_t> take(const ChannelKey& key) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] {
+      if (poisoned_) return true;
+      auto it = queues_.find(key);
+      return it != queues_.end() && !it->second.empty();
+    });
+    // Drain real messages even when poisoned — only block-forever turns
+    // into an error.
+    auto it = queues_.find(key);
+    if (it == queues_.end() || it->second.empty()) {
+      throw WorldPoisoned();
+    }
+    std::vector<std::uint8_t> payload = std::move(it->second.front());
+    it->second.pop_front();
+    return payload;
+  }
+
+  /// Wakes every blocked receiver with WorldPoisoned. Called by the World
+  /// when a rank dies so surviving ranks unwind instead of deadlocking.
+  void poison() {
+    {
+      std::lock_guard lock(mu_);
+      poisoned_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Clears the poison flag (and any stale messages) for the next run.
+  void reset() {
+    std::lock_guard lock(mu_);
+    poisoned_ = false;
+    queues_.clear();
+  }
+
+  bool poisoned() const {
+    std::lock_guard lock(mu_);
+    return poisoned_;
+  }
+
+  /// Number of undelivered messages (diagnostic; used by tests to assert
+  /// that a collective left no stragglers behind).
+  std::size_t pending() const {
+    std::lock_guard lock(mu_);
+    std::size_t n = 0;
+    for (const auto& [k, q] : queues_) n += q.size();
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<ChannelKey, std::deque<std::vector<std::uint8_t>>, ChannelKeyHash>
+      queues_;
+  bool poisoned_ = false;
+};
+
+}  // namespace ptdp::dist

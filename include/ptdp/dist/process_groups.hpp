@@ -1,0 +1,69 @@
+#pragma once
+
+// Megatron-style process-group construction for a (p, t, d) grid.
+//
+// With n = p*t*d GPUs, world rank is laid out as
+//     rank = p_idx * (t*d) + d_idx * t + t_idx
+// so that tensor-parallel groups are contiguous (they map onto the NVLink
+// domain of one server — Takeaway #1), data-parallel groups stride by t
+// within a pipeline block, and pipeline-parallel groups stride by t*d
+// across servers. This matches megatron/core's initialize_model_parallel.
+
+#include <optional>
+
+#include "ptdp/dist/comm.hpp"
+
+namespace ptdp::dist {
+
+/// This rank's coordinates in the 3D parallelism grid.
+struct GridCoord {
+  int pipeline;  ///< pipeline stage index in [0, p)
+  int data;      ///< data-parallel replica index in [0, d)
+  int tensor;    ///< tensor-parallel rank in [0, t)
+};
+
+/// All communicators a PTD-P rank needs, built from the world communicator.
+class ProcessGroups {
+ public:
+  /// Collective over all world ranks; requires world.size() == p*t*d.
+  ProcessGroups(const Comm& world, int p, int t, int d);
+
+  int pipeline_parallel_size() const noexcept { return p_; }
+  int tensor_parallel_size() const noexcept { return t_; }
+  int data_parallel_size() const noexcept { return d_; }
+
+  const GridCoord& coord() const noexcept { return coord_; }
+
+  /// Tensor-model-parallel group: the t ranks that jointly hold one layer.
+  const Comm& tensor() const noexcept { return *tensor_; }
+  /// Pipeline-model-parallel group: the p ranks forming one pipeline.
+  const Comm& pipeline() const noexcept { return *pipeline_; }
+  /// Data-parallel group: the d replicas of this model shard.
+  const Comm& data() const noexcept { return *data_; }
+  /// Embedding group: first- and last-stage ranks sharing (t, d) coords,
+  /// used to all-reduce tied input/output embedding gradients. Contains
+  /// just this rank when p == 1 or this rank is an interior stage.
+  const Comm& embedding() const noexcept { return *embedding_; }
+
+  bool is_first_stage() const noexcept { return coord_.pipeline == 0; }
+  bool is_last_stage() const noexcept { return coord_.pipeline == p_ - 1; }
+  bool in_embedding_group() const noexcept {
+    return is_first_stage() || is_last_stage();
+  }
+
+  /// World rank for grid coordinates, for a given grid shape.
+  static int world_rank_of(int p_idx, int d_idx, int t_idx, int t, int d) {
+    return p_idx * (t * d) + d_idx * t + t_idx;
+  }
+  /// Inverse of world_rank_of.
+  static GridCoord coord_of(int world_rank, int t, int d) {
+    return GridCoord{world_rank / (t * d), (world_rank / t) % d, world_rank % t};
+  }
+
+ private:
+  int p_, t_, d_;
+  GridCoord coord_;
+  std::optional<Comm> tensor_, pipeline_, data_, embedding_;
+};
+
+}  // namespace ptdp::dist

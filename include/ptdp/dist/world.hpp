@@ -1,0 +1,78 @@
+#pragma once
+
+// World: hosts N "GPU ranks" as threads in this process. Each rank runs the
+// same function (SPMD, exactly like mpirun/torchrun) and communicates
+// through a shared Mailbox. This is the substitute for the NCCL+multi-node
+// substrate of the paper: semantics are identical, transport is memcpy.
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ptdp/dist/comm.hpp"
+#include "ptdp/dist/mailbox.hpp"
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::dist {
+
+class World {
+ public:
+  explicit World(int size) : size_(size), mailbox_(std::make_shared<Mailbox>()) {
+    PTDP_CHECK_GT(size, 0);
+  }
+
+  int size() const noexcept { return size_; }
+
+  /// Run `fn(comm)` on every rank concurrently (one thread per rank) and
+  /// block until all complete. The first exception thrown by any rank is
+  /// rethrown on the caller after all threads have been joined.
+  void run(const std::function<void(Comm&)>& fn) {
+    std::vector<int> members(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) members[static_cast<std::size_t>(r)] = r;
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(size_));
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    for (int r = 0; r < size_; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          Comm comm(mailbox_, members, r, /*comm_id=*/world_comm_id_);
+          fn(comm);
+        } catch (const WorldPoisoned&) {
+          // Secondary failure caused by another rank's death — not the
+          // root cause; don't overwrite it.
+        } catch (...) {
+          {
+            std::lock_guard lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          // Wake peers blocked on messages this rank will never send.
+          mailbox_->poison();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    // Give the next run() a fresh communicator id so any message a failed
+    // rank left behind cannot be delivered to a later run; clear poison.
+    ++world_comm_id_;
+    if (first_error) {
+      mailbox_->reset();
+      std::rethrow_exception(first_error);
+    }
+  }
+
+  /// Undelivered messages across all channels (should be 0 after a clean run).
+  std::size_t pending_messages() const { return mailbox_->pending(); }
+
+ private:
+  int size_;
+  std::shared_ptr<Mailbox> mailbox_;
+  std::uint64_t world_comm_id_ = 0;
+};
+
+}  // namespace ptdp::dist

@@ -1,0 +1,57 @@
+#pragma once
+
+// Tensor-parallel multi-head self-attention (Fig. 5b).
+//
+// The QKV projection is column-parallel with whole heads per rank (requires
+// heads % t == 0); the output projection is row-parallel with its bias
+// skipped so the transformer block can apply the fused
+// bias+dropout+residual kernel. Data layout follows §4.2: activations flow
+// as [s, b, h] (sequence-major) to avoid transposes in the hot path.
+
+#include "ptdp/dist/comm.hpp"
+#include "ptdp/model/config.hpp"
+#include "ptdp/model/linear.hpp"
+#include "ptdp/model/rng_sites.hpp"
+
+namespace ptdp::model {
+
+struct AttentionCache {
+  LinearCache qkv;
+  LinearCache proj;
+  tensor::Tensor q, k, v;        ///< [b·a_local, s, dk]
+  tensor::Tensor probs;          ///< post-softmax attention probabilities
+  tensor::Tensor prob_mask;      ///< dropout mask on probs (undefined if p == 0)
+  tensor::Tensor probs_dropped;  ///< probs ⊙ mask (== probs if p == 0)
+  std::int64_t s = 0, b = 0;
+};
+
+class ParallelAttention {
+ public:
+  ParallelAttention(const GptConfig& config, std::int64_t global_layer_idx,
+                    dist::Comm tp);
+
+  /// x: [s, b, h] replicated across tensor ranks. Returns [s, b, h]
+  /// (all-reduced by the row-parallel projection) with the projection bias
+  /// NOT applied.
+  tensor::Tensor forward(const tensor::Tensor& x, AttentionCache& cache,
+                         std::uint64_t mb_tag);
+
+  /// dy: [s, b, h] replicated. Returns dx [s, b, h]; accumulates grads.
+  tensor::Tensor backward(const tensor::Tensor& dy, const AttentionCache& cache);
+
+  Param& proj_bias() { return proj_.bias(); }
+  void collect_params(ParamRefs& out);
+  /// Eval-mode switch: 0 disables attention-probability dropout.
+  void set_dropout(float p) { config_.dropout = p; }
+
+ private:
+  tensor::Tensor make_prob_dropout_mask(std::int64_t b, std::uint64_t mb_tag) const;
+
+  GptConfig config_;
+  std::int64_t layer_idx_;
+  std::int64_t heads_local_, head_dim_, hidden_local_, head_begin_;
+  ColumnParallelLinear qkv_;
+  RowParallelLinear proj_;
+};
+
+}  // namespace ptdp::model

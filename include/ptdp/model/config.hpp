@@ -1,0 +1,63 @@
+#pragma once
+
+// GPT model configuration and exact/approximate parameter counting.
+// The approximate count is Eq. (2) of the paper; the exact count enumerates
+// every tensor the implementation allocates, and the two are tested to
+// agree to within the paper's stated approximation.
+
+#include <cstdint>
+
+namespace ptdp::model {
+
+struct GptConfig {
+  std::int64_t num_layers = 2;   ///< l
+  std::int64_t hidden = 64;      ///< h
+  std::int64_t heads = 4;        ///< a
+  std::int64_t vocab = 256;      ///< V
+  std::int64_t seq = 32;         ///< s
+  float dropout = 0.0f;          ///< attention/hidden dropout probability
+  float init_stddev = 0.02f;     ///< N(0, σ²) weight init
+  std::uint64_t seed = 1234;     ///< global init seed
+  /// true = GPT-style autoregressive attention (the fused implicit-causal
+  /// softmax kernel); false = BERT-style bidirectional attention (the fused
+  /// general-mask kernel) — see §4.2's two custom kernels.
+  bool causal = true;
+
+  std::int64_t head_dim() const { return hidden / heads; }
+  std::int64_t ffn_hidden() const { return 4 * hidden; }
+
+  /// Exact trainable-parameter count of this implementation:
+  /// word embeddings (tied with the output head), position embeddings,
+  /// per-layer attention + MLP + two LayerNorms, and the final LayerNorm.
+  std::int64_t exact_params() const {
+    const std::int64_t h = hidden;
+    // Per layer: QKV (h*3h + 3h), proj (h*h + h), fc1 (h*4h + 4h),
+    // fc2 (4h*h + h), 2 LayerNorms (2*2h).
+    const std::int64_t per_layer = (h * 3 * h + 3 * h) + (h * h + h) +
+                                   (h * 4 * h + 4 * h) + (4 * h * h + h) + 4 * h;
+    return vocab * h + seq * h + num_layers * per_layer + 2 * h;
+  }
+
+  /// Paper Eq. (2): P = 12 l h^2 (1 + 13/(12h) + (V+s)/(12 l h)).
+  double paper_params() const {
+    const double l = static_cast<double>(num_layers);
+    const double h = static_cast<double>(hidden);
+    const double V = static_cast<double>(vocab);
+    const double s = static_cast<double>(seq);
+    return 12.0 * l * h * h *
+           (1.0 + 13.0 / (12.0 * h) + (V + s) / (12.0 * l * h));
+  }
+
+  /// Paper Eq. (3): FLOPs per iteration at batch size B with activation
+  /// recomputation, F = 96 B s l h^2 (1 + s/(6h) + V/(16 l h)).
+  double paper_flops_per_iteration(std::int64_t batch) const {
+    const double B = static_cast<double>(batch);
+    const double l = static_cast<double>(num_layers);
+    const double h = static_cast<double>(hidden);
+    const double V = static_cast<double>(vocab);
+    const double s = static_cast<double>(seq);
+    return 96.0 * B * s * l * h * h * (1.0 + s / (6.0 * h) + V / (16.0 * l * h));
+  }
+};
+
+}  // namespace ptdp::model

@@ -1,0 +1,39 @@
+#pragma once
+
+// Autoregressive text generation from a trained GptStage (greedy or
+// temperature sampling). Works with any tensor-parallel width: the
+// vocab-parallel logit shards are gathered across the tensor group, so a
+// t-way sharded model generates exactly the tokens the serial model would.
+//
+// No KV cache — each step re-runs the full prefix (fine at this
+// repository's scale; the paper's system is a trainer, not a server).
+
+#include <span>
+#include <vector>
+
+#include "ptdp/model/stage.hpp"
+
+namespace ptdp::model {
+
+struct GenerateOptions {
+  std::int64_t max_new_tokens = 32;
+  bool greedy = true;          ///< argmax decoding; otherwise sample
+  float temperature = 1.0f;    ///< softmax temperature when sampling
+  std::uint64_t seed = 0;      ///< sampling stream (ignored for greedy)
+};
+
+/// Full-vocabulary logits for inputs `tokens` ([s*b] sequence-major) —
+/// embedding, all transformer layers, final LayerNorm, and the tied-
+/// embedding projection, gathered over the tensor group. Returns [s*b, V].
+/// The stage must hold the whole model (has_embedding && has_head).
+/// Dropout must be disabled (config.dropout == 0) for inference.
+tensor::Tensor forward_logits(GptStage& stage, std::span<const std::int32_t> tokens,
+                              std::int64_t s, std::int64_t b);
+
+/// Generates up to `max_new_tokens` continuations of `prompt`. The context
+/// is truncated to the model's trained sequence length from the left.
+std::vector<std::int32_t> generate(GptStage& stage,
+                                   std::span<const std::int32_t> prompt,
+                                   const GenerateOptions& options = {});
+
+}  // namespace ptdp::model

@@ -1,0 +1,38 @@
+#pragma once
+
+// Tensor-parallel two-layer MLP (Fig. 5a): column-parallel h -> 4h with
+// fused bias+GeLU, then row-parallel 4h -> h with bias skipped for the
+// block-level fused bias+dropout+add.
+
+#include "ptdp/dist/comm.hpp"
+#include "ptdp/model/config.hpp"
+#include "ptdp/model/linear.hpp"
+
+namespace ptdp::model {
+
+struct MlpCache {
+  LinearCache fc1;
+  LinearCache fc2;
+  tensor::Tensor fc1_out;  ///< pre-bias, pre-GeLU [n, 4h/t]
+};
+
+class ParallelMlp {
+ public:
+  ParallelMlp(const GptConfig& config, std::int64_t global_layer_idx, dist::Comm tp);
+
+  /// x: [s, b, h] replicated. Returns [s, b, h] without the fc2 bias.
+  tensor::Tensor forward(const tensor::Tensor& x, MlpCache& cache);
+
+  /// dy: [s, b, h] replicated. Returns dx [s, b, h]; accumulates grads.
+  tensor::Tensor backward(const tensor::Tensor& dy, const MlpCache& cache);
+
+  Param& fc2_bias() { return fc2_.bias(); }
+  void collect_params(ParamRefs& out);
+
+ private:
+  std::int64_t hidden_;
+  ColumnParallelLinear fc1_;
+  RowParallelLinear fc2_;
+};
+
+}  // namespace ptdp::model

@@ -1,0 +1,57 @@
+#pragma once
+
+// One pre-LayerNorm GPT transformer block:
+//   h1 = x + dropout(attn(LN1(x)) + proj_bias)
+//   y  = h1 + dropout(mlp(LN2(h1)) + fc2_bias)
+// with the bias+dropout+add fusions of §4.2. Forward/backward are
+// functional over an explicit LayerCache so a pipeline stage can hold many
+// microbatches in flight, and so activation recomputation can rebuild the
+// cache from the stashed input.
+
+#include "ptdp/dist/comm.hpp"
+#include "ptdp/model/attention.hpp"
+#include "ptdp/model/mlp.hpp"
+#include "ptdp/tensor/ops.hpp"
+
+namespace ptdp::model {
+
+struct LayerCache {
+  tensor::Tensor input;  ///< [s, b, h] — the only tensor kept under recompute
+  tensor::LayerNormResult ln1, ln2;
+  AttentionCache attn;
+  MlpCache mlp;
+  tensor::Tensor h1;  ///< post-attention residual stream [s*b, h] (2-D view shape)
+  tensor::Tensor attn_resid_mask, mlp_resid_mask;
+
+  /// Drops everything except the input (activation recomputation, §3.5).
+  void keep_input_only() {
+    *this = LayerCache{std::move(input), {}, {}, {}, {}, {}, {}, {}};
+  }
+};
+
+class TransformerLayer {
+ public:
+  TransformerLayer(const GptConfig& config, std::int64_t global_layer_idx,
+                   const dist::Comm& tp);
+
+  /// x: [s, b, h] replicated across tensor ranks; returns [s, b, h].
+  tensor::Tensor forward(const tensor::Tensor& x, LayerCache& cache,
+                         std::uint64_t mb_tag);
+
+  /// dy: [s, b, h]; returns dx and accumulates all parameter grads.
+  tensor::Tensor backward(const tensor::Tensor& dy, const LayerCache& cache);
+
+  std::int64_t layer_idx() const { return layer_idx_; }
+  void collect_params(ParamRefs& out);
+  /// Eval-mode switch: 0 disables this layer's dropouts (incl. attention).
+  void set_dropout(float p);
+
+ private:
+  GptConfig config_;
+  std::int64_t layer_idx_;
+  Param ln1_gamma_, ln1_beta_, ln2_gamma_, ln2_beta_;
+  ParallelAttention attention_;
+  ParallelMlp mlp_;
+};
+
+}  // namespace ptdp::model

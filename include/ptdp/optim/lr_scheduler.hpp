@@ -1,0 +1,52 @@
+#pragma once
+
+// Learning-rate schedule used by GPT-style training runs (and by
+// Megatron-LM): linear warmup to the peak rate, then cosine decay to a
+// minimum over the decay horizon, constant afterwards.
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::optim {
+
+struct LrScheduleOptions {
+  float peak_lr = 1e-3f;
+  float min_lr = 1e-5f;
+  std::int64_t warmup_steps = 100;
+  std::int64_t decay_steps = 10000;  ///< measured from step 0 (includes warmup)
+};
+
+class LrSchedule {
+ public:
+  explicit LrSchedule(LrScheduleOptions options) : options_(options) {
+    PTDP_CHECK_GT(options.peak_lr, 0.0f);
+    PTDP_CHECK_GE(options.peak_lr, options.min_lr);
+    PTDP_CHECK_GE(options.warmup_steps, 0);
+    PTDP_CHECK_GT(options.decay_steps, options.warmup_steps);
+  }
+
+  /// Learning rate at 0-indexed step `step`.
+  float at(std::int64_t step) const {
+    if (step < options_.warmup_steps) {
+      return options_.peak_lr * static_cast<float>(step + 1) /
+             static_cast<float>(options_.warmup_steps);
+    }
+    if (step >= options_.decay_steps) return options_.min_lr;
+    const double progress =
+        static_cast<double>(step - options_.warmup_steps) /
+        static_cast<double>(options_.decay_steps - options_.warmup_steps);
+    const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+    return options_.min_lr +
+           static_cast<float>((options_.peak_lr - options_.min_lr) * cosine);
+  }
+
+  const LrScheduleOptions& options() const { return options_; }
+
+ private:
+  LrScheduleOptions options_;
+};
+
+}  // namespace ptdp::optim

@@ -1,0 +1,81 @@
+#pragma once
+
+// Mixed-precision emulation (§5's runs are fp16 with fp32 master weights).
+// There is no 16-bit arithmetic on this substrate, so we emulate the
+// *numerics*: model weights are rounded to bfloat16 after every optimizer
+// step while the optimizer updates full-precision master copies, and a
+// dynamic loss scaler skips steps whose grads contain inf/nan. This
+// exercises the same state layout (master fp32 + working low precision +
+// scaler) the paper's training loop carries.
+
+#include <memory>
+
+#include "ptdp/optim/optimizer.hpp"
+
+namespace ptdp::optim {
+
+/// Rounds every element to the nearest bfloat16 (round-to-nearest-even).
+void truncate_to_bf16(tensor::Tensor& t);
+float bf16_round(float v);
+
+struct LossScalerOptions {
+  float initial_scale = 1024.0f;
+  float growth_factor = 2.0f;
+  float backoff_factor = 0.5f;
+  int growth_interval = 16;  ///< consecutive good steps before growing
+  float min_scale = 1.0f;
+  float max_scale = 1 << 24;
+};
+
+/// Dynamic loss scaler: multiply the loss by scale(), divide grads by it,
+/// and feed update() the overflow flag each step.
+class DynamicLossScaler {
+ public:
+  explicit DynamicLossScaler(LossScalerOptions options = {});
+  float scale() const { return scale_; }
+  /// Records the outcome of a step. Returns true if the step should be
+  /// applied (no overflow), false if it must be skipped.
+  bool update(bool found_overflow);
+  int good_steps() const { return good_steps_; }
+
+ private:
+  LossScalerOptions options_;
+  float scale_;
+  int good_steps_ = 0;
+};
+
+/// True if any grad contains a non-finite value (after the data-parallel
+/// all-reduce, so every replica agrees).
+bool grads_have_overflow(const model::ParamRefs& params);
+
+/// Wraps an optimizer with fp32 master weights + bf16 working weights +
+/// dynamic loss scaling. Usage per batch:
+///   engine scales microbatch loss grads by scaler().scale();
+///   wrapper.step() unscales, checks overflow, steps or skips, and
+///   re-truncates the working weights.
+class MixedPrecisionOptimizer final : public Optimizer {
+ public:
+  MixedPrecisionOptimizer(std::unique_ptr<Optimizer> inner,
+                          LossScalerOptions scaler_options = {});
+
+  /// Unscale grads, skip on overflow, otherwise run the inner optimizer on
+  /// the master weights and truncate the working weights to bf16.
+  void step() override;
+  NamedState state_tensors() override;
+  const std::vector<model::Param*>& params() const override {
+    return inner_->params();
+  }
+  void set_lr(float lr) override { inner_->set_lr(lr); }
+  float lr() const override { return inner_->lr(); }
+
+  DynamicLossScaler& scaler() { return scaler_; }
+  std::int64_t skipped_steps() const { return skipped_; }
+
+ private:
+  std::unique_ptr<Optimizer> inner_;
+  DynamicLossScaler scaler_;
+  std::vector<tensor::Tensor> master_;  ///< fp32 master copy per param
+  std::int64_t skipped_ = 0;
+};
+
+}  // namespace ptdp::optim

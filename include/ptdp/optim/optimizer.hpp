@@ -1,0 +1,95 @@
+#pragma once
+
+// Optimizers over Param lists: SGD with momentum and Adam, plus the
+// distributed gradient-norm computation used for clipping. Grad-norm
+// accounting follows Megatron: parameters whose grads are replicated across
+// tensor-parallel ranks contribute once (rank 0 of the tensor group), and
+// partial sums are reduced over the tensor and pipeline groups.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ptdp/dist/comm.hpp"
+#include "ptdp/model/param.hpp"
+
+namespace ptdp::optim {
+
+/// Named tensors an optimizer wants checkpointed (momentum/Adam moments).
+using NamedState = std::vector<std::pair<std::string, tensor::Tensor*>>;
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update from the accumulated grads. Grads are not zeroed.
+  virtual void step() = 0;
+  virtual NamedState state_tensors() = 0;
+  virtual const std::vector<model::Param*>& params() const = 0;
+  /// Updates the learning rate (used by LR schedules between steps).
+  virtual void set_lr(float lr) = 0;
+  virtual float lr() const = 0;
+};
+
+struct SgdOptions {
+  float lr = 0.1f;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(model::ParamRefs params, SgdOptions options);
+  void step() override;
+  NamedState state_tensors() override;
+  const std::vector<model::Param*>& params() const override { return params_; }
+  void set_lr(float lr) override { options_.lr = lr; }
+  float lr() const override { return options_.lr; }
+
+ private:
+  model::ParamRefs params_;
+  SgdOptions options_;
+  std::vector<tensor::Tensor> velocity_;  ///< allocated lazily if momentum > 0
+};
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(model::ParamRefs params, AdamOptions options);
+  void step() override;
+  NamedState state_tensors() override;
+  const std::vector<model::Param*>& params() const override { return params_; }
+  void set_lr(float lr) override { options_.lr = lr; }
+  float lr() const override { return options_.lr; }
+  std::int64_t steps_taken() const {
+    return static_cast<std::int64_t>(step_count_.at({0}));
+  }
+
+ private:
+  model::ParamRefs params_;
+  AdamOptions options_;
+  std::vector<tensor::Tensor> m_, v_;
+  // Stored as a 1-element tensor so checkpoints carry the bias-correction
+  // counter and resumed training is bit-exact.
+  tensor::Tensor step_count_{tensor::Shape{1}};
+};
+
+/// Global L2 norm of all grads for this model replica. `tp`/`pp` may be
+/// nullptr when that parallel dimension is 1. Every rank returns the same
+/// value.
+double global_grad_norm(const model::ParamRefs& params, const dist::Comm* tp,
+                        const dist::Comm* pp);
+
+/// Scales grads by max_norm/norm when norm > max_norm. Returns the
+/// pre-clip norm.
+double clip_grad_norm(const model::ParamRefs& params, double max_norm,
+                      const dist::Comm* tp, const dist::Comm* pp);
+
+}  // namespace ptdp::optim

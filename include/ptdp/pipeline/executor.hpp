@@ -1,0 +1,57 @@
+#pragma once
+
+// Functional pipeline executor: runs a schedule's op list for this rank,
+// moving real activation/gradient tensors between pipeline stages over the
+// thread-backed communicator. Strict optimizer semantics follow from the
+// structure: every microbatch's forward and backward complete inside
+// run_batch (the pipeline flush), so the optimizer step that follows sees
+// gradients for exactly this batch.
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "ptdp/dist/comm.hpp"
+#include "ptdp/model/stage.hpp"
+#include "ptdp/pipeline/schedule.hpp"
+
+namespace ptdp::pipeline {
+
+class PipelineExecutor {
+ public:
+  /// `chunks` — the v model chunks this rank owns, chunk index order.
+  /// `pipe` — the pipeline-parallel communicator (size p).
+  PipelineExecutor(std::vector<model::GptStage*> chunks, dist::Comm pipe,
+                   ScheduleParams params);
+
+  /// Runs forwards+backwards for all m microbatches per the schedule,
+  /// accumulating parameter grads scaled by extra_loss_scale/m (so with
+  /// extra_loss_scale == 1 the batch loss is the mean of microbatch losses;
+  /// mixed-precision training passes the dynamic loss scale). Returns the
+  /// *unscaled* mean loss on ranks that own the last virtual stage, 0
+  /// elsewhere.
+  float run_batch(std::span<const model::Microbatch> microbatches,
+                  float extra_loss_scale = 1.0f);
+
+  /// Forward-only pass over the microbatches (validation): no grads, no
+  /// activation stashing beyond the live microbatch. Returns the mean loss
+  /// on ranks owning the last virtual stage, 0 elsewhere. Accepts any
+  /// number of microbatches (it ignores the schedule's m).
+  float run_forward_only(std::span<const model::Microbatch> microbatches);
+
+  const ScheduleParams& params() const { return params_; }
+
+ private:
+  struct Endpoint {
+    int rank;
+    int chunk;
+  };
+  Endpoint prev_of(int chunk) const;  ///< device holding virtual stage vs-1
+  Endpoint next_of(int chunk) const;  ///< device holding virtual stage vs+1
+
+  std::vector<model::GptStage*> chunks_;
+  dist::Comm pipe_;
+  ScheduleParams params_;
+};
+
+}  // namespace ptdp::pipeline

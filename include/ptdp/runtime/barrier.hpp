@@ -1,0 +1,52 @@
+#pragma once
+
+// Reusable (cyclic) thread barrier.
+//
+// std::barrier exists in C++20 but its completion-function plumbing is
+// awkward for the generation-counting the dist runtime needs; this small
+// condvar barrier is the MPI_Barrier analogue for the thread-backed world.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp {
+
+/// A cyclic barrier for a fixed number of participants.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t participants) : participants_(participants) {
+    PTDP_CHECK_GT(participants, 0u);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until all participants have arrived. Returns the generation
+  /// index that just completed (useful for debugging lockstep issues).
+  std::size_t arrive_and_wait() {
+    std::unique_lock lock(mu_);
+    const std::size_t gen = generation_;
+    if (++arrived_ == participants_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+    return gen;
+  }
+
+  std::size_t participants() const noexcept { return participants_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const std::size_t participants_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace ptdp

@@ -1,0 +1,74 @@
+#pragma once
+
+// Invariant-checking macros used across the ptdp libraries.
+//
+// PTDP_CHECK is always on (it guards logic errors that would otherwise
+// silently corrupt a parallel run); PTDP_DCHECK compiles out in NDEBUG
+// builds and is meant for hot inner loops.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ptdp {
+
+/// Thrown when a PTDP_CHECK-style invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PTDP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+// Stream-collector so PTDP_CHECK(x) << "context" works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    check_failed(expr_, file_, line_, os_.str());
+  }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace ptdp
+
+#define PTDP_CHECK(cond)                                         \
+  if (cond) {                                                    \
+  } else                                                         \
+    ::ptdp::detail::CheckMessage(#cond, __FILE__, __LINE__)
+
+#define PTDP_CHECK_EQ(a, b) PTDP_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define PTDP_CHECK_NE(a, b) PTDP_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define PTDP_CHECK_LT(a, b) PTDP_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define PTDP_CHECK_LE(a, b) PTDP_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define PTDP_CHECK_GT(a, b) PTDP_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define PTDP_CHECK_GE(a, b) PTDP_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+
+#ifdef NDEBUG
+#define PTDP_DCHECK(cond) \
+  if (true) {             \
+  } else                  \
+    ::ptdp::detail::CheckMessage(#cond, __FILE__, __LINE__)
+#else
+#define PTDP_DCHECK(cond) PTDP_CHECK(cond)
+#endif

@@ -1,0 +1,64 @@
+#pragma once
+
+// Minimal leveled logger. Thread-safe line-at-a-time output; level is a
+// process-global read mostly once at startup.
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace ptdp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace detail {
+inline std::atomic<int>& log_level_storage() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+inline std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace detail
+
+inline void set_log_level(LogLevel level) {
+  detail::log_level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+inline LogLevel log_level() {
+  return static_cast<LogLevel>(detail::log_level_storage().load(std::memory_order_relaxed));
+}
+
+inline void log_line(LogLevel level, std::string_view tag, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard lock(detail::log_mutex());
+  std::cerr << "[" << tag << "] " << msg << "\n";
+}
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  ~LogMessage() { log_line(level_, tag_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view tag_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace ptdp
+
+#define PTDP_LOG_DEBUG ::ptdp::detail::LogMessage(::ptdp::LogLevel::kDebug, "debug")
+#define PTDP_LOG_INFO ::ptdp::detail::LogMessage(::ptdp::LogLevel::kInfo, "info")
+#define PTDP_LOG_WARN ::ptdp::detail::LogMessage(::ptdp::LogLevel::kWarn, "warn")
+#define PTDP_LOG_ERROR ::ptdp::detail::LogMessage(::ptdp::LogLevel::kError, "error")

@@ -1,0 +1,27 @@
+#pragma once
+
+// Wall-clock stopwatch for coarse timing of functional runs (the
+// performance *simulator* has its own virtual clock; this is for real time).
+
+#include <chrono>
+
+namespace ptdp {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ptdp

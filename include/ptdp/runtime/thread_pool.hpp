@@ -1,0 +1,82 @@
+#pragma once
+
+// Fixed-size thread pool used to host the thread-backed "GPU ranks" of the
+// dist runtime and for parallel-for loops in the tensor library.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp {
+
+/// Simple FIFO thread pool. Tasks may block on each other (e.g. collective
+/// rendezvous), so the pool must be sized >= the number of interdependent
+/// tasks submitted as a gang — see World::run() in ptdp/dist.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_threads) {
+    PTDP_CHECK_GT(n_threads, 0u);
+    workers_.reserve(n_threads);
+    for (std::size_t i = 0; i < n_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  /// Submit a task; returns a future for its completion.
+  template <typename F>
+  std::future<void> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      PTDP_CHECK(!stopping_) << "submit() on a stopped ThreadPool";
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        job = std::move(queue_.front());
+        queue_.pop();
+      }
+      job();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace ptdp

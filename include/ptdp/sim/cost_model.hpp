@@ -1,0 +1,48 @@
+#pragma once
+
+// Transformer cost model: per-microbatch forward/backward time for one
+// pipeline chunk on one GPU, split into GEMM time (roofline), memory-bound
+// elementwise time (where the §4.2 kernel fusions act), and tensor-parallel
+// all-reduce time. Every GEMM in the transformer appears explicitly with
+// its true (m, k, n) shape, so microbatch size, tensor-parallel width, and
+// hidden size drive efficiency exactly the way Figs. 7/13/15/16 show.
+
+#include "ptdp/core/parallel_config.hpp"
+#include "ptdp/model/config.hpp"
+#include "ptdp/sim/hardware.hpp"
+
+namespace ptdp::sim {
+
+struct CostOptions {
+  bool fused_kernels = true;  ///< §4.2 fusions (bias+GeLU, bias+drop+add, softmax)
+};
+
+struct ChunkCost {
+  double fwd_compute = 0;  ///< GEMM + elementwise seconds, forward
+  double bwd_compute = 0;  ///< backward (≈2× GEMM work)
+  double fwd_tp_comm = 0;  ///< tensor-parallel all-reduce seconds, forward
+  double bwd_tp_comm = 0;
+  double fwd() const { return fwd_compute + fwd_tp_comm; }
+  double bwd() const { return bwd_compute + bwd_tp_comm; }
+};
+
+/// Batched GEMM (one strided-batched kernel): `batch` GEMMs of (m, k, n).
+double gemm_time_batched(const ClusterSpec& hw, double batch, double m, double k,
+                         double n);
+
+/// Cost of one microbatch through `layers` transformer layers at tensor
+/// width cfg.t, plus (optionally) the embedding and the LM head.
+/// Activation-recomputation cost is NOT folded in here — the simulator adds
+/// the extra forward to the backward when cfg.recompute is set.
+ChunkCost chunk_cost(const ClusterSpec& hw, const model::GptConfig& m,
+                     const core::ParallelConfig& cfg, std::int64_t layers,
+                     bool has_embedding, bool has_head,
+                     const CostOptions& options = {});
+
+/// Per-GPU throughput (model FLOP/s counted via Eq. (3)'s per-layer terms)
+/// for a single GPU running the full model at microbatch b — the Fig. 7
+/// experiment.
+double single_gpu_flops(const ClusterSpec& hw, const model::GptConfig& m,
+                        std::int64_t b, const CostOptions& options = {});
+
+}  // namespace ptdp::sim

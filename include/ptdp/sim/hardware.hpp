@@ -1,0 +1,57 @@
+#pragma once
+
+// Hardware model of the evaluation platform (§5): Selene — DGX A100 nodes
+// (8× 80-GB A100, NVLink/NVSwitch intra-node, 8× HDR InfiniBand 200 Gbps
+// inter-node, three-level fat tree). All bandwidths in bytes/second,
+// latencies in seconds.
+
+#include <cstdint>
+
+namespace ptdp::sim {
+
+struct ClusterSpec {
+  int gpus_per_node = 8;
+
+  // ---- compute (A100 80GB) ----
+  double peak_flops = 312e12;       ///< fp16 tensor-core peak
+  double hbm_bw = 1.8e12;           ///< usable HBM2e bandwidth
+  double gemm_efficiency_cap = 0.78;///< best-case fraction of peak for GEMM
+  double kernel_overhead = 6e-6;    ///< launch + tail latency per kernel
+
+  // ---- intra-node interconnect (NVLink3 + NVSwitch) ----
+  double nvlink_bw = 250e9;         ///< per-GPU per-direction usable
+  double nvlink_latency = 3e-6;
+
+  // ---- inter-node interconnect (HDR InfiniBand) ----
+  double ib_link_bw = 21e9;         ///< 200 Gbps HDR ≈ 25 GB/s raw, ~21 usable
+  int ib_links_per_node = 8;        ///< one HCA per GPU
+  double ib_latency = 6e-6;
+
+  // ---- memory & storage ----
+  double gpu_memory = 80e9;         ///< bytes per GPU
+  double fs_read_bw = 1e12;         ///< §5.10: 1 TB/s peak parallel-FS read
+  double fs_write_bw = 683e9;       ///< peak write (saves reached 40% = 273 GB/s)
+
+  /// The Selene configuration used throughout §5.
+  static ClusterSpec selene() { return ClusterSpec{}; }
+};
+
+/// Time for one GEMM C[m,n] = A[m,k]·B[k,n] in fp16: roofline over the
+/// efficiency-capped tensor cores and HBM, plus launch overhead.
+double gemm_time(const ClusterSpec& hw, double m, double k, double n);
+
+/// Time for a memory-bound elementwise/reduction pass touching `bytes`.
+double memory_bound_time(const ClusterSpec& hw, double bytes);
+
+/// Ring all-reduce over `group` ranks moving `bytes` per rank.
+/// `within_node` selects NVLink vs InfiniBand bandwidth.
+double ring_all_reduce_time(const ClusterSpec& hw, double bytes, int group,
+                            bool within_node);
+/// Ring all-gather / reduce-scatter (half the all-reduce volume).
+double ring_all_gather_time(const ClusterSpec& hw, double bytes, int group,
+                            bool within_node);
+
+/// Point-to-point transfer of `bytes` over one link.
+double p2p_time(const ClusterSpec& hw, double bytes, bool cross_node);
+
+}  // namespace ptdp::sim

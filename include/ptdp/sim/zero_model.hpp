@@ -1,0 +1,34 @@
+#pragma once
+
+// ZeRO-3 performance model (§5.2 baseline). ZeRO-3 shards parameters,
+// grads, and optimizer state over all n data-parallel workers with no model
+// parallelism: every step each worker all-gathers the full parameter set
+// before forward and again before backward (params are freed between), and
+// reduce-scatters the grads — all over cross-node links, overlapped with
+// compute as DeepSpeed does. With the global batch fixed, doubling n halves
+// per-GPU compute while the per-GPU gather volume stays ~constant, which is
+// exactly why Fig. 10's ZeRO-3 curves fall off while PTD-P's stay flat.
+
+#include "ptdp/sim/cost_model.hpp"
+#include "ptdp/sim/simulator.hpp"
+
+namespace ptdp::sim {
+
+struct ZeroResult {
+  double iteration_seconds = 0;
+  double compute_seconds = 0;
+  double comm_seconds = 0;       ///< param all-gathers + grad reduce-scatter
+  double per_gpu_flops = 0;
+  double aggregate_flops = 0;
+  double memory_bytes = 0;       ///< per-GPU: sharded state + activations
+  bool oom = false;
+  double training_days_300b_tokens = 0;  ///< Table 2's last column
+};
+
+/// One ZeRO-3 iteration of `model` on `n_gpus` with per-GPU microbatch `b`
+/// and fixed global batch. Requires global_batch % (n_gpus * b) == 0.
+ZeroResult simulate_zero3_iteration(const ClusterSpec& hw, const model::GptConfig& m,
+                                    std::int64_t global_batch, std::int64_t n_gpus,
+                                    std::int64_t b, const SimOptions& options = {});
+
+}  // namespace ptdp::sim

@@ -1,0 +1,105 @@
+#pragma once
+
+// Dense float32 tensor with shared storage (torch-like copy semantics:
+// copies share the buffer, clone() deep-copies). Tensors are always
+// contiguous in row-major order — transposes and slices copy. This keeps
+// every kernel a flat loop over std::span, which is what the fused-kernel
+// story of §4.2 needs anyway.
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ptdp/runtime/check.hpp"
+#include "ptdp/runtime/rng.hpp"
+
+namespace ptdp::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by a shape.
+std::int64_t numel_of(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty (rank-0, zero elements) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  // ---- factories -----------------------------------------------------------
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+  /// N(0, stddev^2) entries drawn from `rng`.
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  /// U[lo, hi) entries drawn from `rng`.
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+  /// [0, 1, 2, ...] as a 1-D tensor.
+  static Tensor arange(std::int64_t n);
+  /// 1-D tensor from explicit values.
+  static Tensor from_values(std::initializer_list<float> values);
+  static Tensor from_vector(Shape shape, std::vector<float> values);
+
+  // ---- metadata ------------------------------------------------------------
+
+  std::int64_t ndim() const noexcept { return static_cast<std::int64_t>(shape_.size()); }
+  const Shape& shape() const noexcept { return shape_; }
+  std::int64_t dim(std::int64_t i) const;
+  std::int64_t numel() const noexcept { return numel_; }
+  bool defined() const noexcept { return storage_ != nullptr; }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string shape_str() const;
+
+  // ---- element access --------------------------------------------------------
+
+  std::span<float> data();
+  std::span<const float> data() const;
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  // ---- structural ops (storage-sharing where possible) -----------------------
+
+  /// Reinterpret with a new shape of equal numel; shares storage.
+  Tensor view(Shape new_shape) const;
+  /// Flatten to 1-D; shares storage.
+  Tensor flatten() const { return view({numel_}); }
+  /// Deep copy.
+  Tensor clone() const;
+  /// Copy `src`'s contents into this tensor (shapes must match).
+  void copy_from(const Tensor& src);
+  /// Set every element to `value`.
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Copying slice along dimension `dim`: rows [start, start+len).
+  Tensor slice(std::int64_t dim, std::int64_t start, std::int64_t len) const;
+  /// Copying transpose of the two given dimensions.
+  Tensor transpose(std::int64_t d0, std::int64_t d1) const;
+  /// Copying permutation of dimensions.
+  Tensor permute(const std::vector<std::int64_t>& perm) const;
+
+ private:
+  std::int64_t flat_index(std::initializer_list<std::int64_t> idx) const;
+
+  Shape shape_;
+  std::int64_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> storage_;
+};
+
+/// Concatenate along dimension `dim` (all other dims equal).
+Tensor concat(const std::vector<Tensor>& parts, std::int64_t dim);
+/// Split into `n` equal parts along dimension `dim`.
+std::vector<Tensor> split(const Tensor& x, std::int64_t n, std::int64_t dim);
+
+/// Max |a - b| over all elements (shapes must match).
+float max_abs_diff(const Tensor& a, const Tensor& b);
+/// True iff max_abs_diff(a, b) <= atol + rtol * max|b|.
+bool allclose(const Tensor& a, const Tensor& b, float rtol = 1e-5f, float atol = 1e-6f);
+
+}  // namespace ptdp::tensor

@@ -1,0 +1,191 @@
+#include "ptdp/ckpt/checkpoint.hpp"
+
+#include "ptdp/ckpt/reshard.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::ckpt {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5054'4450'434B'5031ULL;  // "PTDPCKP1"
+constexpr std::uint32_t kVersion = 1;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  PTDP_CHECK(is.good()) << "truncated checkpoint";
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = crc_table()[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::int64_t save_checkpoint(const std::string& path, const NamedTensors& tensors,
+                             const CheckpointMeta& meta) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  PTDP_CHECK(os.good()) << "cannot open " << path << " for writing";
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, meta.step);
+  write_pod(os, meta.extra);
+  write_pod(os, static_cast<std::uint64_t>(tensors.size()));
+  for (const auto& [name, t] : tensors) {
+    PTDP_CHECK(t != nullptr && t->defined()) << "undefined tensor " << name;
+    write_pod(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<std::uint32_t>(t->ndim()));
+    for (std::int64_t d : t->shape()) write_pod(os, static_cast<std::int64_t>(d));
+    auto data = t->data();
+    write_pod(os, crc32(data.data(), data.size_bytes()));
+    os.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size_bytes()));
+  }
+  PTDP_CHECK(os.good()) << "write failed for " << path;
+  return static_cast<std::int64_t>(os.tellp());
+}
+
+CheckpointMeta load_checkpoint(const std::string& path, const NamedTensors& tensors) {
+  std::ifstream is(path, std::ios::binary);
+  PTDP_CHECK(is.good()) << "cannot open " << path;
+  PTDP_CHECK_EQ(read_pod<std::uint64_t>(is), kMagic) << "bad magic in " << path;
+  PTDP_CHECK_EQ(read_pod<std::uint32_t>(is), kVersion) << "bad version in " << path;
+  CheckpointMeta meta;
+  meta.step = read_pod<std::uint64_t>(is);
+  meta.extra = read_pod<std::uint64_t>(is);
+  const auto count = read_pod<std::uint64_t>(is);
+  PTDP_CHECK_EQ(count, tensors.size())
+      << "checkpoint has " << count << " tensors, expected " << tensors.size();
+
+  // Saved order must match requested order (both derive from the same
+  // deterministic parameter enumeration).
+  for (const auto& [name, t] : tensors) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string saved_name(name_len, '\0');
+    is.read(saved_name.data(), name_len);
+    PTDP_CHECK_EQ(saved_name, name) << "tensor order/name mismatch";
+    const auto ndim = read_pod<std::uint32_t>(is);
+    tensor::Shape shape(ndim);
+    for (auto& d : shape) d = read_pod<std::int64_t>(is);
+    PTDP_CHECK(shape == t->shape())
+        << name << ": checkpoint shape differs from model shape " << t->shape_str();
+    const auto saved_crc = read_pod<std::uint32_t>(is);
+    auto data = t->data();
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size_bytes()));
+    PTDP_CHECK(is.good()) << "truncated tensor payload for " << name;
+    PTDP_CHECK_EQ(crc32(data.data(), data.size_bytes()), saved_crc)
+        << "CRC mismatch for " << name << " — corrupted checkpoint";
+  }
+  return meta;
+}
+
+CheckpointMeta peek_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PTDP_CHECK(is.good()) << "cannot open " << path;
+  PTDP_CHECK_EQ(read_pod<std::uint64_t>(is), kMagic) << "bad magic in " << path;
+  PTDP_CHECK_EQ(read_pod<std::uint32_t>(is), kVersion) << "bad version in " << path;
+  CheckpointMeta meta;
+  meta.step = read_pod<std::uint64_t>(is);
+  meta.extra = read_pod<std::uint64_t>(is);
+  return meta;
+}
+
+namespace {
+
+// Shared payload reader: consumes one (name, shape, crc, data) record.
+std::pair<std::string, tensor::Tensor> read_one_tensor(std::ifstream& is) {
+  const auto name_len = read_pod<std::uint32_t>(is);
+  std::string name(name_len, '\0');
+  is.read(name.data(), name_len);
+  const auto ndim = read_pod<std::uint32_t>(is);
+  tensor::Shape shape(ndim);
+  for (auto& d : shape) d = read_pod<std::int64_t>(is);
+  const auto saved_crc = read_pod<std::uint32_t>(is);
+  std::vector<float> values(static_cast<std::size_t>(tensor::numel_of(shape)));
+  is.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(float)));
+  PTDP_CHECK(is.good()) << "truncated tensor payload for " << name;
+  PTDP_CHECK_EQ(crc32(values.data(), values.size() * sizeof(float)), saved_crc)
+      << "CRC mismatch for " << name;
+  return {std::move(name), tensor::Tensor::from_vector(std::move(shape),
+                                                       std::move(values))};
+}
+
+}  // namespace
+
+OwnedTensors read_all(const std::string& path, CheckpointMeta* meta_out) {
+  std::ifstream is(path, std::ios::binary);
+  PTDP_CHECK(is.good()) << "cannot open " << path;
+  PTDP_CHECK_EQ(read_pod<std::uint64_t>(is), kMagic) << "bad magic in " << path;
+  PTDP_CHECK_EQ(read_pod<std::uint32_t>(is), kVersion) << "bad version in " << path;
+  CheckpointMeta meta;
+  meta.step = read_pod<std::uint64_t>(is);
+  meta.extra = read_pod<std::uint64_t>(is);
+  if (meta_out != nullptr) *meta_out = meta;
+  const auto count = read_pod<std::uint64_t>(is);
+  OwnedTensors all;
+  all.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) all.push_back(read_one_tensor(is));
+  return all;
+}
+
+CheckpointMeta load_checkpoint_by_name(const std::string& path,
+                                       const NamedTensors& tensors) {
+  CheckpointMeta meta;
+  auto all = read_all(path, &meta);
+  for (const auto& [name, dst] : tensors) {
+    bool found = false;
+    for (auto& [saved_name, saved] : all) {
+      if (saved_name != name) continue;
+      PTDP_CHECK(saved.shape() == dst->shape())
+          << name << ": checkpoint shape differs from model shape "
+          << dst->shape_str();
+      dst->copy_from(saved);
+      found = true;
+      break;
+    }
+    PTDP_CHECK(found) << "tensor " << name << " missing from " << path;
+  }
+  return meta;
+}
+
+std::string shard_path(const std::string& dir, int p_idx, int t_idx, int d_idx) {
+  return dir + "/shard-p" + std::to_string(p_idx) + "-t" + std::to_string(t_idx) +
+         "-d" + std::to_string(d_idx) + ".ckpt";
+}
+
+}  // namespace ptdp::ckpt

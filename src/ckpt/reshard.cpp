@@ -1,0 +1,132 @@
+#include "ptdp/ckpt/reshard.hpp"
+
+#include <map>
+#include <string_view>
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::ckpt {
+
+using tensor::Tensor;
+
+int shard_axis(const std::string& name) {
+  std::string_view base = name;
+  // Optimizer state shards exactly like the parameter it belongs to.
+  for (std::string_view suffix : {".adam_m", ".adam_v", ".fp32_master",
+                                  ".sgd_velocity"}) {
+    if (base.size() > suffix.size() &&
+        base.substr(base.size() - suffix.size()) == suffix) {
+      base = base.substr(0, base.size() - suffix.size());
+      break;
+    }
+  }
+  if (base == "embedding.word") return 0;
+  const bool weight = base.ends_with(".weight");
+  const bool bias = base.ends_with(".bias");
+  if (base.find(".attn.qkv") != std::string_view::npos ||
+      base.find(".mlp.fc1") != std::string_view::npos) {
+    if (weight) return 1;  // column-parallel: output columns
+    if (bias) return 0;    // per-column bias shards with its columns
+  }
+  if (base.find(".attn.proj") != std::string_view::npos ||
+      base.find(".mlp.fc2") != std::string_view::npos) {
+    if (weight) return 0;  // row-parallel: input rows
+    if (bias) return -1;   // applied after the all-reduce, replicated
+  }
+  // LayerNorms, position embeddings, step counters, anything else.
+  return -1;
+}
+
+CheckpointMeta merge_shards(const std::string& dir, int p, int t,
+                            const std::string& out_path, int d_idx) {
+  PTDP_CHECK_GT(p, 0);
+  PTDP_CHECK_GT(t, 0);
+  CheckpointMeta meta{};
+  std::vector<std::string> order;                 // first-seen name order
+  std::map<std::string, Tensor> merged;
+
+  for (int pi = 0; pi < p; ++pi) {
+    // Read this stage's t shards.
+    std::vector<OwnedTensors> shards;
+    shards.reserve(static_cast<std::size_t>(t));
+    for (int ti = 0; ti < t; ++ti) {
+      CheckpointMeta m{};
+      shards.push_back(read_all(shard_path(dir, pi, ti, d_idx), &m));
+      if (pi == 0 && ti == 0) meta = m;
+      PTDP_CHECK_EQ(m.step, meta.step) << "shards from different steps";
+      PTDP_CHECK_EQ(shards.back().size(), shards.front().size())
+          << "tensor-rank shard files disagree on contents";
+    }
+    for (std::size_t i = 0; i < shards[0].size(); ++i) {
+      const std::string& name = shards[0][i].first;
+      const int axis = shard_axis(name);
+      Tensor whole;
+      if (axis < 0 || t == 1) {
+        // Replicated: verify the tensor ranks agree, take rank 0's copy.
+        for (int ti = 1; ti < t; ++ti) {
+          PTDP_CHECK_EQ(shards[static_cast<std::size_t>(ti)][i].first, name);
+          if (axis < 0) {
+            PTDP_CHECK(tensor::allclose(shards[0][i].second,
+                                        shards[static_cast<std::size_t>(ti)][i].second,
+                                        1e-5f, 1e-6f))
+                << name << ": replicated tensor differs across tensor ranks";
+          }
+        }
+        whole = shards[0][i].second;
+      } else {
+        std::vector<Tensor> parts;
+        parts.reserve(static_cast<std::size_t>(t));
+        for (int ti = 0; ti < t; ++ti) {
+          PTDP_CHECK_EQ(shards[static_cast<std::size_t>(ti)][i].first, name);
+          parts.push_back(shards[static_cast<std::size_t>(ti)][i].second);
+        }
+        whole = tensor::concat(parts, axis);
+      }
+      // The tied embedding (and its optimizer state) appears on both the
+      // first and last stage with identical values — keep the first copy
+      // after verifying the stages agree.
+      if (merged.contains(name)) {
+        PTDP_CHECK(tensor::allclose(merged.at(name), whole, 1e-5f, 1e-6f))
+            << name << ": duplicated across stages with different values";
+        continue;
+      }
+      order.push_back(name);
+      merged.emplace(name, std::move(whole));
+    }
+  }
+
+  NamedTensors out;
+  out.reserve(order.size());
+  for (const std::string& name : order) out.emplace_back(name, &merged.at(name));
+  save_checkpoint(out_path, out, meta);
+  return meta;
+}
+
+void split_shards(const std::string& merged_path, int t, const std::string& dir,
+                  int d_idx) {
+  PTDP_CHECK_GT(t, 0);
+  CheckpointMeta meta{};
+  OwnedTensors all = read_all(merged_path, &meta);
+  for (int ti = 0; ti < t; ++ti) {
+    std::vector<Tensor> slices;  // keep storage alive for save
+    slices.reserve(all.size());
+    NamedTensors out;
+    out.reserve(all.size());
+    for (auto& [name, whole] : all) {
+      const int axis = shard_axis(name);
+      if (axis < 0 || t == 1) {
+        out.emplace_back(name, &whole);
+        continue;
+      }
+      PTDP_CHECK_EQ(whole.dim(axis) % t, 0)
+          << name << ": dim " << axis << " (" << whole.dim(axis)
+          << ") not divisible by t=" << t;
+      const std::int64_t len = whole.dim(axis) / t;
+      slices.push_back(whole.slice(axis, ti * len, len));
+      out.emplace_back(name, &slices.back());
+    }
+    save_checkpoint(shard_path(dir, 0, ti, d_idx), out, meta);
+  }
+}
+
+}  // namespace ptdp::ckpt

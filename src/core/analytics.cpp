@@ -1,0 +1,143 @@
+#include "ptdp/core/analytics.hpp"
+
+#include <cmath>
+
+namespace ptdp::core {
+
+namespace {
+constexpr double kFp16Bytes = 2.0;
+constexpr double kFp32Bytes = 4.0;
+}  // namespace
+
+double bubble_fraction(const ParallelConfig& cfg, std::int64_t global_batch) {
+  const double m = static_cast<double>(cfg.microbatches(global_batch));
+  return static_cast<double>(cfg.p - 1) / (static_cast<double>(cfg.v) * m);
+}
+
+double estimated_batch_time(const ParallelConfig& cfg, std::int64_t global_batch,
+                            double tf_of_b, double tb_of_b) {
+  const double b_prime = static_cast<double>(global_batch) / cfg.d;
+  return (b_prime / static_cast<double>(cfg.b) + cfg.p - 1) * (tf_of_b + tb_of_b);
+}
+
+double pipeline_p2p_bytes_per_microbatch(const model::GptConfig& m,
+                                         const ParallelConfig& cfg) {
+  double elems = static_cast<double>(cfg.b) * m.seq * m.hidden;
+  if (cfg.scatter_gather) elems /= cfg.t;  // §4.1: send 1/t, all-gather on NVLink
+  return elems * kFp16Bytes;
+}
+
+double pipeline_p2p_bytes_per_batch(const model::GptConfig& m,
+                                    const ParallelConfig& cfg,
+                                    std::int64_t global_batch) {
+  const double per_mb = pipeline_p2p_bytes_per_microbatch(m, cfg);
+  const double mb = static_cast<double>(cfg.microbatches(global_batch));
+  // v chunk boundaries per device under interleaving (§2.2.2's v× factor).
+  return per_mb * mb * static_cast<double>(cfg.v);
+}
+
+double tensor_parallel_bytes_per_microbatch(const model::GptConfig& m,
+                                            const ParallelConfig& cfg) {
+  if (cfg.t == 1) return 0.0;
+  const double l_stage =
+      static_cast<double>(m.num_layers) / (static_cast<double>(cfg.p) * cfg.v);
+  const double per_layer = 8.0 * static_cast<double>(cfg.b) * m.seq * m.hidden *
+                           (static_cast<double>(cfg.t - 1) / cfg.t);
+  // Per device the interleaved chunks together still hold l/p layers.
+  return l_stage * static_cast<double>(cfg.v) * per_layer * kFp16Bytes;
+}
+
+double data_parallel_bytes_per_batch(const model::GptConfig& m,
+                                     const ParallelConfig& cfg) {
+  if (cfg.d == 1) return 0.0;
+  const double grads = params_per_gpu(m, cfg);
+  return 2.0 * (static_cast<double>(cfg.d - 1) / cfg.d) * grads * kFp32Bytes;
+}
+
+double params_per_gpu(const model::GptConfig& m, const ParallelConfig& cfg) {
+  return m.paper_params() / (static_cast<double>(cfg.p) * cfg.t);
+}
+
+double activation_bytes_per_layer(const model::GptConfig& m, std::int64_t b,
+                                  bool recompute) {
+  const double sbh = static_cast<double>(m.seq) * b * m.hidden;
+  if (recompute) {
+    return 2.0 * sbh;  // stash only the fp16 layer input (§3.5)
+  }
+  // Full intermediate set per transformer layer (fp16 activations +
+  // fp32-as-bytes softmax/dropout bookkeeping), the standard
+  // sbh·(34 + 5·a·s/h) accounting.
+  const double attn_quadratic =
+      5.0 * static_cast<double>(m.heads) * m.seq / m.hidden;
+  return sbh * (34.0 + attn_quadratic);
+}
+
+MemoryEstimate memory_per_gpu(const model::GptConfig& m, const ParallelConfig& cfg,
+                              std::int64_t global_batch) {
+  MemoryEstimate est;
+  const double params = params_per_gpu(m, cfg);
+  est.param_bytes = params * kFp16Bytes;
+  // Mixed-precision Adam: fp32 master + fp32 m + fp32 v + fp32 grads.
+  est.optimizer_bytes = params * (4.0 * kFp32Bytes);
+
+  // In-flight microbatches at the schedule's peak.
+  const std::int64_t mcount = cfg.microbatches(global_batch);
+  double in_flight;
+  switch (cfg.schedule) {
+    case pipeline::ScheduleType::kGPipe:
+      in_flight = static_cast<double>(mcount);
+      break;
+    case pipeline::ScheduleType::kOneFOneB:
+      in_flight = static_cast<double>(std::min<std::int64_t>(cfg.p, mcount));
+      break;
+    case pipeline::ScheduleType::kInterleaved:
+      in_flight = std::min<double>(
+          static_cast<double>(mcount) * cfg.v,
+          static_cast<double>(cfg.p) * cfg.v + cfg.p - 1) /
+          cfg.v;  // expressed in full-device microbatch equivalents
+      break;
+    default:
+      in_flight = static_cast<double>(cfg.p);
+  }
+  const double layers_per_device =
+      static_cast<double>(m.num_layers) / cfg.p;  // all chunks combined
+  double act = in_flight * layers_per_device *
+               activation_bytes_per_layer(m, cfg.b, cfg.recompute);
+  if (cfg.recompute) {
+    // One layer's full working set is live during its recomputed backward.
+    act += activation_bytes_per_layer(m, cfg.b, /*recompute=*/false);
+  }
+  est.activation_bytes = act;
+  return est;
+}
+
+double checkpoint_memory(double c, double l, double a_input, double a_intermediate) {
+  return c * a_input + (l / c) * a_intermediate;
+}
+
+double optimal_checkpoints(double l, double a_input, double a_intermediate) {
+  return std::sqrt(l * a_intermediate / a_input);
+}
+
+double flops_per_iteration(const model::GptConfig& m, std::int64_t global_batch) {
+  return m.paper_flops_per_iteration(global_batch);
+}
+
+double layer_forward_flops(const model::GptConfig& m, std::int64_t batch) {
+  const double B = static_cast<double>(batch);
+  const double s = static_cast<double>(m.seq);
+  const double h = static_cast<double>(m.hidden);
+  return 24.0 * B * s * h * h + 4.0 * B * s * s * h;
+}
+
+double training_time_seconds(double tokens, double params, double n_gpus,
+                             double flops_per_gpu) {
+  return 8.0 * tokens * params / (n_gpus * flops_per_gpu);
+}
+
+double training_time_days(double tokens, double params, double n_gpus,
+                          double flops_per_gpu) {
+  return training_time_seconds(tokens, params, n_gpus, flops_per_gpu) / 86400.0;
+}
+
+}  // namespace ptdp::core

@@ -1,0 +1,218 @@
+#include "ptdp/core/engine.hpp"
+
+#include "ptdp/runtime/stopwatch.hpp"
+
+#include "ptdp/tensor/ops.hpp"
+#include "ptdp/zero/sharded_optimizer.hpp"
+
+namespace ptdp::core {
+
+using model::GptStage;
+using model::Param;
+using model::StageSpec;
+using pipeline::virtual_stage;
+
+PtdpEngine::PtdpEngine(dist::Comm& world, EngineOptions options)
+    : options_(std::move(options)) {
+  const ParallelConfig& cfg = options_.parallel;
+  cfg.validate(options_.model, options_.global_batch);
+  PTDP_CHECK_EQ(world.size(), cfg.n())
+      << "world size " << world.size() << " != p*t*d for " << cfg.str();
+
+  groups_ = std::make_unique<dist::ProcessGroups>(world, cfg.p, cfg.t, cfg.d);
+
+  // Build this rank's v chunks: chunk c is virtual stage c*p + rank with
+  // layers striped in virtual-stage order (§2.2.2).
+  const int rank = groups_->coord().pipeline;
+  const int P = cfg.p * cfg.v;
+  const std::int64_t per_stage = options_.model.num_layers / P;
+  for (int c = 0; c < cfg.v; ++c) {
+    const int vs = virtual_stage(rank, c, cfg.p);
+    StageSpec spec;
+    spec.has_embedding = vs == 0;
+    spec.has_head = vs == P - 1;
+    spec.layer_begin = vs * per_stage;
+    spec.layer_end = (vs + 1) * per_stage;
+    spec.recompute = cfg.recompute;
+    chunks_.push_back(std::make_unique<GptStage>(options_.model, groups_->tensor(),
+                                                 spec));
+  }
+
+  std::vector<GptStage*> raw;
+  raw.reserve(chunks_.size());
+  for (auto& c : chunks_) raw.push_back(c.get());
+  executor_ = std::make_unique<pipeline::PipelineExecutor>(
+      raw, groups_->pipeline(), cfg.schedule_params(options_.global_batch));
+
+  std::unique_ptr<optim::Optimizer> inner;
+  if (options_.optimizer == EngineOptions::Opt::kZeroAdam) {
+    PTDP_CHECK(!options_.mixed_precision && options_.grad_clip == 0.0)
+        << "ZeRO-sharded Adam does not compose with mixed precision or "
+           "clipping in this engine";
+    inner = std::make_unique<zero::ZeroShardedAdam>(
+        params(), groups_->data(), zero::ZeroAdamOptions{options_.adam});
+  } else if (options_.optimizer == EngineOptions::Opt::kSgd) {
+    inner = std::make_unique<optim::Sgd>(params(), options_.sgd);
+  } else {
+    inner = std::make_unique<optim::Adam>(params(), options_.adam);
+  }
+  if (options_.mixed_precision) {
+    auto mixed = std::make_unique<optim::MixedPrecisionOptimizer>(std::move(inner),
+                                                                  options_.scaler);
+    mixed_ = mixed.get();
+    optimizer_ = std::move(mixed);
+  } else {
+    optimizer_ = std::move(inner);
+  }
+  if (options_.lr_schedule) lr_schedule_.emplace(*options_.lr_schedule);
+}
+
+model::ParamRefs PtdpEngine::params() {
+  model::ParamRefs refs;
+  for (auto& c : chunks_) {
+    model::ParamRefs r = c->params();
+    refs.insert(refs.end(), r.begin(), r.end());
+  }
+  return refs;
+}
+
+float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
+  const Stopwatch stopwatch;
+  const ParallelConfig& cfg = options_.parallel;
+  if (lr_schedule_) optimizer_->set_lr(lr_schedule_->at(step_counter_));
+  for (auto& c : chunks_) c->zero_grads();
+
+  const float extra_scale = mixed_ != nullptr ? mixed_->scaler().scale() : 1.0f;
+  float loss = executor_->run_batch(microbatches, extra_scale);
+
+  // Tied-embedding grad sync: the first and last stages each hold a copy of
+  // the word-embedding matrix and accumulate partial grads; their sum is
+  // the true grad (this is what the embedding group exists for).
+  if (cfg.p > 1 && groups_->in_embedding_group()) {
+    for (auto& c : chunks_) {
+      if (Param* w = c->word_embedding_param()) {
+        groups_->embedding().all_reduce(w->grad.data());
+      }
+    }
+  }
+
+  // Data-parallel gradient all-reduce (mean over replicas), bucketed DDP
+  // style: flatten consecutive grads into buckets of up to dp_bucket_elems
+  // so the ring sees fewer, larger messages. The ZeRO optimizer owns the
+  // reduction itself (reduce-scatter inside step()).
+  const bool zero_owns_reduction =
+      options_.optimizer == EngineOptions::Opt::kZeroAdam;
+  if (cfg.d > 1 && !zero_owns_reduction) {
+    const float inv_d = 1.0f / static_cast<float>(cfg.d);
+    const std::int64_t cap = options_.dp_bucket_elems;
+    model::ParamRefs refs = params();
+    if (cap <= 0) {
+      for (Param* p : refs) {
+        groups_->data().all_reduce(p->grad.data());
+        tensor::scale_(p->grad, inv_d);
+      }
+    } else {
+      std::vector<float> bucket;
+      std::vector<Param*> members;
+      auto flush = [&] {
+        if (bucket.empty()) return;
+        groups_->data().all_reduce(std::span<float>(bucket));
+        std::size_t off = 0;
+        for (Param* p : members) {
+          auto g = p->grad.data();
+          for (std::size_t j = 0; j < g.size(); ++j) g[j] = bucket[off + j] * inv_d;
+          off += g.size();
+        }
+        bucket.clear();
+        members.clear();
+      };
+      for (Param* p : refs) {
+        auto g = p->grad.data();
+        if (!bucket.empty() &&
+            static_cast<std::int64_t>(bucket.size() + g.size()) > cap) {
+          flush();
+        }
+        bucket.insert(bucket.end(), g.begin(), g.end());
+        members.push_back(p);
+      }
+      flush();
+    }
+  }
+
+  // Broadcast the loss: only the last pipeline stage computed it.
+  if (cfg.p > 1) {
+    loss = groups_->pipeline().all_reduce_scalar(loss);  // one non-zero term
+  }
+  if (cfg.d > 1) {
+    loss = groups_->data().all_reduce_scalar(loss) / static_cast<float>(cfg.d);
+  }
+
+  if (options_.grad_clip > 0.0) {
+    // With mixed precision the grads carry the loss scale; clipping to
+    // scale*max_norm applies the same multiplier unscaled clipping would.
+    const double max_norm = options_.grad_clip * extra_scale;
+    const dist::Comm* tp = cfg.t > 1 ? &groups_->tensor() : nullptr;
+    const dist::Comm* pp = cfg.p > 1 ? &groups_->pipeline() : nullptr;
+    model::ParamRefs refs = params();
+    last_grad_norm_ = optim::clip_grad_norm(refs, max_norm, tp, pp) / extra_scale;
+  }
+
+  optimizer_->step();
+
+  stats_.step = step_counter_++;
+  stats_.loss = loss;
+  stats_.grad_norm = last_grad_norm_;
+  stats_.lr = optimizer_->lr();
+  stats_.step_seconds = stopwatch.elapsed_seconds();
+  stats_.tokens = options_.global_batch * options_.model.seq;
+  stats_.tokens_per_second =
+      stats_.step_seconds > 0 ? stats_.tokens / stats_.step_seconds : 0.0;
+  return loss;
+}
+
+float PtdpEngine::evaluate(std::span<const model::Microbatch> microbatches) {
+  const ParallelConfig& cfg = options_.parallel;
+  for (auto& c : chunks_) c->set_dropout(0.0f);
+  float loss = executor_->run_forward_only(microbatches);
+  for (auto& c : chunks_) c->set_dropout(options_.model.dropout);
+  if (cfg.p > 1) {
+    loss = groups_->pipeline().all_reduce_scalar(loss);
+  }
+  if (cfg.d > 1) {
+    loss = groups_->data().all_reduce_scalar(loss) / static_cast<float>(cfg.d);
+  }
+  return loss;
+}
+
+ckpt::NamedTensors PtdpEngine::checkpoint_tensors() {
+  ckpt::NamedTensors tensors;
+  for (Param* p : params()) tensors.emplace_back(p->name, &p->value);
+  for (auto& [name, t] : optimizer_->state_tensors()) tensors.emplace_back(name, t);
+  return tensors;
+}
+
+void PtdpEngine::save_checkpoint(const std::string& dir, std::uint64_t step) {
+  const auto& c = groups_->coord();
+  ckpt::CheckpointMeta meta{step, 0};
+  ckpt::save_checkpoint(ckpt::shard_path(dir, c.pipeline, c.tensor, c.data),
+                        checkpoint_tensors(), meta);
+}
+
+std::uint64_t PtdpEngine::load_resharded(const std::string& dir) {
+  PTDP_CHECK_EQ(options_.parallel.p, 1)
+      << "resharded checkpoints target pipeline-less layouts";
+  const auto& c = groups_->coord();
+  const auto meta = ckpt::load_checkpoint_by_name(
+      ckpt::shard_path(dir, 0, c.tensor, 0), checkpoint_tensors());
+  return meta.step;
+}
+
+std::uint64_t PtdpEngine::load_checkpoint(const std::string& dir) {
+  const auto& c = groups_->coord();
+  const auto meta = ckpt::load_checkpoint(
+      ckpt::shard_path(dir, c.pipeline, c.tensor, c.data), checkpoint_tensors());
+  step_counter_ = static_cast<std::int64_t>(meta.step);
+  return meta.step;
+}
+
+}  // namespace ptdp::core

@@ -1,0 +1,120 @@
+#include "ptdp/core/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ptdp::core {
+
+namespace {
+
+bool divides(std::int64_t a, std::int64_t b) { return b % a == 0; }
+
+}  // namespace
+
+ThroughputModel analytic_throughput_model(double peak_flops, double nvlink_bw,
+                                          double ib_bw, int gpus_per_node) {
+  return [=](const model::GptConfig& m, const ParallelConfig& cfg,
+             std::int64_t B) -> double {
+    // Compute time for one microbatch's fwd+bwd on one device, with a
+    // microbatch-size-dependent GEMM efficiency (saturating in b — the
+    // arithmetic-intensity effect of Fig. 7).
+    const double layers_per_device = static_cast<double>(m.num_layers) / cfg.p;
+    const double fwd_flops =
+        layer_forward_flops(m, cfg.b) * layers_per_device / cfg.t;
+    const double eff = 0.55 * (static_cast<double>(cfg.b) * m.seq / cfg.t) /
+                       (static_cast<double>(cfg.b) * m.seq / cfg.t + 2048.0);
+    const double tf = fwd_flops / (peak_flops * std::max(eff, 0.02));
+    const double tb = 2.0 * tf;  // backward ≈ 2× forward
+
+    // Eq. (1) compute time, then bubble-corrected via the interleave factor.
+    const double m_count = static_cast<double>(cfg.microbatches(B));
+    const double compute =
+        (m_count + static_cast<double>(cfg.p - 1) / cfg.v) * (tf + tb);
+
+    // Tensor-parallel all-reduce per microbatch (NVLink inside a node,
+    // InfiniBand if t spans nodes — Takeaway #1 falls out here).
+    const double tp_bw = cfg.t <= gpus_per_node ? nvlink_bw : ib_bw;
+    const double tp_time =
+        m_count * tensor_parallel_bytes_per_microbatch(m, cfg) / tp_bw;
+
+    // Pipeline p2p per batch over IB (per boundary, fwd+bwd).
+    const double p2p_time =
+        cfg.p > 1 ? 2.0 * pipeline_p2p_bytes_per_batch(m, cfg, B) / ib_bw : 0.0;
+
+    // Data-parallel grad all-reduce once per batch over IB.
+    const double dp_time = data_parallel_bytes_per_batch(m, cfg) / ib_bw;
+
+    return compute + tp_time + p2p_time + dp_time;
+  };
+}
+
+Plan plan_configuration(const PlannerInput& input, const ThroughputModel& model) {
+  const model::GptConfig& m = input.model;
+  PTDP_CHECK_GT(input.n_gpus, 0);
+  Plan plan;
+
+  for (int t = 1; t <= std::min<std::int64_t>(input.gpus_per_node, input.n_gpus);
+       t *= 2) {
+    if (!divides(t, m.heads) || !divides(t, m.vocab) || !divides(t, input.n_gpus)) {
+      continue;
+    }
+    const std::int64_t rest = input.n_gpus / t;
+    // All divisors of rest — Table 1's 530B row needs p = 35, so pipeline
+    // sizes are not restricted to powers of two.
+    for (std::int64_t p = 1; p <= rest; ++p) {
+      if (!divides(p, rest)) continue;
+      const std::int64_t d = rest / p;
+      for (std::int64_t b : input.microbatch_candidates) {
+        if (!divides(b * d, input.global_batch)) continue;
+        const std::int64_t mcount = input.global_batch / (b * d);
+        std::vector<int> vs{1};
+        if (input.allow_interleaving && p >= 2) {
+          for (int v = 2; v <= input.max_interleave; ++v) {
+            if (divides(static_cast<std::int64_t>(p), mcount)) vs.push_back(v);
+          }
+        }
+        for (int v : vs) {
+          if (!divides(p * v, m.num_layers)) continue;
+          ParallelConfig cfg;
+          cfg.p = static_cast<int>(p);
+          cfg.t = t;
+          cfg.d = static_cast<int>(d);
+          cfg.b = b;
+          cfg.v = v;
+          cfg.schedule = v > 1 ? pipeline::ScheduleType::kInterleaved
+                               : pipeline::ScheduleType::kOneFOneB;
+          cfg.scatter_gather = v > 1 && t > 1;
+          cfg.recompute = true;
+          Candidate cand;
+          cand.config = cfg;
+          cand.memory = memory_per_gpu(m, cfg, input.global_batch);
+          if (!cand.memory.fits(input.gpu_memory_bytes)) continue;
+          cand.est_batch_seconds = model(m, cfg, input.global_batch);
+          plan.feasible.push_back(cand);
+        }
+      }
+    }
+  }
+
+  PTDP_CHECK(!plan.feasible.empty())
+      << "no (p,t,d,b) configuration fits the model in "
+      << input.gpu_memory_bytes / 1e9 << " GB per GPU on " << input.n_gpus << " GPUs";
+
+  std::stable_sort(plan.feasible.begin(), plan.feasible.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.est_batch_seconds < b.est_batch_seconds;
+                   });
+  plan.best = plan.feasible.front();
+
+  std::ostringstream os;
+  os << "chose " << plan.best.config.str() << ": est "
+     << plan.best.est_batch_seconds << " s/batch, "
+     << plan.best.memory.total() / 1e9 << " GB/GPU of "
+     << input.gpu_memory_bytes / 1e9 << " GB; " << plan.feasible.size()
+     << " feasible configurations considered";
+  plan.rationale = os.str();
+  return plan;
+}
+
+}  // namespace ptdp::core

@@ -1,0 +1,164 @@
+#include "ptdp/data/dataset.hpp"
+
+#include <cmath>
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::data {
+
+SyntheticCorpus::SyntheticCorpus(std::int64_t vocab, std::uint64_t seed)
+    : vocab_(vocab), seed_(seed) {
+  PTDP_CHECK_GE(vocab, 4);
+  // A fixed random permutation-ish successor rule: token x is followed by
+  // bigram_successor_[x] 70% of the time — structure a language model can
+  // learn quickly.
+  bigram_successor_.resize(static_cast<std::size_t>(vocab));
+  Rng rng(seed, substream(0xB16A));
+  for (std::int64_t i = 0; i < vocab; ++i) {
+    bigram_successor_[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(vocab)));
+  }
+}
+
+std::int32_t SyntheticCorpus::next_token(std::int32_t prev, Rng& rng) const {
+  if (rng.next_bernoulli(0.7)) {
+    return bigram_successor_[static_cast<std::size_t>(prev)];
+  }
+  // Zipfian-ish unigram: token k with weight 1/(k+2). Inverse-CDF via
+  // rejection-free power transform approximation.
+  const double u = rng.next_uniform();
+  const double z = std::pow(static_cast<double>(vocab_), u);  // log-uniform
+  std::int64_t k = static_cast<std::int64_t>(z) - 1;
+  if (k < 0) k = 0;
+  if (k >= vocab_) k = vocab_ - 1;
+  return static_cast<std::int32_t>(k);
+}
+
+std::vector<std::int32_t> SyntheticCorpus::generate(std::int64_t n) const {
+  PTDP_CHECK_GT(n, 0);
+  std::vector<std::int32_t> stream(static_cast<std::size_t>(n));
+  Rng rng(seed_, substream(0x5EED));
+  stream[0] = static_cast<std::int32_t>(rng.next_below(
+      static_cast<std::uint64_t>(vocab_)));
+  for (std::int64_t i = 1; i < n; ++i) {
+    stream[static_cast<std::size_t>(i)] =
+        next_token(stream[static_cast<std::size_t>(i - 1)], rng);
+  }
+  return stream;
+}
+
+TokenDataset::TokenDataset(std::vector<std::int32_t> stream, std::int64_t seq)
+    : stream_(std::move(stream)), seq_(seq) {
+  PTDP_CHECK_GT(seq, 0);
+  PTDP_CHECK_GT(static_cast<std::int64_t>(stream_.size()), seq)
+      << "stream too short for one sample";
+  num_samples_ = (static_cast<std::int64_t>(stream_.size()) - 1) / seq_;
+}
+
+void TokenDataset::sample(std::int64_t index, std::int32_t* tokens,
+                          std::int32_t* targets) const {
+  PTDP_CHECK(index >= 0 && index < num_samples_) << "sample " << index;
+  const std::int64_t base = index * seq_;
+  for (std::int64_t i = 0; i < seq_; ++i) {
+    tokens[i] = stream_[static_cast<std::size_t>(base + i)];
+    targets[i] = stream_[static_cast<std::size_t>(base + i + 1)];
+  }
+}
+
+ShardedLoader::ShardedLoader(const TokenDataset& dataset, std::int64_t global_batch,
+                             std::int64_t microbatch_size, int d, int d_rank,
+                             std::uint64_t seed)
+    : dataset_(dataset),
+      global_batch_(global_batch),
+      micro_b_(microbatch_size),
+      d_(d),
+      d_rank_(d_rank),
+      seed_(seed) {
+  PTDP_CHECK_GT(global_batch, 0);
+  PTDP_CHECK_GT(microbatch_size, 0);
+  PTDP_CHECK(0 <= d_rank && d_rank < d);
+  PTDP_CHECK_EQ(global_batch % (static_cast<std::int64_t>(d) * microbatch_size), 0)
+      << "B=" << global_batch << " must divide by d*b=" << d * microbatch_size;
+  m_ = global_batch / (static_cast<std::int64_t>(d) * microbatch_size);
+}
+
+std::vector<model::Microbatch> ShardedLoader::next_batch(std::int64_t step) const {
+  const std::int64_t s = dataset_.seq();
+  std::vector<model::Microbatch> mbs;
+  mbs.reserve(static_cast<std::size_t>(m_));
+  // Global sample index for (replica slot r, position within batch k):
+  // drawn from a step-keyed stream so every layout agrees.
+  Rng pick(seed_, substream(0xDA7A, static_cast<std::uint64_t>(step)));
+  std::vector<std::int64_t> global_samples(static_cast<std::size_t>(global_batch_));
+  for (auto& gi : global_samples) {
+    gi = static_cast<std::int64_t>(pick.next_below(
+        static_cast<std::uint64_t>(dataset_.size())));
+  }
+  // This rank's slice: samples [d_rank * B/d, (d_rank+1) * B/d).
+  const std::int64_t per_rank = global_batch_ / d_;
+  for (std::int64_t j = 0; j < m_; ++j) {
+    model::Microbatch mb;
+    mb.s = s;
+    mb.b = micro_b_;
+    mb.tag = substream(static_cast<std::uint64_t>(step),
+                       static_cast<std::uint64_t>(d_rank_ * m_ + j) + 1);
+    mb.tokens.resize(static_cast<std::size_t>(s * micro_b_));
+    mb.targets.resize(static_cast<std::size_t>(s * micro_b_));
+    // Sequence-major layout: element (i_s, i_b) at index i_s*b + i_b.
+    std::vector<std::int32_t> tok(static_cast<std::size_t>(s)),
+        tgt(static_cast<std::size_t>(s));
+    for (std::int64_t ib = 0; ib < micro_b_; ++ib) {
+      const std::int64_t gi =
+          global_samples[static_cast<std::size_t>(d_rank_ * per_rank + j * micro_b_ +
+                                                  ib)];
+      dataset_.sample(gi, tok.data(), tgt.data());
+      for (std::int64_t is = 0; is < s; ++is) {
+        mb.tokens[static_cast<std::size_t>(is * micro_b_ + ib)] =
+            tok[static_cast<std::size_t>(is)];
+        mb.targets[static_cast<std::size_t>(is * micro_b_ + ib)] =
+            tgt[static_cast<std::size_t>(is)];
+      }
+    }
+    mbs.push_back(std::move(mb));
+  }
+  return mbs;
+}
+
+void apply_mlm_masking(model::Microbatch& mb, std::int64_t vocab,
+                       const MlmOptions& options, std::uint64_t seed) {
+  PTDP_CHECK(options.mask_prob > 0.0f && options.mask_prob <= 1.0f);
+  const std::int32_t mask_token =
+      options.mask_token >= 0 ? options.mask_token
+                              : static_cast<std::int32_t>(vocab - 1);
+  PTDP_CHECK(mask_token >= 0 && mask_token < vocab);
+  const std::size_t n = mb.tokens.size();
+  PTDP_CHECK_GT(n, 0u);
+
+  mb.targets = mb.tokens;  // MLM predicts the original token at each position
+  mb.loss_weights.assign(n, 0.0f);
+  Rng rng(seed, substream(0x3153, mb.tag));
+  std::size_t selected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.next_bernoulli(options.mask_prob)) continue;
+    ++selected;
+    mb.loss_weights[i] = 1.0f;
+    const double u = rng.next_uniform();
+    if (u < options.keep_prob) {
+      // left unchanged (the model must still predict it)
+    } else if (u < options.keep_prob + options.random_prob) {
+      mb.tokens[i] = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(vocab)));
+    } else {
+      mb.tokens[i] = mask_token;
+    }
+  }
+  if (selected == 0) {
+    // Degenerate draw on a tiny microbatch: force one position so the
+    // weighted loss is well defined.
+    const std::size_t i = static_cast<std::size_t>(rng.next_below(n));
+    mb.loss_weights[i] = 1.0f;
+    mb.tokens[i] = mask_token;
+  }
+}
+
+}  // namespace ptdp::data

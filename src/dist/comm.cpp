@@ -1,0 +1,242 @@
+#include "ptdp/dist/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ptdp::dist {
+
+namespace {
+
+// Collective traffic lives in a reserved tag range so it can never collide
+// with user point-to-point tags (which must stay below 2^48).
+constexpr std::uint64_t kCollectiveBase = 0xC000'0000'0000'0000ULL;
+constexpr std::uint64_t kBarrierTag = kCollectiveBase | 1;
+constexpr std::uint64_t kBroadcastTag = kCollectiveBase | 2;
+constexpr std::uint64_t kAllReduceTag = kCollectiveBase | 3;
+constexpr std::uint64_t kReduceScatterTag = kCollectiveBase | 4;
+constexpr std::uint64_t kAllGatherTag = kCollectiveBase | 5;
+constexpr std::uint64_t kAllGatherVarTag = kCollectiveBase | 6;
+
+template <typename F>
+void apply_reduce(ReduceOp op, std::span<F> acc, std::span<const F> other) {
+  PTDP_CHECK_EQ(acc.size(), other.size());
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += other[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = std::max(acc[i], other[i]);
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = std::min(acc[i], other[i]);
+      break;
+  }
+}
+
+// Uneven chunking: chunk c covers [offset(c), offset(c+1)) with the first
+// (len % n) chunks one element larger.
+struct Chunking {
+  std::size_t len;
+  std::size_t n;
+  std::size_t offset(std::size_t c) const {
+    const std::size_t base = len / n;
+    const std::size_t rem = len % n;
+    return c * base + std::min(c, rem);
+  }
+  std::size_t size(std::size_t c) const { return offset(c + 1) - offset(c); }
+};
+
+}  // namespace
+
+void Comm::barrier() const {
+  const int n = size();
+  if (n == 1) return;
+  const std::uint8_t token = 0;
+  std::uint8_t sink = 0;
+  for (int dist = 1; dist < n; dist <<= 1) {
+    const int to = (rank_ + dist) % n;
+    const int from = (rank_ - dist % n + n) % n;
+    send(std::span<const std::uint8_t>(&token, 1), to, kBarrierTag);
+    recv(std::span<std::uint8_t>(&sink, 1), from, kBarrierTag);
+  }
+}
+
+void Comm::broadcast_bytes(std::span<std::uint8_t> data, int root) const {
+  const int n = size();
+  PTDP_CHECK_GE(root, 0);
+  PTDP_CHECK_LT(root, n);
+  if (n == 1) return;
+  // Binomial tree rooted at `root`, expressed in root-relative ranks.
+  const int relative = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (relative & mask) {
+      const int src = ((relative - mask) + root) % n;
+      recv(data, src, kBroadcastTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < n) {
+      const int dst = (relative + mask + root) % n;
+      send(std::span<const std::uint8_t>(data.data(), data.size()), dst, kBroadcastTag);
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename F>
+void Comm::all_reduce_impl(std::span<F> data, ReduceOp op) const {
+  const int n = size();
+  if (n == 1 || data.empty()) return;
+  const int next = (rank_ + 1) % n;
+  const int prev = (rank_ - 1 + n) % n;
+  const Chunking ck{data.size(), static_cast<std::size_t>(n)};
+  std::vector<F> scratch(ck.size(0));  // max chunk size is chunk 0's
+
+  // Phase 1: ring reduce-scatter. After n-1 steps rank r holds the full
+  // reduction of chunk (r+1) mod n.
+  for (int step = 0; step < n - 1; ++step) {
+    const std::size_t send_c = static_cast<std::size_t>((rank_ - step + n) % n);
+    const std::size_t recv_c = static_cast<std::size_t>((rank_ - step - 1 + 2 * n) % n);
+    send(std::span<const F>(data.data() + ck.offset(send_c), ck.size(send_c)), next,
+         kAllReduceTag);
+    std::span<F> incoming(scratch.data(), ck.size(recv_c));
+    recv(incoming, prev, kAllReduceTag);
+    apply_reduce(op, std::span<F>(data.data() + ck.offset(recv_c), ck.size(recv_c)),
+                 std::span<const F>(incoming.data(), incoming.size()));
+  }
+
+  // Phase 2: ring all-gather of the reduced chunks.
+  for (int step = 0; step < n - 1; ++step) {
+    const std::size_t send_c = static_cast<std::size_t>((rank_ + 1 - step + 2 * n) % n);
+    const std::size_t recv_c = static_cast<std::size_t>((rank_ - step + 2 * n) % n);
+    send(std::span<const F>(data.data() + ck.offset(send_c), ck.size(send_c)), next,
+         kAllReduceTag);
+    recv(std::span<F>(data.data() + ck.offset(recv_c), ck.size(recv_c)), prev,
+         kAllReduceTag);
+  }
+}
+
+void Comm::all_reduce(std::span<float> data, ReduceOp op) const {
+  all_reduce_impl(data, op);
+}
+void Comm::all_reduce(std::span<double> data, ReduceOp op) const {
+  all_reduce_impl(data, op);
+}
+
+void Comm::reduce_scatter(std::span<const float> in, std::span<float> out,
+                          ReduceOp op) const {
+  const int n = size();
+  PTDP_CHECK_EQ(in.size(), out.size() * static_cast<std::size_t>(n))
+      << "reduce_scatter requires equal shards";
+  if (n == 1) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  const std::size_t shard = out.size();
+  const int next = (rank_ + 1) % n;
+  const int prev = (rank_ - 1 + n) % n;
+  // Work on a private copy so `in` stays const.
+  std::vector<float> work(in.begin(), in.end());
+  std::vector<float> scratch(shard);
+  // Chunk schedule shifted by one versus the all-reduce ring so that rank r
+  // finishes owning chunk r (the conventional reduce_scatter layout).
+  for (int step = 0; step < n - 1; ++step) {
+    const std::size_t send_c = static_cast<std::size_t>((rank_ - step - 1 + 2 * n) % n);
+    const std::size_t recv_c = static_cast<std::size_t>((rank_ - step - 2 + 3 * n) % n);
+    send(std::span<const float>(work.data() + send_c * shard, shard), next,
+         kReduceScatterTag);
+    recv(std::span<float>(scratch.data(), shard), prev, kReduceScatterTag);
+    apply_reduce(op, std::span<float>(work.data() + recv_c * shard, shard),
+                 std::span<const float>(scratch.data(), shard));
+  }
+  std::copy_n(work.data() + static_cast<std::size_t>(rank_) * shard, shard, out.data());
+}
+
+void Comm::all_gather_bytes(std::span<const std::uint8_t> in,
+                            std::span<std::uint8_t> out) const {
+  const int n = size();
+  const std::size_t shard = in.size();
+  PTDP_CHECK_EQ(out.size(), shard * static_cast<std::size_t>(n));
+  std::memcpy(out.data() + static_cast<std::size_t>(rank_) * shard, in.data(), shard);
+  if (n == 1) return;
+  const int next = (rank_ + 1) % n;
+  const int prev = (rank_ - 1 + n) % n;
+  for (int step = 0; step < n - 1; ++step) {
+    const std::size_t send_c = static_cast<std::size_t>((rank_ - step + n) % n);
+    const std::size_t recv_c = static_cast<std::size_t>((rank_ - step - 1 + 2 * n) % n);
+    send(std::span<const std::uint8_t>(out.data() + send_c * shard, shard), next,
+         kAllGatherTag);
+    recv(std::span<std::uint8_t>(out.data() + recv_c * shard, shard), prev,
+         kAllGatherTag);
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> Comm::all_gather_variable(
+    std::span<const std::uint8_t> in) const {
+  const int n = size();
+  std::vector<std::vector<std::uint8_t>> result(static_cast<std::size_t>(n));
+  result[static_cast<std::size_t>(rank_)].assign(in.begin(), in.end());
+  // Control-plane convenience: exchange sizes (fixed 8 bytes) then payloads
+  // pairwise. O(n^2) messages; only used for small metadata.
+  const std::uint64_t my_size = in.size();
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    send(std::span<const std::uint64_t>(&my_size, 1), r, kAllGatherVarTag);
+    if (!in.empty()) send(in, r, kAllGatherVarTag);
+  }
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    std::uint64_t sz = 0;
+    recv(std::span<std::uint64_t>(&sz, 1), r, kAllGatherVarTag);
+    result[static_cast<std::size_t>(r)].resize(sz);
+    if (sz > 0) {
+      recv(std::span<std::uint8_t>(result[static_cast<std::size_t>(r)].data(), sz), r,
+           kAllGatherVarTag);
+    }
+  }
+  return result;
+}
+
+Comm Comm::split(int color, int key) const {
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  const Entry mine{color, key, rank_};
+  std::vector<Entry> entries(static_cast<std::size_t>(size()));
+  all_gather(std::span<const Entry>(&mine, 1),
+             std::span<Entry>(entries.data(), entries.size()));
+
+  std::vector<Entry> peers;
+  for (const Entry& e : entries) {
+    if (e.color == color) peers.push_back(e);
+  }
+  std::stable_sort(peers.begin(), peers.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+  });
+
+  std::vector<int> child_members;
+  int child_rank = -1;
+  child_members.reserve(peers.size());
+  for (const Entry& e : peers) {
+    if (e.rank == rank_) child_rank = static_cast<int>(child_members.size());
+    child_members.push_back(world_rank_of(e.rank));
+  }
+  PTDP_CHECK_GE(child_rank, 0);
+
+  // Derive a child id that every member computes identically. The per-rank
+  // split sequence counters agree because split() is collective and every
+  // member calls splits in the same order.
+  const std::uint64_t seq = next_split_seq();
+  const std::uint64_t child_id = ptdp::detail::mix64(
+      comm_id_ ^ ptdp::detail::mix64(seq * 0x2545F4914F6CDD1DULL + 1) ^
+      ptdp::detail::mix64(static_cast<std::uint64_t>(color) + 0x9E3779B9ULL));
+  return Comm(mailbox_, std::move(child_members), child_rank, child_id);
+}
+
+}  // namespace ptdp::dist

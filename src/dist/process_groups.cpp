@@ -1,0 +1,47 @@
+#include "ptdp/dist/process_groups.hpp"
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::dist {
+
+ProcessGroups::ProcessGroups(const Comm& world, int p, int t, int d)
+    : p_(p), t_(t), d_(d), coord_(coord_of(world.rank(), t, d)) {
+  PTDP_CHECK_GT(p, 0);
+  PTDP_CHECK_GT(t, 0);
+  PTDP_CHECK_GT(d, 0);
+  PTDP_CHECK_EQ(world.size(), p * t * d)
+      << "world size must equal p*t*d; got n=" << world.size() << " p=" << p
+      << " t=" << t << " d=" << d;
+
+  // Tensor group: same (pipeline, data) coordinates, ordered by tensor rank.
+  tensor_ = world.split(/*color=*/coord_.pipeline * d_ + coord_.data,
+                        /*key=*/coord_.tensor);
+  PTDP_CHECK_EQ(tensor_->size(), t_);
+  PTDP_CHECK_EQ(tensor_->rank(), coord_.tensor);
+
+  // Pipeline group: same (data, tensor), ordered by stage.
+  pipeline_ = world.split(/*color=*/coord_.data * t_ + coord_.tensor,
+                          /*key=*/coord_.pipeline);
+  PTDP_CHECK_EQ(pipeline_->size(), p_);
+  PTDP_CHECK_EQ(pipeline_->rank(), coord_.pipeline);
+
+  // Data group: same (pipeline, tensor), ordered by replica.
+  data_ = world.split(/*color=*/coord_.pipeline * t_ + coord_.tensor,
+                      /*key=*/coord_.data);
+  PTDP_CHECK_EQ(data_->size(), d_);
+  PTDP_CHECK_EQ(data_->rank(), coord_.data);
+
+  // Embedding group: first and last stages sharing (data, tensor). Interior
+  // stages get a singleton group (distinct colors keep them apart).
+  const bool member = is_first_stage() || is_last_stage();
+  const int embed_color = member ? coord_.data * t_ + coord_.tensor
+                                 : -(world.rank() + 1);
+  embedding_ = world.split(embed_color, /*key=*/coord_.pipeline);
+  if (member && p_ > 1) {
+    PTDP_CHECK_EQ(embedding_->size(), 2);
+  } else {
+    PTDP_CHECK_EQ(embedding_->size(), 1);
+  }
+}
+
+}  // namespace ptdp::dist

@@ -1,0 +1,144 @@
+#include "ptdp/model/attention.hpp"
+
+#include <cmath>
+
+#include "ptdp/tensor/ops.hpp"
+
+namespace ptdp::model {
+
+using tensor::Tensor;
+
+namespace {
+std::string layer_name(std::int64_t layer, const char* suffix) {
+  return "layer" + std::to_string(layer) + ".attn." + suffix;
+}
+}  // namespace
+
+ParallelAttention::ParallelAttention(const GptConfig& config,
+                                     std::int64_t global_layer_idx, dist::Comm tp)
+    : config_(config),
+      layer_idx_(global_layer_idx),
+      qkv_(layer_name(global_layer_idx, "qkv"), config.hidden, 3 * config.hidden, tp,
+           config.init_stddev, config.seed, /*skip_bias_add=*/false),
+      proj_(layer_name(global_layer_idx, "proj"), config.hidden, config.hidden, tp,
+            // Scaled init for residual-path projections (Megatron convention).
+            config.init_stddev /
+                std::sqrt(2.0f * static_cast<float>(config.num_layers)),
+            config.seed, /*skip_bias_add=*/true) {
+  const int t = tp.size();
+  PTDP_CHECK_EQ(config.heads % t, 0)
+      << "attention heads (" << config.heads << ") must divide by tensor size " << t;
+  PTDP_CHECK_EQ(config.hidden % config.heads, 0);
+  heads_local_ = config.heads / t;
+  head_dim_ = config.hidden / config.heads;
+  hidden_local_ = heads_local_ * head_dim_;
+  head_begin_ = heads_local_ * tp.rank();
+}
+
+Tensor ParallelAttention::make_prob_dropout_mask(std::int64_t b,
+                                                 std::uint64_t mb_tag) const {
+  const std::int64_t s = config_.seq;
+  Tensor mask({b * heads_local_, s, s});
+  const float p = config_.dropout;
+  const float keep_scale = 1.0f / (1.0f - p);
+  auto dm = mask.data();
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t lh = 0; lh < heads_local_; ++lh) {
+      // Keyed by the *global* head index so tensor-parallel ranks draw the
+      // same mask the serial model draws for this head.
+      const std::int64_t gh = head_begin_ + lh;
+      Rng rng = site_rng(config_.seed, mb_tag, static_cast<std::uint64_t>(layer_idx_),
+                         DropSite::kAttentionProb,
+                         static_cast<std::uint64_t>(bi * config_.heads + gh));
+      float* slab = dm.data() + (bi * heads_local_ + lh) * s * s;
+      for (std::int64_t i = 0; i < s * s; ++i) {
+        slab[i] = rng.next_bernoulli(p) ? 0.0f : keep_scale;
+      }
+    }
+  }
+  return mask;
+}
+
+Tensor ParallelAttention::forward(const Tensor& x, AttentionCache& cache,
+                                  std::uint64_t mb_tag) {
+  PTDP_CHECK_EQ(x.ndim(), 3) << "attention input must be [s, b, h]";
+  const std::int64_t s = x.dim(0);
+  const std::int64_t b = x.dim(1);
+  PTDP_CHECK_EQ(x.dim(2), config_.hidden);
+  cache.s = s;
+  cache.b = b;
+
+  Tensor x2d = x.view({s * b, config_.hidden});
+  Tensor qkv2d = qkv_.forward(x2d, cache.qkv);  // [sb, 3*hidden_local]
+
+  // [s, b, a_l, 3dk] -> [b, a_l, s, 3dk] -> [b*a_l, s, 3dk]
+  Tensor qkv4d = qkv2d.view({s, b, heads_local_, 3 * head_dim_})
+                     .permute({1, 2, 0, 3})
+                     .view({b * heads_local_, s, 3 * head_dim_});
+  cache.q = qkv4d.slice(-1, 0, head_dim_);
+  cache.k = qkv4d.slice(-1, head_dim_, head_dim_);
+  cache.v = qkv4d.slice(-1, 2 * head_dim_, head_dim_);
+
+  Tensor scores = tensor::bmm_nt(cache.q, cache.k);  // [ba, s, s]
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  if (config_.causal) {
+    cache.probs = tensor::fused_scale_causal_softmax(scores, scale);
+  } else {
+    // BERT-style bidirectional attention through the general-mask kernel
+    // (nothing masked here; padding masks would plug in the same way).
+    cache.probs = tensor::fused_scale_mask_softmax(scores, Tensor({s, s}), scale);
+  }
+
+  if (config_.dropout > 0.0f) {
+    cache.prob_mask = make_prob_dropout_mask(b, mb_tag);
+    cache.probs_dropped = tensor::mul(cache.probs, cache.prob_mask);
+  } else {
+    cache.probs_dropped = cache.probs;
+  }
+
+  Tensor ctx = tensor::bmm(cache.probs_dropped, cache.v);  // [ba, s, dk]
+  Tensor ctx2d = ctx.view({b, heads_local_, s, head_dim_})
+                     .permute({2, 0, 1, 3})
+                     .view({s * b, hidden_local_});
+  Tensor out2d = proj_.forward(ctx2d, cache.proj);  // [sb, h], bias skipped
+  return out2d.view({s, b, config_.hidden});
+}
+
+Tensor ParallelAttention::backward(const Tensor& dy, const AttentionCache& cache) {
+  const std::int64_t s = cache.s;
+  const std::int64_t b = cache.b;
+  Tensor dy2d = dy.view({s * b, config_.hidden});
+
+  Tensor dctx2d = proj_.backward(dy2d, cache.proj);  // [sb, hidden_local]
+  Tensor dctx = dctx2d.view({s, b, heads_local_, head_dim_})
+                    .permute({1, 2, 0, 3})
+                    .view({b * heads_local_, s, head_dim_});
+
+  // ctx = P·V
+  Tensor dp_dropped = tensor::bmm_nt(dctx, cache.v);          // [ba, s, s]
+  Tensor dv = tensor::bmm_tn(cache.probs_dropped, dctx);      // [ba, s, dk]
+  Tensor dprobs = config_.dropout > 0.0f
+                      ? tensor::mul(dp_dropped, cache.prob_mask)
+                      : dp_dropped;
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Tensor dscores = tensor::fused_scale_softmax_backward(cache.probs, dprobs, scale);
+
+  // scores = Q·Kᵀ
+  Tensor dq = tensor::bmm(dscores, cache.k);     // [ba, s, dk]
+  Tensor dk = tensor::bmm_tn(dscores, cache.q);  // [ba, s, dk]
+
+  Tensor dqkv = tensor::concat({dq, dk, dv}, -1)  // [ba, s, 3dk]
+                    .view({b, heads_local_, s, 3 * head_dim_})
+                    .permute({2, 0, 1, 3})
+                    .view({s * b, 3 * hidden_local_});
+  Tensor dx2d = qkv_.backward(dqkv, cache.qkv);  // all-reduced over t
+  return dx2d.view({s, b, config_.hidden});
+}
+
+void ParallelAttention::collect_params(ParamRefs& out) {
+  qkv_.collect_params(out);
+  proj_.collect_params(out);
+}
+
+}  // namespace ptdp::model

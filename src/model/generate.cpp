@@ -1,0 +1,71 @@
+#include "ptdp/model/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ptdp/tensor/ops.hpp"
+
+namespace ptdp::model {
+
+using tensor::Tensor;
+
+Tensor forward_logits(GptStage& stage, std::span<const std::int32_t> tokens,
+                      std::int64_t s, std::int64_t b) {
+  PTDP_CHECK(stage.spec().has_embedding && stage.spec().has_head)
+      << "forward_logits needs the whole model on one stage";
+  PTDP_CHECK_EQ(stage.config().dropout, 0.0f)
+      << "build the inference model with dropout = 0";
+  return stage.logits(tokens, s, b);
+}
+
+std::vector<std::int32_t> generate(GptStage& stage,
+                                   std::span<const std::int32_t> prompt,
+                                   const GenerateOptions& options) {
+  PTDP_CHECK(!prompt.empty()) << "prompt must contain at least one token";
+  const std::int64_t window = stage.config().seq;
+  const std::int64_t vocab = stage.config().vocab;
+  std::vector<std::int32_t> out(prompt.begin(), prompt.end());
+  Rng rng(options.seed, substream(0x9E4EA7E));
+
+  for (std::int64_t step = 0; step < options.max_new_tokens; ++step) {
+    const std::int64_t ctx_len =
+        std::min<std::int64_t>(window, static_cast<std::int64_t>(out.size()));
+    std::span<const std::int32_t> ctx(out.data() + out.size() - ctx_len,
+                                      static_cast<std::size_t>(ctx_len));
+    const Tensor logits = forward_logits(stage, ctx, ctx_len, /*b=*/1);
+    // Last position's distribution.
+    auto row = logits.data().subspan(
+        static_cast<std::size_t>((ctx_len - 1) * vocab),
+        static_cast<std::size_t>(vocab));
+
+    std::int32_t next;
+    if (options.greedy) {
+      next = static_cast<std::int32_t>(
+          std::max_element(row.begin(), row.end()) - row.begin());
+    } else {
+      PTDP_CHECK_GT(options.temperature, 0.0f);
+      // Temperature softmax + inverse-CDF sample.
+      const float mx = *std::max_element(row.begin(), row.end());
+      std::vector<double> probs(static_cast<std::size_t>(vocab));
+      double z = 0.0;
+      for (std::int64_t v = 0; v < vocab; ++v) {
+        probs[static_cast<std::size_t>(v)] = std::exp(
+            (row[static_cast<std::size_t>(v)] - mx) / options.temperature);
+        z += probs[static_cast<std::size_t>(v)];
+      }
+      double u = rng.next_uniform() * z;
+      next = static_cast<std::int32_t>(vocab - 1);
+      for (std::int64_t v = 0; v < vocab; ++v) {
+        u -= probs[static_cast<std::size_t>(v)];
+        if (u <= 0.0) {
+          next = static_cast<std::int32_t>(v);
+          break;
+        }
+      }
+    }
+    out.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace ptdp::model

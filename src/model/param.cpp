@@ -1,0 +1,44 @@
+#include "ptdp/model/param.hpp"
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::model {
+
+std::uint64_t param_stream(const std::string& name) {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+tensor::Tensor init_weight_shard(const std::string& name, std::int64_t rows,
+                                 std::int64_t cols, std::int64_t col_begin,
+                                 std::int64_t col_end, float stddev,
+                                 std::uint64_t seed) {
+  PTDP_CHECK(0 <= col_begin && col_begin <= col_end && col_end <= cols)
+      << name << " column shard [" << col_begin << ", " << col_end << ") of " << cols;
+  // Generate the full tensor so every (p, t, d) layout sees identical
+  // effective weights, then take this rank's columns. Init cost is
+  // test-scale only, so the O(rows*cols) generation is acceptable.
+  Rng rng(seed, param_stream(name));
+  tensor::Tensor full = tensor::Tensor::randn({rows, cols}, rng, stddev);
+  if (col_begin == 0 && col_end == cols) return full;
+  return full.slice(1, col_begin, col_end - col_begin);
+}
+
+tensor::Tensor init_weight_row_shard(const std::string& name, std::int64_t rows,
+                                     std::int64_t cols, std::int64_t row_begin,
+                                     std::int64_t row_end, float stddev,
+                                     std::uint64_t seed) {
+  PTDP_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= rows)
+      << name << " row shard [" << row_begin << ", " << row_end << ") of " << rows;
+  Rng rng(seed, param_stream(name));
+  tensor::Tensor full = tensor::Tensor::randn({rows, cols}, rng, stddev);
+  if (row_begin == 0 && row_end == rows) return full;
+  return full.slice(0, row_begin, row_end - row_begin);
+}
+
+}  // namespace ptdp::model

@@ -1,0 +1,115 @@
+#include "ptdp/model/stage.hpp"
+
+namespace ptdp::model {
+
+using tensor::Tensor;
+
+GptStage::GptStage(const GptConfig& config, const dist::Comm& tp, StageSpec spec)
+    : config_(config), spec_(spec) {
+  PTDP_CHECK(0 <= spec.layer_begin && spec.layer_begin <= spec.layer_end &&
+             spec.layer_end <= config.num_layers)
+      << "layer range [" << spec.layer_begin << ", " << spec.layer_end << ")";
+  if (spec_.has_embedding) {
+    embedding_.emplace(config_, tp);
+  }
+  layers_.reserve(static_cast<std::size_t>(spec.layer_end - spec.layer_begin));
+  for (std::int64_t l = spec.layer_begin; l < spec.layer_end; ++l) {
+    layers_.push_back(std::make_unique<TransformerLayer>(config_, l, tp));
+  }
+  if (spec_.has_head) {
+    Param* tied = spec_.has_embedding ? &embedding_->word() : nullptr;
+    head_.emplace(config_, tp, tied);
+  }
+}
+
+StageForward GptStage::forward(const Tensor& input_act, const Microbatch& mb,
+                               StageCache& cache) {
+  cache.layers.resize(layers_.size());
+  Tensor act;
+  if (spec_.has_embedding) {
+    act = embedding_->forward(mb.tokens, mb.s, mb.b, cache.embedding, mb.tag);
+  } else {
+    PTDP_CHECK(input_act.defined()) << "non-embedding stage needs an input activation";
+    act = input_act;
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    act = layers_[i]->forward(act, cache.layers[i], mb.tag);
+  }
+  if (spec_.recompute) {
+    // Keep only each layer's input (§3.5, checkpoint every layer); the
+    // backward pass replays the forward to rebuild intermediate state.
+    for (auto& lc : cache.layers) lc.keep_input_only();
+  }
+  StageForward out;
+  if (spec_.has_head) {
+    out.loss = head_->forward(act, mb.targets, cache.head, mb.loss_weights);
+  } else {
+    out.activation = act;
+  }
+  return out;
+}
+
+Tensor GptStage::backward(const Tensor& dy, float loss_scale, StageCache& cache,
+                          const Microbatch& mb) {
+  PTDP_CHECK_EQ(cache.layers.size(), layers_.size());
+  Tensor grad;
+  if (spec_.has_head) {
+    grad = head_->backward(loss_scale, cache.head);
+  } else {
+    PTDP_CHECK(dy.defined()) << "non-head stage needs an upstream grad";
+    grad = dy;
+  }
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    if (spec_.recompute) {
+      // Replay the forward with the same microbatch tag: dropout masks are
+      // counter-based, so the rebuilt cache is bitwise identical.
+      (void)layers_[i]->forward(cache.layers[i].input, cache.layers[i], mb.tag);
+    }
+    grad = layers_[i]->backward(grad, cache.layers[i]);
+  }
+  if (spec_.has_embedding) {
+    embedding_->backward(grad, cache.embedding);
+    return Tensor();  // nothing upstream of the first stage
+  }
+  return grad;
+}
+
+ParamRefs GptStage::params() {
+  ParamRefs refs;
+  if (embedding_) embedding_->collect_params(refs);
+  for (auto& layer : layers_) layer->collect_params(refs);
+  if (head_) head_->collect_params(refs);
+  return refs;
+}
+
+void GptStage::zero_grads() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+tensor::Tensor GptStage::logits(std::span<const std::int32_t> tokens, std::int64_t s,
+                                std::int64_t b) {
+  PTDP_CHECK(spec_.has_embedding && spec_.has_head)
+      << "logits() needs a whole-model stage";
+  PTDP_CHECK_EQ(config_.dropout, 0.0f) << "disable dropout for inference";
+  EmbeddingCache ecache;
+  Tensor act = embedding_->forward(tokens, s, b, ecache, /*mb_tag=*/0);
+  for (auto& layer : layers_) {
+    LayerCache lcache;
+    act = layer->forward(act, lcache, /*mb_tag=*/0);
+  }
+  return head_->full_logits(act);
+}
+
+void GptStage::set_dropout(float p) {
+  config_.dropout = p;
+  if (embedding_) embedding_->set_dropout(p);
+  for (auto& layer : layers_) layer->set_dropout(p);
+}
+
+Param* GptStage::word_embedding_param() {
+  if (embedding_) return &embedding_->word();
+  if (head_ && head_->owns_word()) return &head_->word();
+  return nullptr;
+}
+
+}  // namespace ptdp::model

@@ -1,0 +1,113 @@
+#include "ptdp/model/transformer_layer.hpp"
+
+namespace ptdp::model {
+
+using tensor::Tensor;
+
+namespace {
+Param layernorm_param(std::int64_t layer, const char* suffix, std::int64_t h,
+                      float init) {
+  const std::string name = "layer" + std::to_string(layer) + "." + suffix;
+  return Param{name, Tensor::full({h}, init), Tensor({h}),
+               /*replicated_across_tensor_parallel=*/true};
+}
+}  // namespace
+
+TransformerLayer::TransformerLayer(const GptConfig& config,
+                                   std::int64_t global_layer_idx,
+                                   const dist::Comm& tp)
+    : config_(config),
+      layer_idx_(global_layer_idx),
+      ln1_gamma_(layernorm_param(global_layer_idx, "ln1.gamma", config.hidden, 1.0f)),
+      ln1_beta_(layernorm_param(global_layer_idx, "ln1.beta", config.hidden, 0.0f)),
+      ln2_gamma_(layernorm_param(global_layer_idx, "ln2.gamma", config.hidden, 1.0f)),
+      ln2_beta_(layernorm_param(global_layer_idx, "ln2.beta", config.hidden, 0.0f)),
+      attention_(config, global_layer_idx, tp),
+      mlp_(config, global_layer_idx, tp) {}
+
+Tensor TransformerLayer::forward(const Tensor& x, LayerCache& cache,
+                                 std::uint64_t mb_tag) {
+  PTDP_CHECK_EQ(x.ndim(), 3);
+  const std::int64_t s = x.dim(0);
+  const std::int64_t b = x.dim(1);
+  const std::int64_t h = config_.hidden;
+  cache.input = x;
+
+  Tensor x2d = x.view({s * b, h});
+  cache.ln1 = tensor::layernorm(x2d, ln1_gamma_.value, ln1_beta_.value);
+  Tensor attn_out =
+      attention_.forward(cache.ln1.y.view({s, b, h}), cache.attn, mb_tag);
+
+  // Fused bias+dropout+add: residual is the block input. The dropout mask
+  // is keyed by (mb, layer, site) so tensor-parallel ranks agree and
+  // recomputation replays it.
+  Rng rng1 = site_rng(config_.seed, mb_tag, static_cast<std::uint64_t>(layer_idx_),
+                      DropSite::kAttentionResidual);
+  cache.h1 = tensor::fused_bias_dropout_add(attn_out.view({s * b, h}),
+                                            attention_.proj_bias().value, x2d,
+                                            config_.dropout, rng1,
+                                            cache.attn_resid_mask);
+
+  cache.ln2 = tensor::layernorm(cache.h1, ln2_gamma_.value, ln2_beta_.value);
+  Tensor mlp_out = mlp_.forward(cache.ln2.y.view({s, b, h}), cache.mlp);
+
+  Rng rng2 = site_rng(config_.seed, mb_tag, static_cast<std::uint64_t>(layer_idx_),
+                      DropSite::kMlpResidual);
+  Tensor mask2;
+  Tensor y2d = tensor::fused_bias_dropout_add(mlp_out.view({s * b, h}),
+                                              mlp_.fc2_bias().value, cache.h1,
+                                              config_.dropout, rng2, mask2);
+  cache.mlp_resid_mask = mask2;
+  return y2d.view({s, b, h});
+}
+
+Tensor TransformerLayer::backward(const Tensor& dy, const LayerCache& cache) {
+  const std::int64_t s = dy.dim(0);
+  const std::int64_t b = dy.dim(1);
+  const std::int64_t h = config_.hidden;
+  Tensor dy2d = dy.view({s * b, h});
+
+  // ---- second residual: y = dropout(mlp_out + fc2_bias) + h1 ----
+  Tensor d_after2 = tensor::dropout_backward(dy2d, cache.mlp_resid_mask);
+  tensor::add_(mlp_.fc2_bias().grad, tensor::bias_grad(d_after2));
+  Tensor d_ln2y = mlp_.backward(d_after2.view({s, b, h}), cache.mlp).view({s * b, h});
+
+  auto ln2_grads = tensor::layernorm_backward(d_ln2y, cache.h1, ln2_gamma_.value,
+                                              cache.ln2.mean, cache.ln2.rstd);
+  tensor::add_(ln2_gamma_.grad, ln2_grads.dgamma);
+  tensor::add_(ln2_beta_.grad, ln2_grads.dbeta);
+
+  // dh1 = residual path (dy) + LayerNorm path.
+  Tensor dh1 = tensor::add(dy2d, ln2_grads.dx);
+
+  // ---- first residual: h1 = dropout(attn_out + proj_bias) + x ----
+  Tensor d_after1 = tensor::dropout_backward(dh1, cache.attn_resid_mask);
+  tensor::add_(attention_.proj_bias().grad, tensor::bias_grad(d_after1));
+  Tensor d_ln1y =
+      attention_.backward(d_after1.view({s, b, h}), cache.attn).view({s * b, h});
+
+  Tensor x2d = cache.input.view({s * b, h});
+  auto ln1_grads = tensor::layernorm_backward(d_ln1y, x2d, ln1_gamma_.value,
+                                              cache.ln1.mean, cache.ln1.rstd);
+  tensor::add_(ln1_gamma_.grad, ln1_grads.dgamma);
+  tensor::add_(ln1_beta_.grad, ln1_grads.dbeta);
+
+  Tensor dx = tensor::add(dh1, ln1_grads.dx);
+  return dx.view({s, b, h});
+}
+
+void TransformerLayer::set_dropout(float p) {
+  config_.dropout = p;
+  attention_.set_dropout(p);
+}
+
+void TransformerLayer::collect_params(ParamRefs& out) {
+  out.push_back(&ln1_gamma_);
+  out.push_back(&ln1_beta_);
+  attention_.collect_params(out);
+  out.push_back(&ln2_gamma_);
+  out.push_back(&ln2_beta_);
+  mlp_.collect_params(out);
+}
+
+}  // namespace ptdp::model

@@ -1,0 +1,92 @@
+#include "ptdp/optim/mixed_precision.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace ptdp::optim {
+
+using tensor::Tensor;
+
+float bf16_round(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  // Round-to-nearest-even on the truncated 16 mantissa bits.
+  const std::uint32_t rounding = 0x7FFFu + ((bits >> 16) & 1u);
+  bits = (bits + rounding) & 0xFFFF0000u;
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+void truncate_to_bf16(Tensor& t) {
+  for (float& v : t.data()) v = bf16_round(v);
+}
+
+DynamicLossScaler::DynamicLossScaler(LossScalerOptions options)
+    : options_(options), scale_(options.initial_scale) {}
+
+bool DynamicLossScaler::update(bool found_overflow) {
+  if (found_overflow) {
+    scale_ = std::max(options_.min_scale, scale_ * options_.backoff_factor);
+    good_steps_ = 0;
+    return false;
+  }
+  if (++good_steps_ >= options_.growth_interval) {
+    scale_ = std::min(options_.max_scale, scale_ * options_.growth_factor);
+    good_steps_ = 0;
+  }
+  return true;
+}
+
+bool grads_have_overflow(const model::ParamRefs& params) {
+  for (const model::Param* p : params) {
+    for (float v : p->grad.data()) {
+      if (!std::isfinite(v)) return true;
+    }
+  }
+  return false;
+}
+
+MixedPrecisionOptimizer::MixedPrecisionOptimizer(std::unique_ptr<Optimizer> inner,
+                                                 LossScalerOptions scaler_options)
+    : inner_(std::move(inner)), scaler_(scaler_options) {
+  master_.reserve(inner_->params().size());
+  for (model::Param* p : inner_->params()) {
+    master_.push_back(p->value.clone());  // fp32 master copy
+    truncate_to_bf16(p->value);           // working weights are bf16-valued
+  }
+}
+
+void MixedPrecisionOptimizer::step() {
+  const auto& params = inner_->params();
+  const bool overflow = grads_have_overflow(params);
+  const bool apply = scaler_.update(overflow);
+  if (!apply) {
+    ++skipped_;
+    return;
+  }
+  // Unscale grads, step on the master weights, re-truncate the working set.
+  const float inv_scale = 1.0f / scaler_.scale();
+  for (model::Param* p : params) {
+    for (float& g : p->grad.data()) g *= inv_scale;
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value.copy_from(master_[i]);
+  }
+  inner_->step();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    master_[i].copy_from(params[i]->value);
+    truncate_to_bf16(params[i]->value);
+  }
+}
+
+NamedState MixedPrecisionOptimizer::state_tensors() {
+  NamedState state = inner_->state_tensors();
+  const auto& params = inner_->params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    state.emplace_back(params[i]->name + ".fp32_master", &master_[i]);
+  }
+  return state;
+}
+
+}  // namespace ptdp::optim

@@ -1,0 +1,114 @@
+#include "ptdp/optim/optimizer.hpp"
+
+#include <cmath>
+
+#include "ptdp/tensor/ops.hpp"
+
+namespace ptdp::optim {
+
+using model::Param;
+using tensor::Tensor;
+
+Sgd::Sgd(model::ParamRefs params, SgdOptions options)
+    : params_(std::move(params)), options_(options) {
+  if (options_.momentum != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    auto w = p.value.data();
+    auto g = p.grad.data();
+    if (options_.momentum != 0.0f) {
+      auto vel = velocity_[i].data();
+      for (std::size_t j = 0; j < w.size(); ++j) {
+        float grad = g[j] + options_.weight_decay * w[j];
+        vel[j] = options_.momentum * vel[j] + grad;
+        w[j] -= options_.lr * vel[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < w.size(); ++j) {
+        w[j] -= options_.lr * (g[j] + options_.weight_decay * w[j]);
+      }
+    }
+  }
+}
+
+NamedState Sgd::state_tensors() {
+  NamedState state;
+  for (std::size_t i = 0; i < velocity_.size(); ++i) {
+    state.emplace_back(params_[i]->name + ".sgd_velocity", &velocity_[i]);
+  }
+  return state;
+}
+
+Adam::Adam(model::ParamRefs params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  const double t = static_cast<double>(step_count_.at({0}) += 1.0f);
+  const double bc1 = 1.0 - std::pow(options_.beta1, t);
+  const double bc2 = 1.0 - std::pow(options_.beta2, t);
+  const float lr_t = options_.lr * static_cast<float>(std::sqrt(bc2) / bc1);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    auto w = p.value.data();
+    auto g = p.grad.data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      const float grad = g[j] + options_.weight_decay * w[j];
+      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * grad;
+      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * grad * grad;
+      w[j] -= lr_t * m[j] / (std::sqrt(v[j]) + options_.eps);
+    }
+  }
+}
+
+NamedState Adam::state_tensors() {
+  NamedState state;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    state.emplace_back(params_[i]->name + ".adam_m", &m_[i]);
+    state.emplace_back(params_[i]->name + ".adam_v", &v_[i]);
+  }
+  state.emplace_back("adam.step_count", &step_count_);
+  return state;
+}
+
+double global_grad_norm(const model::ParamRefs& params, const dist::Comm* tp,
+                        const dist::Comm* pp) {
+  double local = 0.0;
+  for (const Param* p : params) {
+    // Replicated grads (LayerNorms, row-parallel biases, position
+    // embeddings) are identical on every tensor rank; count them once.
+    if (p->replicated_across_tensor_parallel && tp != nullptr && tp->rank() != 0) {
+      continue;
+    }
+    local += tensor::squared_norm(p->grad);
+  }
+  if (tp != nullptr) local = tp->all_reduce_scalar(static_cast<float>(local));
+  if (pp != nullptr) local = pp->all_reduce_scalar(static_cast<float>(local));
+  return std::sqrt(local);
+}
+
+double clip_grad_norm(const model::ParamRefs& params, double max_norm,
+                      const dist::Comm* tp, const dist::Comm* pp) {
+  const double norm = global_grad_norm(params, tp, pp);
+  if (norm > max_norm && norm > 0.0) {
+    const float factor = static_cast<float>(max_norm / norm);
+    for (Param* p : params) tensor::scale_(p->grad, factor);
+  }
+  return norm;
+}
+
+}  // namespace ptdp::optim

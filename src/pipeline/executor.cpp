@@ -1,0 +1,130 @@
+#include "ptdp/pipeline/executor.hpp"
+
+namespace ptdp::pipeline {
+
+using model::Microbatch;
+using model::StageCache;
+using tensor::Tensor;
+
+namespace {
+// Tag layout: bit 47 = direction, bits 8..46 = microbatch, bits 0..7 = chunk
+// *at the receiver* (so sender and receiver agree even across the
+// rank-(p-1) -> rank-0 chunk boundary).
+std::uint64_t make_tag(bool backward, int microbatch, int recv_chunk) {
+  return (static_cast<std::uint64_t>(backward) << 47) |
+         (static_cast<std::uint64_t>(microbatch) << 8) |
+         static_cast<std::uint64_t>(recv_chunk);
+}
+}  // namespace
+
+PipelineExecutor::PipelineExecutor(std::vector<model::GptStage*> chunks,
+                                   dist::Comm pipe, ScheduleParams params)
+    : chunks_(std::move(chunks)), pipe_(std::move(pipe)), params_(params) {
+  PTDP_CHECK_EQ(pipe_.size(), params_.p);
+  PTDP_CHECK_EQ(static_cast<int>(chunks_.size()), params_.v);
+  for (const auto* c : chunks_) PTDP_CHECK(c != nullptr);
+  if (params_.p == 1) {
+    PTDP_CHECK_EQ(params_.v, 1) << "interleaving needs a real pipeline (p > 1)";
+  }
+}
+
+PipelineExecutor::Endpoint PipelineExecutor::prev_of(int chunk) const {
+  const int rank = pipe_.rank();
+  if (rank > 0) return {rank - 1, chunk};
+  return {params_.p - 1, chunk - 1};
+}
+
+PipelineExecutor::Endpoint PipelineExecutor::next_of(int chunk) const {
+  const int rank = pipe_.rank();
+  if (rank < params_.p - 1) return {rank + 1, chunk};
+  return {0, chunk + 1};
+}
+
+float PipelineExecutor::run_batch(std::span<const Microbatch> microbatches,
+                                  float extra_loss_scale) {
+  PTDP_CHECK_EQ(static_cast<int>(microbatches.size()), params_.m);
+  const int rank = pipe_.rank();
+  const int P = num_virtual_stages(params_);
+  const std::int64_t h = chunks_.front()->config().hidden;
+  const float loss_scale = extra_loss_scale / static_cast<float>(params_.m);
+
+  const std::vector<Op> ops = build_rank_schedule(params_, rank);
+  std::map<std::pair<int, int>, StageCache> caches;  // (mb, chunk) -> cache
+  double loss_sum = 0.0;
+
+  for (const Op& op : ops) {
+    const Microbatch& mb = microbatches[static_cast<std::size_t>(op.microbatch)];
+    const int vs = virtual_stage(rank, op.chunk, params_.p);
+    model::GptStage& stage = *chunks_[static_cast<std::size_t>(op.chunk)];
+    StageCache& cache = caches[{op.microbatch, op.chunk}];
+
+    if (op.kind == Op::Kind::kForward) {
+      Tensor input;
+      if (vs > 0) {
+        input = Tensor({mb.s, mb.b, h});
+        pipe_.recv(input.data(), prev_of(op.chunk).rank,
+                   make_tag(false, op.microbatch, op.chunk));
+      }
+      model::StageForward fwd = stage.forward(input, mb, cache);
+      if (vs == P - 1) {
+        loss_sum += fwd.loss;
+      } else {
+        const Endpoint to = next_of(op.chunk);
+        pipe_.send(std::span<const float>(fwd.activation.data()), to.rank,
+                   make_tag(false, op.microbatch, to.chunk));
+      }
+    } else {
+      Tensor dy;
+      if (vs < P - 1) {
+        dy = Tensor({mb.s, mb.b, h});
+        pipe_.recv(dy.data(), next_of(op.chunk).rank,
+                   make_tag(true, op.microbatch, op.chunk));
+      }
+      Tensor dx = stage.backward(dy, loss_scale, cache, mb);
+      caches.erase({op.microbatch, op.chunk});  // activations freed here
+      if (vs > 0) {
+        const Endpoint to = prev_of(op.chunk);
+        pipe_.send(std::span<const float>(dx.data()), to.rank,
+                   make_tag(true, op.microbatch, to.chunk));
+      }
+    }
+  }
+  PTDP_CHECK(caches.empty()) << "in-flight microbatches left after flush";
+  return static_cast<float>(loss_sum / params_.m);
+}
+
+float PipelineExecutor::run_forward_only(std::span<const Microbatch> microbatches) {
+  const int rank = pipe_.rank();
+  const int P = num_virtual_stages(params_);
+  const std::int64_t h = chunks_.front()->config().hidden;
+  double loss_sum = 0.0;
+
+  for (std::size_t i = 0; i < microbatches.size(); ++i) {
+    const Microbatch& mb = microbatches[i];
+    for (int c = 0; c < params_.v; ++c) {
+      const int vs = virtual_stage(rank, c, params_.p);
+      Tensor input;
+      if (vs > 0) {
+        input = Tensor({mb.s, mb.b, h});
+        // Distinct tag space from training traffic (bit 46).
+        pipe_.recv(input.data(), prev_of(c).rank,
+                   make_tag(false, static_cast<int>(i), c) | (1ULL << 46));
+      }
+      StageCache cache;  // dropped at scope exit — nothing is stashed
+      model::StageForward fwd =
+          chunks_[static_cast<std::size_t>(c)]->forward(input, mb, cache);
+      if (vs == P - 1) {
+        loss_sum += fwd.loss;
+      } else {
+        const Endpoint to = next_of(c);
+        pipe_.send(std::span<const float>(fwd.activation.data()), to.rank,
+                   make_tag(false, static_cast<int>(i), to.chunk) | (1ULL << 46));
+      }
+    }
+  }
+  return microbatches.empty()
+             ? 0.0f
+             : static_cast<float>(loss_sum / static_cast<double>(microbatches.size()));
+}
+
+}  // namespace ptdp::pipeline

@@ -1,0 +1,245 @@
+#include "ptdp/pipeline/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::pipeline {
+
+const char* schedule_name(ScheduleType type) {
+  switch (type) {
+    case ScheduleType::kGPipe:
+      return "gpipe";
+    case ScheduleType::kOneFOneB:
+      return "1f1b";
+    case ScheduleType::kInterleaved:
+      return "interleaved-1f1b";
+  }
+  return "?";
+}
+
+namespace {
+
+void check_params(const ScheduleParams& sp) {
+  PTDP_CHECK_GT(sp.p, 0);
+  PTDP_CHECK_GT(sp.m, 0);
+  PTDP_CHECK_GT(sp.v, 0);
+  if (sp.type == ScheduleType::kInterleaved) {
+    PTDP_CHECK_GE(sp.v, 2) << "interleaved schedule needs >= 2 model chunks";
+    PTDP_CHECK_GE(sp.p, 2) << "interleaving needs a real pipeline (p >= 2)";
+    PTDP_CHECK_EQ(sp.m % sp.p, 0)
+        << "interleaved schedule requires microbatches (" << sp.m
+        << ") to be a multiple of pipeline size (" << sp.p << ")";
+  } else {
+    PTDP_CHECK_EQ(sp.v, 1) << schedule_name(sp.type) << " uses a single model chunk";
+  }
+}
+
+std::vector<Op> gpipe_schedule(const ScheduleParams& sp) {
+  std::vector<Op> ops;
+  ops.reserve(static_cast<std::size_t>(2 * sp.m));
+  for (int mb = 0; mb < sp.m; ++mb) ops.push_back({Op::Kind::kForward, mb, 0});
+  for (int mb = 0; mb < sp.m; ++mb) ops.push_back({Op::Kind::kBackward, mb, 0});
+  return ops;
+}
+
+std::vector<Op> one_f_one_b_schedule(const ScheduleParams& sp, int rank) {
+  // PipeDream-Flush: warm up with (p - rank - 1) forwards, run 1F1B in
+  // steady state, then drain the remaining backwards.
+  const int warmup = std::min(sp.p - rank - 1, sp.m);
+  std::vector<Op> ops;
+  ops.reserve(static_cast<std::size_t>(2 * sp.m));
+  int next_fwd = 0;
+  int next_bwd = 0;
+  for (int i = 0; i < warmup; ++i) ops.push_back({Op::Kind::kForward, next_fwd++, 0});
+  for (int i = 0; i < sp.m - warmup; ++i) {
+    ops.push_back({Op::Kind::kForward, next_fwd++, 0});
+    ops.push_back({Op::Kind::kBackward, next_bwd++, 0});
+  }
+  while (next_bwd < sp.m) ops.push_back({Op::Kind::kBackward, next_bwd++, 0});
+  return ops;
+}
+
+// Interleaved 1F1B, following megatron-core's
+// forward_backward_pipelining_with_interleaving: virtual microbatch k in
+// forward order maps to microbatch (k/(p*v))*p + k%p and chunk (k%(p*v))/p;
+// backward order reverses the chunk index.
+struct VirtualMap {
+  int p, v;
+  int microbatch(int k) const {
+    const int group = k / (p * v);
+    return group * p + (k % p);
+  }
+  int fwd_chunk(int k) const { return (k % (p * v)) / p; }
+  int bwd_chunk(int k) const { return v - 1 - (k % (p * v)) / p; }
+};
+
+std::vector<Op> interleaved_schedule(const ScheduleParams& sp, int rank) {
+  const int total = sp.m * sp.v;  // virtual microbatches
+  const VirtualMap vm{sp.p, sp.v};
+
+  int warmup;
+  if (sp.m == sp.p) {
+    warmup = total;  // degenerate: all-forward then all-backward
+  } else {
+    warmup = std::min(total, (sp.p - rank - 1) * 2 + (sp.v - 1) * sp.p);
+  }
+
+  std::vector<Op> ops;
+  ops.reserve(static_cast<std::size_t>(2 * total));
+  for (int k = 0; k < warmup; ++k) {
+    ops.push_back({Op::Kind::kForward, vm.microbatch(k), vm.fwd_chunk(k)});
+  }
+  const int remaining = total - warmup;
+  for (int i = 0; i < remaining; ++i) {
+    ops.push_back({Op::Kind::kForward, vm.microbatch(warmup + i),
+                   vm.fwd_chunk(warmup + i)});
+    ops.push_back({Op::Kind::kBackward, vm.microbatch(i), vm.bwd_chunk(i)});
+  }
+  for (int k = remaining; k < total; ++k) {
+    ops.push_back({Op::Kind::kBackward, vm.microbatch(k), vm.bwd_chunk(k)});
+  }
+  return ops;
+}
+
+}  // namespace
+
+std::vector<Op> build_rank_schedule(const ScheduleParams& sp, int rank) {
+  check_params(sp);
+  PTDP_CHECK(0 <= rank && rank < sp.p) << "rank " << rank;
+  switch (sp.type) {
+    case ScheduleType::kGPipe:
+      return gpipe_schedule(sp);
+    case ScheduleType::kOneFOneB:
+      return one_f_one_b_schedule(sp, rank);
+    case ScheduleType::kInterleaved:
+      return interleaved_schedule(sp, rank);
+  }
+  PTDP_CHECK(false) << "unreachable";
+  return {};
+}
+
+int max_in_flight(const std::vector<Op>& ops) {
+  int live = 0;
+  int peak = 0;
+  for (const Op& op : ops) {
+    if (op.kind == Op::Kind::kForward) {
+      ++live;
+      peak = std::max(peak, live);
+    } else {
+      --live;
+    }
+  }
+  return peak;
+}
+
+bool is_valid_rank_schedule(const ScheduleParams& sp, const std::vector<Op>& ops) {
+  if (static_cast<int>(ops.size()) != 2 * sp.m * sp.v) return false;
+  // Track forward-seen per (mb, chunk); forwards/backwards per chunk must be
+  // in ascending microbatch order.
+  std::map<std::pair<int, int>, int> seen;  // (mb, chunk) -> 1 fwd done, 2 bwd done
+  std::vector<int> last_fwd(static_cast<std::size_t>(sp.v), -1);
+  std::vector<int> last_bwd(static_cast<std::size_t>(sp.v), -1);
+  for (const Op& op : ops) {
+    if (op.microbatch < 0 || op.microbatch >= sp.m) return false;
+    if (op.chunk < 0 || op.chunk >= sp.v) return false;
+    auto key = std::make_pair(op.microbatch, op.chunk);
+    auto& state = seen[key];
+    if (op.kind == Op::Kind::kForward) {
+      if (state != 0) return false;
+      if (op.microbatch <= last_fwd[static_cast<std::size_t>(op.chunk)]) return false;
+      last_fwd[static_cast<std::size_t>(op.chunk)] = op.microbatch;
+      state = 1;
+    } else {
+      if (state != 1) return false;
+      if (op.microbatch <= last_bwd[static_cast<std::size_t>(op.chunk)]) return false;
+      last_bwd[static_cast<std::size_t>(op.chunk)] = op.microbatch;
+      state = 2;
+    }
+  }
+  for (const auto& [key, state] : seen) {
+    if (state != 2) return false;
+  }
+  return static_cast<int>(seen.size()) == sp.m * sp.v;
+}
+
+std::vector<std::vector<TimedOp>> simulate_timeline(const ScheduleParams& sp,
+                                                    double tf_chunk,
+                                                    double tb_chunk) {
+  check_params(sp);
+  const int P = num_virtual_stages(sp);
+
+  // Per-rank op lists and cursors.
+  std::vector<std::vector<Op>> ops(static_cast<std::size_t>(sp.p));
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(sp.p), 0);
+  std::vector<double> rank_time(static_cast<std::size_t>(sp.p), 0.0);
+  std::vector<std::vector<TimedOp>> timeline(static_cast<std::size_t>(sp.p));
+  for (int r = 0; r < sp.p; ++r) {
+    ops[static_cast<std::size_t>(r)] = build_rank_schedule(sp, r);
+    timeline[static_cast<std::size_t>(r)].reserve(
+        ops[static_cast<std::size_t>(r)].size());
+  }
+
+  // Completion times of Fwd/Bwd per (mb, virtual stage); -1 = not done.
+  auto idx = [&](int mb, int vs) {
+    return static_cast<std::size_t>(mb) * static_cast<std::size_t>(P) +
+           static_cast<std::size_t>(vs);
+  };
+  std::vector<double> fwd_done(static_cast<std::size_t>(sp.m * P), -1.0);
+  std::vector<double> bwd_done(static_cast<std::size_t>(sp.m * P), -1.0);
+
+  bool progressed = true;
+  std::size_t total_remaining = 0;
+  for (int r = 0; r < sp.p; ++r) total_remaining += ops[static_cast<std::size_t>(r)].size();
+
+  while (total_remaining > 0) {
+    PTDP_CHECK(progressed) << "schedule deadlocked in simulation";
+    progressed = false;
+    for (int r = 0; r < sp.p; ++r) {
+      auto& cur = cursor[static_cast<std::size_t>(r)];
+      while (cur < ops[static_cast<std::size_t>(r)].size()) {
+        const Op& op = ops[static_cast<std::size_t>(r)][cur];
+        const int vs = virtual_stage(r, op.chunk, sp.p);
+        double ready;
+        double duration;
+        if (op.kind == Op::Kind::kForward) {
+          ready = vs == 0 ? 0.0 : fwd_done[idx(op.microbatch, vs - 1)];
+          duration = tf_chunk;
+        } else {
+          ready = vs == P - 1 ? fwd_done[idx(op.microbatch, vs)]
+                              : bwd_done[idx(op.microbatch, vs + 1)];
+          duration = tb_chunk;
+        }
+        if (ready < 0.0) break;  // dependency not yet computed
+        const double start = std::max(rank_time[static_cast<std::size_t>(r)], ready);
+        const double end = start + duration;
+        rank_time[static_cast<std::size_t>(r)] = end;
+        (op.kind == Op::Kind::kForward ? fwd_done : bwd_done)[idx(op.microbatch, vs)] =
+            end;
+        timeline[static_cast<std::size_t>(r)].push_back(TimedOp{op, start, end});
+        ++cur;
+        --total_remaining;
+        progressed = true;
+      }
+    }
+  }
+  return timeline;
+}
+
+double simulate_makespan(const ScheduleParams& sp, double tf_chunk, double tb_chunk) {
+  const auto timeline = simulate_timeline(sp, tf_chunk, tb_chunk);
+  double makespan = 0.0;
+  for (const auto& rank_ops : timeline) {
+    for (const TimedOp& t : rank_ops) makespan = std::max(makespan, t.end);
+  }
+  return makespan;
+}
+
+double bubble_fraction(const ScheduleParams& sp, double tf_chunk, double tb_chunk) {
+  const double makespan = simulate_makespan(sp, tf_chunk, tb_chunk);
+  const double ideal = sp.m * sp.v * (tf_chunk + tb_chunk);
+  return (makespan - ideal) / ideal;
+}
+
+}  // namespace ptdp::pipeline

@@ -1,0 +1,136 @@
+#include "ptdp/sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ptdp/core/analytics.hpp"
+
+namespace ptdp::sim {
+
+namespace {
+
+constexpr double kFp16 = 2.0;
+
+// Elementwise memory passes over the [s, b, h] stream per layer (LayerNorms,
+// residuals, bias adds, GeLU, dropout). Fusion removes roughly half the
+// round trips (§4.2's bias+GeLU and bias+dropout+add kernels).
+constexpr double kStreamPassesUnfused = 48.0;
+constexpr double kStreamPassesFused = 10.0;
+
+// Memory passes over the [b·a, s, s] attention-score tensor (scale, mask,
+// softmax, dropout). The fused scale+mask+softmax kernel makes one pass.
+constexpr double kScorePassesUnfused = 10.0;
+constexpr double kScorePassesFused = 1.5;
+
+}  // namespace
+
+// Per-kernel work below which the GPU cannot be filled (occupancy/wave
+// quantization). This term produces Fig. 7's throughput-vs-microbatch ramp
+// and is the reason the optimal microbatch size is model-dependent (§3.4).
+constexpr double kOccupancyFlops = 2.5e10;
+
+double gemm_time_batched(const ClusterSpec& hw, double batch, double m, double k,
+                         double n) {
+  const double flops = 2.0 * batch * m * k * n;
+  const double bytes = kFp16 * batch * (m * k + k * n + m * n);
+  const double tile = std::min({m, n, k});
+  const double shape_eff = tile / (tile + 96.0);
+  const double occupancy_eff = flops / (flops + kOccupancyFlops);
+  const double eff = hw.gemm_efficiency_cap * shape_eff * occupancy_eff;
+  const double compute = flops / (hw.peak_flops * std::max(eff, 0.01));
+  const double memory = bytes / hw.hbm_bw;
+  return std::max(compute, memory) + hw.kernel_overhead;
+}
+
+ChunkCost chunk_cost(const ClusterSpec& hw, const model::GptConfig& m,
+                     const core::ParallelConfig& cfg, std::int64_t layers,
+                     bool has_embedding, bool has_head, const CostOptions& options) {
+  const double b = static_cast<double>(cfg.b);
+  const double s = static_cast<double>(m.seq);
+  const double h = static_cast<double>(m.hidden);
+  const double a = static_cast<double>(m.heads);
+  const double t = static_cast<double>(cfg.t);
+  const double dk = h / a;
+  const double rows = b * s;
+  const bool tp_in_node = cfg.t <= hw.gpus_per_node;
+
+  ChunkCost cost;
+
+  // ---- per-layer GEMMs (forward) ----
+  double layer_gemm = 0.0;
+  layer_gemm += gemm_time_batched(hw, 1, rows, h, 3.0 * h / t);          // QKV
+  layer_gemm += gemm_time_batched(hw, b * a / t, s, dk, s);              // QKᵀ
+  layer_gemm += gemm_time_batched(hw, b * a / t, s, s, dk);              // PV
+  layer_gemm += gemm_time_batched(hw, 1, rows, h / t, h);                // proj
+  layer_gemm += gemm_time_batched(hw, 1, rows, h, 4.0 * h / t);          // fc1
+  layer_gemm += gemm_time_batched(hw, 1, rows, 4.0 * h / t, h);          // fc2
+
+  // ---- per-layer memory-bound ops (forward) ----
+  const double stream_passes =
+      options.fused_kernels ? kStreamPassesFused : kStreamPassesUnfused;
+  const double score_passes =
+      options.fused_kernels ? kScorePassesFused : kScorePassesUnfused;
+  double layer_mem = memory_bound_time(hw, stream_passes * rows * h * kFp16);
+  layer_mem += memory_bound_time(hw, score_passes * (b * a / t) * s * s * kFp16);
+
+  const double layer_fwd = layer_gemm + layer_mem;
+  // Backward: dgrad + wgrad double the GEMM work; elementwise backward is
+  // comparable to forward.
+  const double layer_bwd = 2.0 * layer_gemm + layer_mem;
+
+  cost.fwd_compute = layers * layer_fwd;
+  cost.bwd_compute = layers * layer_bwd;
+
+  // ---- tensor-parallel all-reduce (f/g operators, §2.3) ----
+  if (cfg.t > 1) {
+    const double ar = ring_all_reduce_time(hw, rows * h * kFp16,
+                                           cfg.t, tp_in_node);
+    cost.fwd_tp_comm = layers * 2.0 * ar;  // one per MLP + one per attention
+    cost.bwd_tp_comm = layers * 2.0 * ar;
+  }
+
+  // ---- embedding (first stage) ----
+  if (has_embedding) {
+    cost.fwd_compute += memory_bound_time(hw, 3.0 * rows * h * kFp16);
+    cost.bwd_compute += memory_bound_time(hw, 2.0 * rows * h * kFp16);
+    if (cfg.t > 1) {
+      cost.fwd_tp_comm += ring_all_reduce_time(hw, rows * h * kFp16, cfg.t,
+                                               tp_in_node);
+    }
+  }
+
+  // ---- LM head: final LN + logits GEMM + vocab-parallel CE ----
+  if (has_head) {
+    const double V = static_cast<double>(m.vocab);
+    const double logits = gemm_time_batched(hw, 1, rows, h, V / t);
+    cost.fwd_compute += logits + memory_bound_time(hw, 3.0 * rows * (V / t) * kFp16);
+    cost.bwd_compute += 2.0 * logits + memory_bound_time(hw, rows * (V / t) * kFp16);
+    if (cfg.t > 1) {
+      // Max + sum + target-logit scalar reductions, then dLN all-reduce.
+      const double small = ring_all_reduce_time(hw, rows * 4.0, cfg.t, tp_in_node);
+      cost.fwd_tp_comm += 3.0 * small;
+      cost.bwd_tp_comm += ring_all_reduce_time(hw, rows * h * kFp16, cfg.t,
+                                               tp_in_node);
+    }
+  }
+
+  return cost;
+}
+
+double single_gpu_flops(const ClusterSpec& hw, const model::GptConfig& m,
+                        std::int64_t b, const CostOptions& options) {
+  core::ParallelConfig cfg;
+  cfg.b = b;
+  cfg.recompute = false;
+  const ChunkCost cost = chunk_cost(hw, m, cfg, m.num_layers,
+                                    /*has_embedding=*/true, /*has_head=*/true,
+                                    options);
+  // FLOPs counted without recomputation: 3 passes (fwd + 2x bwd) through
+  // the per-layer GEMM term plus the logit layer.
+  const double layer_term = core::layer_forward_flops(m, b);
+  const double logit_term = 2.0 * b * m.seq * m.hidden * static_cast<double>(m.vocab);
+  const double flops = 3.0 * (layer_term * m.num_layers + logit_term);
+  return flops / (cost.fwd() + cost.bwd());
+}
+
+}  // namespace ptdp::sim

@@ -1,0 +1,50 @@
+#include "ptdp/sim/hardware.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ptdp::sim {
+
+double gemm_time(const ClusterSpec& hw, double m, double k, double n) {
+  const double flops = 2.0 * m * k * n;
+  const double bytes = 2.0 * (m * k + k * n + m * n);  // fp16 operands + output
+  // Shape-dependent efficiency: tensor cores need large tiles in every
+  // dimension; the harmonic-mean tile factor drives the Fig. 7 ramp of
+  // throughput with microbatch size.
+  const double tile = std::min({m, n, k});
+  const double shape_eff = tile / (tile + 96.0);
+  const double eff = hw.gemm_efficiency_cap * shape_eff;
+  const double compute = flops / (hw.peak_flops * std::max(eff, 0.01));
+  const double memory = bytes / hw.hbm_bw;
+  return std::max(compute, memory) + hw.kernel_overhead;
+}
+
+double memory_bound_time(const ClusterSpec& hw, double bytes) {
+  return bytes / hw.hbm_bw + hw.kernel_overhead;
+}
+
+double ring_all_reduce_time(const ClusterSpec& hw, double bytes, int group,
+                            bool within_node) {
+  if (group <= 1 || bytes <= 0.0) return 0.0;
+  const double bw = within_node ? hw.nvlink_bw : hw.ib_link_bw;
+  const double lat = within_node ? hw.nvlink_latency : hw.ib_latency;
+  const double volume = 2.0 * (static_cast<double>(group - 1) / group) * bytes;
+  return volume / bw + 2.0 * (group - 1) * lat;
+}
+
+double ring_all_gather_time(const ClusterSpec& hw, double bytes, int group,
+                            bool within_node) {
+  if (group <= 1 || bytes <= 0.0) return 0.0;
+  const double bw = within_node ? hw.nvlink_bw : hw.ib_link_bw;
+  const double lat = within_node ? hw.nvlink_latency : hw.ib_latency;
+  const double volume = (static_cast<double>(group - 1) / group) * bytes;
+  return volume / bw + (group - 1) * lat;
+}
+
+double p2p_time(const ClusterSpec& hw, double bytes, bool cross_node) {
+  const double bw = cross_node ? hw.ib_link_bw : hw.nvlink_bw;
+  const double lat = cross_node ? hw.ib_latency : hw.nvlink_latency;
+  return bytes / bw + lat;
+}
+
+}  // namespace ptdp::sim

@@ -1,0 +1,76 @@
+#include "ptdp/sim/zero_model.hpp"
+
+#include <algorithm>
+
+namespace ptdp::sim {
+
+namespace {
+constexpr double kFp16 = 2.0;
+constexpr double kFp32 = 4.0;
+}  // namespace
+
+ZeroResult simulate_zero3_iteration(const ClusterSpec& hw, const model::GptConfig& m,
+                                    std::int64_t global_batch, std::int64_t n_gpus,
+                                    std::int64_t b, const SimOptions& options) {
+  PTDP_CHECK_EQ(global_batch % (n_gpus * b), 0)
+      << "B=" << global_batch << " n=" << n_gpus << " b=" << b;
+  const std::int64_t microbatches = global_batch / (n_gpus * b);
+
+  // Compute: the full model runs locally (no model parallelism).
+  core::ParallelConfig cfg;
+  cfg.b = b;
+  cfg.recompute = true;
+  const ChunkCost cost = chunk_cost(hw, m, cfg, m.num_layers, /*has_embedding=*/true,
+                                    /*has_head=*/true,
+                                    CostOptions{options.fused_kernels});
+  const double per_mb = cost.fwd() + cost.bwd() + cost.fwd_compute;  // + recompute
+  const double compute = per_mb * static_cast<double>(microbatches);
+
+  // Communication per step and per worker (cross-node ring over n workers):
+  //   2× parameter all-gather (fwd + bwd) of the fp16 weights,
+  //   1× grad reduce-scatter (fp16 grads, ZeRO-2 style).
+  const double P = m.paper_params();
+  const double ag =
+      ring_all_gather_time(hw, P * kFp16, static_cast<int>(n_gpus),
+                           /*within_node=*/false);
+  const double rs =
+      ring_all_gather_time(hw, P * kFp16, static_cast<int>(n_gpus),
+                           /*within_node=*/false);  // same volume as gather
+  const double comm = 2.0 * ag + rs;
+
+  // DeepSpeed prefetches the next layer's gather under the current layer's
+  // compute, so the exposed time is max(compute, comm) plus a residual
+  // non-overlappable fraction (layer-boundary stalls, optimizer).
+  constexpr double kNonOverlap = 0.45;
+  const double params_per_gpu = P / static_cast<double>(n_gpus);
+  const double opt_time = memory_bound_time(hw, params_per_gpu * 6.0 * kFp32);
+
+  ZeroResult res;
+  res.compute_seconds = compute;
+  res.comm_seconds = comm;
+  res.iteration_seconds =
+      std::max(compute, comm) + kNonOverlap * std::min(compute, comm) + opt_time;
+
+  const double flops = core::flops_per_iteration(m, global_batch);
+  res.aggregate_flops = flops / res.iteration_seconds;
+  res.per_gpu_flops = res.aggregate_flops / static_cast<double>(n_gpus);
+
+  // Memory: 1/n of (fp16 params + fp32 master + moments + grads) plus the
+  // working all-gathered layer params and activations for one microbatch.
+  const double sharded_state = (P / static_cast<double>(n_gpus)) *
+                               (kFp16 + 3.0 * kFp32 + kFp16);
+  const double working_params =
+      (P / static_cast<double>(m.num_layers)) * kFp16 * 4.0;  // a few layers live
+  const double acts = static_cast<double>(m.num_layers) *
+                      core::activation_bytes_per_layer(m, b, /*recompute=*/true) +
+                      core::activation_bytes_per_layer(m, b, /*recompute=*/false);
+  res.memory_bytes = sharded_state + working_params + acts;
+  res.oom = res.memory_bytes > hw.gpu_memory;
+
+  // Table 2's "training time for 300B tokens".
+  const double iters = 300e9 / (static_cast<double>(global_batch) * m.seq);
+  res.training_days_300b_tokens = iters * res.iteration_seconds / 86400.0;
+  return res;
+}
+
+}  // namespace ptdp::sim

@@ -1,0 +1,711 @@
+#include "ptdp/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ptdp::tensor {
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+// Raw row-major GEMM kernels. C must be zero-initialized (beta = 0).
+// Loop orders chosen so the inner loop streams contiguously; the NN case
+// blocks over k and n so the active B panel stays cache-resident, with a
+// 4-row microkernel that reuses each loaded B row four times.
+
+constexpr std::int64_t kBlockK = 256;  // B-panel rows kept hot
+constexpr std::int64_t kBlockN = 512;  // B-panel columns per pass
+
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c) {
+  for (std::int64_t pp = 0; pp < k; pp += kBlockK) {
+    const std::int64_t pe = std::min(pp + kBlockK, k);
+    for (std::int64_t jj = 0; jj < n; jj += kBlockN) {
+      const std::int64_t je = std::min(jj + kBlockN, n);
+      std::int64_t i = 0;
+      for (; i + 4 <= m; i += 4) {
+        float* c0 = c + (i + 0) * n;
+        float* c1 = c + (i + 1) * n;
+        float* c2 = c + (i + 2) * n;
+        float* c3 = c + (i + 3) * n;
+        for (std::int64_t p = pp; p < pe; ++p) {
+          const float a0 = a[(i + 0) * k + p];
+          const float a1 = a[(i + 1) * k + p];
+          const float a2 = a[(i + 2) * k + p];
+          const float a3 = a[(i + 3) * k + p];
+          const float* brow = b + p * n;
+          for (std::int64_t j = jj; j < je; ++j) {
+            const float bv = brow[j];
+            c0[j] += a0 * bv;
+            c1[j] += a1 * bv;
+            c2[j] += a2 * bv;
+            c3[j] += a3 * bv;
+          }
+        }
+      }
+      for (; i < m; ++i) {
+        float* crow = c + i * n;
+        for (std::int64_t p = pp; p < pe; ++p) {
+          const float av = a[i * k + p];
+          const float* brow = b + p * n;
+          for (std::int64_t j = jj; j < je; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c) {
+  // a is [k, m] interpreted transposed.
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void check_2d(const Tensor& t, const char* what) {
+  PTDP_CHECK_EQ(t.ndim(), 2) << what << " must be 2-D, got " << t.shape_str();
+}
+void check_3d(const Tensor& t, const char* what) {
+  PTDP_CHECK_EQ(t.ndim(), 3) << what << " must be 3-D, got " << t.shape_str();
+}
+
+// Rows/cols split for "[..., n]" tensors.
+std::int64_t leading_rows(const Tensor& t) {
+  PTDP_CHECK_GE(t.ndim(), 1);
+  return t.numel() / t.dim(-1);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul lhs");
+  check_2d(b, "matmul rhs");
+  PTDP_CHECK_EQ(a.dim(1), b.dim(0)) << a.shape_str() << " x " << b.shape_str();
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm_nn(a.dim(0), b.dim(1), a.dim(1), a.data().data(), b.data().data(),
+          c.data().data());
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul_nt lhs");
+  check_2d(b, "matmul_nt rhs");
+  PTDP_CHECK_EQ(a.dim(1), b.dim(1)) << a.shape_str() << " x " << b.shape_str() << "^T";
+  Tensor c({a.dim(0), b.dim(0)});
+  gemm_nt(a.dim(0), b.dim(0), a.dim(1), a.data().data(), b.data().data(),
+          c.data().data());
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul_tn lhs");
+  check_2d(b, "matmul_tn rhs");
+  PTDP_CHECK_EQ(a.dim(0), b.dim(0)) << a.shape_str() << "^T x " << b.shape_str();
+  Tensor c({a.dim(1), b.dim(1)});
+  gemm_tn(a.dim(1), b.dim(1), a.dim(0), a.data().data(), b.data().data(),
+          c.data().data());
+  return c;
+}
+
+namespace {
+
+template <typename Kernel>
+Tensor bmm_impl(const Tensor& a, const Tensor& b, std::int64_t m, std::int64_t n,
+                std::int64_t k, Kernel kernel) {
+  const std::int64_t batches = a.dim(0);
+  Tensor c({batches, m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  const std::int64_t sa = a.dim(1) * a.dim(2);
+  const std::int64_t sb = b.dim(1) * b.dim(2);
+  const std::int64_t sc = m * n;
+  for (std::int64_t batch = 0; batch < batches; ++batch) {
+    kernel(m, n, k, pa + batch * sa, pb + batch * sb, pc + batch * sc);
+  }
+  return c;
+}
+
+}  // namespace
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  check_3d(a, "bmm lhs");
+  check_3d(b, "bmm rhs");
+  PTDP_CHECK_EQ(a.dim(0), b.dim(0));
+  PTDP_CHECK_EQ(a.dim(2), b.dim(1)) << a.shape_str() << " x " << b.shape_str();
+  return bmm_impl(a, b, a.dim(1), b.dim(2), a.dim(2), gemm_nn);
+}
+
+Tensor bmm_nt(const Tensor& a, const Tensor& b) {
+  check_3d(a, "bmm_nt lhs");
+  check_3d(b, "bmm_nt rhs");
+  PTDP_CHECK_EQ(a.dim(0), b.dim(0));
+  PTDP_CHECK_EQ(a.dim(2), b.dim(2)) << a.shape_str() << " x " << b.shape_str() << "^T";
+  return bmm_impl(a, b, a.dim(1), b.dim(1), a.dim(2), gemm_nt);
+}
+
+Tensor bmm_tn(const Tensor& a, const Tensor& b) {
+  check_3d(a, "bmm_tn lhs");
+  check_3d(b, "bmm_tn rhs");
+  PTDP_CHECK_EQ(a.dim(0), b.dim(0));
+  PTDP_CHECK_EQ(a.dim(1), b.dim(1)) << a.shape_str() << "^T x " << b.shape_str();
+  return bmm_impl(a, b, a.dim(2), b.dim(2), a.dim(1), gemm_tn);
+}
+
+// ---- elementwise ---------------------------------------------------------------
+
+namespace {
+template <typename F>
+Tensor binary_op(const Tensor& a, const Tensor& b, F f) {
+  PTDP_CHECK(a.same_shape(b)) << a.shape_str() << " vs " << b.shape_str();
+  Tensor out(a.shape());
+  auto da = a.data();
+  auto db = b.data();
+  auto dout = out.data();
+  for (std::size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i], db[i]);
+  return out;
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor scale(const Tensor& a, float alpha) {
+  Tensor out(a.shape());
+  auto da = a.data();
+  auto dout = out.data();
+  for (std::size_t i = 0; i < da.size(); ++i) dout[i] = alpha * da[i];
+  return out;
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  PTDP_CHECK(a.same_shape(b)) << a.shape_str() << " vs " << b.shape_str();
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) da[i] += db[i];
+}
+
+void axpy_(Tensor& y, float alpha, const Tensor& x) {
+  PTDP_CHECK(y.same_shape(x)) << y.shape_str() << " vs " << x.shape_str();
+  auto dy = y.data();
+  auto dx = x.data();
+  for (std::size_t i = 0; i < dy.size(); ++i) dy[i] += alpha * dx[i];
+}
+
+void scale_(Tensor& a, float alpha) {
+  for (float& v : a.data()) v *= alpha;
+}
+
+Tensor add_bias(const Tensor& x, const Tensor& bias) {
+  PTDP_CHECK_EQ(bias.ndim(), 1);
+  PTDP_CHECK_EQ(x.dim(-1), bias.dim(0));
+  const std::int64_t rows = leading_rows(x);
+  const std::int64_t n = x.dim(-1);
+  Tensor out(x.shape());
+  auto dx = x.data();
+  auto db = bias.data();
+  auto dout = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      dout[static_cast<std::size_t>(r * n + j)] =
+          dx[static_cast<std::size_t>(r * n + j)] + db[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+Tensor bias_grad(const Tensor& dy) {
+  const std::int64_t rows = leading_rows(dy);
+  const std::int64_t n = dy.dim(-1);
+  Tensor g({n});
+  auto ddy = dy.data();
+  auto dg = g.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      dg[static_cast<std::size_t>(j)] += ddy[static_cast<std::size_t>(r * n + j)];
+    }
+  }
+  return g;
+}
+
+// ---- activations ---------------------------------------------------------------
+
+namespace {
+inline float gelu_scalar(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(u));
+}
+inline float gelu_grad_scalar(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  const float t = std::tanh(u);
+  const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+}  // namespace
+
+Tensor gelu(const Tensor& x) {
+  Tensor out(x.shape());
+  auto dx = x.data();
+  auto dout = out.data();
+  for (std::size_t i = 0; i < dx.size(); ++i) dout[i] = gelu_scalar(dx[i]);
+  return out;
+}
+
+Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
+  PTDP_CHECK(dy.same_shape(x));
+  Tensor out(x.shape());
+  auto ddy = dy.data();
+  auto dx = x.data();
+  auto dout = out.data();
+  for (std::size_t i = 0; i < dx.size(); ++i) dout[i] = ddy[i] * gelu_grad_scalar(dx[i]);
+  return out;
+}
+
+Tensor dropout(const Tensor& x, float p, Rng& rng, Tensor& mask) {
+  PTDP_CHECK_GE(p, 0.0f);
+  PTDP_CHECK_LT(p, 1.0f);
+  mask = Tensor(x.shape());
+  Tensor out(x.shape());
+  auto dx = x.data();
+  auto dm = mask.data();
+  auto dout = out.data();
+  if (p == 0.0f) {
+    std::fill(dm.begin(), dm.end(), 1.0f);
+    std::copy(dx.begin(), dx.end(), dout.begin());
+    return out;
+  }
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    const float m = rng.next_bernoulli(p) ? 0.0f : keep_scale;
+    dm[i] = m;
+    dout[i] = dx[i] * m;
+  }
+  return out;
+}
+
+Tensor dropout_backward(const Tensor& dy, const Tensor& mask) { return mul(dy, mask); }
+
+// ---- normalization -------------------------------------------------------------
+
+LayerNormResult layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                          float eps) {
+  PTDP_CHECK_EQ(gamma.ndim(), 1);
+  PTDP_CHECK_EQ(beta.ndim(), 1);
+  const std::int64_t n = x.dim(-1);
+  PTDP_CHECK_EQ(gamma.dim(0), n);
+  PTDP_CHECK_EQ(beta.dim(0), n);
+  const std::int64_t rows = leading_rows(x);
+
+  LayerNormResult result{Tensor(x.shape()), Tensor({rows}), Tensor({rows})};
+  auto dx = x.data();
+  auto dg = gamma.data();
+  auto db = beta.data();
+  auto dy = result.y.data();
+  auto dmean = result.mean.data();
+  auto drstd = result.rstd.data();
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = dx.data() + r * n;
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) sum += row[j];
+    const float mean = sum / static_cast<float>(n);
+    float var = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float rstd = 1.0f / std::sqrt(var + eps);
+    dmean[static_cast<std::size_t>(r)] = mean;
+    drstd[static_cast<std::size_t>(r)] = rstd;
+    float* out_row = dy.data() + r * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float xhat = (row[j] - mean) * rstd;
+      out_row[j] = xhat * dg[static_cast<std::size_t>(j)] + db[static_cast<std::size_t>(j)];
+    }
+  }
+  return result;
+}
+
+LayerNormGrads layernorm_backward(const Tensor& dy, const Tensor& x,
+                                  const Tensor& gamma, const Tensor& mean,
+                                  const Tensor& rstd) {
+  const std::int64_t n = x.dim(-1);
+  const std::int64_t rows = leading_rows(x);
+  PTDP_CHECK(dy.same_shape(x));
+  PTDP_CHECK_EQ(mean.numel(), rows);
+  PTDP_CHECK_EQ(rstd.numel(), rows);
+
+  LayerNormGrads grads{Tensor(x.shape()), Tensor({n}), Tensor({n})};
+  auto ddy = dy.data();
+  auto dx = x.data();
+  auto dg = gamma.data();
+  auto dmean = mean.data();
+  auto drstd = rstd.data();
+  auto out_dx = grads.dx.data();
+  auto out_dgamma = grads.dgamma.data();
+  auto out_dbeta = grads.dbeta.data();
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xrow = dx.data() + r * n;
+    const float* dyrow = ddy.data() + r * n;
+    float* dxrow = out_dx.data() + r * n;
+    const float m = dmean[static_cast<std::size_t>(r)];
+    const float rs = drstd[static_cast<std::size_t>(r)];
+
+    // dxhat = dy * gamma; dx = rstd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
+    float sum_dxhat = 0.0f;
+    float sum_dxhat_xhat = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float xhat = (xrow[j] - m) * rs;
+      const float dxhat = dyrow[j] * dg[static_cast<std::size_t>(j)];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xhat;
+      out_dgamma[static_cast<std::size_t>(j)] += dyrow[j] * xhat;
+      out_dbeta[static_cast<std::size_t>(j)] += dyrow[j];
+    }
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float xhat = (xrow[j] - m) * rs;
+      const float dxhat = dyrow[j] * dg[static_cast<std::size_t>(j)];
+      dxrow[j] = rs * (dxhat - inv_n * sum_dxhat - xhat * inv_n * sum_dxhat_xhat);
+    }
+  }
+  return grads;
+}
+
+// ---- softmax -------------------------------------------------------------------
+
+Tensor softmax_lastdim(const Tensor& x) {
+  const std::int64_t n = x.dim(-1);
+  const std::int64_t rows = leading_rows(x);
+  Tensor out(x.shape());
+  auto dx = x.data();
+  auto dout = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = dx.data() + r * n;
+    float* orow = dout.data() + r * n;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (std::int64_t j = 0; j < n; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor softmax_backward(const Tensor& y, const Tensor& dy) {
+  PTDP_CHECK(y.same_shape(dy));
+  const std::int64_t n = y.dim(-1);
+  const std::int64_t rows = leading_rows(y);
+  Tensor out(y.shape());
+  auto dyv = dy.data();
+  auto yv = y.data();
+  auto dout = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* yrow = yv.data() + r * n;
+    const float* dyrow = dyv.data() + r * n;
+    float* orow = dout.data() + r * n;
+    float dot = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) dot += yrow[j] * dyrow[j];
+    for (std::int64_t j = 0; j < n; ++j) orow[j] = yrow[j] * (dyrow[j] - dot);
+  }
+  return out;
+}
+
+// ---- fused kernels -------------------------------------------------------------
+
+Tensor fused_bias_gelu(const Tensor& x, const Tensor& bias) {
+  PTDP_CHECK_EQ(bias.ndim(), 1);
+  PTDP_CHECK_EQ(x.dim(-1), bias.dim(0));
+  const std::int64_t rows = leading_rows(x);
+  const std::int64_t n = x.dim(-1);
+  Tensor out(x.shape());
+  auto dx = x.data();
+  auto db = bias.data();
+  auto dout = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xrow = dx.data() + r * n;
+    float* orow = dout.data() + r * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      orow[j] = gelu_scalar(xrow[j] + db[static_cast<std::size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+Tensor fused_bias_gelu_backward(const Tensor& dy, const Tensor& x, const Tensor& bias,
+                                Tensor& dbias) {
+  PTDP_CHECK(dy.same_shape(x));
+  PTDP_CHECK(dbias.same_shape(bias));
+  const std::int64_t rows = leading_rows(x);
+  const std::int64_t n = x.dim(-1);
+  Tensor out(x.shape());
+  auto ddy = dy.data();
+  auto dx = x.data();
+  auto db = bias.data();
+  auto ddb = dbias.data();
+  auto dout = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xrow = dx.data() + r * n;
+    const float* dyrow = ddy.data() + r * n;
+    float* orow = dout.data() + r * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float g = dyrow[j] * gelu_grad_scalar(xrow[j] + db[static_cast<std::size_t>(j)]);
+      orow[j] = g;
+      ddb[static_cast<std::size_t>(j)] += g;
+    }
+  }
+  return out;
+}
+
+Tensor fused_bias_dropout_add(const Tensor& x, const Tensor& bias,
+                              const Tensor& residual, float p, Rng& rng,
+                              Tensor& mask) {
+  PTDP_CHECK(x.same_shape(residual));
+  Tensor biased = add_bias(x, bias);
+  Tensor dropped = dropout(biased, p, rng, mask);
+  add_(dropped, residual);
+  return dropped;
+}
+
+Tensor fused_scale_causal_softmax(const Tensor& scores, float scl) {
+  PTDP_CHECK_EQ(scores.ndim(), 3) << "scores must be [rows, sq, sk]";
+  const std::int64_t rows = scores.dim(0);
+  const std::int64_t sq = scores.dim(1);
+  const std::int64_t sk = scores.dim(2);
+  PTDP_CHECK_GE(sk, sq) << "causal mask requires sk >= sq";
+  const std::int64_t shift = sk - sq;
+  Tensor out(scores.shape());
+  auto dx = scores.data();
+  auto dout = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t i = 0; i < sq; ++i) {
+      const float* row = dx.data() + (r * sq + i) * sk;
+      float* orow = dout.data() + (r * sq + i) * sk;
+      const std::int64_t valid = i + shift + 1;  // keys [0, valid) are visible
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t j = 0; j < valid; ++j) mx = std::max(mx, scl * row[j]);
+      float denom = 0.0f;
+      for (std::int64_t j = 0; j < valid; ++j) {
+        orow[j] = std::exp(scl * row[j] - mx);
+        denom += orow[j];
+      }
+      const float inv = 1.0f / denom;
+      for (std::int64_t j = 0; j < valid; ++j) orow[j] *= inv;
+      for (std::int64_t j = valid; j < sk; ++j) orow[j] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor fused_scale_mask_softmax(const Tensor& scores, const Tensor& mask, float scl) {
+  PTDP_CHECK_EQ(scores.ndim(), 3) << "scores must be [rows, sq, sk]";
+  PTDP_CHECK_EQ(mask.ndim(), 2);
+  const std::int64_t rows = scores.dim(0);
+  const std::int64_t sq = scores.dim(1);
+  const std::int64_t sk = scores.dim(2);
+  PTDP_CHECK_EQ(mask.dim(0), sq);
+  PTDP_CHECK_EQ(mask.dim(1), sk);
+  Tensor out(scores.shape());
+  auto dx = scores.data();
+  auto dm = mask.data();
+  auto dout = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t i = 0; i < sq; ++i) {
+      const float* row = dx.data() + (r * sq + i) * sk;
+      const float* mrow = dm.data() + i * sk;
+      float* orow = dout.data() + (r * sq + i) * sk;
+      float mx = -std::numeric_limits<float>::infinity();
+      bool any = false;
+      for (std::int64_t j = 0; j < sk; ++j) {
+        if (mrow[j] == 0.0f) {
+          mx = std::max(mx, scl * row[j]);
+          any = true;
+        }
+      }
+      PTDP_CHECK(any) << "softmax row fully masked";
+      float denom = 0.0f;
+      for (std::int64_t j = 0; j < sk; ++j) {
+        if (mrow[j] == 0.0f) {
+          orow[j] = std::exp(scl * row[j] - mx);
+          denom += orow[j];
+        } else {
+          orow[j] = 0.0f;
+        }
+      }
+      const float inv = 1.0f / denom;
+      for (std::int64_t j = 0; j < sk; ++j) orow[j] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor fused_scale_softmax_backward(const Tensor& y, const Tensor& dy, float scl) {
+  Tensor dx = softmax_backward(y, dy);
+  scale_(dx, scl);
+  return dx;
+}
+
+// ---- embedding -----------------------------------------------------------------
+
+Tensor embedding(const Tensor& table, std::span<const std::int32_t> ids) {
+  PTDP_CHECK_EQ(table.ndim(), 2);
+  const std::int64_t vocab = table.dim(0);
+  const std::int64_t h = table.dim(1);
+  Tensor out({static_cast<std::int64_t>(ids.size()), h});
+  auto dt = table.data();
+  auto dout = out.data();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::int32_t id = ids[i];
+    PTDP_CHECK(id >= 0 && id < vocab) << "token id " << id << " out of range";
+    std::copy_n(dt.data() + static_cast<std::int64_t>(id) * h, h,
+                dout.data() + static_cast<std::int64_t>(i) * h);
+  }
+  return out;
+}
+
+void embedding_backward(const Tensor& dy, std::span<const std::int32_t> ids,
+                        Tensor& dtable) {
+  PTDP_CHECK_EQ(dtable.ndim(), 2);
+  const std::int64_t h = dtable.dim(1);
+  PTDP_CHECK_EQ(dy.numel(), static_cast<std::int64_t>(ids.size()) * h);
+  auto ddy = dy.data();
+  auto dt = dtable.data();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::int64_t id = ids[i];
+    const float* src = ddy.data() + static_cast<std::int64_t>(i) * h;
+    float* dst = dt.data() + id * h;
+    for (std::int64_t j = 0; j < h; ++j) dst[j] += src[j];
+  }
+}
+
+// ---- loss ----------------------------------------------------------------------
+
+CrossEntropyResult cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> targets) {
+  PTDP_CHECK_EQ(logits.ndim(), 2);
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t vocab = logits.dim(1);
+  PTDP_CHECK_EQ(static_cast<std::int64_t>(targets.size()), n);
+  Tensor probs = softmax_lastdim(logits);
+  auto dp = probs.data();
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int32_t t = targets[static_cast<std::size_t>(r)];
+    PTDP_CHECK(t >= 0 && t < vocab);
+    loss -= std::log(std::max(dp[static_cast<std::size_t>(r * vocab + t)], 1e-30f));
+  }
+  return CrossEntropyResult{static_cast<float>(loss / static_cast<double>(n)),
+                            std::move(probs)};
+}
+
+Tensor cross_entropy_backward(const Tensor& probs,
+                              std::span<const std::int32_t> targets) {
+  const std::int64_t n = probs.dim(0);
+  const std::int64_t vocab = probs.dim(1);
+  Tensor dlogits = probs.clone();
+  auto dl = dlogits.data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t r = 0; r < n; ++r) {
+    dl[static_cast<std::size_t>(r * vocab + targets[static_cast<std::size_t>(r)])] -=
+        1.0f;
+  }
+  for (float& v : dl) v *= inv_n;
+  return dlogits;
+}
+
+// ---- reductions ----------------------------------------------------------------
+
+float sum_all(const Tensor& x) {
+  double s = 0.0;
+  for (float v : x.data()) s += v;
+  return static_cast<float>(s);
+}
+
+float mean_all(const Tensor& x) {
+  PTDP_CHECK_GT(x.numel(), 0);
+  return sum_all(x) / static_cast<float>(x.numel());
+}
+
+float max_all(const Tensor& x) {
+  PTDP_CHECK_GT(x.numel(), 0);
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : x.data()) m = std::max(m, v);
+  return m;
+}
+
+double squared_norm(const Tensor& x) {
+  double s = 0.0;
+  for (float v : x.data()) s += static_cast<double>(v) * v;
+  return s;
+}
+
+Tensor row_max(const Tensor& x) {
+  const std::int64_t n = x.dim(-1);
+  const std::int64_t rows = leading_rows(x);
+  Tensor out({rows});
+  auto dx = x.data();
+  auto dout = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float m = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < n; ++j) {
+      m = std::max(m, dx[static_cast<std::size_t>(r * n + j)]);
+    }
+    dout[static_cast<std::size_t>(r)] = m;
+  }
+  return out;
+}
+
+Tensor row_sum(const Tensor& x) {
+  const std::int64_t n = x.dim(-1);
+  const std::int64_t rows = leading_rows(x);
+  Tensor out({rows});
+  auto dx = x.data();
+  auto dout = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float s = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      s += dx[static_cast<std::size_t>(r * n + j)];
+    }
+    dout[static_cast<std::size_t>(r)] = s;
+  }
+  return out;
+}
+
+}  // namespace ptdp::tensor

@@ -1,0 +1,287 @@
+#include "ptdp/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace ptdp::tensor {
+
+std::int64_t numel_of(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    PTDP_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(numel_of(shape_)),
+      storage_(std::make_shared<std::vector<float>>(
+          static_cast<std::size_t>(numel_), 0.0f)) {}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data()) v = static_cast<float>(rng.next_gaussian(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data()) v = static_cast<float>(rng.next_uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t({n});
+  auto d = t.data();
+  for (std::int64_t i = 0; i < n; ++i) d[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::from_values(std::initializer_list<float> values) {
+  Tensor t({static_cast<std::int64_t>(values.size())});
+  std::copy(values.begin(), values.end(), t.data().begin());
+  return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
+  PTDP_CHECK_EQ(numel_of(shape), static_cast<std::int64_t>(values.size()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = static_cast<std::int64_t>(values.size());
+  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+std::int64_t Tensor::dim(std::int64_t i) const {
+  if (i < 0) i += ndim();
+  PTDP_CHECK_GE(i, 0);
+  PTDP_CHECK_LT(i, ndim());
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::span<float> Tensor::data() {
+  PTDP_CHECK(defined()) << "data() on undefined tensor";
+  return {storage_->data(), static_cast<std::size_t>(numel_)};
+}
+
+std::span<const float> Tensor::data() const {
+  PTDP_CHECK(defined()) << "data() on undefined tensor";
+  return {storage_->data(), static_cast<std::size_t>(numel_)};
+}
+
+std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
+  PTDP_CHECK_EQ(static_cast<std::int64_t>(idx.size()), ndim());
+  std::int64_t flat = 0;
+  std::size_t d = 0;
+  for (std::int64_t i : idx) {
+    PTDP_DCHECK(i >= 0 && i < shape_[d]);
+    flat = flat * shape_[d] + i;
+    ++d;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data()[static_cast<std::size_t>(flat_index(idx))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data()[static_cast<std::size_t>(flat_index(idx))];
+}
+
+Tensor Tensor::view(Shape new_shape) const {
+  PTDP_CHECK_EQ(numel_of(new_shape), numel_)
+      << "view " << shape_str() << " -> incompatible shape";
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.storage_ = storage_;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return t;
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  PTDP_CHECK(same_shape(src)) << "copy_from shape mismatch " << shape_str() << " vs "
+                              << src.shape_str();
+  std::copy(src.data().begin(), src.data().end(), data().begin());
+}
+
+void Tensor::fill(float value) {
+  std::fill(data().begin(), data().end(), value);
+}
+
+Tensor Tensor::slice(std::int64_t dim, std::int64_t start, std::int64_t len) const {
+  if (dim < 0) dim += ndim();
+  PTDP_CHECK_GE(dim, 0);
+  PTDP_CHECK_LT(dim, ndim());
+  PTDP_CHECK_GE(start, 0);
+  PTDP_CHECK_LE(start + len, shape_[static_cast<std::size_t>(dim)]);
+
+  Shape out_shape = shape_;
+  out_shape[static_cast<std::size_t>(dim)] = len;
+  Tensor out(out_shape);
+
+  // Treat the tensor as [outer, dim, inner].
+  std::int64_t outer = 1, inner = 1;
+  for (std::int64_t i = 0; i < dim; ++i) outer *= shape_[static_cast<std::size_t>(i)];
+  for (std::int64_t i = dim + 1; i < ndim(); ++i)
+    inner *= shape_[static_cast<std::size_t>(i)];
+  const std::int64_t src_dim = shape_[static_cast<std::size_t>(dim)];
+
+  auto src = data();
+  auto dst = out.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    const float* s = src.data() + (o * src_dim + start) * inner;
+    float* t = dst.data() + o * len * inner;
+    std::copy_n(s, len * inner, t);
+  }
+  return out;
+}
+
+Tensor Tensor::transpose(std::int64_t d0, std::int64_t d1) const {
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(ndim()));
+  std::iota(perm.begin(), perm.end(), 0);
+  if (d0 < 0) d0 += ndim();
+  if (d1 < 0) d1 += ndim();
+  std::swap(perm[static_cast<std::size_t>(d0)], perm[static_cast<std::size_t>(d1)]);
+  return permute(perm);
+}
+
+Tensor Tensor::permute(const std::vector<std::int64_t>& perm) const {
+  PTDP_CHECK_EQ(static_cast<std::int64_t>(perm.size()), ndim());
+  const std::size_t nd = perm.size();
+
+  Shape out_shape(nd);
+  for (std::size_t i = 0; i < nd; ++i) {
+    out_shape[i] = shape_[static_cast<std::size_t>(perm[i])];
+  }
+  Tensor out(out_shape);
+  if (numel_ == 0) return out;
+
+  // Row-major strides for the source shape.
+  std::vector<std::int64_t> src_strides(nd, 1);
+  for (std::size_t i = nd - 1; i > 0; --i) {
+    src_strides[i - 1] = src_strides[i] * shape_[i];
+  }
+  // Stride of the output's i-th dimension measured in the source layout.
+  std::vector<std::int64_t> gather_strides(nd);
+  for (std::size_t i = 0; i < nd; ++i) {
+    gather_strides[i] = src_strides[static_cast<std::size_t>(perm[i])];
+  }
+
+  auto src = data();
+  auto dst = out.data();
+  std::vector<std::int64_t> idx(nd, 0);
+  std::int64_t src_off = 0;
+  for (std::int64_t flat = 0; flat < numel_; ++flat) {
+    dst[static_cast<std::size_t>(flat)] = src[static_cast<std::size_t>(src_off)];
+    // Increment the multi-index in output order, tracking source offset.
+    for (std::size_t i = nd; i-- > 0;) {
+      ++idx[i];
+      src_off += gather_strides[i];
+      if (idx[i] < out_shape[i]) break;
+      src_off -= gather_strides[i] * out_shape[i];
+      idx[i] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor concat(const std::vector<Tensor>& parts, std::int64_t dim) {
+  PTDP_CHECK(!parts.empty());
+  const Tensor& first = parts.front();
+  if (dim < 0) dim += first.ndim();
+  Shape out_shape = first.shape();
+  std::int64_t total = 0;
+  for (const Tensor& p : parts) {
+    PTDP_CHECK_EQ(p.ndim(), first.ndim());
+    for (std::int64_t i = 0; i < p.ndim(); ++i) {
+      if (i != dim) {
+        PTDP_CHECK_EQ(p.dim(i), first.dim(i));
+      }
+    }
+    total += p.dim(dim);
+  }
+  out_shape[static_cast<std::size_t>(dim)] = total;
+  Tensor out(out_shape);
+
+  std::int64_t outer = 1, inner = 1;
+  for (std::int64_t i = 0; i < dim; ++i) outer *= first.dim(i);
+  for (std::int64_t i = dim + 1; i < first.ndim(); ++i) inner *= first.dim(i);
+
+  auto dst = out.data();
+  std::int64_t dim_off = 0;
+  for (const Tensor& p : parts) {
+    const std::int64_t p_dim = p.dim(dim);
+    auto src = p.data();
+    for (std::int64_t o = 0; o < outer; ++o) {
+      const float* s = src.data() + o * p_dim * inner;
+      float* t = dst.data() + (o * total + dim_off) * inner;
+      std::copy_n(s, p_dim * inner, t);
+    }
+    dim_off += p_dim;
+  }
+  return out;
+}
+
+std::vector<Tensor> split(const Tensor& x, std::int64_t n, std::int64_t dim) {
+  if (dim < 0) dim += x.ndim();
+  PTDP_CHECK_GT(n, 0);
+  PTDP_CHECK_EQ(x.dim(dim) % n, 0)
+      << "split: dim " << dim << " of " << x.shape_str() << " not divisible by " << n;
+  const std::int64_t len = x.dim(dim) / n;
+  std::vector<Tensor> parts;
+  parts.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    parts.push_back(x.slice(dim, i * len, len));
+  }
+  return parts;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  PTDP_CHECK(a.same_shape(b)) << a.shape_str() << " vs " << b.shape_str();
+  float m = 0.0f;
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    m = std::max(m, std::abs(da[i] - db[i]));
+  }
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  PTDP_CHECK(a.same_shape(b)) << a.shape_str() << " vs " << b.shape_str();
+  float bmax = 0.0f;
+  for (float v : b.data()) bmax = std::max(bmax, std::abs(v));
+  return max_abs_diff(a, b) <= atol + rtol * bmax;
+}
+
+}  // namespace ptdp::tensor

@@ -1,0 +1,137 @@
+// Checkpoint tests: save/load round trips, metadata, corruption detection
+// via CRC, and structural mismatches (shape, name order, count).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ptdp/ckpt/checkpoint.hpp"
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::ckpt {
+namespace {
+
+using tensor::Tensor;
+
+class CkptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ptdp_ckpt_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CkptTest, RoundTripRestoresValuesAndMeta) {
+  Rng rng(1);
+  Tensor a = Tensor::randn({3, 4}, rng);
+  Tensor b = Tensor::randn({7}, rng);
+  NamedTensors tensors{{"a", &a}, {"b", &b}};
+  save_checkpoint(path("x.ckpt"), tensors, CheckpointMeta{42, 7});
+
+  Tensor a2({3, 4}), b2({7});
+  NamedTensors loaded{{"a", &a2}, {"b", &b2}};
+  const CheckpointMeta meta = load_checkpoint(path("x.ckpt"), loaded);
+  EXPECT_EQ(meta.step, 42u);
+  EXPECT_EQ(meta.extra, 7u);
+  EXPECT_EQ(tensor::max_abs_diff(a, a2), 0.0f);
+  EXPECT_EQ(tensor::max_abs_diff(b, b2), 0.0f);
+}
+
+TEST_F(CkptTest, PeekReadsMetaWithoutTensors) {
+  Tensor a = Tensor::ones({2});
+  save_checkpoint(path("y.ckpt"), {{"a", &a}}, CheckpointMeta{9, 3});
+  const CheckpointMeta meta = peek_checkpoint(path("y.ckpt"));
+  EXPECT_EQ(meta.step, 9u);
+  EXPECT_EQ(meta.extra, 3u);
+}
+
+TEST_F(CkptTest, DetectsPayloadCorruption) {
+  Tensor a = Tensor::ones({16});
+  save_checkpoint(path("c.ckpt"), {{"a", &a}}, {});
+  // Flip a byte inside the tensor payload (near the end of the file).
+  {
+    std::fstream f(path("c.ckpt"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-8, std::ios::end);
+    const char junk = 0x5A;
+    f.write(&junk, 1);
+  }
+  Tensor a2({16});
+  NamedTensors loaded{{"a", &a2}};
+  EXPECT_THROW(load_checkpoint(path("c.ckpt"), loaded), CheckError);
+}
+
+TEST_F(CkptTest, DetectsBadMagic) {
+  std::ofstream os(path("bad.ckpt"), std::ios::binary);
+  const char garbage[64] = {1, 2, 3};
+  os.write(garbage, sizeof(garbage));
+  os.close();
+  Tensor a({1});
+  NamedTensors loaded{{"a", &a}};
+  EXPECT_THROW(load_checkpoint(path("bad.ckpt"), loaded), CheckError);
+  EXPECT_THROW(peek_checkpoint(path("bad.ckpt")), CheckError);
+}
+
+TEST_F(CkptTest, RejectsShapeMismatch) {
+  Tensor a = Tensor::ones({4});
+  save_checkpoint(path("s.ckpt"), {{"a", &a}}, {});
+  Tensor wrong({2, 2});  // same numel, different shape
+  NamedTensors loaded{{"a", &wrong}};
+  EXPECT_THROW(load_checkpoint(path("s.ckpt"), loaded), CheckError);
+}
+
+TEST_F(CkptTest, RejectsNameMismatch) {
+  Tensor a = Tensor::ones({4});
+  save_checkpoint(path("n.ckpt"), {{"a", &a}}, {});
+  Tensor b({4});
+  NamedTensors loaded{{"renamed", &b}};
+  EXPECT_THROW(load_checkpoint(path("n.ckpt"), loaded), CheckError);
+}
+
+TEST_F(CkptTest, RejectsCountMismatch) {
+  Tensor a = Tensor::ones({4});
+  save_checkpoint(path("m.ckpt"), {{"a", &a}}, {});
+  Tensor b({4}), c({4});
+  NamedTensors loaded{{"a", &b}, {"extra", &c}};
+  EXPECT_THROW(load_checkpoint(path("m.ckpt"), loaded), CheckError);
+}
+
+TEST_F(CkptTest, MissingFileThrows) {
+  Tensor a({1});
+  NamedTensors loaded{{"a", &a}};
+  EXPECT_THROW(load_checkpoint(path("nonexistent.ckpt"), loaded), CheckError);
+}
+
+TEST_F(CkptTest, ReportedSizeMatchesFile) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({100}, rng);
+  const std::int64_t bytes = save_checkpoint(path("z.ckpt"), {{"a", &a}}, {});
+  EXPECT_EQ(static_cast<std::uintmax_t>(bytes),
+            std::filesystem::file_size(path("z.ckpt")));
+  // 400 bytes of payload plus a small header.
+  EXPECT_GT(bytes, 400);
+  EXPECT_LT(bytes, 520);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE check value).
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32("", 0), 0u); }
+
+TEST(ShardPath, EncodesGridCoordinates) {
+  EXPECT_EQ(shard_path("/tmp/run", 2, 1, 3), "/tmp/run/shard-p2-t1-d3.ckpt");
+}
+
+}  // namespace
+}  // namespace ptdp::ckpt

@@ -1,0 +1,240 @@
+// Analytics tests: every formula of §2, §3 and the Appendix checked against
+// the paper's own worked numbers — Table 1 model sizes, the GPT-3 and 1T
+// training-time estimates of §5.1, the bubble fractions, and the §3.5
+// checkpointing optimum.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ptdp/core/analytics.hpp"
+
+namespace ptdp::core {
+namespace {
+
+using model::GptConfig;
+
+GptConfig table1_config(std::int64_t layers, std::int64_t hidden,
+                        std::int64_t heads) {
+  GptConfig c;
+  c.num_layers = layers;
+  c.hidden = hidden;
+  c.heads = heads;
+  c.vocab = 51200;
+  c.seq = 2048;
+  return c;
+}
+
+TEST(Analytics, Table1ParameterCounts) {
+  // Every row of Table 1: (layers, hidden, heads) -> parameters (billion).
+  struct Row {
+    std::int64_t l, h, a;
+    double params_b;
+  };
+  const Row rows[] = {
+      {24, 2304, 24, 1.7},     {30, 3072, 32, 3.6},   {36, 4096, 32, 7.5},
+      {40, 6144, 48, 18.4},    {48, 8192, 64, 39.1},  {60, 10240, 80, 76.1},
+      {80, 12288, 96, 145.6},  {96, 16384, 128, 310.1},
+      {105, 20480, 128, 529.6}, {128, 25600, 160, 1008.0},
+  };
+  for (const Row& r : rows) {
+    // Table 1 rounds to 2-3 significant figures (the 1.7B row is 1.65B by
+    // Eq. (2)); 3% covers the paper's own rounding.
+    GptConfig c = table1_config(r.l, r.h, r.a);
+    EXPECT_NEAR(c.paper_params() / 1e9, r.params_b, r.params_b * 0.03)
+        << "l=" << r.l << " h=" << r.h;
+    EXPECT_NEAR(static_cast<double>(c.exact_params()) / 1e9, r.params_b,
+                r.params_b * 0.03);
+  }
+}
+
+TEST(Analytics, Gpt3TrainingTimeEstimate) {
+  // §5.1: GPT-3, P = 175B, T = 300B tokens, n = 1024, X = 140 TFLOP/s
+  // per GPU => ~34 days.
+  const double days = training_time_days(300e9, 175e9, 1024, 140e12);
+  EXPECT_NEAR(days, 34.0, 1.0);
+}
+
+TEST(Analytics, TrillionParameterTrainingTimeEstimate) {
+  // §5.1: P = 1T, T = 450B tokens, n = 3072, X = 163 TFLOP/s => ~84 days.
+  const double days = training_time_days(450e9, 1e12, 3072, 163e12);
+  EXPECT_NEAR(days, 84.0, 2.0);
+}
+
+TEST(Analytics, FlopsPerIterationMatchesAppendix) {
+  // For the 1T model at B = 3072 the paper reports ~502 PFLOP/s aggregate
+  // on 3072 GPUs at 163 TFLOP/s per GPU. Check that F / (aggregate rate)
+  // gives a per-iteration time consistent with F = Eq. (3).
+  GptConfig c = table1_config(128, 25600, 160);
+  const double F = flops_per_iteration(c, 3072);
+  // Per-iteration time at 502 PFLOP/s.
+  const double iter_seconds = F / 502e15;
+  // F ≈ 5.1e19 for this config; sanity: iteration time is ~100 s.
+  EXPECT_GT(F, 1e19);
+  EXPECT_NEAR(iter_seconds, 101.0, 10.0);
+  EXPECT_LT(iter_seconds, 3600.0);
+  // Eq. (3)'s leading term dominates: 96*B*s*l*h^2.
+  const double leading = 96.0 * 3072 * 2048.0 * 128 * 25600.0 * 25600.0;
+  EXPECT_NEAR(F / leading, 1.0, 0.05);
+}
+
+TEST(Analytics, BubbleFractionFormula) {
+  ParallelConfig cfg;
+  cfg.p = 8;
+  cfg.d = 2;
+  cfg.b = 2;
+  // B = 128 => m = 128/(2*2) = 32; bubble = (8-1)/32.
+  EXPECT_DOUBLE_EQ(bubble_fraction(cfg, 128), 7.0 / 32.0);
+  cfg.v = 2;
+  EXPECT_DOUBLE_EQ(bubble_fraction(cfg, 128), 7.0 / 64.0);
+}
+
+TEST(Analytics, BubbleMatchesFig6Form) {
+  // §3.3.1: with t = 1, bubble = (n - d)/b' where b' = B/b. Fig. 6 point:
+  // n = 32, b' = 128, d = 8 => (32-8)/128 = 0.1875.
+  ParallelConfig cfg;
+  cfg.d = 8;
+  cfg.p = 4;  // n/d with n = 32
+  cfg.b = 1;
+  const std::int64_t B = 128;  // b' = B/b = 128
+  EXPECT_NEAR(bubble_fraction(cfg, B), (32.0 - 8.0) / 128.0, 1e-12);
+}
+
+TEST(Analytics, EstimatedBatchTimeEq1) {
+  ParallelConfig cfg;
+  cfg.p = 8;
+  cfg.d = 2;
+  cfg.b = 4;
+  // b' = B/d = 256; (256/4 + 8 - 1) * (tf + tb) = 71 * 3.
+  EXPECT_DOUBLE_EQ(estimated_batch_time(cfg, 512, 1.0, 2.0), 71.0 * 3.0);
+}
+
+TEST(Analytics, MicrobatchTradeoffHasInteriorOptimum) {
+  // §3.4 / Fig. 8: with tf(b) sublinear in b, Eq. (1) has an interior
+  // optimal b. Use tf(b) = c1 + c2*b (fixed overhead amortized by b).
+  ParallelConfig cfg;
+  cfg.p = 8;
+  auto time_at = [&](std::int64_t b) {
+    ParallelConfig c2 = cfg;
+    c2.b = b;
+    const double tf = 1.0 + 0.4 * static_cast<double>(b);
+    return estimated_batch_time(c2, 128, tf, 2.0 * tf);
+  };
+  // b = 4 beats both b = 1 and b = 16 for this cost shape.
+  EXPECT_LT(time_at(4), time_at(1));
+  EXPECT_LT(time_at(4), time_at(16));
+}
+
+TEST(Analytics, PipelineP2pVolume) {
+  GptConfig c = table1_config(24, 2304, 24);
+  ParallelConfig cfg;
+  cfg.p = 4;
+  cfg.b = 2;
+  // bsh elements * 2 bytes.
+  EXPECT_DOUBLE_EQ(pipeline_p2p_bytes_per_microbatch(c, cfg),
+                   2.0 * 2 * 2048 * 2304);
+  // Scatter/gather divides by t (§4.1).
+  cfg.t = 8;
+  cfg.scatter_gather = true;
+  EXPECT_DOUBLE_EQ(pipeline_p2p_bytes_per_microbatch(c, cfg),
+                   2.0 * 2 * 2048 * 2304 / 8);
+}
+
+TEST(Analytics, InterleavingMultipliesP2pVolume) {
+  GptConfig c = table1_config(24, 2304, 24);
+  ParallelConfig flat;
+  flat.p = 4;
+  flat.b = 1;
+  ParallelConfig inter = flat;
+  inter.v = 2;
+  inter.schedule = pipeline::ScheduleType::kInterleaved;
+  EXPECT_DOUBLE_EQ(pipeline_p2p_bytes_per_batch(c, inter, 64),
+                   2.0 * pipeline_p2p_bytes_per_batch(c, flat, 64));
+}
+
+TEST(Analytics, TensorParallelVolumeFormula) {
+  GptConfig c = table1_config(24, 2304, 24);
+  ParallelConfig cfg;
+  cfg.t = 8;
+  cfg.b = 2;
+  // l_stage = 24 (p=1), per layer 8*b*s*h*(7/8) elements * 2 bytes.
+  const double expected = 24.0 * 8.0 * 2 * 2048 * 2304 * (7.0 / 8.0) * 2.0;
+  EXPECT_DOUBLE_EQ(tensor_parallel_bytes_per_microbatch(c, cfg), expected);
+  // t = 1 => no tensor-parallel communication.
+  cfg.t = 1;
+  EXPECT_DOUBLE_EQ(tensor_parallel_bytes_per_microbatch(c, cfg), 0.0);
+}
+
+TEST(Analytics, DataParallelVolumeScalesWithRingFactor) {
+  GptConfig c = table1_config(24, 2304, 24);
+  ParallelConfig cfg;
+  cfg.d = 4;
+  const double v4 = data_parallel_bytes_per_batch(c, cfg);
+  cfg.d = 8;
+  const double v8 = data_parallel_bytes_per_batch(c, cfg);
+  // (d-1)/d factor: 7/8 vs 3/4.
+  EXPECT_NEAR(v8 / v4, (7.0 / 8.0) / (3.0 / 4.0), 1e-12);
+  cfg.d = 1;
+  EXPECT_DOUBLE_EQ(data_parallel_bytes_per_batch(c, cfg), 0.0);
+}
+
+TEST(Analytics, RecomputationShrinksActivationFootprint) {
+  GptConfig c = table1_config(24, 2304, 24);
+  const double full = activation_bytes_per_layer(c, 4, /*recompute=*/false);
+  const double input_only = activation_bytes_per_layer(c, 4, /*recompute=*/true);
+  EXPECT_GT(full / input_only, 10.0);  // 34+5as/h vs 2
+  EXPECT_DOUBLE_EQ(input_only, 2.0 * 2048 * 4 * 2304);
+}
+
+TEST(Analytics, MemoryEstimateGPipeVsOneFOneB) {
+  // §2.2.1: GPipe stashes m microbatches; 1F1B stashes p.
+  GptConfig c = table1_config(24, 2304, 24);
+  ParallelConfig gpipe;
+  gpipe.p = 4;
+  gpipe.b = 1;
+  gpipe.schedule = pipeline::ScheduleType::kGPipe;
+  gpipe.recompute = false;
+  ParallelConfig ofob = gpipe;
+  ofob.schedule = pipeline::ScheduleType::kOneFOneB;
+  const std::int64_t B = 64;  // m = 64 >> p = 4
+  const auto mg = memory_per_gpu(c, gpipe, B);
+  const auto mo = memory_per_gpu(c, ofob, B);
+  EXPECT_NEAR(mg.activation_bytes / mo.activation_bytes, 64.0 / 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(mg.param_bytes, mo.param_bytes);
+}
+
+TEST(Analytics, CheckpointOptimumMinimizesMemory) {
+  // §3.5: c* = sqrt(l * A_int / A_inp) minimizes c*A_inp + (l/c)*A_int.
+  const double l = 16, a_inp = 2.0, a_int = 32.0;
+  const double c_star = optimal_checkpoints(l, a_inp, a_int);
+  EXPECT_DOUBLE_EQ(c_star, std::sqrt(16.0 * 32.0 / 2.0));
+  const double at_star = checkpoint_memory(c_star, l, a_inp, a_int);
+  for (double c = 1.0; c <= l; c += 1.0) {
+    EXPECT_GE(checkpoint_memory(c, l, a_inp, a_int), at_star - 1e-9);
+  }
+}
+
+TEST(Analytics, LayerForwardFlopsMatchesAppendixBreakdown) {
+  GptConfig c = table1_config(1, 512, 8);
+  const std::int64_t B = 4;
+  // 24Bsh^2 + 4Bs^2h.
+  const double expected = 24.0 * B * 2048 * 512.0 * 512.0 +
+                          4.0 * B * 2048.0 * 2048.0 * 512.0;
+  EXPECT_DOUBLE_EQ(layer_forward_flops(c, B), expected);
+}
+
+TEST(Analytics, Eq4ApproximatesEq3BasedTime) {
+  // Eq. (4) is derived from Eqs. (2)+(3) under 6h >> s etc.; check the
+  // two agree within a few % for a Table 1 config.
+  GptConfig c = table1_config(96, 16384, 128);
+  const double P = c.paper_params();
+  const double B = 2160, X = 155e12, n = 1920;
+  const double T = 300e9;
+  const double iters = T / (B * c.seq);
+  const double exact_seconds = iters * flops_per_iteration(c, static_cast<std::int64_t>(B)) / (n * X);
+  const double approx_seconds = training_time_seconds(T, P, n, X);
+  EXPECT_NEAR(approx_seconds / exact_seconds, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace ptdp::core

@@ -1,0 +1,171 @@
+// Data-path tests: corpus determinism and learnability structure, dataset
+// windowing, and the key loader invariant — the union of samples across d
+// data-parallel ranks is independent of d (which is what makes training
+// with different d semantically identical).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ptdp/data/dataset.hpp"
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::data {
+namespace {
+
+TEST(SyntheticCorpus, DeterministicForSeed) {
+  SyntheticCorpus a(64, 7), b(64, 7);
+  EXPECT_EQ(a.generate(500), b.generate(500));
+}
+
+TEST(SyntheticCorpus, DifferentSeedsDiffer) {
+  SyntheticCorpus a(64, 7), b(64, 8);
+  EXPECT_NE(a.generate(500), b.generate(500));
+}
+
+TEST(SyntheticCorpus, TokensInRange) {
+  SyntheticCorpus c(32, 1);
+  for (std::int32_t t : c.generate(2000)) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 32);
+  }
+}
+
+TEST(SyntheticCorpus, HasLearnableBigramStructure) {
+  // ~70% of transitions follow the deterministic successor rule, so the
+  // most frequent successor of a common token should dominate.
+  SyntheticCorpus c(16, 3);
+  auto stream = c.generate(20000);
+  std::vector<std::vector<int>> follow(16, std::vector<int>(16, 0));
+  for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+    follow[static_cast<std::size_t>(stream[i])]
+          [static_cast<std::size_t>(stream[i + 1])]++;
+  }
+  int structured = 0, total_checked = 0;
+  for (int tok = 0; tok < 16; ++tok) {
+    int total = 0, best = 0;
+    for (int nxt = 0; nxt < 16; ++nxt) {
+      total += follow[static_cast<std::size_t>(tok)][static_cast<std::size_t>(nxt)];
+      best = std::max(best,
+                      follow[static_cast<std::size_t>(tok)][static_cast<std::size_t>(nxt)]);
+    }
+    if (total > 100) {
+      ++total_checked;
+      if (best > total / 2) ++structured;
+    }
+  }
+  ASSERT_GT(total_checked, 4);
+  EXPECT_GE(structured, total_checked * 2 / 3);
+}
+
+TEST(TokenDataset, WindowsAreShiftedByOne) {
+  std::vector<std::int32_t> stream{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  TokenDataset ds(stream, /*seq=*/4);
+  EXPECT_EQ(ds.size(), 2);
+  std::int32_t tok[4], tgt[4];
+  ds.sample(0, tok, tgt);
+  EXPECT_EQ(tok[0], 0);
+  EXPECT_EQ(tgt[0], 1);
+  EXPECT_EQ(tok[3], 3);
+  EXPECT_EQ(tgt[3], 4);
+  ds.sample(1, tok, tgt);
+  EXPECT_EQ(tok[0], 4);
+  EXPECT_EQ(tgt[3], 8);
+}
+
+TEST(TokenDataset, RejectsShortStreamAndBadIndex) {
+  EXPECT_THROW(TokenDataset({1, 2}, 4), CheckError);
+  TokenDataset ds({0, 1, 2, 3, 4}, 2);
+  std::int32_t tok[2], tgt[2];
+  EXPECT_THROW(ds.sample(99, tok, tgt), CheckError);
+}
+
+TEST(ShardedLoader, MicrobatchShapesAndCount) {
+  SyntheticCorpus corpus(32, 5);
+  TokenDataset ds(corpus.generate(4000), /*seq=*/8);
+  ShardedLoader loader(ds, /*global_batch=*/16, /*micro_b=*/2, /*d=*/2, /*rank=*/0,
+                       /*seed=*/11);
+  EXPECT_EQ(loader.microbatches_per_step(), 4);
+  auto mbs = loader.next_batch(0);
+  ASSERT_EQ(mbs.size(), 4u);
+  for (const auto& mb : mbs) {
+    EXPECT_EQ(mb.s, 8);
+    EXPECT_EQ(mb.b, 2);
+    EXPECT_EQ(mb.tokens.size(), 16u);
+    EXPECT_EQ(mb.targets.size(), 16u);
+  }
+}
+
+TEST(ShardedLoader, TagsUniqueAcrossRanksAndMicrobatches) {
+  SyntheticCorpus corpus(32, 5);
+  TokenDataset ds(corpus.generate(4000), 8);
+  std::set<std::uint64_t> tags;
+  for (int rank = 0; rank < 4; ++rank) {
+    ShardedLoader loader(ds, 16, 1, 4, rank, 11);
+    for (const auto& mb : loader.next_batch(3)) {
+      EXPECT_TRUE(tags.insert(mb.tag).second) << "duplicate tag";
+    }
+  }
+  EXPECT_EQ(tags.size(), 16u);
+}
+
+TEST(ShardedLoader, UnionAcrossRanksIndependentOfD) {
+  // The d=1 batch must equal the concatenation of the d=2 ranks' batches:
+  // same samples, same microbatch boundaries, same tags.
+  SyntheticCorpus corpus(64, 9);
+  TokenDataset ds(corpus.generate(8000), 8);
+  const std::int64_t B = 8, b = 2;
+
+  ShardedLoader serial(ds, B, b, 1, 0, 42);
+  auto serial_mbs = serial.next_batch(5);
+
+  std::vector<model::Microbatch> parallel_mbs;
+  for (int rank = 0; rank < 2; ++rank) {
+    ShardedLoader loader(ds, B, b, 2, rank, 42);
+    for (auto& mb : loader.next_batch(5)) parallel_mbs.push_back(std::move(mb));
+  }
+  ASSERT_EQ(serial_mbs.size(), parallel_mbs.size());
+  for (std::size_t i = 0; i < serial_mbs.size(); ++i) {
+    EXPECT_EQ(serial_mbs[i].tokens, parallel_mbs[i].tokens) << "microbatch " << i;
+    EXPECT_EQ(serial_mbs[i].targets, parallel_mbs[i].targets) << "microbatch " << i;
+    EXPECT_EQ(serial_mbs[i].tag, parallel_mbs[i].tag) << "microbatch " << i;
+  }
+}
+
+TEST(ShardedLoader, DifferentStepsDrawDifferentSamples) {
+  SyntheticCorpus corpus(64, 9);
+  TokenDataset ds(corpus.generate(8000), 8);
+  ShardedLoader loader(ds, 4, 2, 1, 0, 1);
+  auto s0 = loader.next_batch(0);
+  auto s1 = loader.next_batch(1);
+  EXPECT_NE(s0[0].tokens, s1[0].tokens);
+}
+
+TEST(ShardedLoader, RejectsNonDivisibleBatch) {
+  SyntheticCorpus corpus(32, 5);
+  TokenDataset ds(corpus.generate(2000), 8);
+  EXPECT_THROW(ShardedLoader(ds, 10, 4, 1, 0, 1), CheckError);
+  EXPECT_THROW(ShardedLoader(ds, 8, 2, 3, 0, 1), CheckError);
+}
+
+TEST(ShardedLoader, SequenceMajorLayout) {
+  // Element (i_s, i_b) sits at index i_s*b + i_b and rows are contiguous
+  // windows of the stream.
+  std::vector<std::int32_t> stream(100);
+  for (int i = 0; i < 100; ++i) stream[static_cast<std::size_t>(i)] = i % 32;
+  TokenDataset ds(stream, 4);
+  ShardedLoader loader(ds, 2, 2, 1, 0, 7);
+  auto mbs = loader.next_batch(0);
+  ASSERT_EQ(mbs.size(), 1u);
+  const auto& mb = mbs[0];
+  // For each batch column, targets are tokens shifted by one.
+  for (std::int64_t ib = 0; ib < mb.b; ++ib) {
+    for (std::int64_t is = 0; is + 1 < mb.s; ++is) {
+      EXPECT_EQ(mb.targets[static_cast<std::size_t>(is * mb.b + ib)],
+                mb.tokens[static_cast<std::size_t>((is + 1) * mb.b + ib)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptdp::data

@@ -1,0 +1,347 @@
+// Tests for the thread-backed communicator: point-to-point messaging,
+// ring collectives (verified against serial reference reductions), and
+// MPI-style split. Property-swept over world sizes, including non-powers
+// of two and lengths that do not divide evenly into ring chunks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "ptdp/dist/world.hpp"
+#include "ptdp/runtime/rng.hpp"
+
+namespace ptdp::dist {
+namespace {
+
+std::vector<float> rank_payload(int rank, std::size_t len) {
+  std::vector<float> v(len);
+  Rng rng(1234, substream(static_cast<std::uint64_t>(rank)));
+  for (auto& x : v) x = static_cast<float>(rng.next_uniform(-1.0, 1.0));
+  return v;
+}
+
+TEST(World, RunsEveryRankExactlyOnce) {
+  World world(6);
+  std::vector<std::atomic<int>> hits(6);
+  world.run([&](Comm& comm) { hits[static_cast<std::size_t>(comm.rank())]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(world.pending_messages(), 0u);
+}
+
+TEST(World, PropagatesRankExceptions) {
+  World world(4);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 2) throw std::runtime_error("rank 2 died");
+                 // Other ranks exit cleanly without waiting on rank 2.
+               }),
+               std::runtime_error);
+}
+
+TEST(Comm, SendRecvDeliversPayload) {
+  World world(2);
+  world.run([](Comm& comm) {
+    std::vector<float> buf{1.5f, -2.5f, 3.25f};
+    if (comm.rank() == 0) {
+      comm.send(std::span<const float>(buf), 1, /*tag=*/7);
+    } else {
+      std::vector<float> got(3, 0.f);
+      comm.recv(std::span<float>(got), 0, /*tag=*/7);
+      EXPECT_EQ(got, buf);
+    }
+  });
+}
+
+TEST(Comm, TagsDisambiguateOutOfOrderMessages) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const float a = 1.f, b = 2.f;
+      comm.send(std::span<const float>(&a, 1), 1, /*tag=*/100);
+      comm.send(std::span<const float>(&b, 1), 1, /*tag=*/200);
+    } else {
+      float b = 0.f, a = 0.f;
+      // Receive in the opposite order of sending.
+      comm.recv(std::span<float>(&b, 1), 0, /*tag=*/200);
+      comm.recv(std::span<float>(&a, 1), 0, /*tag=*/100);
+      EXPECT_EQ(a, 1.f);
+      EXPECT_EQ(b, 2.f);
+    }
+  });
+}
+
+TEST(Comm, SameTagMessagesDeliverFifo) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (float v : {1.f, 2.f, 3.f}) {
+        comm.send(std::span<const float>(&v, 1), 1, /*tag=*/5);
+      }
+    } else {
+      for (float expect : {1.f, 2.f, 3.f}) {
+        float got = 0.f;
+        comm.recv(std::span<float>(&got, 1), 0, /*tag=*/5);
+        EXPECT_EQ(got, expect);
+      }
+    }
+  });
+}
+
+TEST(Comm, SendRecvOfTrivialStructs) {
+  struct Msg {
+    int a;
+    double b;
+  };
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const Msg m{42, 2.718};
+      comm.send(std::span<const Msg>(&m, 1), 1);
+    } else {
+      Msg m{};
+      comm.recv(std::span<Msg>(&m, 1), 0);
+      EXPECT_EQ(m.a, 42);
+      EXPECT_DOUBLE_EQ(m.b, 2.718);
+    }
+  });
+}
+
+class CommCollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommCollectiveTest, BarrierCompletesRepeatedly) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    for (int i = 0; i < 20; ++i) comm.barrier();
+  });
+  EXPECT_EQ(world.pending_messages(), 0u);
+}
+
+TEST_P(CommCollectiveTest, BroadcastFromEveryRoot) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](Comm& comm) {
+    for (int root = 0; root < n; ++root) {
+      std::vector<float> data =
+          comm.rank() == root ? rank_payload(root, 17) : std::vector<float>(17, 0.f);
+      comm.broadcast(std::span<float>(data), root);
+      EXPECT_EQ(data, rank_payload(root, 17)) << "root=" << root;
+    }
+  });
+}
+
+TEST_P(CommCollectiveTest, AllReduceSumMatchesSerialReference) {
+  const int n = GetParam();
+  // Lengths chosen to stress uneven ring chunking (len % n != 0).
+  for (std::size_t len : {1ul, 7ul, 64ul, 257ul}) {
+    std::vector<float> expected(len, 0.f);
+    for (int r = 0; r < n; ++r) {
+      auto v = rank_payload(r, len);
+      for (std::size_t i = 0; i < len; ++i) expected[i] += v[i];
+    }
+    World world(n);
+    world.run([&](Comm& comm) {
+      auto data = rank_payload(comm.rank(), len);
+      comm.all_reduce(std::span<float>(data));
+      for (std::size_t i = 0; i < len; ++i) {
+        ASSERT_NEAR(data[i], expected[i], 1e-4f) << "len=" << len << " i=" << i;
+      }
+    });
+  }
+}
+
+TEST_P(CommCollectiveTest, AllReduceMaxAndMin) {
+  const int n = GetParam();
+  const std::size_t len = 33;
+  std::vector<float> expected_max(len, -1e30f), expected_min(len, 1e30f);
+  for (int r = 0; r < n; ++r) {
+    auto v = rank_payload(r, len);
+    for (std::size_t i = 0; i < len; ++i) {
+      expected_max[i] = std::max(expected_max[i], v[i]);
+      expected_min[i] = std::min(expected_min[i], v[i]);
+    }
+  }
+  World world(n);
+  world.run([&](Comm& comm) {
+    auto hi = rank_payload(comm.rank(), len);
+    comm.all_reduce(std::span<float>(hi), ReduceOp::kMax);
+    auto lo = rank_payload(comm.rank(), len);
+    comm.all_reduce(std::span<float>(lo), ReduceOp::kMin);
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(hi[i], expected_max[i]);
+      ASSERT_EQ(lo[i], expected_min[i]);
+    }
+  });
+}
+
+TEST_P(CommCollectiveTest, AllReduceDouble) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](Comm& comm) {
+    std::vector<double> data(11, static_cast<double>(comm.rank() + 1));
+    comm.all_reduce(std::span<double>(data));
+    const double expect = n * (n + 1) / 2.0;
+    for (double v : data) ASSERT_DOUBLE_EQ(v, expect);
+  });
+}
+
+TEST_P(CommCollectiveTest, ReduceScatterMatchesSerialReference) {
+  const int n = GetParam();
+  const std::size_t shard = 9;
+  const std::size_t len = shard * static_cast<std::size_t>(n);
+  std::vector<float> expected(len, 0.f);
+  for (int r = 0; r < n; ++r) {
+    auto v = rank_payload(r, len);
+    for (std::size_t i = 0; i < len; ++i) expected[i] += v[i];
+  }
+  World world(n);
+  world.run([&](Comm& comm) {
+    auto in = rank_payload(comm.rank(), len);
+    std::vector<float> out(shard, 0.f);
+    comm.reduce_scatter(std::span<const float>(in), std::span<float>(out));
+    for (std::size_t i = 0; i < shard; ++i) {
+      ASSERT_NEAR(out[i], expected[static_cast<std::size_t>(comm.rank()) * shard + i],
+                  1e-4f);
+    }
+  });
+}
+
+TEST_P(CommCollectiveTest, AllGatherConcatenatesInRankOrder) {
+  const int n = GetParam();
+  const std::size_t shard = 13;
+  World world(n);
+  world.run([&](Comm& comm) {
+    auto in = rank_payload(comm.rank(), shard);
+    std::vector<float> out(shard * static_cast<std::size_t>(n), 0.f);
+    comm.all_gather(std::span<const float>(in), std::span<float>(out));
+    for (int r = 0; r < n; ++r) {
+      auto expect = rank_payload(r, shard);
+      for (std::size_t i = 0; i < shard; ++i) {
+        ASSERT_EQ(out[static_cast<std::size_t>(r) * shard + i], expect[i]);
+      }
+    }
+  });
+}
+
+TEST_P(CommCollectiveTest, AllGatherVariablePayloads) {
+  const int n = GetParam();
+  World world(n);
+  world.run([&](Comm& comm) {
+    // Rank r contributes r+1 bytes of value r.
+    std::vector<std::uint8_t> in(static_cast<std::size_t>(comm.rank() + 1),
+                                 static_cast<std::uint8_t>(comm.rank()));
+    auto all = comm.all_gather_variable(in);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r + 1));
+      for (auto b : all[static_cast<std::size_t>(r)]) {
+        ASSERT_EQ(b, static_cast<std::uint8_t>(r));
+      }
+    }
+  });
+}
+
+TEST_P(CommCollectiveTest, AllReduceScalarConvenience) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](Comm& comm) {
+    const float sum = comm.all_reduce_scalar(1.0f);
+    EXPECT_EQ(sum, static_cast<float>(n));
+    const float mx =
+        comm.all_reduce_scalar(static_cast<float>(comm.rank()), ReduceOp::kMax);
+    EXPECT_EQ(mx, static_cast<float>(n - 1));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CommCollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8));
+
+TEST(CommSplit, EvenOddSplitGroupsByColor) {
+  World world(6);
+  world.run([](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    EXPECT_EQ(sub.world_rank(), comm.rank());
+    // Members are the same-parity ranks, ascending.
+    for (int r = 0; r < sub.size(); ++r) {
+      EXPECT_EQ(sub.world_rank_of(r), 2 * r + comm.rank() % 2);
+    }
+  });
+}
+
+TEST(CommSplit, KeyControlsOrderingWithinColor) {
+  World world(4);
+  world.run([](Comm& comm) {
+    // Reverse ordering: higher parent rank gets lower key.
+    Comm sub = comm.split(0, /*key=*/comm.size() - comm.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+TEST(CommSplit, SubCommunicatorCollectivesAreIsolated) {
+  World world(6);
+  world.run([](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    // Sum of parent ranks within each parity group.
+    float v = static_cast<float>(comm.rank());
+    v = sub.all_reduce_scalar(v);
+    const float expect = comm.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5;
+    EXPECT_EQ(v, expect);
+  });
+}
+
+TEST(CommSplit, NestedSplitsWork) {
+  World world(8);
+  world.run([](Comm& comm) {
+    Comm half = comm.split(comm.rank() / 4, comm.rank());  // two groups of 4
+    Comm quarter = half.split(half.rank() / 2, half.rank());  // four groups of 2
+    EXPECT_EQ(quarter.size(), 2);
+    const float sum = quarter.all_reduce_scalar(static_cast<float>(comm.rank()));
+    // Partner differs by exactly 1 in world rank (pairs 0-1, 2-3, ...).
+    const int base = comm.rank() - comm.rank() % 2;
+    EXPECT_EQ(sum, static_cast<float>(base + base + 1));
+  });
+}
+
+TEST(CommSplit, SequentialSplitsGetDistinctIds) {
+  World world(2);
+  world.run([](Comm& comm) {
+    Comm a = comm.split(0, comm.rank());
+    Comm b = comm.split(0, comm.rank());
+    EXPECT_NE(a.id(), b.id());
+    // Traffic on `a` must not be readable on `b`: send on a, tag 0.
+    if (comm.rank() == 0) {
+      const float x = 5.f;
+      a.send(std::span<const float>(&x, 1), 1, 0);
+      const float y = 6.f;
+      b.send(std::span<const float>(&y, 1), 1, 0);
+    } else {
+      float y = 0.f;
+      b.recv(std::span<float>(&y, 1), 0, 0);
+      EXPECT_EQ(y, 6.f);
+      float x = 0.f;
+      a.recv(std::span<float>(&x, 1), 0, 0);
+      EXPECT_EQ(x, 5.f);
+    }
+  });
+}
+
+TEST(Comm, ManyRanksStressAllReduce) {
+  // Oversubscribed threads on one core: exercises scheduling robustness.
+  const int n = 16;
+  World world(n);
+  world.run([n](Comm& comm) {
+    for (int iter = 0; iter < 5; ++iter) {
+      std::vector<float> data(101, 1.0f);
+      comm.all_reduce(std::span<float>(data));
+      for (float v : data) ASSERT_EQ(v, static_cast<float>(n));
+    }
+  });
+  EXPECT_EQ(world.pending_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace ptdp::dist

@@ -1,0 +1,134 @@
+// Tests that ProcessGroups reproduces Megatron-LM's grid layout: tensor
+// groups are contiguous ranks, data groups stride by t within a pipeline
+// block, pipeline groups stride by t*d, and the embedding group ties the
+// first and last stages.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "ptdp/dist/process_groups.hpp"
+#include "ptdp/dist/world.hpp"
+
+namespace ptdp::dist {
+namespace {
+
+using Grid = std::tuple<int, int, int>;  // (p, t, d)
+
+class ProcessGroupsTest : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(ProcessGroupsTest, CoordinateMappingRoundTrips) {
+  const auto [p, t, d] = GetParam();
+  for (int pi = 0; pi < p; ++pi) {
+    for (int di = 0; di < d; ++di) {
+      for (int ti = 0; ti < t; ++ti) {
+        const int rank = ProcessGroups::world_rank_of(pi, di, ti, t, d);
+        const GridCoord c = ProcessGroups::coord_of(rank, t, d);
+        EXPECT_EQ(c.pipeline, pi);
+        EXPECT_EQ(c.data, di);
+        EXPECT_EQ(c.tensor, ti);
+      }
+    }
+  }
+}
+
+TEST_P(ProcessGroupsTest, GroupShapesAndMembership) {
+  const auto [p, t, d] = GetParam();
+  World world(p * t * d);
+  world.run([p, t, d](Comm& comm) {
+    ProcessGroups groups(comm, p, t, d);
+    const GridCoord c = groups.coord();
+
+    EXPECT_EQ(groups.tensor().size(), t);
+    EXPECT_EQ(groups.pipeline().size(), p);
+    EXPECT_EQ(groups.data().size(), d);
+    EXPECT_EQ(groups.tensor().rank(), c.tensor);
+    EXPECT_EQ(groups.pipeline().rank(), c.pipeline);
+    EXPECT_EQ(groups.data().rank(), c.data);
+
+    // Tensor group holds contiguous world ranks (one NVLink domain).
+    for (int r = 0; r < t; ++r) {
+      EXPECT_EQ(groups.tensor().world_rank_of(r),
+                ProcessGroups::world_rank_of(c.pipeline, c.data, r, t, d));
+    }
+    // Pipeline group strides by t*d.
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(groups.pipeline().world_rank_of(r),
+                ProcessGroups::world_rank_of(r, c.data, c.tensor, t, d));
+    }
+    // Data group strides by t within the pipeline block.
+    for (int r = 0; r < d; ++r) {
+      EXPECT_EQ(groups.data().world_rank_of(r),
+                ProcessGroups::world_rank_of(c.pipeline, r, c.tensor, t, d));
+    }
+  });
+}
+
+TEST_P(ProcessGroupsTest, GroupCollectivesAreIsolatedPerGroup) {
+  const auto [p, t, d] = GetParam();
+  World world(p * t * d);
+  world.run([p, t, d](Comm& comm) {
+    ProcessGroups groups(comm, p, t, d);
+    // Sum of tensor ranks within a tensor group = t*(t-1)/2, etc.
+    const float tsum =
+        groups.tensor().all_reduce_scalar(static_cast<float>(groups.coord().tensor));
+    EXPECT_EQ(tsum, static_cast<float>(t * (t - 1) / 2));
+    const float psum = groups.pipeline().all_reduce_scalar(
+        static_cast<float>(groups.coord().pipeline));
+    EXPECT_EQ(psum, static_cast<float>(p * (p - 1) / 2));
+    const float dsum =
+        groups.data().all_reduce_scalar(static_cast<float>(groups.coord().data));
+    EXPECT_EQ(dsum, static_cast<float>(d * (d - 1) / 2));
+  });
+}
+
+TEST_P(ProcessGroupsTest, EmbeddingGroupTiesFirstAndLastStage) {
+  const auto [p, t, d] = GetParam();
+  World world(p * t * d);
+  world.run([p, t, d](Comm& comm) {
+    ProcessGroups groups(comm, p, t, d);
+    if (p == 1) {
+      EXPECT_EQ(groups.embedding().size(), 1);
+      EXPECT_TRUE(groups.in_embedding_group());
+      return;
+    }
+    if (groups.is_first_stage() || groups.is_last_stage()) {
+      EXPECT_EQ(groups.embedding().size(), 2);
+      // Partner shares (tensor, data) coords but sits at the other end.
+      const int other = groups.embedding().world_rank_of(1 - groups.embedding().rank());
+      const GridCoord oc = ProcessGroups::coord_of(other, t, d);
+      EXPECT_EQ(oc.tensor, groups.coord().tensor);
+      EXPECT_EQ(oc.data, groups.coord().data);
+      EXPECT_TRUE(oc.pipeline == 0 || oc.pipeline == p - 1);
+      EXPECT_NE(oc.pipeline, groups.coord().pipeline);
+    } else {
+      EXPECT_EQ(groups.embedding().size(), 1);
+      EXPECT_FALSE(groups.in_embedding_group());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, ProcessGroupsTest,
+    ::testing::Values(Grid{1, 1, 1}, Grid{2, 1, 1}, Grid{1, 2, 1}, Grid{1, 1, 2},
+                      Grid{2, 2, 2}, Grid{4, 2, 1}, Grid{2, 4, 1}, Grid{3, 2, 2},
+                      Grid{2, 2, 3}, Grid{4, 1, 2}));
+
+TEST(ProcessGroups, RejectsMismatchedWorldSize) {
+  World world(4);
+  EXPECT_THROW(world.run([](Comm& comm) { ProcessGroups groups(comm, 3, 1, 1); }),
+               ptdp::CheckError);
+}
+
+TEST(ProcessGroups, FirstAndLastStageFlags) {
+  World world(6);
+  world.run([](Comm& comm) {
+    ProcessGroups groups(comm, /*p=*/3, /*t=*/2, /*d=*/1);
+    EXPECT_EQ(groups.is_first_stage(), groups.coord().pipeline == 0);
+    EXPECT_EQ(groups.is_last_stage(), groups.coord().pipeline == 2);
+  });
+}
+
+}  // namespace
+}  // namespace ptdp::dist

@@ -1,0 +1,232 @@
+// Optimizer tests: SGD/Adam update math, distributed grad-norm accounting
+// (replicated params counted once), bf16 rounding, and the dynamic loss
+// scaler's backoff/growth behavior.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ptdp/dist/world.hpp"
+#include "ptdp/optim/mixed_precision.hpp"
+#include "ptdp/optim/optimizer.hpp"
+#include "ptdp/tensor/ops.hpp"
+
+namespace ptdp::optim {
+namespace {
+
+using model::Param;
+using tensor::Tensor;
+
+Param make_param(const std::string& name, std::vector<float> w, std::vector<float> g,
+                 bool replicated = false) {
+  const auto n = static_cast<std::int64_t>(w.size());
+  Param p{name, Tensor::from_vector({n}, std::move(w)),
+          Tensor::from_vector({n}, std::move(g)), replicated};
+  return p;
+}
+
+TEST(Sgd, PlainUpdateSubtractsScaledGrad) {
+  Param p = make_param("w", {1.0f, 2.0f}, {0.5f, -0.5f});
+  Sgd sgd({&p}, SgdOptions{.lr = 0.1f});
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value.at({0}), 0.95f);
+  EXPECT_FLOAT_EQ(p.value.at({1}), 2.05f);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  Param p = make_param("w", {0.0f}, {1.0f});
+  Sgd sgd({&p}, SgdOptions{.lr = 1.0f, .momentum = 0.9f});
+  sgd.step();  // v = 1, w = -1
+  EXPECT_FLOAT_EQ(p.value.at({0}), -1.0f);
+  sgd.step();  // v = 0.9 + 1 = 1.9, w = -2.9
+  EXPECT_FLOAT_EQ(p.value.at({0}), -2.9f);
+}
+
+TEST(Sgd, WeightDecayAddsL2Term) {
+  Param p = make_param("w", {2.0f}, {0.0f});
+  Sgd sgd({&p}, SgdOptions{.lr = 0.5f, .weight_decay = 0.1f});
+  sgd.step();  // grad_eff = 0.2, w = 2 - 0.1 = 1.9
+  EXPECT_FLOAT_EQ(p.value.at({0}), 1.9f);
+}
+
+TEST(Sgd, StateTensorsExposeVelocityOnlyWithMomentum) {
+  Param p = make_param("w", {0.0f}, {0.0f});
+  Sgd plain({&p}, SgdOptions{});
+  EXPECT_TRUE(plain.state_tensors().empty());
+  Sgd with_momentum({&p}, SgdOptions{.momentum = 0.9f});
+  EXPECT_EQ(with_momentum.state_tensors().size(), 1u);
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Param p = make_param("w", {0.0f}, {3.0f});
+  Adam adam({&p}, AdamOptions{.lr = 0.01f});
+  adam.step();
+  EXPECT_NEAR(p.value.at({0}), -0.01f, 1e-5f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 — grad = 2(w - 3).
+  Param p = make_param("w", {0.0f}, {0.0f});
+  Adam adam({&p}, AdamOptions{.lr = 0.1f});
+  for (int i = 0; i < 400; ++i) {
+    p.grad.at({0}) = 2.0f * (p.value.at({0}) - 3.0f);
+    adam.step();
+  }
+  EXPECT_NEAR(p.value.at({0}), 3.0f, 0.05f);
+}
+
+TEST(Adam, StateTensorsHoldMomentsAndStepCount) {
+  Param p = make_param("w", {0.0f}, {0.0f});
+  Adam adam({&p}, AdamOptions{});
+  auto state = adam.state_tensors();
+  ASSERT_EQ(state.size(), 3u);
+  EXPECT_EQ(state[0].first, "w.adam_m");
+  EXPECT_EQ(state[1].first, "w.adam_v");
+  EXPECT_EQ(state[2].first, "adam.step_count");
+  adam.step();
+  adam.step();
+  EXPECT_EQ(adam.steps_taken(), 2);
+}
+
+TEST(GradNorm, SerialMatchesManualNorm) {
+  Param a = make_param("a", {0, 0}, {3.0f, 0.0f});
+  Param b = make_param("b", {0}, {4.0f});
+  model::ParamRefs refs{&a, &b};
+  EXPECT_NEAR(global_grad_norm(refs, nullptr, nullptr), 5.0, 1e-6);
+}
+
+TEST(GradNorm, ReplicatedParamsCountedOnceAcrossTensorRanks) {
+  // Two tensor ranks each hold: a sharded grad of 3.0 and a replicated grad
+  // of 4.0. True global norm: sqrt(3^2 + 3^2 + 4^2) = sqrt(34).
+  dist::World world(2);
+  world.run([](dist::Comm& comm) {
+    Param sharded = make_param("s", {0}, {3.0f});
+    Param replicated = make_param("r", {0}, {4.0f}, /*replicated=*/true);
+    model::ParamRefs refs{&sharded, &replicated};
+    const double norm = global_grad_norm(refs, &comm, nullptr);
+    EXPECT_NEAR(norm, std::sqrt(34.0), 1e-4);
+  });
+}
+
+TEST(GradNorm, ClipScalesGradsDownToMaxNorm) {
+  Param a = make_param("a", {0, 0}, {3.0f, 4.0f});
+  model::ParamRefs refs{&a};
+  const double pre = clip_grad_norm(refs, 1.0, nullptr, nullptr);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(global_grad_norm(refs, nullptr, nullptr), 1.0, 1e-5);
+}
+
+TEST(GradNorm, NoClipBelowThreshold) {
+  Param a = make_param("a", {0}, {0.5f});
+  model::ParamRefs refs{&a};
+  clip_grad_norm(refs, 1.0, nullptr, nullptr);
+  EXPECT_FLOAT_EQ(a.grad.at({0}), 0.5f);
+}
+
+TEST(Bf16, RoundingMatchesKnownValues) {
+  EXPECT_EQ(bf16_round(1.0f), 1.0f);
+  EXPECT_EQ(bf16_round(0.0f), 0.0f);
+  // 1.00390625 = 1 + 2^-8 rounds to nearest-even bf16 (1.0).
+  EXPECT_EQ(bf16_round(1.00390625f), 1.0f);
+  // Values already representable survive exactly.
+  EXPECT_EQ(bf16_round(1.5f), 1.5f);
+  EXPECT_EQ(bf16_round(-2.25f), -2.25f);
+}
+
+TEST(Bf16, RelativeErrorBounded) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.next_gaussian(0.0, 10.0));
+    const float r = bf16_round(v);
+    if (v != 0.0f) {
+      EXPECT_LE(std::abs(r - v) / std::abs(v), 1.0f / 128.0f) << v;
+    }
+  }
+}
+
+TEST(LossScaler, BacksOffOnOverflowGrowsAfterInterval) {
+  DynamicLossScaler scaler(LossScalerOptions{.initial_scale = 8.0f,
+                                             .growth_factor = 2.0f,
+                                             .backoff_factor = 0.5f,
+                                             .growth_interval = 2});
+  EXPECT_FALSE(scaler.update(/*found_overflow=*/true));
+  EXPECT_FLOAT_EQ(scaler.scale(), 4.0f);
+  EXPECT_TRUE(scaler.update(false));
+  EXPECT_FLOAT_EQ(scaler.scale(), 4.0f);
+  EXPECT_TRUE(scaler.update(false));  // second good step -> grow
+  EXPECT_FLOAT_EQ(scaler.scale(), 8.0f);
+}
+
+TEST(LossScaler, RespectsMinScale) {
+  DynamicLossScaler scaler(
+      LossScalerOptions{.initial_scale = 2.0f, .backoff_factor = 0.5f,
+                        .min_scale = 1.0f});
+  scaler.update(true);
+  scaler.update(true);
+  scaler.update(true);
+  EXPECT_FLOAT_EQ(scaler.scale(), 1.0f);
+}
+
+TEST(MixedPrecision, DetectsOverflow) {
+  Param p = make_param("w", {0.0f}, {std::numeric_limits<float>::infinity()});
+  model::ParamRefs refs{&p};
+  EXPECT_TRUE(grads_have_overflow(refs));
+  p.grad.at({0}) = std::nanf("");
+  EXPECT_TRUE(grads_have_overflow(refs));
+  p.grad.at({0}) = 1e30f;
+  EXPECT_FALSE(grads_have_overflow(refs));
+}
+
+TEST(MixedPrecision, SkipsStepOnOverflowAndBacksOff) {
+  Param p = make_param("w", {1.0f}, {std::numeric_limits<float>::infinity()});
+  auto inner = std::make_unique<Sgd>(model::ParamRefs{&p}, SgdOptions{.lr = 0.1f});
+  MixedPrecisionOptimizer mixed(std::move(inner),
+                                LossScalerOptions{.initial_scale = 4.0f});
+  const float before = p.value.at({0});
+  mixed.step();
+  EXPECT_EQ(p.value.at({0}), before);  // skipped
+  EXPECT_EQ(mixed.skipped_steps(), 1);
+  EXPECT_FLOAT_EQ(mixed.scaler().scale(), 2.0f);
+}
+
+TEST(MixedPrecision, UnscalesGradsBeforeStepping) {
+  // grad was scaled by 4; effective update must use grad/4.
+  Param p = make_param("w", {1.0f}, {4.0f});
+  auto inner = std::make_unique<Sgd>(model::ParamRefs{&p}, SgdOptions{.lr = 1.0f});
+  MixedPrecisionOptimizer mixed(
+      std::move(inner),
+      LossScalerOptions{.initial_scale = 4.0f, .growth_interval = 1000});
+  mixed.step();
+  EXPECT_NEAR(p.value.at({0}), 0.0f, 1e-2f);  // 1 - 1*1 (bf16-rounded)
+}
+
+TEST(MixedPrecision, MasterWeightsRetainPrecisionAcrossSteps) {
+  // Updates smaller than bf16 resolution must still accumulate in the
+  // master copy — the reason fp32 masters exist.
+  Param p = make_param("w", {256.0f}, {0.0f});
+  auto inner = std::make_unique<Sgd>(model::ParamRefs{&p}, SgdOptions{.lr = 1.0f});
+  MixedPrecisionOptimizer mixed(
+      std::move(inner), LossScalerOptions{.initial_scale = 1.0f,
+                                          .growth_interval = 1 << 30});
+  // Each step subtracts 0.25 — representable in fp32 master, invisible at
+  // bf16 granularity near 256 until accumulated.
+  for (int i = 0; i < 8; ++i) {
+    p.grad.fill(0.25f);
+    mixed.step();
+  }
+  // Master accumulated 2.0 total; working copy reflects it after rounding.
+  EXPECT_NEAR(p.value.at({0}), 254.0f, 1.0f);
+}
+
+TEST(MixedPrecision, StateIncludesMasters) {
+  Param p = make_param("w", {1.0f}, {0.0f});
+  auto inner = std::make_unique<Adam>(model::ParamRefs{&p}, AdamOptions{});
+  MixedPrecisionOptimizer mixed(std::move(inner), LossScalerOptions{});
+  auto state = mixed.state_tensors();
+  ASSERT_EQ(state.size(), 4u);  // adam_m, adam_v, step_count, fp32_master
+  EXPECT_EQ(state[3].first, "w.fp32_master");
+}
+
+}  // namespace
+}  // namespace ptdp::optim

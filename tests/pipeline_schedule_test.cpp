@@ -1,0 +1,193 @@
+// Schedule property tests: structural validity for a sweep of (p, m, v),
+// in-flight activation bounds (GPipe stashes m, 1F1B at most p), and the
+// logical makespan reproducing the paper's analytic bubble fractions
+// exactly: (p-1)/m for GPipe and 1F1B, (p-1)/(v·m) for interleaved.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ptdp/pipeline/schedule.hpp"
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::pipeline {
+namespace {
+
+using Params = std::tuple<int, int>;  // (p, m)
+
+class FlatScheduleTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(FlatScheduleTest, GPipeIsValidOnEveryRank) {
+  const auto [p, m] = GetParam();
+  const ScheduleParams sp{ScheduleType::kGPipe, p, m, 1};
+  for (int r = 0; r < p; ++r) {
+    EXPECT_TRUE(is_valid_rank_schedule(sp, build_rank_schedule(sp, r))) << "rank " << r;
+  }
+}
+
+TEST_P(FlatScheduleTest, OneFOneBIsValidOnEveryRank) {
+  const auto [p, m] = GetParam();
+  const ScheduleParams sp{ScheduleType::kOneFOneB, p, m, 1};
+  for (int r = 0; r < p; ++r) {
+    EXPECT_TRUE(is_valid_rank_schedule(sp, build_rank_schedule(sp, r))) << "rank " << r;
+  }
+}
+
+TEST_P(FlatScheduleTest, GPipeStashesAllMicrobatches) {
+  const auto [p, m] = GetParam();
+  const ScheduleParams sp{ScheduleType::kGPipe, p, m, 1};
+  EXPECT_EQ(max_in_flight(build_rank_schedule(sp, 0)), m);
+}
+
+TEST_P(FlatScheduleTest, OneFOneBStashesAtMostPipelineDepth) {
+  // The key memory claim of §2.2.1: 1F1B keeps at most p microbatches
+  // in flight instead of m.
+  const auto [p, m] = GetParam();
+  const ScheduleParams sp{ScheduleType::kOneFOneB, p, m, 1};
+  for (int r = 0; r < p; ++r) {
+    const int in_flight = max_in_flight(build_rank_schedule(sp, r));
+    EXPECT_LE(in_flight, std::min(p, m)) << "rank " << r;
+    EXPECT_EQ(in_flight, std::min(p - r, m)) << "rank " << r;
+  }
+}
+
+TEST_P(FlatScheduleTest, GPipeAndOneFOneBHaveIdenticalBubble) {
+  // §2.2.1: "The time spent in the bubble is the same for this new
+  // schedule" — 1F1B wins on memory, not bubble.
+  const auto [p, m] = GetParam();
+  const double tf = 1.0, tb = 2.0;
+  const double gpipe = simulate_makespan({ScheduleType::kGPipe, p, m, 1}, tf, tb);
+  const double ofob = simulate_makespan({ScheduleType::kOneFOneB, p, m, 1}, tf, tb);
+  EXPECT_DOUBLE_EQ(gpipe, ofob);
+}
+
+TEST_P(FlatScheduleTest, BubbleFractionMatchesAnalyticFormula) {
+  const auto [p, m] = GetParam();
+  const ScheduleParams sp{ScheduleType::kOneFOneB, p, m, 1};
+  // Bubble formula is exact for any tf, tb (the paper notes the schedule
+  // efficiency does not depend on the tb/tf ratio).
+  for (auto [tf, tb] : {std::pair{1.0, 2.0}, {1.0, 1.0}, {3.0, 1.0}}) {
+    EXPECT_NEAR(bubble_fraction(sp, tf, tb), analytic_bubble_fraction(sp), 1e-12)
+        << "tf=" << tf << " tb=" << tb;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PipelineShapes, FlatScheduleTest,
+                         ::testing::Values(Params{1, 1}, Params{1, 4}, Params{2, 2},
+                                           Params{2, 8}, Params{4, 4}, Params{4, 8},
+                                           Params{4, 16}, Params{8, 8}, Params{8, 32},
+                                           Params{3, 7}, Params{5, 11}));
+
+using IntParams = std::tuple<int, int, int>;  // (p, m_multiplier, v)
+
+class InterleavedScheduleTest : public ::testing::TestWithParam<IntParams> {};
+
+TEST_P(InterleavedScheduleTest, IsValidOnEveryRank) {
+  const auto [p, mult, v] = GetParam();
+  const ScheduleParams sp{ScheduleType::kInterleaved, p, p * mult, v};
+  for (int r = 0; r < p; ++r) {
+    EXPECT_TRUE(is_valid_rank_schedule(sp, build_rank_schedule(sp, r))) << "rank " << r;
+  }
+}
+
+TEST_P(InterleavedScheduleTest, BubbleShrinksByChunkFactor) {
+  // §2.2.2: interleaving reduces the bubble to (p-1)/(v·m). Exact when
+  // m > p (the steady-state regime the formula describes).
+  const auto [p, mult, v] = GetParam();
+  if (mult <= 1) GTEST_SKIP() << "m == p is the degenerate all-fwd-all-bwd case";
+  const ScheduleParams sp{ScheduleType::kInterleaved, p, p * mult, v};
+  // Per-chunk time is the full stage time divided by v.
+  const double tf = 1.0 / v, tb = 2.0 / v;
+  EXPECT_NEAR(bubble_fraction(sp, tf, tb), analytic_bubble_fraction(sp), 1e-9);
+}
+
+TEST_P(InterleavedScheduleTest, BeatsNonInterleavedMakespan) {
+  const auto [p, mult, v] = GetParam();
+  if (p < 2) GTEST_SKIP();
+  const int m = p * mult;
+  const double flat =
+      simulate_makespan({ScheduleType::kOneFOneB, p, m, 1}, 1.0, 2.0);
+  const double inter =
+      simulate_makespan({ScheduleType::kInterleaved, p, m, v}, 1.0 / v, 2.0 / v);
+  EXPECT_LT(inter, flat);
+}
+
+TEST_P(InterleavedScheduleTest, InFlightBoundedByWarmupDepth) {
+  // The interleaved warmup runs 2(p-r-1) + (v-1)p forwards before the first
+  // backward, so the peak stash is p·v + p - 1 chunk-activations on rank 0 —
+  // "comparable" to (slightly above) the non-interleaved p·v bound, and
+  // still independent of m (the memory claim of §2.2.2).
+  const auto [p, mult, v] = GetParam();
+  const ScheduleParams sp{ScheduleType::kInterleaved, p, p * mult, v};
+  const int total = sp.m * sp.v;
+  for (int r = 0; r < p; ++r) {
+    // m == p degenerates to all-forward-all-backward (warmup == total).
+    const int bound =
+        sp.m == p ? total : std::min(total, 2 * (p - r - 1) + (v - 1) * p + 1);
+    EXPECT_LE(max_in_flight(build_rank_schedule(sp, r)), bound) << "rank " << r;
+  }
+  // And the bound is independent of m: doubling m leaves the peak unchanged
+  // (outside the degenerate m == p case).
+  if (mult > 1) {
+    const ScheduleParams sp2{ScheduleType::kInterleaved, p, 2 * p * mult, v};
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(max_in_flight(build_rank_schedule(sp, r)),
+                max_in_flight(build_rank_schedule(sp2, r)))
+          << "rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(InterleavedShapes, InterleavedScheduleTest,
+                         ::testing::Values(IntParams{2, 2, 2}, IntParams{2, 4, 2},
+                                           IntParams{4, 2, 2}, IntParams{4, 4, 2},
+                                           IntParams{4, 2, 3}, IntParams{4, 2, 4},
+                                           IntParams{8, 2, 2}, IntParams{2, 1, 2},
+                                           IntParams{4, 1, 4}));
+
+TEST(Schedule, InterleavedRequiresMicrobatchMultipleOfP) {
+  EXPECT_THROW(build_rank_schedule({ScheduleType::kInterleaved, 4, 6, 2}, 0),
+               CheckError);
+}
+
+TEST(Schedule, InterleavedRequiresRealPipeline) {
+  EXPECT_THROW(build_rank_schedule({ScheduleType::kInterleaved, 1, 4, 2}, 0),
+               CheckError);
+}
+
+TEST(Schedule, FlatSchedulesRejectMultipleChunks) {
+  EXPECT_THROW(build_rank_schedule({ScheduleType::kOneFOneB, 2, 4, 2}, 0), CheckError);
+  EXPECT_THROW(build_rank_schedule({ScheduleType::kGPipe, 2, 4, 2}, 0), CheckError);
+}
+
+TEST(Schedule, VirtualStageLayout) {
+  // Device r's chunk c is virtual stage c*p + r (§2.2.2 layer striping).
+  EXPECT_EQ(virtual_stage(0, 0, 4), 0);
+  EXPECT_EQ(virtual_stage(3, 0, 4), 3);
+  EXPECT_EQ(virtual_stage(0, 1, 4), 4);
+  EXPECT_EQ(virtual_stage(3, 1, 4), 7);
+}
+
+TEST(Schedule, MakespanForSingleStageIsIdealTime) {
+  const ScheduleParams sp{ScheduleType::kOneFOneB, 1, 8, 1};
+  EXPECT_DOUBLE_EQ(simulate_makespan(sp, 1.0, 2.0), 8 * 3.0);
+  EXPECT_DOUBLE_EQ(bubble_fraction(sp, 1.0, 2.0), 0.0);
+}
+
+TEST(Schedule, BubbleGrowsWithPipelineDepthShrinksWithMicrobatches) {
+  // Fig. 6's monotonicity, at the schedule level.
+  const double b1 = bubble_fraction({ScheduleType::kOneFOneB, 2, 8, 1}, 1, 2);
+  const double b2 = bubble_fraction({ScheduleType::kOneFOneB, 4, 8, 1}, 1, 2);
+  const double b3 = bubble_fraction({ScheduleType::kOneFOneB, 4, 32, 1}, 1, 2);
+  EXPECT_LT(b1, b2);
+  EXPECT_GT(b2, b3);
+}
+
+TEST(Schedule, NamesAreStable) {
+  EXPECT_STREQ(schedule_name(ScheduleType::kGPipe), "gpipe");
+  EXPECT_STREQ(schedule_name(ScheduleType::kOneFOneB), "1f1b");
+  EXPECT_STREQ(schedule_name(ScheduleType::kInterleaved), "interleaved-1f1b");
+}
+
+}  // namespace
+}  // namespace ptdp::pipeline

@@ -1,0 +1,241 @@
+// Randomized property tests: instead of hand-picked cases, sweep random
+// shapes/configurations (deterministically seeded) and assert invariants —
+// GEMM against the naive reference, schedule validity and bubble laws,
+// collective correctness under random world sizes and lengths, analytic
+// monotonicities, and planner output well-formedness.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ptdp/core/planner.hpp"
+#include "ptdp/dist/world.hpp"
+#include "ptdp/model/transformer_layer.hpp"
+#include "ptdp/pipeline/schedule.hpp"
+#include "ptdp/tensor/ops.hpp"
+
+namespace ptdp {
+namespace {
+
+using tensor::Tensor;
+
+TEST(FuzzGemm, RandomShapesMatchNaiveReference) {
+  Rng rng(0xF0);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto m = static_cast<std::int64_t>(1 + rng.next_below(12));
+    const auto k = static_cast<std::int64_t>(1 + rng.next_below(12));
+    const auto n = static_cast<std::int64_t>(1 + rng.next_below(12));
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    Tensor c = tensor::matmul(a, b);
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        float acc = 0;
+        for (std::int64_t p = 0; p < k; ++p) acc += a.at({i, p}) * b.at({p, j});
+        ASSERT_NEAR(c.at({i, j}), acc, 1e-4f)
+            << "(" << m << "," << k << "," << n << ") @ " << i << "," << j;
+      }
+    }
+    // Transposed variants agree with explicit transposes.
+    Tensor bt = Tensor::randn({n, k}, rng);
+    ASSERT_TRUE(tensor::allclose(tensor::matmul_nt(a, bt),
+                                 tensor::matmul(a, bt.transpose(0, 1)), 1e-4f,
+                                 1e-5f));
+    Tensor at = Tensor::randn({k, m}, rng);
+    ASSERT_TRUE(tensor::allclose(tensor::matmul_tn(at, b),
+                                 tensor::matmul(at.transpose(0, 1), b), 1e-4f,
+                                 1e-5f));
+  }
+}
+
+TEST(FuzzGemm, BatchedAgainstLooped) {
+  Rng rng(0xF1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto bs = static_cast<std::int64_t>(1 + rng.next_below(4));
+    const auto m = static_cast<std::int64_t>(1 + rng.next_below(6));
+    const auto k = static_cast<std::int64_t>(1 + rng.next_below(6));
+    const auto n = static_cast<std::int64_t>(1 + rng.next_below(6));
+    Tensor a = Tensor::randn({bs, m, k}, rng);
+    Tensor b = Tensor::randn({bs, k, n}, rng);
+    Tensor c = tensor::bmm(a, b);
+    for (std::int64_t i = 0; i < bs; ++i) {
+      Tensor ci = tensor::matmul(a.slice(0, i, 1).view({m, k}),
+                                 b.slice(0, i, 1).view({k, n}));
+      ASSERT_TRUE(tensor::allclose(c.slice(0, i, 1).view({m, n}), ci, 1e-4f, 1e-5f));
+    }
+  }
+}
+
+TEST(FuzzSchedule, RandomConfigurationsSatisfyInvariants) {
+  Rng rng(0xF2);
+  int tried = 0;
+  for (int trial = 0; trial < 200 && tried < 120; ++trial) {
+    const int p = static_cast<int>(1 + rng.next_below(8));
+    const int m = static_cast<int>(1 + rng.next_below(24));
+    const int pick = static_cast<int>(rng.next_below(3));
+    pipeline::ScheduleParams sp;
+    sp.p = p;
+    sp.m = m;
+    if (pick == 0) {
+      sp.type = pipeline::ScheduleType::kGPipe;
+      sp.v = 1;
+    } else if (pick == 1) {
+      sp.type = pipeline::ScheduleType::kOneFOneB;
+      sp.v = 1;
+    } else {
+      sp.type = pipeline::ScheduleType::kInterleaved;
+      sp.v = static_cast<int>(2 + rng.next_below(3));
+      if (p < 2 || m % p != 0) continue;  // constraint of §2.2.2
+    }
+    ++tried;
+    for (int r = 0; r < p; ++r) {
+      ASSERT_TRUE(pipeline::is_valid_rank_schedule(
+          sp, pipeline::build_rank_schedule(sp, r)))
+          << "p=" << p << " m=" << m << " v=" << sp.v << " type=" << pick
+          << " rank=" << r;
+    }
+    // Makespan is at least the ideal time, and the bubble is non-negative
+    // and bounded by the GPipe bubble.
+    const double tf = 0.5 + rng.next_uniform();
+    const double tb = 0.5 + 2.0 * rng.next_uniform();
+    const double bubble = pipeline::bubble_fraction(sp, tf / sp.v, tb / sp.v);
+    ASSERT_GE(bubble, -1e-9);
+    ASSERT_LE(bubble, static_cast<double>(p - 1) / m + 1e-9)
+        << "p=" << p << " m=" << m << " v=" << sp.v;
+  }
+  ASSERT_GE(tried, 100);
+}
+
+TEST(FuzzComm, RandomWorldsRandomLengths) {
+  Rng cfg_rng(0xF3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = static_cast<int>(1 + cfg_rng.next_below(7));
+    const std::size_t len = static_cast<std::size_t>(1 + cfg_rng.next_below(97));
+    const std::uint64_t seed = cfg_rng.next_u64();
+    // Reference sum.
+    std::vector<float> expected(len, 0.f);
+    for (int r = 0; r < n; ++r) {
+      Rng rr(seed, static_cast<std::uint64_t>(r));
+      for (auto& v : expected) v += static_cast<float>(rr.next_uniform(-1, 1));
+    }
+    dist::World world(n);
+    world.run([&](dist::Comm& comm) {
+      Rng rr(seed, static_cast<std::uint64_t>(comm.rank()));
+      std::vector<float> data(len);
+      for (auto& v : data) v = static_cast<float>(rr.next_uniform(-1, 1));
+      comm.all_reduce(std::span<float>(data));
+      for (std::size_t i = 0; i < len; ++i) {
+        ASSERT_NEAR(data[i], expected[i], 1e-4f)
+            << "n=" << n << " len=" << len << " i=" << i;
+      }
+    });
+    ASSERT_EQ(world.pending_messages(), 0u);
+  }
+}
+
+TEST(FuzzTransformerLayer, RandomTinyConfigsMatchSerial) {
+  Rng cfg_rng(0xF4);
+  for (int trial = 0; trial < 4; ++trial) {
+    model::GptConfig c;
+    c.heads = static_cast<std::int64_t>(2 * (1 + cfg_rng.next_below(3)));  // 2,4,6
+    c.hidden = c.heads * static_cast<std::int64_t>(4 * (1 + cfg_rng.next_below(2)));
+    c.vocab = 16;
+    c.seq = static_cast<std::int64_t>(2 + cfg_rng.next_below(5));
+    c.num_layers = 1;
+    c.seed = cfg_rng.next_u64();
+    const int t = c.heads % 4 == 0 && cfg_rng.next_bernoulli(0.5) ? 4 : 2;
+    if (c.heads % t != 0) continue;
+
+    Rng xrng(c.seed, 1);
+    Tensor x = Tensor::randn({c.seq, 2, c.hidden}, xrng);
+    Tensor dy = Tensor::randn({c.seq, 2, c.hidden}, xrng);
+    dist::Comm solo = dist::Comm::solo();
+    model::TransformerLayer ref(c, 0, solo);
+    model::LayerCache ref_cache;
+    Tensor ref_y = ref.forward(x, ref_cache, 1);
+    Tensor ref_dx = ref.backward(dy, ref_cache);
+
+    dist::World world(t);
+    world.run([&](dist::Comm& comm) {
+      model::TransformerLayer layer(c, 0, comm);
+      model::LayerCache cache;
+      ASSERT_TRUE(tensor::allclose(layer.forward(x, cache, 1), ref_y, 1e-3f, 1e-4f))
+          << "heads=" << c.heads << " hidden=" << c.hidden << " t=" << t;
+      ASSERT_TRUE(tensor::allclose(layer.backward(dy, cache), ref_dx, 1e-3f, 1e-4f));
+    });
+  }
+}
+
+TEST(FuzzAnalytics, Monotonicities) {
+  Rng rng(0xF5);
+  for (int trial = 0; trial < 40; ++trial) {
+    model::GptConfig m;
+    m.num_layers = static_cast<std::int64_t>(8 * (1 + rng.next_below(8)));
+    m.hidden = static_cast<std::int64_t>(1024 * (1 + rng.next_below(16)));
+    m.heads = 32;
+    m.vocab = 51200;
+    m.seq = 2048;
+    core::ParallelConfig cfg;
+    cfg.p = static_cast<int>(1 << rng.next_below(4));
+    cfg.t = static_cast<int>(1 << rng.next_below(4));
+    cfg.d = static_cast<int>(1 << rng.next_below(3));
+    cfg.b = static_cast<std::int64_t>(1 << rng.next_below(3));
+    if (m.num_layers % cfg.p != 0) continue;
+    const std::int64_t B = cfg.b * cfg.d * (1 + static_cast<std::int64_t>(
+                                                    rng.next_below(16)));
+
+    // Bubble: decreasing in batch size, increasing in p.
+    ASSERT_GE(core::bubble_fraction(cfg, B), core::bubble_fraction(cfg, 2 * B));
+    core::ParallelConfig deeper = cfg;
+    deeper.p *= 2;
+    ASSERT_LE(core::bubble_fraction(cfg, B), core::bubble_fraction(deeper, B));
+
+    // Memory: recompute never uses more activation memory than stashing.
+    ASSERT_LE(core::activation_bytes_per_layer(m, cfg.b, true),
+              core::activation_bytes_per_layer(m, cfg.b, false));
+
+    // Tensor-parallel comm: increasing in t (per-device volume).
+    core::ParallelConfig wider = cfg;
+    wider.t *= 2;
+    ASSERT_LE(core::tensor_parallel_bytes_per_microbatch(m, cfg),
+              core::tensor_parallel_bytes_per_microbatch(m, wider) + 1e-6);
+
+    // Scatter/gather never increases p2p bytes.
+    core::ParallelConfig sg = cfg;
+    sg.scatter_gather = true;
+    ASSERT_LE(core::pipeline_p2p_bytes_per_microbatch(m, sg),
+              core::pipeline_p2p_bytes_per_microbatch(m, cfg));
+  }
+}
+
+TEST(FuzzPlanner, OutputsAlwaysWellFormed) {
+  Rng rng(0xF6);
+  int planned = 0;
+  for (int trial = 0; trial < 12 && planned < 8; ++trial) {
+    core::PlannerInput input;
+    input.model.num_layers = static_cast<std::int64_t>(12 * (1 + rng.next_below(4)));
+    input.model.hidden = static_cast<std::int64_t>(2048 * (1 + rng.next_below(4)));
+    input.model.heads = 32;
+    input.model.vocab = 51200;
+    input.model.seq = 2048;
+    input.n_gpus = static_cast<std::int64_t>(8 << rng.next_below(5));
+    input.global_batch = static_cast<std::int64_t>(128 << rng.next_below(3));
+    core::Plan plan;
+    try {
+      plan = core::plan_configuration(input);
+    } catch (const CheckError&) {
+      continue;  // genuinely infeasible point
+    }
+    ++planned;
+    for (const auto& cand : plan.feasible) {
+      ASSERT_EQ(cand.config.n(), input.n_gpus);
+      ASSERT_NO_THROW(cand.config.validate(input.model, input.global_batch));
+      ASSERT_TRUE(cand.memory.fits(input.gpu_memory_bytes));
+      ASSERT_GT(cand.est_batch_seconds, 0.0);
+    }
+  }
+  ASSERT_GE(planned, 4);
+}
+
+}  // namespace
+}  // namespace ptdp

@@ -1,0 +1,448 @@
+// Kernel tests: GEMM vs. naive reference, elementwise ops, and
+// finite-difference gradient checks for every backward kernel. The gradient
+// checks are the load-bearing tests — the hand-written transformer backprop
+// is only as correct as these kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "ptdp/tensor/ops.hpp"
+
+namespace ptdp::tensor {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.f;
+      for (std::int64_t p = 0; p < k; ++p) acc += a.at({i, p}) * b.at({p, j});
+      c.at({i, j}) = acc;
+    }
+  }
+  return c;
+}
+
+// Central-difference numerical gradient of scalar_fn at x, for element i.
+float numerical_grad(const std::function<float(const Tensor&)>& scalar_fn,
+                     const Tensor& x, std::int64_t i, float eps = 1e-3f) {
+  Tensor xp = x.clone();
+  Tensor xm = x.clone();
+  xp.data()[static_cast<std::size_t>(i)] += eps;
+  xm.data()[static_cast<std::size_t>(i)] -= eps;
+  return (scalar_fn(xp) - scalar_fn(xm)) / (2.0f * eps);
+}
+
+// Checks analytic grad dx of sum(weight ⊙ f(x)) against finite differences.
+void check_grad(const std::function<Tensor(const Tensor&)>& f, const Tensor& x,
+                const Tensor& dx_analytic, const Tensor& weight, float tol = 2e-2f) {
+  auto scalar_fn = [&](const Tensor& xx) { return sum_all(mul(f(xx), weight)); };
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float num = numerical_grad(scalar_fn, x, i);
+    const float ana = dx_analytic.data()[static_cast<std::size_t>(i)];
+    ASSERT_NEAR(ana, num, tol) << "element " << i;
+  }
+}
+
+TEST(Gemm, MatmulMatchesNaive) {
+  Rng rng(1);
+  for (auto [m, k, n] : std::vector<std::tuple<int, int, int>>{
+           {1, 1, 1}, {2, 3, 4}, {5, 7, 3}, {8, 8, 8}, {1, 16, 5}}) {
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    EXPECT_TRUE(allclose(matmul(a, b), naive_matmul(a, b), 1e-4f, 1e-5f))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(Gemm, MatmulNtEqualsMatmulWithExplicitTranspose) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({4, 6}, rng);
+  Tensor b = Tensor::randn({5, 6}, rng);
+  EXPECT_TRUE(allclose(matmul_nt(a, b), matmul(a, b.transpose(0, 1)), 1e-4f, 1e-5f));
+}
+
+TEST(Gemm, MatmulTnEqualsMatmulWithExplicitTranspose) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({6, 4}, rng);
+  Tensor b = Tensor::randn({6, 5}, rng);
+  EXPECT_TRUE(allclose(matmul_tn(a, b), matmul(a.transpose(0, 1), b), 1e-4f, 1e-5f));
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Tensor a({2, 3}), b({4, 5});
+  EXPECT_THROW(matmul(a, b), CheckError);
+  EXPECT_THROW(matmul_nt(a, b), CheckError);
+  EXPECT_THROW(matmul_tn(a, b), CheckError);
+}
+
+TEST(Gemm, BatchedVariantsMatchPerBatchMatmul) {
+  Rng rng(4);
+  Tensor a = Tensor::randn({3, 2, 5}, rng);
+  Tensor b = Tensor::randn({3, 5, 4}, rng);
+  Tensor c = bmm(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 2, 4}));
+  for (std::int64_t i = 0; i < 3; ++i) {
+    Tensor ai = a.slice(0, i, 1).view({2, 5});
+    Tensor bi = b.slice(0, i, 1).view({5, 4});
+    Tensor ci = c.slice(0, i, 1).view({2, 4});
+    EXPECT_TRUE(allclose(ci, matmul(ai, bi), 1e-4f, 1e-5f));
+  }
+
+  Tensor bt = Tensor::randn({3, 4, 5}, rng);
+  Tensor cnt = bmm_nt(a, bt);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    Tensor ai = a.slice(0, i, 1).view({2, 5});
+    Tensor bi = bt.slice(0, i, 1).view({4, 5});
+    Tensor ci = cnt.slice(0, i, 1).view({2, 4});
+    EXPECT_TRUE(allclose(ci, matmul_nt(ai, bi), 1e-4f, 1e-5f));
+  }
+
+  Tensor at = Tensor::randn({3, 5, 2}, rng);
+  Tensor ctn = bmm_tn(at, b);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    Tensor ai = at.slice(0, i, 1).view({5, 2});
+    Tensor bi = b.slice(0, i, 1).view({5, 4});
+    Tensor ci = ctn.slice(0, i, 1).view({2, 4});
+    EXPECT_TRUE(allclose(ci, matmul_tn(ai, bi), 1e-4f, 1e-5f));
+  }
+}
+
+TEST(Elementwise, AddSubMulScale) {
+  Tensor a = Tensor::from_values({1, 2, 3});
+  Tensor b = Tensor::from_values({4, 5, 6});
+  EXPECT_EQ(add(a, b).at({1}), 7.f);
+  EXPECT_EQ(sub(a, b).at({2}), -3.f);
+  EXPECT_EQ(mul(a, b).at({0}), 4.f);
+  EXPECT_EQ(scale(a, 2.f).at({2}), 6.f);
+}
+
+TEST(Elementwise, InPlaceOps) {
+  Tensor a = Tensor::from_values({1, 2, 3});
+  Tensor b = Tensor::from_values({1, 1, 1});
+  add_(a, b);
+  EXPECT_EQ(a.at({0}), 2.f);
+  axpy_(a, 0.5f, b);
+  EXPECT_EQ(a.at({0}), 2.5f);
+  scale_(a, 2.f);
+  EXPECT_EQ(a.at({0}), 5.f);
+}
+
+TEST(Elementwise, AddBiasBroadcastsOverRows) {
+  Tensor x = Tensor::from_vector({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias = Tensor::from_values({10, 20, 30});
+  Tensor y = add_bias(x, bias);
+  EXPECT_EQ(y.at({0, 1}), 20.f);
+  EXPECT_EQ(y.at({1, 2}), 31.f);
+}
+
+TEST(Elementwise, BiasGradIsColumnSum) {
+  Tensor dy = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor g = bias_grad(dy);
+  EXPECT_EQ(g.at({0}), 5.f);
+  EXPECT_EQ(g.at({1}), 7.f);
+  EXPECT_EQ(g.at({2}), 9.f);
+}
+
+TEST(Gelu, MatchesReferenceValues) {
+  // GeLU(0) = 0, GeLU is ~x for large x, ~0 for very negative x.
+  Tensor x = Tensor::from_values({0.f, 5.f, -5.f, 1.f});
+  Tensor y = gelu(x);
+  EXPECT_NEAR(y.at({0}), 0.0f, 1e-6f);
+  EXPECT_NEAR(y.at({1}), 5.0f, 1e-3f);
+  EXPECT_NEAR(y.at({2}), 0.0f, 1e-3f);
+  EXPECT_NEAR(y.at({3}), 0.8412f, 1e-3f);  // known GeLU(1) (tanh approx)
+}
+
+TEST(Gelu, GradientMatchesFiniteDifference) {
+  Rng rng(11);
+  Tensor x = Tensor::randn({3, 4}, rng);
+  Tensor w = Tensor::randn({3, 4}, rng);
+  Tensor dx = gelu_backward(w, x);
+  check_grad([](const Tensor& t) { return gelu(t); }, x, dx, w);
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentity) {
+  Rng rng(1);
+  Tensor x = Tensor::randn({4, 4}, rng);
+  Tensor mask;
+  Tensor y = dropout(x, 0.0f, rng, mask);
+  EXPECT_EQ(max_abs_diff(y, x), 0.0f);
+  for (float v : mask.data()) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(Dropout, PreservesExpectation) {
+  Rng rng(2);
+  Tensor x = Tensor::ones({10000});
+  Tensor mask;
+  Tensor y = dropout(x, 0.3f, rng, mask);
+  EXPECT_NEAR(mean_all(y), 1.0f, 0.05f);
+  // Survivors are scaled by 1/(1-p).
+  for (float v : y.data()) {
+    EXPECT_TRUE(v == 0.0f || std::abs(v - 1.0f / 0.7f) < 1e-5f);
+  }
+}
+
+TEST(Dropout, BackwardAppliesSameMask) {
+  Rng rng(3);
+  Tensor x = Tensor::ones({100});
+  Tensor mask;
+  Tensor y = dropout(x, 0.5f, rng, mask);
+  Tensor dy = Tensor::ones({100});
+  Tensor dx = dropout_backward(dy, mask);
+  EXPECT_EQ(max_abs_diff(dx, y), 0.0f);  // since x == dy == 1
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({5, 16}, rng, 3.0f);
+  Tensor gamma = Tensor::ones({16});
+  Tensor beta = Tensor::zeros({16});
+  auto res = layernorm(x, gamma, beta);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    float mean = 0.f, var = 0.f;
+    for (std::int64_t j = 0; j < 16; ++j) mean += res.y.at({r, j});
+    mean /= 16.f;
+    for (std::int64_t j = 0; j < 16; ++j) {
+      const float d = res.y.at({r, j}) - mean;
+      var += d * d;
+    }
+    var /= 16.f;
+    EXPECT_NEAR(mean, 0.0f, 1e-5f);
+    EXPECT_NEAR(var, 1.0f, 1e-3f);
+  }
+}
+
+TEST(LayerNorm, GammaBetaAffineApplied) {
+  Tensor x = Tensor::from_vector({1, 2}, {-1.f, 1.f});
+  Tensor gamma = Tensor::from_values({2.f, 2.f});
+  Tensor beta = Tensor::from_values({5.f, 5.f});
+  auto res = layernorm(x, gamma, beta);
+  // Normalized values are ±1 (approx), so y = ±2 + 5.
+  EXPECT_NEAR(res.y.at({0, 0}), 3.0f, 1e-2f);
+  EXPECT_NEAR(res.y.at({0, 1}), 7.0f, 1e-2f);
+}
+
+TEST(LayerNorm, InputGradientMatchesFiniteDifference) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({3, 8}, rng);
+  Tensor gamma = Tensor::randn({8}, rng, 0.5f);
+  Tensor beta = Tensor::randn({8}, rng, 0.5f);
+  Tensor w = Tensor::randn({3, 8}, rng);
+  auto fwd = layernorm(x, gamma, beta);
+  auto grads = layernorm_backward(w, x, gamma, fwd.mean, fwd.rstd);
+  check_grad([&](const Tensor& t) { return layernorm(t, gamma, beta).y; }, x, grads.dx,
+             w);
+}
+
+TEST(LayerNorm, GammaBetaGradientsMatchFiniteDifference) {
+  Rng rng(6);
+  Tensor x = Tensor::randn({3, 8}, rng);
+  Tensor gamma = Tensor::randn({8}, rng, 0.5f);
+  Tensor beta = Tensor::randn({8}, rng, 0.5f);
+  Tensor w = Tensor::randn({3, 8}, rng);
+  auto fwd = layernorm(x, gamma, beta);
+  auto grads = layernorm_backward(w, x, gamma, fwd.mean, fwd.rstd);
+  check_grad([&](const Tensor& g) { return layernorm(x, g, beta).y; }, gamma,
+             grads.dgamma, w);
+  check_grad([&](const Tensor& b) { return layernorm(x, gamma, b).y; }, beta,
+             grads.dbeta, w);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({4, 9}, rng, 2.f);
+  Tensor y = softmax_lastdim(x);
+  Tensor s = row_sum(y);
+  for (float v : s.data()) EXPECT_NEAR(v, 1.0f, 1e-5f);
+}
+
+TEST(Softmax, StableUnderLargeInputs) {
+  Tensor x = Tensor::from_vector({1, 3}, {1000.f, 1000.f, 1000.f});
+  Tensor y = softmax_lastdim(x);
+  for (float v : y.data()) EXPECT_NEAR(v, 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(Softmax, GradientMatchesFiniteDifference) {
+  Rng rng(8);
+  Tensor x = Tensor::randn({2, 5}, rng);
+  Tensor w = Tensor::randn({2, 5}, rng);
+  Tensor y = softmax_lastdim(x);
+  Tensor dx = softmax_backward(y, w);
+  check_grad([](const Tensor& t) { return softmax_lastdim(t); }, x, dx, w);
+}
+
+TEST(Fused, BiasGeluMatchesUnfusedComposition) {
+  Rng rng(9);
+  Tensor x = Tensor::randn({6, 8}, rng);
+  Tensor bias = Tensor::randn({8}, rng);
+  EXPECT_TRUE(
+      allclose(fused_bias_gelu(x, bias), gelu(add_bias(x, bias)), 1e-6f, 1e-7f));
+}
+
+TEST(Fused, BiasGeluBackwardMatchesFiniteDifference) {
+  Rng rng(10);
+  Tensor x = Tensor::randn({3, 6}, rng);
+  Tensor bias = Tensor::randn({6}, rng);
+  Tensor w = Tensor::randn({3, 6}, rng);
+  Tensor dbias = Tensor::zeros({6});
+  Tensor dx = fused_bias_gelu_backward(w, x, bias, dbias);
+  check_grad([&](const Tensor& t) { return fused_bias_gelu(t, bias); }, x, dx, w);
+  check_grad([&](const Tensor& b) { return fused_bias_gelu(x, b); }, bias, dbias, w);
+}
+
+TEST(Fused, BiasDropoutAddAtP0MatchesComposition) {
+  Rng rng(11);
+  Tensor x = Tensor::randn({4, 5}, rng);
+  Tensor bias = Tensor::randn({5}, rng);
+  Tensor residual = Tensor::randn({4, 5}, rng);
+  Tensor mask;
+  Tensor y = fused_bias_dropout_add(x, bias, residual, 0.0f, rng, mask);
+  EXPECT_TRUE(allclose(y, add(add_bias(x, bias), residual), 1e-6f, 1e-7f));
+}
+
+TEST(Fused, CausalSoftmaxMasksUpperTriangle) {
+  Rng rng(12);
+  Tensor s = Tensor::randn({2, 4, 4}, rng);
+  Tensor y = fused_scale_causal_softmax(s, 1.0f);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      float row_total = 0.f;
+      for (std::int64_t j = 0; j < 4; ++j) {
+        if (j > i) {
+          EXPECT_EQ(y.at({r, i, j}), 0.0f) << "future position leaked";
+        }
+        row_total += y.at({r, i, j});
+      }
+      EXPECT_NEAR(row_total, 1.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(Fused, CausalSoftmaxMatchesExplicitMask) {
+  Rng rng(13);
+  const std::int64_t sq = 5;
+  Tensor s = Tensor::randn({3, sq, sq}, rng);
+  // Build the explicit causal mask (1 = masked).
+  Tensor mask({sq, sq});
+  for (std::int64_t i = 0; i < sq; ++i) {
+    for (std::int64_t j = 0; j < sq; ++j) {
+      mask.at({i, j}) = j > i ? 1.0f : 0.0f;
+    }
+  }
+  const float scl = 0.37f;
+  EXPECT_TRUE(allclose(fused_scale_causal_softmax(s, scl),
+                       fused_scale_mask_softmax(s, mask, scl), 1e-5f, 1e-6f));
+}
+
+TEST(Fused, CausalSoftmaxHandlesRectangular) {
+  // sq=2 queries attending over sk=4 keys (e.g. incremental decoding):
+  // query i sees keys j <= i + (sk - sq).
+  Rng rng(14);
+  Tensor s = Tensor::randn({1, 2, 4}, rng);
+  Tensor y = fused_scale_causal_softmax(s, 1.0f);
+  EXPECT_EQ(y.at({0, 0, 3}), 0.0f);
+  EXPECT_GT(y.at({0, 0, 2}), 0.0f);
+  EXPECT_GT(y.at({0, 1, 3}), 0.0f);
+}
+
+TEST(Fused, ScaleSoftmaxBackwardMatchesFiniteDifference) {
+  Rng rng(15);
+  Tensor s = Tensor::randn({1, 3, 3}, rng);
+  Tensor w = Tensor::randn({1, 3, 3}, rng);
+  const float scl = 0.5f;
+  Tensor y = fused_scale_causal_softmax(s, scl);
+  Tensor ds = fused_scale_softmax_backward(y, w, scl);
+  // Mask w on the masked-out region (those outputs are constant 0).
+  check_grad([&](const Tensor& t) { return fused_scale_causal_softmax(t, scl); }, s, ds,
+             w);
+}
+
+TEST(Embedding, GathersRows) {
+  Tensor table = Tensor::from_vector({3, 2}, {0, 1, 10, 11, 20, 21});
+  std::vector<std::int32_t> ids{2, 0, 2};
+  Tensor y = embedding(table, ids);
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  EXPECT_EQ(y.at({0, 0}), 20.f);
+  EXPECT_EQ(y.at({1, 1}), 1.f);
+  EXPECT_EQ(y.at({2, 0}), 20.f);
+}
+
+TEST(Embedding, OutOfRangeIdThrows) {
+  Tensor table({3, 2});
+  std::vector<std::int32_t> ids{3};
+  EXPECT_THROW(embedding(table, ids), CheckError);
+}
+
+TEST(Embedding, BackwardScatterAddsDuplicates) {
+  Tensor dtable = Tensor::zeros({3, 2});
+  std::vector<std::int32_t> ids{1, 1, 0};
+  Tensor dy = Tensor::from_vector({3, 2}, {1, 2, 3, 4, 5, 6});
+  embedding_backward(dy, ids, dtable);
+  EXPECT_EQ(dtable.at({1, 0}), 4.f);  // 1 + 3
+  EXPECT_EQ(dtable.at({1, 1}), 6.f);  // 2 + 4
+  EXPECT_EQ(dtable.at({0, 0}), 5.f);
+  EXPECT_EQ(dtable.at({2, 0}), 0.f);
+}
+
+TEST(CrossEntropy, PerfectPredictionHasLowLoss) {
+  Tensor logits = Tensor::from_vector({2, 3}, {10, -10, -10, -10, 10, -10});
+  std::vector<std::int32_t> targets{0, 1};
+  auto res = cross_entropy(logits, targets);
+  EXPECT_LT(res.loss, 1e-4f);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogV) {
+  Tensor logits = Tensor::zeros({4, 8});
+  std::vector<std::int32_t> targets{0, 3, 5, 7};
+  auto res = cross_entropy(logits, targets);
+  EXPECT_NEAR(res.loss, std::log(8.f), 1e-5f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(16);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  std::vector<std::int32_t> targets{1, 4, 0};
+  auto res = cross_entropy(logits, targets);
+  Tensor dl = cross_entropy_backward(res.probs, targets);
+  auto scalar_fn = [&](const Tensor& l) { return cross_entropy(l, targets).loss; };
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float num = numerical_grad(scalar_fn, logits, i);
+    ASSERT_NEAR(dl.data()[static_cast<std::size_t>(i)], num, 2e-2f);
+  }
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Rng rng(17);
+  Tensor logits = Tensor::randn({4, 6}, rng);
+  std::vector<std::int32_t> targets{0, 1, 2, 3};
+  auto res = cross_entropy(logits, targets);
+  Tensor dl = cross_entropy_backward(res.probs, targets);
+  Tensor rs = row_sum(dl);
+  for (float v : rs.data()) EXPECT_NEAR(v, 0.0f, 1e-6f);
+}
+
+TEST(Reductions, SumMeanMaxNorm) {
+  Tensor x = Tensor::from_values({1, -2, 3});
+  EXPECT_EQ(sum_all(x), 2.f);
+  EXPECT_NEAR(mean_all(x), 2.f / 3.f, 1e-6f);
+  EXPECT_EQ(max_all(x), 3.f);
+  EXPECT_DOUBLE_EQ(squared_norm(x), 14.0);
+}
+
+TEST(Reductions, RowMaxAndRowSum) {
+  Tensor x = Tensor::from_vector({2, 3}, {1, 5, 3, -1, -5, -3});
+  Tensor mx = row_max(x);
+  EXPECT_EQ(mx.at({0}), 5.f);
+  EXPECT_EQ(mx.at({1}), -1.f);
+  Tensor s = row_sum(x);
+  EXPECT_EQ(s.at({0}), 9.f);
+  EXPECT_EQ(s.at({1}), -9.f);
+}
+
+}  // namespace
+}  // namespace ptdp::tensor

@@ -1,0 +1,196 @@
+// Tensor structural tests: construction, views, slicing, permutes, concat.
+
+#include <gtest/gtest.h>
+
+#include "ptdp/tensor/tensor.hpp"
+
+namespace ptdp::tensor {
+namespace {
+
+TEST(Tensor, ZerosHasShapeAndZeroData) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 4);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FullAndOnes) {
+  Tensor t = Tensor::full({2, 2}, 3.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 3.5f);
+  Tensor o = Tensor::ones({3});
+  for (float v : o.data()) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(Tensor, RandnIsDeterministicGivenRng) {
+  Rng r1(7), r2(7);
+  Tensor a = Tensor::randn({4, 4}, r1, 0.02f);
+  Tensor b = Tensor::randn({4, 4}, r2, 0.02f);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0f);
+}
+
+TEST(Tensor, ArangeAndFromValues) {
+  Tensor a = Tensor::arange(5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(a.at({i}), static_cast<float>(i));
+  Tensor v = Tensor::from_values({1.f, 2.f, 3.f});
+  EXPECT_EQ(v.numel(), 3);
+  EXPECT_EQ(v.at({2}), 3.f);
+}
+
+TEST(Tensor, FromVectorTakesOwnership) {
+  Tensor t = Tensor::from_vector({2, 2}, {1.f, 2.f, 3.f, 4.f});
+  EXPECT_EQ(t.at({1, 0}), 3.f);
+}
+
+TEST(Tensor, FromVectorRejectsWrongCount) {
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1.f}), CheckError);
+}
+
+TEST(Tensor, AtUsesRowMajorOrder) {
+  Tensor t = Tensor::from_vector({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at({0, 2}), 2.f);
+  EXPECT_EQ(t.at({1, 0}), 3.f);
+}
+
+TEST(Tensor, CopiesShareStorageCloneDoesNot) {
+  Tensor a({2, 2});
+  Tensor shared = a;
+  Tensor deep = a.clone();
+  a.at({0, 0}) = 9.f;
+  EXPECT_EQ(shared.at({0, 0}), 9.f);
+  EXPECT_EQ(deep.at({0, 0}), 0.f);
+}
+
+TEST(Tensor, ViewSharesStorage) {
+  Tensor a = Tensor::from_vector({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor v = a.view({3, 2});
+  EXPECT_EQ(v.at({2, 1}), 5.f);
+  v.at({0, 0}) = 42.f;
+  EXPECT_EQ(a.at({0, 0}), 42.f);
+}
+
+TEST(Tensor, ViewRejectsWrongNumel) {
+  Tensor a({2, 3});
+  EXPECT_THROW(a.view({4, 2}), CheckError);
+}
+
+TEST(Tensor, SliceMiddleDimension) {
+  // [2, 4, 3] sliced on dim 1 -> rows 1..2
+  Tensor a({2, 4, 3});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a.data()[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  }
+  Tensor s = a.slice(1, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 2, 3}));
+  EXPECT_EQ(s.at({0, 0, 0}), a.at({0, 1, 0}));
+  EXPECT_EQ(s.at({1, 1, 2}), a.at({1, 2, 2}));
+}
+
+TEST(Tensor, SliceNegativeDim) {
+  Tensor a = Tensor::from_vector({2, 4}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor s = a.slice(-1, 2, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.at({0, 0}), 2.f);
+  EXPECT_EQ(s.at({1, 1}), 7.f);
+}
+
+TEST(Tensor, SliceOutOfRangeThrows) {
+  Tensor a({2, 4});
+  EXPECT_THROW(a.slice(1, 3, 2), CheckError);
+}
+
+TEST(Tensor, Transpose2D) {
+  Tensor a = Tensor::from_vector({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor t = a.transpose(0, 1);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(t.at({j, i}), a.at({i, j}));
+    }
+  }
+}
+
+TEST(Tensor, TransposeIsItsOwnInverse) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({3, 5}, rng);
+  EXPECT_EQ(max_abs_diff(a.transpose(0, 1).transpose(0, 1), a), 0.0f);
+}
+
+TEST(Tensor, Permute3D) {
+  Tensor a({2, 3, 4});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a.data()[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  }
+  Tensor p = a.permute({2, 0, 1});
+  EXPECT_EQ(p.shape(), (Shape{4, 2, 3}));
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      for (std::int64_t k = 0; k < 4; ++k) {
+        EXPECT_EQ(p.at({k, i, j}), a.at({i, j, k}));
+      }
+    }
+  }
+}
+
+TEST(Tensor, ConcatDim0AndDim1) {
+  Tensor a = Tensor::from_vector({1, 2}, {1, 2});
+  Tensor b = Tensor::from_vector({1, 2}, {3, 4});
+  Tensor c0 = concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c0.at({1, 1}), 4.f);
+  Tensor c1 = concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{1, 4}));
+  EXPECT_EQ(c1.at({0, 2}), 3.f);
+}
+
+TEST(Tensor, SplitIsInverseOfConcat) {
+  Rng rng(5);
+  Tensor a = Tensor::randn({4, 6}, rng);
+  auto parts = split(a, 3, 1);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].shape(), (Shape{4, 2}));
+  Tensor back = concat(parts, 1);
+  EXPECT_EQ(max_abs_diff(back, a), 0.0f);
+}
+
+TEST(Tensor, SplitRejectsNonDivisible) {
+  Tensor a({4, 6});
+  EXPECT_THROW(split(a, 4, 1), CheckError);
+}
+
+TEST(Tensor, CopyFromAndFill) {
+  Tensor a = Tensor::full({2, 2}, 7.f);
+  Tensor b({2, 2});
+  b.copy_from(a);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0f);
+  b.zero();
+  for (float v : b.data()) EXPECT_EQ(v, 0.0f);
+  b.fill(-1.5f);
+  for (float v : b.data()) EXPECT_EQ(v, -1.5f);
+}
+
+TEST(Tensor, AllcloseRespectsTolerance) {
+  Tensor a = Tensor::full({3}, 1.0f);
+  Tensor b = Tensor::full({3}, 1.0f + 1e-7f);
+  EXPECT_TRUE(allclose(a, b));
+  Tensor c = Tensor::full({3}, 1.1f);
+  EXPECT_FALSE(allclose(a, c));
+}
+
+TEST(Tensor, MaxAbsDiffShapesMustMatch) {
+  Tensor a({2, 2}), b({4});
+  EXPECT_THROW(max_abs_diff(a, b), CheckError);
+}
+
+TEST(Tensor, UniformRange) {
+  Rng rng(9);
+  Tensor u = Tensor::uniform({100}, rng, -2.f, 2.f);
+  for (float v : u.data()) {
+    EXPECT_GE(v, -2.f);
+    EXPECT_LT(v, 2.f);
+  }
+}
+
+}  // namespace
+}  // namespace ptdp::tensor
