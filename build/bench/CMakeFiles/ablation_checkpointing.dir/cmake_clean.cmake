@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checkpointing.dir/ablation_checkpointing.cpp.o"
+  "CMakeFiles/ablation_checkpointing.dir/ablation_checkpointing.cpp.o.d"
+  "ablation_checkpointing"
+  "ablation_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

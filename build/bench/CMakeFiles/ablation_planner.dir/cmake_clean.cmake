@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_planner.dir/ablation_planner.cpp.o"
+  "CMakeFiles/ablation_planner.dir/ablation_planner.cpp.o.d"
+  "ablation_planner"
+  "ablation_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

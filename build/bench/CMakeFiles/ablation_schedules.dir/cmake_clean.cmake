@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_schedules.dir/ablation_schedules.cpp.o"
+  "CMakeFiles/ablation_schedules.dir/ablation_schedules.cpp.o.d"
+  "ablation_schedules"
+  "ablation_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

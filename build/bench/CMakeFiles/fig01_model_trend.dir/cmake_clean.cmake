@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_model_trend.dir/fig01_model_trend.cpp.o"
+  "CMakeFiles/fig01_model_trend.dir/fig01_model_trend.cpp.o.d"
+  "fig01_model_trend"
+  "fig01_model_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_model_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

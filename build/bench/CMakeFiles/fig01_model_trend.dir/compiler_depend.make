@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_model_trend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_fig04_schedules.cpp" "bench/CMakeFiles/fig03_fig04_schedules.dir/fig03_fig04_schedules.cpp.o" "gcc" "bench/CMakeFiles/fig03_fig04_schedules.dir/fig03_fig04_schedules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/ptdp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ptdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ptdp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ptdp_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

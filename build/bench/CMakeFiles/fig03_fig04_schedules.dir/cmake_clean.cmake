@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_fig04_schedules.dir/fig03_fig04_schedules.cpp.o"
+  "CMakeFiles/fig03_fig04_schedules.dir/fig03_fig04_schedules.cpp.o.d"
+  "fig03_fig04_schedules"
+  "fig03_fig04_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_fig04_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bubble_fraction.dir/fig06_bubble_fraction.cpp.o"
+  "CMakeFiles/fig06_bubble_fraction.dir/fig06_bubble_fraction.cpp.o.d"
+  "fig06_bubble_fraction"
+  "fig06_bubble_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bubble_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_microbatch_throughput.dir/fig07_microbatch_throughput.cpp.o"
+  "CMakeFiles/fig07_microbatch_throughput.dir/fig07_microbatch_throughput.cpp.o.d"
+  "fig07_microbatch_throughput"
+  "fig07_microbatch_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_microbatch_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

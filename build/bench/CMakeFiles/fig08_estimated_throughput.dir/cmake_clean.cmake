@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_estimated_throughput.dir/fig08_estimated_throughput.cpp.o"
+  "CMakeFiles/fig08_estimated_throughput.dir/fig08_estimated_throughput.cpp.o.d"
+  "fig08_estimated_throughput"
+  "fig08_estimated_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_estimated_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

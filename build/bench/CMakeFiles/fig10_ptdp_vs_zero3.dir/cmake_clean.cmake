@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ptdp_vs_zero3.dir/fig10_ptdp_vs_zero3.cpp.o"
+  "CMakeFiles/fig10_ptdp_vs_zero3.dir/fig10_ptdp_vs_zero3.cpp.o.d"
+  "fig10_ptdp_vs_zero3"
+  "fig10_ptdp_vs_zero3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ptdp_vs_zero3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_ptdp_vs_zero3.
+# This may be replaced when dependencies are built.

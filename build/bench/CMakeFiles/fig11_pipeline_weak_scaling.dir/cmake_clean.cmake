@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pipeline_weak_scaling.dir/fig11_pipeline_weak_scaling.cpp.o"
+  "CMakeFiles/fig11_pipeline_weak_scaling.dir/fig11_pipeline_weak_scaling.cpp.o.d"
+  "fig11_pipeline_weak_scaling"
+  "fig11_pipeline_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pipeline_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

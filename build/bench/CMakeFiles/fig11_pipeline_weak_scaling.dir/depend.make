@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_pipeline_weak_scaling.
+# This may be replaced when dependencies are built.

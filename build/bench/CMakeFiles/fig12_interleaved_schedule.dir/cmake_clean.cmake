@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_interleaved_schedule.dir/fig12_interleaved_schedule.cpp.o"
+  "CMakeFiles/fig12_interleaved_schedule.dir/fig12_interleaved_schedule.cpp.o.d"
+  "fig12_interleaved_schedule"
+  "fig12_interleaved_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_interleaved_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

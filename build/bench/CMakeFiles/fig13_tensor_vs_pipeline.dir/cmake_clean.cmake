@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tensor_vs_pipeline.dir/fig13_tensor_vs_pipeline.cpp.o"
+  "CMakeFiles/fig13_tensor_vs_pipeline.dir/fig13_tensor_vs_pipeline.cpp.o.d"
+  "fig13_tensor_vs_pipeline"
+  "fig13_tensor_vs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tensor_vs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_tensor_vs_pipeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_tensor_vs_pipeline.
+# This may be replaced when dependencies are built.

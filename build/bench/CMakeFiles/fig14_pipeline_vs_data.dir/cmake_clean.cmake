@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pipeline_vs_data.dir/fig14_pipeline_vs_data.cpp.o"
+  "CMakeFiles/fig14_pipeline_vs_data.dir/fig14_pipeline_vs_data.cpp.o.d"
+  "fig14_pipeline_vs_data"
+  "fig14_pipeline_vs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pipeline_vs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

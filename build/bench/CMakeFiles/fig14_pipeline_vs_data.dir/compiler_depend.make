@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_pipeline_vs_data.
+# This may be replaced when dependencies are built.

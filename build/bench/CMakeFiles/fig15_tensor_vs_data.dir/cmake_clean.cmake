@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_tensor_vs_data.dir/fig15_tensor_vs_data.cpp.o"
+  "CMakeFiles/fig15_tensor_vs_data.dir/fig15_tensor_vs_data.cpp.o.d"
+  "fig15_tensor_vs_data"
+  "fig15_tensor_vs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tensor_vs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_microbatch_size.cpp" "bench/CMakeFiles/fig16_microbatch_size.dir/fig16_microbatch_size.cpp.o" "gcc" "bench/CMakeFiles/fig16_microbatch_size.dir/fig16_microbatch_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ptdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ptdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/ptdp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/ptdp_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/zero/CMakeFiles/ptdp_zero.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ptdp_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ptdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ptdp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ptdp_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_microbatch_size.dir/fig16_microbatch_size.cpp.o"
+  "CMakeFiles/fig16_microbatch_size.dir/fig16_microbatch_size.cpp.o.d"
+  "fig16_microbatch_size"
+  "fig16_microbatch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_microbatch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_activation_recompute.dir/fig17_activation_recompute.cpp.o"
+  "CMakeFiles/fig17_activation_recompute.dir/fig17_activation_recompute.cpp.o.d"
+  "fig17_activation_recompute"
+  "fig17_activation_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_activation_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_scatter_gather.dir/fig18_scatter_gather.cpp.o"
+  "CMakeFiles/fig18_scatter_gather.dir/fig18_scatter_gather.cpp.o.d"
+  "fig18_scatter_gather"
+  "fig18_scatter_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_scatter_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tensor_ops.dir/micro_tensor_ops.cpp.o"
+  "CMakeFiles/micro_tensor_ops.dir/micro_tensor_ops.cpp.o.d"
+  "micro_tensor_ops"
+  "micro_tensor_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tensor_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

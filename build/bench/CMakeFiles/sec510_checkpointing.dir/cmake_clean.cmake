@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec510_checkpointing.dir/sec510_checkpointing.cpp.o"
+  "CMakeFiles/sec510_checkpointing.dir/sec510_checkpointing.cpp.o.d"
+  "sec510_checkpointing"
+  "sec510_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec510_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

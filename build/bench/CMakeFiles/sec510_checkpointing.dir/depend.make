@@ -1,0 +1,2 @@
+# Empty dependencies file for sec510_checkpointing.
+# This may be replaced when dependencies are built.

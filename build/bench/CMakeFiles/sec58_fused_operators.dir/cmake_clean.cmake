@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec58_fused_operators.dir/sec58_fused_operators.cpp.o"
+  "CMakeFiles/sec58_fused_operators.dir/sec58_fused_operators.cpp.o.d"
+  "sec58_fused_operators"
+  "sec58_fused_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec58_fused_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec59_bisection_bandwidth.dir/sec59_bisection_bandwidth.cpp.o"
+  "CMakeFiles/sec59_bisection_bandwidth.dir/sec59_bisection_bandwidth.cpp.o.d"
+  "sec59_bisection_bandwidth"
+  "sec59_bisection_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec59_bisection_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

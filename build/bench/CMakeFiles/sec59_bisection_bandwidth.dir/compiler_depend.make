@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec59_bisection_bandwidth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_weak_scaling.dir/table1_weak_scaling.cpp.o"
+  "CMakeFiles/table1_weak_scaling.dir/table1_weak_scaling.cpp.o.d"
+  "table1_weak_scaling"
+  "table1_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

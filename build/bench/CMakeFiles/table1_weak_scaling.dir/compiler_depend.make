@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_weak_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate.dir/generate.cpp.o"
+  "CMakeFiles/generate.dir/generate.cpp.o.d"
+  "generate"
+  "generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

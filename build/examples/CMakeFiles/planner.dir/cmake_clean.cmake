@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner.dir/planner.cpp.o"
+  "CMakeFiles/planner.dir/planner.cpp.o.d"
+  "planner"
+  "planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

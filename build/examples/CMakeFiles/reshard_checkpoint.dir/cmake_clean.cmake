@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshard_checkpoint.dir/reshard_checkpoint.cpp.o"
+  "CMakeFiles/reshard_checkpoint.dir/reshard_checkpoint.cpp.o.d"
+  "reshard_checkpoint"
+  "reshard_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshard_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

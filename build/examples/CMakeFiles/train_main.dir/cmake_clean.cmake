@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_main.dir/train_main.cpp.o"
+  "CMakeFiles/train_main.dir/train_main.cpp.o.d"
+  "train_main"
+  "train_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

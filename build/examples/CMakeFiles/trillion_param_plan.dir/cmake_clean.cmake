@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trillion_param_plan.dir/trillion_param_plan.cpp.o"
+  "CMakeFiles/trillion_param_plan.dir/trillion_param_plan.cpp.o.d"
+  "trillion_param_plan"
+  "trillion_param_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trillion_param_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_vs_ptdp.dir/zero_vs_ptdp.cpp.o"
+  "CMakeFiles/zero_vs_ptdp.dir/zero_vs_ptdp.cpp.o.d"
+  "zero_vs_ptdp"
+  "zero_vs_ptdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_vs_ptdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for zero_vs_ptdp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("runtime")
+subdirs("dist")
+subdirs("tensor")
+subdirs("model")
+subdirs("pipeline")
+subdirs("optim")
+subdirs("data")
+subdirs("zero")
+subdirs("ckpt")
+subdirs("core")
+subdirs("sim")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdp_ckpt.dir/checkpoint.cpp.o"
+  "CMakeFiles/ptdp_ckpt.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ptdp_ckpt.dir/reshard.cpp.o"
+  "CMakeFiles/ptdp_ckpt.dir/reshard.cpp.o.d"
+  "libptdp_ckpt.a"
+  "libptdp_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdp_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

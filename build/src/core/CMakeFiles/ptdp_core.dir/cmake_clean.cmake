@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdp_core.dir/analytics.cpp.o"
+  "CMakeFiles/ptdp_core.dir/analytics.cpp.o.d"
+  "CMakeFiles/ptdp_core.dir/engine.cpp.o"
+  "CMakeFiles/ptdp_core.dir/engine.cpp.o.d"
+  "CMakeFiles/ptdp_core.dir/planner.cpp.o"
+  "CMakeFiles/ptdp_core.dir/planner.cpp.o.d"
+  "libptdp_core.a"
+  "libptdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdp_data.dir/dataset.cpp.o"
+  "CMakeFiles/ptdp_data.dir/dataset.cpp.o.d"
+  "libptdp_data.a"
+  "libptdp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

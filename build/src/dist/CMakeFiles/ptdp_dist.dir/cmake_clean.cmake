@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdp_dist.dir/comm.cpp.o"
+  "CMakeFiles/ptdp_dist.dir/comm.cpp.o.d"
+  "CMakeFiles/ptdp_dist.dir/process_groups.cpp.o"
+  "CMakeFiles/ptdp_dist.dir/process_groups.cpp.o.d"
+  "libptdp_dist.a"
+  "libptdp_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdp_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

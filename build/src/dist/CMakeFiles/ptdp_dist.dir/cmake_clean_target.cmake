@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libptdp_dist.a"
+)

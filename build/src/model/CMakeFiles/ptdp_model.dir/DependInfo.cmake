@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/attention.cpp" "src/model/CMakeFiles/ptdp_model.dir/attention.cpp.o" "gcc" "src/model/CMakeFiles/ptdp_model.dir/attention.cpp.o.d"
+  "/root/repo/src/model/embedding.cpp" "src/model/CMakeFiles/ptdp_model.dir/embedding.cpp.o" "gcc" "src/model/CMakeFiles/ptdp_model.dir/embedding.cpp.o.d"
+  "/root/repo/src/model/generate.cpp" "src/model/CMakeFiles/ptdp_model.dir/generate.cpp.o" "gcc" "src/model/CMakeFiles/ptdp_model.dir/generate.cpp.o.d"
+  "/root/repo/src/model/head.cpp" "src/model/CMakeFiles/ptdp_model.dir/head.cpp.o" "gcc" "src/model/CMakeFiles/ptdp_model.dir/head.cpp.o.d"
+  "/root/repo/src/model/linear.cpp" "src/model/CMakeFiles/ptdp_model.dir/linear.cpp.o" "gcc" "src/model/CMakeFiles/ptdp_model.dir/linear.cpp.o.d"
+  "/root/repo/src/model/mlp.cpp" "src/model/CMakeFiles/ptdp_model.dir/mlp.cpp.o" "gcc" "src/model/CMakeFiles/ptdp_model.dir/mlp.cpp.o.d"
+  "/root/repo/src/model/param.cpp" "src/model/CMakeFiles/ptdp_model.dir/param.cpp.o" "gcc" "src/model/CMakeFiles/ptdp_model.dir/param.cpp.o.d"
+  "/root/repo/src/model/stage.cpp" "src/model/CMakeFiles/ptdp_model.dir/stage.cpp.o" "gcc" "src/model/CMakeFiles/ptdp_model.dir/stage.cpp.o.d"
+  "/root/repo/src/model/transformer_layer.cpp" "src/model/CMakeFiles/ptdp_model.dir/transformer_layer.cpp.o" "gcc" "src/model/CMakeFiles/ptdp_model.dir/transformer_layer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ptdp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ptdp_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdp_model.dir/attention.cpp.o"
+  "CMakeFiles/ptdp_model.dir/attention.cpp.o.d"
+  "CMakeFiles/ptdp_model.dir/embedding.cpp.o"
+  "CMakeFiles/ptdp_model.dir/embedding.cpp.o.d"
+  "CMakeFiles/ptdp_model.dir/generate.cpp.o"
+  "CMakeFiles/ptdp_model.dir/generate.cpp.o.d"
+  "CMakeFiles/ptdp_model.dir/head.cpp.o"
+  "CMakeFiles/ptdp_model.dir/head.cpp.o.d"
+  "CMakeFiles/ptdp_model.dir/linear.cpp.o"
+  "CMakeFiles/ptdp_model.dir/linear.cpp.o.d"
+  "CMakeFiles/ptdp_model.dir/mlp.cpp.o"
+  "CMakeFiles/ptdp_model.dir/mlp.cpp.o.d"
+  "CMakeFiles/ptdp_model.dir/param.cpp.o"
+  "CMakeFiles/ptdp_model.dir/param.cpp.o.d"
+  "CMakeFiles/ptdp_model.dir/stage.cpp.o"
+  "CMakeFiles/ptdp_model.dir/stage.cpp.o.d"
+  "CMakeFiles/ptdp_model.dir/transformer_layer.cpp.o"
+  "CMakeFiles/ptdp_model.dir/transformer_layer.cpp.o.d"
+  "libptdp_model.a"
+  "libptdp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdp_optim.dir/mixed_precision.cpp.o"
+  "CMakeFiles/ptdp_optim.dir/mixed_precision.cpp.o.d"
+  "CMakeFiles/ptdp_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/ptdp_optim.dir/optimizer.cpp.o.d"
+  "libptdp_optim.a"
+  "libptdp_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdp_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

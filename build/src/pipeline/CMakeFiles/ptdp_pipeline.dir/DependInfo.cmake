@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/executor.cpp" "src/pipeline/CMakeFiles/ptdp_pipeline.dir/executor.cpp.o" "gcc" "src/pipeline/CMakeFiles/ptdp_pipeline.dir/executor.cpp.o.d"
+  "/root/repo/src/pipeline/schedule.cpp" "src/pipeline/CMakeFiles/ptdp_pipeline.dir/schedule.cpp.o" "gcc" "src/pipeline/CMakeFiles/ptdp_pipeline.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ptdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ptdp_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ptdp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdp_pipeline.dir/executor.cpp.o"
+  "CMakeFiles/ptdp_pipeline.dir/executor.cpp.o.d"
+  "CMakeFiles/ptdp_pipeline.dir/schedule.cpp.o"
+  "CMakeFiles/ptdp_pipeline.dir/schedule.cpp.o.d"
+  "libptdp_pipeline.a"
+  "libptdp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdp_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/ptdp_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ptdp_sim.dir/hardware.cpp.o"
+  "CMakeFiles/ptdp_sim.dir/hardware.cpp.o.d"
+  "CMakeFiles/ptdp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ptdp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ptdp_sim.dir/zero_model.cpp.o"
+  "CMakeFiles/ptdp_sim.dir/zero_model.cpp.o.d"
+  "libptdp_sim.a"
+  "libptdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

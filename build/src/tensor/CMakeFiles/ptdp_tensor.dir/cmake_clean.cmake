@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdp_tensor.dir/ops.cpp.o"
+  "CMakeFiles/ptdp_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/ptdp_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/ptdp_tensor.dir/tensor.cpp.o.d"
+  "libptdp_tensor.a"
+  "libptdp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdp_zero.dir/sharded_optimizer.cpp.o"
+  "CMakeFiles/ptdp_zero.dir/sharded_optimizer.cpp.o.d"
+  "libptdp_zero.a"
+  "libptdp_zero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdp_zero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

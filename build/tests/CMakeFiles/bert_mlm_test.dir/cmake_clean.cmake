@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_mlm_test.dir/bert_mlm_test.cpp.o"
+  "CMakeFiles/bert_mlm_test.dir/bert_mlm_test.cpp.o.d"
+  "bert_mlm_test"
+  "bert_mlm_test.pdb"
+  "bert_mlm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_mlm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_reshard_test.dir/ckpt_reshard_test.cpp.o"
+  "CMakeFiles/ckpt_reshard_test.dir/ckpt_reshard_test.cpp.o.d"
+  "ckpt_reshard_test"
+  "ckpt_reshard_test.pdb"
+  "ckpt_reshard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_reshard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

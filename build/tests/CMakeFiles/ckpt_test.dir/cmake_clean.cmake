@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_test.dir/ckpt_test.cpp.o"
+  "CMakeFiles/ckpt_test.dir/ckpt_test.cpp.o.d"
+  "ckpt_test"
+  "ckpt_test.pdb"
+  "ckpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

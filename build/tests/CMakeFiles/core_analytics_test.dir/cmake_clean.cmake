@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_analytics_test.dir/core_analytics_test.cpp.o"
+  "CMakeFiles/core_analytics_test.dir/core_analytics_test.cpp.o.d"
+  "core_analytics_test"
+  "core_analytics_test.pdb"
+  "core_analytics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_analytics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

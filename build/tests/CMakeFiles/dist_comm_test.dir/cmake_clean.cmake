@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_comm_test.dir/dist_comm_test.cpp.o"
+  "CMakeFiles/dist_comm_test.dir/dist_comm_test.cpp.o.d"
+  "dist_comm_test"
+  "dist_comm_test.pdb"
+  "dist_comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

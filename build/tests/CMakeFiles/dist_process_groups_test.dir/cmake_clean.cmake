@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_process_groups_test.dir/dist_process_groups_test.cpp.o"
+  "CMakeFiles/dist_process_groups_test.dir/dist_process_groups_test.cpp.o.d"
+  "dist_process_groups_test"
+  "dist_process_groups_test.pdb"
+  "dist_process_groups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_process_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

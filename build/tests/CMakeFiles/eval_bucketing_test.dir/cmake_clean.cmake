@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_bucketing_test.dir/eval_bucketing_test.cpp.o"
+  "CMakeFiles/eval_bucketing_test.dir/eval_bucketing_test.cpp.o.d"
+  "eval_bucketing_test"
+  "eval_bucketing_test.pdb"
+  "eval_bucketing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_bucketing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

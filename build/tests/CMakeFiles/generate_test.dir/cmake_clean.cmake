@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_test.dir/generate_test.cpp.o"
+  "CMakeFiles/generate_test.dir/generate_test.cpp.o.d"
+  "generate_test"
+  "generate_test.pdb"
+  "generate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

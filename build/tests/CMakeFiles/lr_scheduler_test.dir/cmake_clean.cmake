@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lr_scheduler_test.dir/lr_scheduler_test.cpp.o"
+  "CMakeFiles/lr_scheduler_test.dir/lr_scheduler_test.cpp.o.d"
+  "lr_scheduler_test"
+  "lr_scheduler_test.pdb"
+  "lr_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lr_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

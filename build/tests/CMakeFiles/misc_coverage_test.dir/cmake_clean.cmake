@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_coverage_test.dir/misc_coverage_test.cpp.o"
+  "CMakeFiles/misc_coverage_test.dir/misc_coverage_test.cpp.o.d"
+  "misc_coverage_test"
+  "misc_coverage_test.pdb"
+  "misc_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_executor_test.dir/pipeline_executor_test.cpp.o"
+  "CMakeFiles/pipeline_executor_test.dir/pipeline_executor_test.cpp.o.d"
+  "pipeline_executor_test"
+  "pipeline_executor_test.pdb"
+  "pipeline_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_schedule_test.dir/pipeline_schedule_test.cpp.o"
+  "CMakeFiles/pipeline_schedule_test.dir/pipeline_schedule_test.cpp.o.d"
+  "pipeline_schedule_test"
+  "pipeline_schedule_test.pdb"
+  "pipeline_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

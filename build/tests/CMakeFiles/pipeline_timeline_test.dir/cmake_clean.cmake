@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_timeline_test.dir/pipeline_timeline_test.cpp.o"
+  "CMakeFiles/pipeline_timeline_test.dir/pipeline_timeline_test.cpp.o.d"
+  "pipeline_timeline_test"
+  "pipeline_timeline_test.pdb"
+  "pipeline_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_fuzz_test.dir/property_fuzz_test.cpp.o"
+  "CMakeFiles/property_fuzz_test.dir/property_fuzz_test.cpp.o.d"
+  "property_fuzz_test"
+  "property_fuzz_test.pdb"
+  "property_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

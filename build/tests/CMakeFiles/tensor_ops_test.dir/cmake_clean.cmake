@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_ops_test.dir/tensor_ops_test.cpp.o"
+  "CMakeFiles/tensor_ops_test.dir/tensor_ops_test.cpp.o.d"
+  "tensor_ops_test"
+  "tensor_ops_test.pdb"
+  "tensor_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_engine_test.dir/zero_engine_test.cpp.o"
+  "CMakeFiles/zero_engine_test.dir/zero_engine_test.cpp.o.d"
+  "zero_engine_test"
+  "zero_engine_test.pdb"
+  "zero_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_test.dir/zero_test.cpp.o"
+  "CMakeFiles/zero_test.dir/zero_test.cpp.o.d"
+  "zero_test"
+  "zero_test.pdb"
+  "zero_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_comm_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_process_groups_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/optim_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/zero_test[1]_include.cmake")
+include("/root/repo/build/tests/ckpt_test[1]_include.cmake")
+include("/root/repo/build/tests/core_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/core_analytics_test[1]_include.cmake")
+include("/root/repo/build/tests/core_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/generate_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/ckpt_reshard_test[1]_include.cmake")
+include("/root/repo/build/tests/property_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/lr_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_timeline_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/bert_mlm_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/zero_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_bucketing_test[1]_include.cmake")
