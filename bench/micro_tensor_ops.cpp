@@ -1,9 +1,24 @@
 // Google-benchmark microbenchmarks for the tensor kernels: GEMM shapes
 // that appear in a transformer layer, and the §4.2 fused kernels against
 // their unfused compositions (measured, on this CPU substrate).
+//
+// Besides the human-readable google-benchmark table, main() runs a fixed
+// sweep of (op, shape, intra-op threads) and writes BENCH_tensor_ops.json
+// to the working directory so the perf trajectory is machine-comparable
+// across PRs. The sweep includes the seed's scalar GEMM (compiled here with
+// the project-default flags, exactly like the pre-backend kernel) as the
+// baseline the speedups are measured against.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ptdp/runtime/parallel_for.hpp"
 #include "ptdp/tensor/ops.hpp"
 
 namespace {
@@ -21,7 +36,7 @@ void BM_MatmulSquare(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_MatmulTransformerShapes(benchmark::State& state) {
   // (rows, h) -> QKV-like GEMM rows x h x 3h.
@@ -35,7 +50,7 @@ void BM_MatmulTransformerShapes(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * rows * h * 3 * h);
 }
-BENCHMARK(BM_MatmulTransformerShapes)->Args({64, 64})->Args({128, 128});
+BENCHMARK(BM_MatmulTransformerShapes)->Args({64, 64})->Args({128, 128})->Args({512, 256});
 
 void BM_BiasGeluUnfused(benchmark::State& state) {
   const auto n = state.range(0);
@@ -94,6 +109,193 @@ void BM_LayerNorm(benchmark::State& state) {
 }
 BENCHMARK(BM_LayerNorm)->Arg(256)->Arg(1024);
 
+// ---- machine-readable sweep ---------------------------------------------------
+
+// The seed repo's scalar blocked GEMM, kept verbatim under the bench's
+// project-default flags: this is the pre-backend kernel every speedup in
+// BENCH_tensor_ops.json is measured against.
+void seed_scalar_gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k,
+                         const float* a, const float* b, float* c) {
+  constexpr std::int64_t kBlockK = 256;
+  constexpr std::int64_t kBlockN = 512;
+  for (std::int64_t pp = 0; pp < k; pp += kBlockK) {
+    const std::int64_t pe = std::min(pp + kBlockK, k);
+    for (std::int64_t jj = 0; jj < n; jj += kBlockN) {
+      const std::int64_t je = std::min(jj + kBlockN, n);
+      std::int64_t i = 0;
+      for (; i + 4 <= m; i += 4) {
+        float* c0 = c + (i + 0) * n;
+        float* c1 = c + (i + 1) * n;
+        float* c2 = c + (i + 2) * n;
+        float* c3 = c + (i + 3) * n;
+        for (std::int64_t p = pp; p < pe; ++p) {
+          const float a0 = a[(i + 0) * k + p];
+          const float a1 = a[(i + 1) * k + p];
+          const float a2 = a[(i + 2) * k + p];
+          const float a3 = a[(i + 3) * k + p];
+          const float* brow = b + p * n;
+          for (std::int64_t j = jj; j < je; ++j) {
+            const float bv = brow[j];
+            c0[j] += a0 * bv;
+            c1[j] += a1 * bv;
+            c2[j] += a2 * bv;
+            c3[j] += a3 * bv;
+          }
+        }
+      }
+      for (; i < m; ++i) {
+        float* crow = c + i * n;
+        for (std::int64_t p = pp; p < pe; ++p) {
+          const float av = a[i * k + p];
+          const float* brow = b + p * n;
+          for (std::int64_t j = jj; j < je; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+struct SweepResult {
+  std::string op;
+  std::vector<std::int64_t> shape;
+  std::size_t threads;
+  double ms;
+  double gflops;
+};
+
+/// Best-of-N wall time of fn(), in seconds.
+double time_best(const std::function<void()>& fn, int reps = 5) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+SweepResult sweep_entry(const std::string& op, std::vector<std::int64_t> shape,
+                        std::size_t threads, double flops,
+                        const std::function<void()>& fn) {
+  const double secs = time_best(fn);
+  return SweepResult{op, std::move(shape), threads, secs * 1e3, flops / secs / 1e9};
+}
+
+void write_json(const std::vector<SweepResult>& results, double speedup_1t,
+                double speedup_4t) {
+  std::FILE* f = std::fopen("BENCH_tensor_ops.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not open BENCH_tensor_ops.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_tensor_ops\",\n");
+  std::fprintf(f, "  \"matmul512_speedup_vs_seed_scalar_1t\": %.2f,\n", speedup_1t);
+  std::fprintf(f, "  \"matmul512_speedup_vs_seed_scalar_4t\": %.2f,\n", speedup_4t);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    std::fprintf(f, "    {\"op\": \"%s\", \"shape\": [", r.op.c_str());
+    for (std::size_t d = 0; d < r.shape.size(); ++d) {
+      std::fprintf(f, "%s%lld", d == 0 ? "" : ", ",
+                   static_cast<long long>(r.shape[d]));
+    }
+    std::fprintf(f, "], \"threads\": %zu, \"ms\": %.3f, \"gflops\": %.2f}%s\n",
+                 r.threads, r.ms, r.gflops, i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_tensor_ops.json (%zu entries)\n", results.size());
+}
+
+void run_sweep() {
+  const std::size_t saved_threads = runtime::intra_op_threads();
+  std::vector<SweepResult> results;
+  Rng rng(17);
+
+  // Seed-scalar baseline (thread count is irrelevant to it; record as 1).
+  constexpr std::int64_t kN = 512;
+  const double kMatmulFlops = 2.0 * kN * kN * kN;
+  Tensor a = Tensor::randn({kN, kN}, rng);
+  Tensor b = Tensor::randn({kN, kN}, rng);
+  Tensor c({kN, kN});
+  results.push_back(sweep_entry("matmul_seed_scalar", {kN, kN, kN}, 1, kMatmulFlops,
+                                [&] {
+                                  c.zero();
+                                  seed_scalar_gemm_nn(kN, kN, kN, a.data().data(),
+                                                      b.data().data(),
+                                                      c.data().data());
+                                }));
+  const double seed_gflops = results.back().gflops;
+
+  double gflops_1t = 0.0;
+  double gflops_4t = 0.0;
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    runtime::set_intra_op_threads(threads);
+
+    results.push_back(sweep_entry("matmul", {kN, kN, kN}, threads, kMatmulFlops,
+                                  [&] { benchmark::DoNotOptimize(tensor::matmul(a, b)); }));
+    if (threads == 1) gflops_1t = results.back().gflops;
+    if (threads == 4) gflops_4t = results.back().gflops;
+
+    results.push_back(sweep_entry("matmul_nt", {kN, kN, kN}, threads, kMatmulFlops, [&] {
+      benchmark::DoNotOptimize(tensor::matmul_nt(a, b));
+    }));
+    results.push_back(sweep_entry("matmul_tn", {kN, kN, kN}, threads, kMatmulFlops, [&] {
+      benchmark::DoNotOptimize(tensor::matmul_tn(a, b));
+    }));
+
+    // Attention-shaped batched GEMM: [heads, s, dk] x [heads, dk, s].
+    Tensor q = Tensor::randn({16, 256, 64}, rng);
+    Tensor kk = Tensor::randn({16, 256, 64}, rng);
+    results.push_back(sweep_entry("bmm_nt", {16, 256, 256, 64}, threads,
+                                  2.0 * 16 * 256 * 256 * 64, [&] {
+                                    benchmark::DoNotOptimize(tensor::bmm_nt(q, kk));
+                                  }));
+
+    // Fused kernels (nominal FLOP counts — useful for trajectory, not for
+    // absolute efficiency claims).
+    Tensor x = Tensor::randn({2048, 1024}, rng);
+    Tensor bias = Tensor::randn({1024}, rng);
+    results.push_back(sweep_entry("fused_bias_gelu", {2048, 1024}, threads,
+                                  15.0 * 2048 * 1024, [&] {
+                                    benchmark::DoNotOptimize(
+                                        tensor::fused_bias_gelu(x, bias));
+                                  }));
+
+    Tensor gamma = Tensor::ones({1024});
+    Tensor beta = Tensor::zeros({1024});
+    results.push_back(sweep_entry("layernorm", {2048, 1024}, threads,
+                                  8.0 * 2048 * 1024, [&] {
+                                    benchmark::DoNotOptimize(
+                                        tensor::layernorm(x, gamma, beta));
+                                  }));
+
+    Tensor scores = Tensor::randn({16, 256, 256}, rng);
+    results.push_back(sweep_entry("fused_scale_causal_softmax", {16, 256, 256},
+                                  threads, 5.0 * 16 * 256 * 256, [&] {
+                                    benchmark::DoNotOptimize(
+                                        tensor::fused_scale_causal_softmax(scores,
+                                                                           0.125f));
+                                  }));
+  }
+  runtime::set_intra_op_threads(saved_threads);
+
+  const double speedup_1t = gflops_1t / seed_gflops;
+  const double speedup_4t = gflops_4t / seed_gflops;
+  std::printf("\nmatmul 512x512x512: seed scalar %.2f GFLOP/s | backend %.2f (1t, %.1fx) "
+              "| %.2f (4t, %.1fx)\n",
+              seed_gflops, gflops_1t, speedup_1t, gflops_4t, speedup_4t);
+  write_json(results, speedup_1t, speedup_4t);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_sweep();
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+
+// Intra-op parallelism for the tensor kernel library.
+//
+// parallel_for() splits [begin, end) into grain-sized chunks and executes
+// them on a dedicated process-wide helper pool. This pool is deliberately
+// separate from the rank-hosting ThreadPool (ptdp/runtime/thread_pool.hpp):
+// rank threads block on collective rendezvous, so borrowing them for compute
+// chunks could deadlock a gang; conversely, a gang of ranks all doing
+// parallel matmuls share this one helper pool, so the process can never hold
+// more than `hardware_concurrency` intra-op helper threads in total.
+//
+// Progress guarantee: the calling thread always executes chunks itself (it
+// claims chunks from the same queue the helpers drain), so a parallel_for
+// completes even if every helper is busy with other callers' work. Helpers
+// never block inside a chunk, and nested parallel_for calls run serially
+// inline, so no cycle of waits can form.
+//
+// Determinism: chunk boundaries depend only on (range, grain), never on the
+// pool size, and kernels built on parallel_for keep every reduction serial
+// within the subrange an invocation receives. Results are therefore bitwise
+// identical for any intra-op thread count.
+
+#include <cstdint>
+#include <functional>
+
+namespace ptdp::runtime {
+
+/// Requested intra-op parallelism (>= 1). Defaults to PTDP_NUM_THREADS if
+/// set, else std::thread::hardware_concurrency(). The helper pool holds
+/// min(n - 1, hardware_concurrency) threads; the caller supplies the rest.
+void set_intra_op_threads(std::size_t n);
+
+/// The current requested intra-op parallelism (>= 1).
+std::size_t intra_op_threads();
+
+/// True while the calling thread is executing inside a parallel_for chunk
+/// (nested parallel_for calls serialize inline).
+bool in_parallel_region();
+
+namespace detail {
+
+/// Parse PTDP_NUM_THREADS from the environment; 0 if unset/invalid.
+/// Exposed for tests.
+std::size_t env_intra_op_threads();
+
+/// True if a parallel_for issued now would actually fan out (requested
+/// threads > 1, helpers exist, and we are not already inside a region).
+bool parallel_enabled();
+
+/// Fan [begin, end) out in grain-sized chunks. Pre-condition: range > grain.
+void parallel_run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+}  // namespace detail
+
+/// Execute body(b, e) over disjoint subranges covering [begin, end).
+/// Subranges smaller than or equal to `grain` run serially inline on the
+/// caller. body must treat each element independently (or keep any
+/// cross-element reduction inside one subrange) — see determinism note above.
+template <typename F>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain, F&& body) {
+  const std::int64_t range = end - begin;
+  if (range <= 0) return;
+  if (grain < 1) grain = 1;
+  if (range <= grain || !detail::parallel_enabled()) {
+    body(begin, end);
+    return;
+  }
+  detail::parallel_run(begin, end, grain, body);
+}
+
+}  // namespace ptdp::runtime

@@ -1,7 +1,10 @@
 #pragma once
 
 // Fixed-size thread pool used to host the thread-backed "GPU ranks" of the
-// dist runtime and for parallel-for loops in the tensor library.
+// dist runtime. Compute kernels do NOT borrow these threads: intra-op
+// parallelism lives in the separate pool behind
+// ptdp/runtime/parallel_for.hpp, so a rank blocked in a collective
+// rendezvous can never be starved by (or deadlock with) a parallel matmul.
 
 #include <condition_variable>
 #include <cstddef>

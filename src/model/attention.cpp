@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ptdp/runtime/parallel_for.hpp"
 #include "ptdp/tensor/ops.hpp"
 
 namespace ptdp::model {
@@ -42,20 +43,29 @@ Tensor ParallelAttention::make_prob_dropout_mask(std::int64_t b,
   const float p = config_.dropout;
   const float keep_scale = 1.0f / (1.0f - p);
   auto dm = mask.data();
-  for (std::int64_t bi = 0; bi < b; ++bi) {
-    for (std::int64_t lh = 0; lh < heads_local_; ++lh) {
-      // Keyed by the *global* head index so tensor-parallel ranks draw the
-      // same mask the serial model draws for this head.
-      const std::int64_t gh = head_begin_ + lh;
-      Rng rng = site_rng(config_.seed, mb_tag, static_cast<std::uint64_t>(layer_idx_),
-                         DropSite::kAttentionProb,
-                         static_cast<std::uint64_t>(bi * config_.heads + gh));
-      float* slab = dm.data() + (bi * heads_local_ + lh) * s * s;
-      for (std::int64_t i = 0; i < s * s; ++i) {
-        slab[i] = rng.next_bernoulli(p) ? 0.0f : keep_scale;
-      }
-    }
-  }
+  // Each (batch, head) slab draws from its own site-keyed RNG stream, so the
+  // slabs can be filled by the intra-op pool in any order without changing a
+  // single draw.
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, (1 << 15) / std::max<std::int64_t>(s * s, 1));
+  runtime::parallel_for(
+      0, b * heads_local_, grain, [&](std::int64_t u0, std::int64_t u1) {
+        for (std::int64_t u = u0; u < u1; ++u) {
+          const std::int64_t bi = u / heads_local_;
+          const std::int64_t lh = u % heads_local_;
+          // Keyed by the *global* head index so tensor-parallel ranks draw the
+          // same mask the serial model draws for this head.
+          const std::int64_t gh = head_begin_ + lh;
+          Rng rng = site_rng(config_.seed, mb_tag,
+                             static_cast<std::uint64_t>(layer_idx_),
+                             DropSite::kAttentionProb,
+                             static_cast<std::uint64_t>(bi * config_.heads + gh));
+          float* slab = dm.data() + u * s * s;
+          for (std::int64_t i = 0; i < s * s; ++i) {
+            slab[i] = rng.next_bernoulli(p) ? 0.0f : keep_scale;
+          }
+        }
+      });
   return mask;
 }
 

@@ -1,0 +1,250 @@
+#include "ptdp/runtime/parallel_for.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::runtime {
+
+namespace {
+
+thread_local int g_region_depth = 0;
+
+struct RegionGuard {
+  RegionGuard() { ++g_region_depth; }
+  ~RegionGuard() { --g_region_depth; }
+};
+
+/// One parallel_for invocation. Shared by the caller and any helpers that
+/// pick it up; chunks are claimed from `next` so the fastest thread does the
+/// most work and the caller can never be starved.
+struct Region {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t chunk = 1;
+  std::int64_t nchunks = 0;
+  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+
+  std::atomic<std::int64_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::int64_t completed = 0;  // guarded by mu
+  std::exception_ptr error;    // guarded by mu
+
+  /// Claim and run chunks until none remain. Called by the owning thread and
+  /// by helpers; exceptions are captured, never propagated to a helper.
+  void work() {
+    RegionGuard nested;
+    std::int64_t finished = 0;
+    std::exception_ptr first;
+    for (;;) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) break;
+      const std::int64_t b = begin + c * chunk;
+      const std::int64_t e = std::min(b + chunk, end);
+      try {
+        (*body)(b, e);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+      ++finished;
+    }
+    if (finished > 0 || first) {
+      std::lock_guard lock(mu);
+      completed += finished;
+      if (first && !error) error = first;
+      if (completed == nchunks) cv.notify_all();
+    }
+  }
+
+  void wait() {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return completed == nchunks; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+/// The process-wide intra-op helper pool. Holds `requested - 1` worker
+/// threads, capped at hardware_concurrency so a gang of rank threads doing
+/// parallel kernels cannot oversubscribe the machine through this pool.
+class IntraOpPool {
+ public:
+  static IntraOpPool& instance() {
+    static IntraOpPool pool;
+    return pool;
+  }
+
+  std::size_t requested_threads() {
+    ensure_init();
+    return requested_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t helper_count() {
+    ensure_init();
+    std::lock_guard lock(config_mu_);
+    return workers_.size();
+  }
+
+  void set_threads(std::size_t n) {
+    PTDP_CHECK_GT(n, 0u) << "intra-op thread count must be >= 1";
+    PTDP_CHECK_EQ(g_region_depth, 0)
+        << "set_intra_op_threads() inside a parallel region";
+    std::lock_guard lock(config_mu_);
+    requested_.store(n, std::memory_order_relaxed);
+    initialized_.store(true, std::memory_order_release);
+    resize_locked(target_helpers(n));
+  }
+
+  bool parallel_enabled() {
+    ensure_init();
+    return requested_.load(std::memory_order_relaxed) > 1 &&
+           have_helpers_.load(std::memory_order_relaxed) && g_region_depth == 0;
+  }
+
+  /// Offer `copies` help tasks for `region` to the pool. Helpers that arrive
+  /// after all chunks are claimed simply return.
+  void offer(const std::shared_ptr<Region>& region, std::size_t copies) {
+    {
+      std::lock_guard lock(queue_mu_);
+      for (std::size_t i = 0; i < copies; ++i) queue_.push_back(region);
+    }
+    if (copies == 1) {
+      queue_cv_.notify_one();
+    } else {
+      queue_cv_.notify_all();
+    }
+  }
+
+ private:
+  IntraOpPool() = default;
+
+  ~IntraOpPool() {
+    std::lock_guard lock(config_mu_);
+    resize_locked(0);
+  }
+
+  static std::size_t hardware_threads() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : hc;
+  }
+
+  static std::size_t target_helpers(std::size_t requested) {
+    const std::size_t helpers = requested - 1;
+    return std::min(helpers, hardware_threads());
+  }
+
+  void ensure_init() {
+    if (initialized_.load(std::memory_order_acquire)) return;
+    std::lock_guard lock(config_mu_);
+    if (initialized_.load(std::memory_order_relaxed)) return;
+    std::size_t n = detail::env_intra_op_threads();
+    if (n == 0) n = hardware_threads();
+    requested_.store(n, std::memory_order_relaxed);
+    resize_locked(target_helpers(n));
+    initialized_.store(true, std::memory_order_release);
+  }
+
+  // config_mu_ held. Stops all workers (pending help offers are dropped —
+  // callers still finish because they claim their own chunks) and restarts
+  // `n` of them.
+  void resize_locked(std::size_t n) {
+    if (workers_.size() == n) return;
+    {
+      std::lock_guard lock(queue_mu_);
+      stopping_ = true;
+      queue_.clear();
+    }
+    queue_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+    {
+      std::lock_guard lock(queue_mu_);
+      stopping_ = false;
+    }
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    have_helpers_.store(n > 0, std::memory_order_relaxed);
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Region> region;
+      {
+        std::unique_lock lock(queue_mu_);
+        queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (stopping_) return;
+        region = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      region->work();
+    }
+  }
+
+  std::mutex config_mu_;
+  std::atomic<bool> initialized_{false};
+  std::atomic<std::size_t> requested_{1};
+  std::atomic<bool> have_helpers_{false};
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Region>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace
+
+void set_intra_op_threads(std::size_t n) { IntraOpPool::instance().set_threads(n); }
+
+std::size_t intra_op_threads() { return IntraOpPool::instance().requested_threads(); }
+
+bool in_parallel_region() { return g_region_depth > 0; }
+
+namespace detail {
+
+std::size_t env_intra_op_threads() {
+  const char* env = std::getenv("PTDP_NUM_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* endp = nullptr;
+  const long v = std::strtol(env, &endp, 10);
+  if (endp == env || *endp != '\0' || v < 1) return 0;
+  return static_cast<std::size_t>(v);
+}
+
+bool parallel_enabled() { return IntraOpPool::instance().parallel_enabled(); }
+
+void parallel_run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  auto& pool = IntraOpPool::instance();
+  auto region = std::make_shared<Region>();
+  region->begin = begin;
+  region->end = end;
+  region->chunk = grain;
+  region->nchunks = (end - begin + grain - 1) / grain;
+  region->body = &body;
+
+  // Enough helpers to fill the requested width, but never more than there
+  // are chunks beyond the caller's first one.
+  const std::size_t requested = pool.requested_threads();
+  const std::size_t want =
+      std::min<std::size_t>(requested - 1,
+                            static_cast<std::size_t>(region->nchunks - 1));
+  const std::size_t copies = std::min(want, pool.helper_count());
+  if (copies > 0) pool.offer(region, copies);
+  region->work();
+  region->wait();
+}
+
+}  // namespace detail
+
+}  // namespace ptdp::runtime

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
+
+#include "ptdp/runtime/parallel_for.hpp"
 
 namespace ptdp::tensor {
 
@@ -11,79 +14,183 @@ namespace {
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 constexpr float kGeluA = 0.044715f;
 
-// Raw row-major GEMM kernels. C must be zero-initialized (beta = 0).
-// Loop orders chosen so the inner loop streams contiguously; the NN case
-// blocks over k and n so the active B panel stays cache-resident, with a
-// 4-row microkernel that reuses each loaded B row four times.
+using runtime::parallel_for;
 
-constexpr std::int64_t kBlockK = 256;  // B-panel rows kept hot
-constexpr std::int64_t kBlockN = 512;  // B-panel columns per pass
+// Grain sizing: chunks below ~32K elements run serially inline, so the
+// tiny tensors used by tests never pay fan-out overhead.
+constexpr std::int64_t kElemGrain = 1 << 15;
 
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-             const float* b, float* c) {
-  for (std::int64_t pp = 0; pp < k; pp += kBlockK) {
-    const std::int64_t pe = std::min(pp + kBlockK, k);
-    for (std::int64_t jj = 0; jj < n; jj += kBlockN) {
-      const std::int64_t je = std::min(jj + kBlockN, n);
-      std::int64_t i = 0;
-      for (; i + 4 <= m; i += 4) {
-        float* c0 = c + (i + 0) * n;
-        float* c1 = c + (i + 1) * n;
-        float* c2 = c + (i + 2) * n;
-        float* c3 = c + (i + 3) * n;
-        for (std::int64_t p = pp; p < pe; ++p) {
-          const float a0 = a[(i + 0) * k + p];
-          const float a1 = a[(i + 1) * k + p];
-          const float a2 = a[(i + 2) * k + p];
-          const float a3 = a[(i + 3) * k + p];
-          const float* brow = b + p * n;
-          for (std::int64_t j = jj; j < je; ++j) {
-            const float bv = brow[j];
-            c0[j] += a0 * bv;
-            c1[j] += a1 * bv;
-            c2[j] += a2 * bv;
-            c3[j] += a3 * bv;
+std::int64_t row_grain(std::int64_t n) {
+  return std::max<std::int64_t>(1, kElemGrain / std::max<std::int64_t>(n, 1));
+}
+
+// ---- packed, cache-blocked GEMM ------------------------------------------------
+//
+// All three variants (NN/NT/TN) run through one driver that views A as
+// A(i,p) = a[i*rsa + p*csa] and B as B(p,j) = b[p*rsb + j*csb]; the packing
+// step absorbs the transpose, so the microkernel only ever sees contiguous
+// panels (this is also what removed the old data-dependent sparsity branch
+// in the TN kernel — gradient GEMM time no longer depends on activation
+// sparsity). C must be zero-initialized (beta = 0).
+//
+// Blocking follows the BLIS decomposition: pack a KCxNR B sliver and an
+// MRxKC A micro-panel into contiguous scratch (zero-padded to full tiles so
+// edge shapes take the same code path), accumulate an MRxNR register tile
+// with a plain FMA-friendly accumulator array the compiler vectorizes at
+// -O3, then add the tile into C. Row panels (MC rows) are distributed over
+// the intra-op pool; the kc loop stays serial and each C element is only
+// ever touched by the thread owning its row panel, so accumulation order —
+// and therefore the bit pattern of the result — is independent of the
+// thread count.
+
+constexpr std::int64_t kMR = 8;     // micro-tile rows
+constexpr std::int64_t kNR = 16;    // micro-tile cols (one AVX-512 / two AVX2 vectors)
+constexpr std::int64_t kMC = 128;   // row-panel height (multiple of kMR)
+constexpr std::int64_t kKC = 256;   // k-panel depth
+constexpr std::int64_t kNC = 1024;  // column-panel width (multiple of kNR)
+
+// Below this many FLOPs per row-panel chunk the fan-out is not worth it.
+constexpr std::int64_t kGemmGrainFlops = 1 << 22;
+
+// A block [i0, i0+mc) x [p0, p0+kc) packed as ceil(mc/kMR) micro-panels,
+// each kc steps of kMR contiguous row elements, zero-padded to kMR.
+void pack_a_block(const float* a, std::int64_t rsa, std::int64_t csa,
+                  std::int64_t i0, std::int64_t mc, std::int64_t p0,
+                  std::int64_t kc, float* ap) {
+  for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+    const std::int64_t mr = std::min(kMR, mc - ir);
+    float* dst = ap + ir * kc;
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const float* src = a + (i0 + ir) * rsa + (p0 + p) * csa;
+      for (std::int64_t i = 0; i < mr; ++i) dst[p * kMR + i] = src[i * rsa];
+      for (std::int64_t i = mr; i < kMR; ++i) dst[p * kMR + i] = 0.0f;
+    }
+  }
+}
+
+// B panel [p0, p0+kc) x [j0, j0+nc) packed as ceil(nc/kNR) slivers, each kc
+// steps of kNR contiguous column elements, zero-padded to kNR.
+void pack_b_panel(const float* b, std::int64_t rsb, std::int64_t csb,
+                  std::int64_t p0, std::int64_t kc, std::int64_t j0,
+                  std::int64_t nc, float* bp) {
+  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+    const std::int64_t nr = std::min(kNR, nc - jr);
+    float* dst = bp + jr * kc;
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const float* src = b + (p0 + p) * rsb + (j0 + jr) * csb;
+      for (std::int64_t j = 0; j < nr; ++j) dst[p * kNR + j] = src[j * csb];
+      for (std::int64_t j = nr; j < kNR; ++j) dst[p * kNR + j] = 0.0f;
+    }
+  }
+}
+
+// acc[kMR][kNR] += Ap · Bp over kc steps.
+#if defined(__GNUC__) || defined(__clang__)
+// One vector register file's worth of accumulators: kMR row vectors of kNR
+// lanes each, updated by broadcast(a) * b FMAs. Writing the tile with vector
+// extensions (rather than hoping the auto-vectorizer picks the right axis)
+// is what keeps the accumulators in registers across the k loop. aligned(4)
+// lets the loads come straight off the float-aligned packed panels.
+using VecNR = float __attribute__((vector_size(sizeof(float) * kNR),
+                                   aligned(alignof(float))));
+
+void micro_kernel(std::int64_t kc, const float* __restrict ap,
+                  const float* __restrict bp, float* __restrict acc) {
+  static_assert(kMR == 8, "accumulator bank below is written for kMR == 8");
+  VecNR c0{}, c1{}, c2{}, c3{}, c4{}, c5{}, c6{}, c7{};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* arow = ap + p * kMR;
+    const VecNR b = *reinterpret_cast<const VecNR*>(bp + p * kNR);
+    c0 += arow[0] * b;
+    c1 += arow[1] * b;
+    c2 += arow[2] * b;
+    c3 += arow[3] * b;
+    c4 += arow[4] * b;
+    c5 += arow[5] * b;
+    c6 += arow[6] * b;
+    c7 += arow[7] * b;
+  }
+  const VecNR cs[kMR] = {c0, c1, c2, c3, c4, c5, c6, c7};
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    *reinterpret_cast<VecNR*>(acc + i * kNR) = cs[i];
+  }
+}
+#else
+void micro_kernel(std::int64_t kc, const float* __restrict ap,
+                  const float* __restrict bp, float* __restrict acc) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* arow = ap + p * kMR;
+    const float* brow = bp + p * kNR;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        acc[i * kNR + j] += arow[i] * brow[j];
+      }
+    }
+  }
+}
+#endif
+
+void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+                  std::int64_t rsa, std::int64_t csa, const float* b,
+                  std::int64_t rsb, std::int64_t csb, float* c) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  const std::int64_t nc_max = std::min(n, kNC);
+  const std::int64_t nc_padded = (nc_max + kNR - 1) / kNR * kNR;
+  std::vector<float> bp(static_cast<std::size_t>(kKC * nc_padded));
+
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nc = std::min(kNC, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kc = std::min(kKC, k - pc);
+      pack_b_panel(b, rsb, csb, pc, kc, jc, nc, bp.data());
+
+      const std::int64_t nblocks = (m + kMC - 1) / kMC;
+      const std::int64_t block_flops = 2 * kMC * nc * kc;
+      const std::int64_t grain =
+          std::max<std::int64_t>(1, kGemmGrainFlops / std::max<std::int64_t>(
+                                                          block_flops, 1));
+      parallel_for(0, nblocks, grain, [&](std::int64_t blk0, std::int64_t blk1) {
+        thread_local std::vector<float> ap;
+        ap.resize(static_cast<std::size_t>(kMC * kKC));
+        for (std::int64_t blk = blk0; blk < blk1; ++blk) {
+          const std::int64_t i0 = blk * kMC;
+          const std::int64_t mc = std::min(kMC, m - i0);
+          pack_a_block(a, rsa, csa, i0, mc, pc, kc, ap.data());
+          for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+            const std::int64_t nr = std::min(kNR, nc - jr);
+            const float* bsliver = bp.data() + jr * kc;
+            for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+              const std::int64_t mr = std::min(kMR, mc - ir);
+              float acc[kMR * kNR] = {};
+              micro_kernel(kc, ap.data() + ir * kc, bsliver, acc);
+              for (std::int64_t i = 0; i < mr; ++i) {
+                float* crow = c + (i0 + ir + i) * n + jc + jr;
+                for (std::int64_t j = 0; j < nr; ++j) crow[j] += acc[i * kNR + j];
+              }
+            }
           }
         }
-      }
-      for (; i < m; ++i) {
-        float* crow = c + i * n;
-        for (std::int64_t p = pp; p < pe; ++p) {
-          const float av = a[i * k + p];
-          const float* brow = b + p * n;
-          for (std::int64_t j = jj; j < je; ++j) crow[j] += av * brow[j];
-        }
-      }
+      });
     }
   }
 }
 
+// C[m,n] += A[m,k] · B[k,n], all row-major. C must be zero-initialized.
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c) {
+  gemm_strided(m, n, k, a, k, 1, b, n, 1, c);
+}
+
+// C[m,n] += A[m,k] · B[n,k]ᵀ.
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      c[i * n + j] = acc;
-    }
-  }
+  gemm_strided(m, n, k, a, k, 1, b, 1, k, c);
 }
 
+// C[m,n] += A[k,m]ᵀ · B[k,n].
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c) {
-  // a is [k, m] interpreted transposed.
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm_strided(m, n, k, a, 1, m, b, n, 1, c);
 }
 
 void check_2d(const Tensor& t, const char* what) {
@@ -144,9 +251,17 @@ Tensor bmm_impl(const Tensor& a, const Tensor& b, std::int64_t m, std::int64_t n
   const std::int64_t sa = a.dim(1) * a.dim(2);
   const std::int64_t sb = b.dim(1) * b.dim(2);
   const std::int64_t sc = m * n;
-  for (std::int64_t batch = 0; batch < batches; ++batch) {
-    kernel(m, n, k, pa + batch * sa, pb + batch * sb, pc + batch * sc);
-  }
+  // Batches are embarrassingly parallel; when a single batch is big enough
+  // to fan out on its own (range <= grain here), the per-batch GEMM
+  // parallelizes over row panels instead.
+  const std::int64_t batch_flops = 2 * m * n * k;
+  const std::int64_t grain = std::max<std::int64_t>(
+      1, kGemmGrainFlops / std::max<std::int64_t>(batch_flops, 1));
+  parallel_for(0, batches, grain, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t batch = b0; batch < b1; ++batch) {
+      kernel(m, n, k, pa + batch * sa, pb + batch * sb, pc + batch * sc);
+    }
+  });
   return c;
 }
 
@@ -186,7 +301,10 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f) {
   auto da = a.data();
   auto db = b.data();
   auto dout = out.data();
-  for (std::size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i], db[i]);
+  parallel_for(0, static_cast<std::int64_t>(da.size()), kElemGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) dout[i] = f(da[i], db[i]);
+               });
   return out;
 }
 }  // namespace
@@ -205,7 +323,10 @@ Tensor scale(const Tensor& a, float alpha) {
   Tensor out(a.shape());
   auto da = a.data();
   auto dout = out.data();
-  for (std::size_t i = 0; i < da.size(); ++i) dout[i] = alpha * da[i];
+  parallel_for(0, static_cast<std::int64_t>(da.size()), kElemGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) dout[i] = alpha * da[i];
+               });
   return out;
 }
 
@@ -213,18 +334,28 @@ void add_(Tensor& a, const Tensor& b) {
   PTDP_CHECK(a.same_shape(b)) << a.shape_str() << " vs " << b.shape_str();
   auto da = a.data();
   auto db = b.data();
-  for (std::size_t i = 0; i < da.size(); ++i) da[i] += db[i];
+  parallel_for(0, static_cast<std::int64_t>(da.size()), kElemGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) da[i] += db[i];
+               });
 }
 
 void axpy_(Tensor& y, float alpha, const Tensor& x) {
   PTDP_CHECK(y.same_shape(x)) << y.shape_str() << " vs " << x.shape_str();
   auto dy = y.data();
   auto dx = x.data();
-  for (std::size_t i = 0; i < dy.size(); ++i) dy[i] += alpha * dx[i];
+  parallel_for(0, static_cast<std::int64_t>(dy.size()), kElemGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) dy[i] += alpha * dx[i];
+               });
 }
 
 void scale_(Tensor& a, float alpha) {
-  for (float& v : a.data()) v *= alpha;
+  auto da = a.data();
+  parallel_for(0, static_cast<std::int64_t>(da.size()), kElemGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) da[i] *= alpha;
+               });
 }
 
 Tensor add_bias(const Tensor& x, const Tensor& bias) {
@@ -236,12 +367,14 @@ Tensor add_bias(const Tensor& x, const Tensor& bias) {
   auto dx = x.data();
   auto db = bias.data();
   auto dout = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      dout[static_cast<std::size_t>(r * n + j)] =
-          dx[static_cast<std::size_t>(r * n + j)] + db[static_cast<std::size_t>(j)];
+  parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        dout[static_cast<std::size_t>(r * n + j)] =
+            dx[static_cast<std::size_t>(r * n + j)] + db[static_cast<std::size_t>(j)];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -251,11 +384,16 @@ Tensor bias_grad(const Tensor& dy) {
   Tensor g({n});
   auto ddy = dy.data();
   auto dg = g.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      dg[static_cast<std::size_t>(j)] += ddy[static_cast<std::size_t>(r * n + j)];
+  // Parallel over column stripes: each output element is reduced serially
+  // over rows inside one chunk, so the sum order (and bit pattern) matches
+  // the serial kernel for every thread count.
+  parallel_for(0, n, row_grain(rows), [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t j = j0; j < j1; ++j) {
+        dg[static_cast<std::size_t>(j)] += ddy[static_cast<std::size_t>(r * n + j)];
+      }
     }
-  }
+  });
   return g;
 }
 
@@ -278,7 +416,10 @@ Tensor gelu(const Tensor& x) {
   Tensor out(x.shape());
   auto dx = x.data();
   auto dout = out.data();
-  for (std::size_t i = 0; i < dx.size(); ++i) dout[i] = gelu_scalar(dx[i]);
+  parallel_for(0, static_cast<std::int64_t>(dx.size()), kElemGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) dout[i] = gelu_scalar(dx[i]);
+               });
   return out;
 }
 
@@ -288,10 +429,17 @@ Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
   auto ddy = dy.data();
   auto dx = x.data();
   auto dout = out.data();
-  for (std::size_t i = 0; i < dx.size(); ++i) dout[i] = ddy[i] * gelu_grad_scalar(dx[i]);
+  parallel_for(0, static_cast<std::int64_t>(dx.size()), kElemGrain,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) {
+                   dout[i] = ddy[i] * gelu_grad_scalar(dx[i]);
+                 }
+               });
   return out;
 }
 
+// Stays serial: the Bernoulli draws consume one RNG stream in element order,
+// so splitting the loop would change which element sees which draw.
 Tensor dropout(const Tensor& x, float p, Rng& rng, Tensor& mask) {
   PTDP_CHECK_GE(p, 0.0f);
   PTDP_CHECK_LT(p, 1.0f);
@@ -335,26 +483,29 @@ LayerNormResult layernorm(const Tensor& x, const Tensor& gamma, const Tensor& be
   auto dmean = result.mean.data();
   auto drstd = result.rstd.data();
 
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* row = dx.data() + r * n;
-    float sum = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) sum += row[j];
-    const float mean = sum / static_cast<float>(n);
-    float var = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float d = row[j] - mean;
-      var += d * d;
+  parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* row = dx.data() + r * n;
+      float sum = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) sum += row[j];
+      const float mean = sum / static_cast<float>(n);
+      float var = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float d = row[j] - mean;
+        var += d * d;
+      }
+      var /= static_cast<float>(n);
+      const float rstd = 1.0f / std::sqrt(var + eps);
+      dmean[static_cast<std::size_t>(r)] = mean;
+      drstd[static_cast<std::size_t>(r)] = rstd;
+      float* out_row = dy.data() + r * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float xhat = (row[j] - mean) * rstd;
+        out_row[j] =
+            xhat * dg[static_cast<std::size_t>(j)] + db[static_cast<std::size_t>(j)];
+      }
     }
-    var /= static_cast<float>(n);
-    const float rstd = 1.0f / std::sqrt(var + eps);
-    dmean[static_cast<std::size_t>(r)] = mean;
-    drstd[static_cast<std::size_t>(r)] = rstd;
-    float* out_row = dy.data() + r * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float xhat = (row[j] - mean) * rstd;
-      out_row[j] = xhat * dg[static_cast<std::size_t>(j)] + db[static_cast<std::size_t>(j)];
-    }
-  }
+  });
   return result;
 }
 
@@ -377,31 +528,49 @@ LayerNormGrads layernorm_backward(const Tensor& dy, const Tensor& x,
   auto out_dgamma = grads.dgamma.data();
   auto out_dbeta = grads.dbeta.data();
 
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xrow = dx.data() + r * n;
-    const float* dyrow = ddy.data() + r * n;
-    float* dxrow = out_dx.data() + r * n;
-    const float m = dmean[static_cast<std::size_t>(r)];
-    const float rs = drstd[static_cast<std::size_t>(r)];
+  // Pass 1 — dx, parallel over rows (each row's two reductions stay serial
+  // inside its chunk).
+  parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* xrow = dx.data() + r * n;
+      const float* dyrow = ddy.data() + r * n;
+      float* dxrow = out_dx.data() + r * n;
+      const float m = dmean[static_cast<std::size_t>(r)];
+      const float rs = drstd[static_cast<std::size_t>(r)];
 
-    // dxhat = dy * gamma; dx = rstd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
-    float sum_dxhat = 0.0f;
-    float sum_dxhat_xhat = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float xhat = (xrow[j] - m) * rs;
-      const float dxhat = dyrow[j] * dg[static_cast<std::size_t>(j)];
-      sum_dxhat += dxhat;
-      sum_dxhat_xhat += dxhat * xhat;
-      out_dgamma[static_cast<std::size_t>(j)] += dyrow[j] * xhat;
-      out_dbeta[static_cast<std::size_t>(j)] += dyrow[j];
+      // dxhat = dy * gamma; dx = rstd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
+      float sum_dxhat = 0.0f;
+      float sum_dxhat_xhat = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float xhat = (xrow[j] - m) * rs;
+        const float dxhat = dyrow[j] * dg[static_cast<std::size_t>(j)];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xhat;
+      }
+      const float inv_n = 1.0f / static_cast<float>(n);
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float xhat = (xrow[j] - m) * rs;
+        const float dxhat = dyrow[j] * dg[static_cast<std::size_t>(j)];
+        dxrow[j] = rs * (dxhat - inv_n * sum_dxhat - xhat * inv_n * sum_dxhat_xhat);
+      }
     }
-    const float inv_n = 1.0f / static_cast<float>(n);
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float xhat = (xrow[j] - m) * rs;
-      const float dxhat = dyrow[j] * dg[static_cast<std::size_t>(j)];
-      dxrow[j] = rs * (dxhat - inv_n * sum_dxhat - xhat * inv_n * sum_dxhat_xhat);
+  });
+
+  // Pass 2 — dgamma/dbeta, parallel over column stripes; the row reduction
+  // per column runs serially in ascending order for determinism.
+  parallel_for(0, n, row_grain(rows), [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* xrow = dx.data() + r * n;
+      const float* dyrow = ddy.data() + r * n;
+      const float m = dmean[static_cast<std::size_t>(r)];
+      const float rs = drstd[static_cast<std::size_t>(r)];
+      for (std::int64_t j = j0; j < j1; ++j) {
+        const float xhat = (xrow[j] - m) * rs;
+        out_dgamma[static_cast<std::size_t>(j)] += dyrow[j] * xhat;
+        out_dbeta[static_cast<std::size_t>(j)] += dyrow[j];
+      }
     }
-  }
+  });
   return grads;
 }
 
@@ -413,19 +582,21 @@ Tensor softmax_lastdim(const Tensor& x) {
   Tensor out(x.shape());
   auto dx = x.data();
   auto dout = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* row = dx.data() + r * n;
-    float* orow = dout.data() + r * n;
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t j = 0; j < n; ++j) mx = std::max(mx, row[j]);
-    float denom = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      denom += orow[j];
+  parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* row = dx.data() + r * n;
+      float* orow = dout.data() + r * n;
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t j = 0; j < n; ++j) mx = std::max(mx, row[j]);
+      float denom = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        denom += orow[j];
+      }
+      const float inv = 1.0f / denom;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (std::int64_t j = 0; j < n; ++j) orow[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -437,14 +608,16 @@ Tensor softmax_backward(const Tensor& y, const Tensor& dy) {
   auto dyv = dy.data();
   auto yv = y.data();
   auto dout = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* yrow = yv.data() + r * n;
-    const float* dyrow = dyv.data() + r * n;
-    float* orow = dout.data() + r * n;
-    float dot = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) dot += yrow[j] * dyrow[j];
-    for (std::int64_t j = 0; j < n; ++j) orow[j] = yrow[j] * (dyrow[j] - dot);
-  }
+  parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* yrow = yv.data() + r * n;
+      const float* dyrow = dyv.data() + r * n;
+      float* orow = dout.data() + r * n;
+      float dot = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) dot += yrow[j] * dyrow[j];
+      for (std::int64_t j = 0; j < n; ++j) orow[j] = yrow[j] * (dyrow[j] - dot);
+    }
+  });
   return out;
 }
 
@@ -459,13 +632,15 @@ Tensor fused_bias_gelu(const Tensor& x, const Tensor& bias) {
   auto dx = x.data();
   auto db = bias.data();
   auto dout = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xrow = dx.data() + r * n;
-    float* orow = dout.data() + r * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      orow[j] = gelu_scalar(xrow[j] + db[static_cast<std::size_t>(j)]);
+  parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* xrow = dx.data() + r * n;
+      float* orow = dout.data() + r * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        orow[j] = gelu_scalar(xrow[j] + db[static_cast<std::size_t>(j)]);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -481,16 +656,28 @@ Tensor fused_bias_gelu_backward(const Tensor& dy, const Tensor& x, const Tensor&
   auto db = bias.data();
   auto ddb = dbias.data();
   auto dout = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xrow = dx.data() + r * n;
-    const float* dyrow = ddy.data() + r * n;
-    float* orow = dout.data() + r * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float g = dyrow[j] * gelu_grad_scalar(xrow[j] + db[static_cast<std::size_t>(j)]);
-      orow[j] = g;
-      ddb[static_cast<std::size_t>(j)] += g;
+  // dX in parallel over rows; the bias-grad reduction then runs over column
+  // stripes of the already-computed dX so each ddb[j] accumulates rows in
+  // ascending order no matter the thread count.
+  parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* xrow = dx.data() + r * n;
+      const float* dyrow = ddy.data() + r * n;
+      float* orow = dout.data() + r * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        orow[j] =
+            dyrow[j] * gelu_grad_scalar(xrow[j] + db[static_cast<std::size_t>(j)]);
+      }
     }
-  }
+  });
+  parallel_for(0, n, row_grain(rows), [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* orow = dout.data() + r * n;
+      for (std::int64_t j = j0; j < j1; ++j) {
+        ddb[static_cast<std::size_t>(j)] += orow[j];
+      }
+    }
+  });
   return out;
 }
 
@@ -514,10 +701,11 @@ Tensor fused_scale_causal_softmax(const Tensor& scores, float scl) {
   Tensor out(scores.shape());
   auto dx = scores.data();
   auto dout = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t i = 0; i < sq; ++i) {
-      const float* row = dx.data() + (r * sq + i) * sk;
-      float* orow = dout.data() + (r * sq + i) * sk;
+  parallel_for(0, rows * sq, row_grain(sk), [&](std::int64_t q0, std::int64_t q1) {
+    for (std::int64_t q = q0; q < q1; ++q) {
+      const std::int64_t i = q % sq;
+      const float* row = dx.data() + q * sk;
+      float* orow = dout.data() + q * sk;
       const std::int64_t valid = i + shift + 1;  // keys [0, valid) are visible
       float mx = -std::numeric_limits<float>::infinity();
       for (std::int64_t j = 0; j < valid; ++j) mx = std::max(mx, scl * row[j]);
@@ -530,7 +718,7 @@ Tensor fused_scale_causal_softmax(const Tensor& scores, float scl) {
       for (std::int64_t j = 0; j < valid; ++j) orow[j] *= inv;
       for (std::int64_t j = valid; j < sk; ++j) orow[j] = 0.0f;
     }
-  }
+  });
   return out;
 }
 
@@ -546,11 +734,12 @@ Tensor fused_scale_mask_softmax(const Tensor& scores, const Tensor& mask, float 
   auto dx = scores.data();
   auto dm = mask.data();
   auto dout = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t i = 0; i < sq; ++i) {
-      const float* row = dx.data() + (r * sq + i) * sk;
+  parallel_for(0, rows * sq, row_grain(sk), [&](std::int64_t q0, std::int64_t q1) {
+    for (std::int64_t q = q0; q < q1; ++q) {
+      const std::int64_t i = q % sq;
+      const float* row = dx.data() + q * sk;
       const float* mrow = dm.data() + i * sk;
-      float* orow = dout.data() + (r * sq + i) * sk;
+      float* orow = dout.data() + q * sk;
       float mx = -std::numeric_limits<float>::infinity();
       bool any = false;
       for (std::int64_t j = 0; j < sk; ++j) {
@@ -572,7 +761,7 @@ Tensor fused_scale_mask_softmax(const Tensor& scores, const Tensor& mask, float 
       const float inv = 1.0f / denom;
       for (std::int64_t j = 0; j < sk; ++j) orow[j] *= inv;
     }
-  }
+  });
   return out;
 }
 
@@ -591,15 +780,21 @@ Tensor embedding(const Tensor& table, std::span<const std::int32_t> ids) {
   Tensor out({static_cast<std::int64_t>(ids.size()), h});
   auto dt = table.data();
   auto dout = out.data();
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    const std::int32_t id = ids[i];
-    PTDP_CHECK(id >= 0 && id < vocab) << "token id " << id << " out of range";
-    std::copy_n(dt.data() + static_cast<std::int64_t>(id) * h, h,
-                dout.data() + static_cast<std::int64_t>(i) * h);
-  }
+  parallel_for(0, static_cast<std::int64_t>(ids.size()), row_grain(h),
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) {
+                   const std::int32_t id = ids[static_cast<std::size_t>(i)];
+                   PTDP_CHECK(id >= 0 && id < vocab)
+                       << "token id " << id << " out of range";
+                   std::copy_n(dt.data() + static_cast<std::int64_t>(id) * h, h,
+                               dout.data() + i * h);
+                 }
+               });
   return out;
 }
 
+// Stays serial: duplicate ids scatter-add into the same table row, and the
+// accumulation order must not depend on the thread count.
 void embedding_backward(const Tensor& dy, std::span<const std::int32_t> ids,
                         Tensor& dtable) {
   PTDP_CHECK_EQ(dtable.ndim(), 2);
@@ -682,13 +877,15 @@ Tensor row_max(const Tensor& x) {
   Tensor out({rows});
   auto dx = x.data();
   auto dout = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float m = -std::numeric_limits<float>::infinity();
-    for (std::int64_t j = 0; j < n; ++j) {
-      m = std::max(m, dx[static_cast<std::size_t>(r * n + j)]);
+  parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float m = -std::numeric_limits<float>::infinity();
+      for (std::int64_t j = 0; j < n; ++j) {
+        m = std::max(m, dx[static_cast<std::size_t>(r * n + j)]);
+      }
+      dout[static_cast<std::size_t>(r)] = m;
     }
-    dout[static_cast<std::size_t>(r)] = m;
-  }
+  });
   return out;
 }
 
@@ -698,13 +895,15 @@ Tensor row_sum(const Tensor& x) {
   Tensor out({rows});
   auto dx = x.data();
   auto dout = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float s = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) {
-      s += dx[static_cast<std::size_t>(r * n + j)];
+  parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float s = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) {
+        s += dx[static_cast<std::size_t>(r * n + j)];
+      }
+      dout[static_cast<std::size_t>(r)] = s;
     }
-    dout[static_cast<std::size_t>(r)] = s;
-  }
+  });
   return out;
 }
 
