@@ -9,6 +9,7 @@
 //              --schedule 1f1b|gpipe|interleaved --chunks 2
 //              --steps 50 --lr 3e-3 --warmup 10 --clip 1.0
 //              --objective causal|mlm --mixed-precision --no-recompute
+//              --scatter-gather --no-overlap-grad-reduce
 //              --ckpt-dir /tmp/run --ckpt-every 25 --log-every 5
 //              --eval-every 10
 
@@ -36,6 +37,7 @@ struct Args {
   double clip = 0.0;
   bool mlm = false;
   bool mixed = false;
+  bool overlap_grad_reduce = true;
   std::string ckpt_dir;
   int ckpt_every = 0;
   int log_every = 5;
@@ -79,6 +81,8 @@ bool parse(int argc, char** argv, Args& a) {
       a.model.causal = !a.mlm;
     } else if (flag == "--mixed-precision") a.mixed = true;
     else if (flag == "--no-recompute") a.parallel.recompute = false;
+    else if (flag == "--scatter-gather") a.parallel.scatter_gather = true;
+    else if (flag == "--no-overlap-grad-reduce") a.overlap_grad_reduce = false;
     else if (flag == "--ckpt-dir") a.ckpt_dir = argv[++i];
     else if (flag == "--ckpt-every") a.ckpt_every = static_cast<int>(next_i64(i));
     else if (flag == "--log-every") a.log_every = static_cast<int>(next_i64(i));
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
   options.optimizer = core::EngineOptions::Opt::kAdam;
   options.adam.lr = args.lr;
   options.mixed_precision = args.mixed;
+  options.overlap_grad_reduce = args.overlap_grad_reduce;
   options.grad_clip = args.clip;
   if (args.warmup > 0) {
     options.lr_schedule = optim::LrScheduleOptions{

@@ -5,13 +5,16 @@
 //   - builds the Megatron-style process groups,
 //   - constructs this rank's v model chunks (tensor-parallel within the
 //     tensor group, layer-striped across virtual pipeline stages),
-//   - runs each batch through the chosen pipeline schedule,
-//   - all-reduces the tied-embedding grads over the embedding group and all
-//     grads over the data-parallel group,
+//   - runs each batch through the chosen pipeline schedule (with the §4.1
+//     scatter/gather boundary optimization when configured),
+//   - all-reduces the tied-embedding grads over the embedding group and
+//     delegates the data-parallel gradient reduction to comm::GradReducer,
+//     which can overlap per-chunk reductions with the pipeline tail,
 //   - optionally clips, then steps the optimizer (optionally with bf16
 //     mixed precision and dynamic loss scaling),
 // preserving strict optimizer semantics: tests verify that every layout
-// produces the same weights as serial training.
+// produces the same weights as serial training, bitwise-independent of the
+// scatter/gather and overlap toggles.
 
 #include <memory>
 #include <optional>
@@ -20,6 +23,7 @@
 #include <vector>
 
 #include "ptdp/ckpt/checkpoint.hpp"
+#include "ptdp/comm/grad_reducer.hpp"
 #include "ptdp/core/parallel_config.hpp"
 #include "ptdp/dist/process_groups.hpp"
 #include "ptdp/optim/lr_scheduler.hpp"
@@ -46,10 +50,16 @@ struct EngineOptions {
   bool mixed_precision = false;
   optim::LossScalerOptions scaler{};
   double grad_clip = 0.0;  ///< 0 disables clipping
-  /// Data-parallel grad all-reduce bucketing: grads are flattened into
-  /// buckets of up to this many elements and reduced per bucket (DDP
-  /// style: fewer, larger messages). 0 = one all-reduce per parameter.
+  /// Data-parallel grad all-reduce bucketing: each chunk's grads are
+  /// flattened into buckets of up to this many elements and reduced per
+  /// bucket (DDP style: fewer, larger messages). 0 = one all-reduce per
+  /// parameter.
   std::int64_t dp_bucket_elems = 1 << 16;
+  /// Overlap the data-parallel reduction with the pipeline tail: each model
+  /// chunk's bucket all-reduces launch from the executor's chunk-backward
+  /// hook instead of serializing after the batch. Final weights are
+  /// bitwise identical either way (see comm::GradReducer).
+  bool overlap_grad_reduce = true;
   /// Optional LR schedule (warmup + cosine); overrides the optimizer's
   /// static learning rate when set.
   std::optional<optim::LrScheduleOptions> lr_schedule;
@@ -86,7 +96,10 @@ class PtdpEngine {
 
   const dist::ProcessGroups& groups() const { return *groups_; }
   const EngineOptions& options() const { return options_; }
-  model::ParamRefs params();
+  /// All trainable params of this rank's chunks, deterministic order.
+  /// Built once at construction (the chunk walk is not repeated per step).
+  const model::ParamRefs& params() const { return params_; }
+  const pipeline::PipelineExecutor& executor() const { return *executor_; }
   model::GptStage& chunk(int i) { return *chunks_[static_cast<std::size_t>(i)]; }
   int num_chunks() const { return static_cast<int>(chunks_.size()); }
   optim::Optimizer& optimizer() { return *optimizer_; }
@@ -111,7 +124,9 @@ class PtdpEngine {
   EngineOptions options_;
   std::unique_ptr<dist::ProcessGroups> groups_;
   std::vector<std::unique_ptr<model::GptStage>> chunks_;
+  model::ParamRefs params_;  ///< all chunks' params, cached at construction
   std::unique_ptr<pipeline::PipelineExecutor> executor_;
+  std::unique_ptr<comm::GradReducer> grad_reducer_;  ///< null when d == 1 or ZeRO
   std::unique_ptr<optim::Optimizer> optimizer_;
   optim::MixedPrecisionOptimizer* mixed_ = nullptr;  ///< non-owning view
   double last_grad_norm_ = 0.0;

@@ -1,11 +1,17 @@
 #pragma once
 
 // Communicator: an MPI-style handle over a subset of world ranks, backed by
-// the thread-world Mailbox. Point-to-point sends are buffered (non-blocking);
-// receives block for the matching (src, tag) message. Collectives are built
-// from p2p using classic ring / dissemination algorithms, mirroring what
-// NCCL does on real hardware so that communication *volume* accounting in
-// the simulator matches the functional runtime's message pattern.
+// the thread-world Mailbox. Point-to-point operations come in request-based
+// nonblocking form (isend/irecv returning a Request with wait()/test(), the
+// completion path being Mailbox try_take/take) and as blocking wrappers
+// (send/recv) layered on top. Collectives are built from p2p using classic
+// ring / dissemination algorithms, mirroring what NCCL does on real
+// hardware so that communication *volume* accounting in the simulator
+// matches the functional runtime's message pattern.
+//
+// Requests complete on the calling rank thread only — never on the intra-op
+// helper pool — preserving the DESIGN.md §8 pool-separation invariant (see
+// DESIGN.md §9 "Communication plane").
 
 #include <atomic>
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "ptdp/dist/mailbox.hpp"
+#include "ptdp/dist/request.hpp"
 #include "ptdp/runtime/check.hpp"
 #include "ptdp/runtime/rng.hpp"
 
@@ -67,15 +74,43 @@ class Comm {
   const std::vector<int>& members() const noexcept { return *members_; }
 
   // ---- point-to-point -----------------------------------------------------
+  //
+  // Nonblocking primitives are the real API; the blocking send/recv pair is
+  // a thin wrapper (isend is already complete at return, recv is
+  // irecv().wait()). User tags must stay below 2^48 — the range above is
+  // reserved for collective traffic.
+
+  /// Nonblocking buffered send to communicator rank `dst`. The payload is
+  /// copied into the Mailbox before returning, so the returned Request is
+  /// already complete and `data` may be reused immediately.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Request isend(std::span<const T> data, int dst, std::uint64_t tag = 0) const {
+    PTDP_CHECK_NE(dst, rank_) << "self-send";
+    std::vector<std::uint8_t> payload(data.size_bytes());
+    std::memcpy(payload.data(), data.data(), data.size_bytes());
+    mailbox_->post(channel(rank_, dst, tag), std::move(payload));
+    return Request();  // buffered transport: sends never have an in-flight phase
+  }
+
+  /// Nonblocking receive into `data` from communicator rank `src`. `data`
+  /// must stay alive and unmoved until the Request completes via wait() or
+  /// test(); the payload size must match `data.size_bytes()` exactly.
+  /// Posting order on the same (src, tag) channel is the match order (FIFO).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Request irecv(std::span<T> data, int src, std::uint64_t tag = 0) const {
+    PTDP_CHECK_NE(src, rank_) << "self-recv";
+    return Request(mailbox_, channel(src, rank_, tag),
+                   std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(data.data()),
+                                           data.size_bytes()));
+  }
 
   /// Buffered send of a trivially-copyable span to communicator rank `dst`.
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void send(std::span<const T> data, int dst, std::uint64_t tag = 0) const {
-    PTDP_CHECK_NE(dst, rank_) << "self-send";
-    std::vector<std::uint8_t> payload(data.size_bytes());
-    std::memcpy(payload.data(), data.data(), data.size_bytes());
-    mailbox_->post(channel(rank_, dst, tag), std::move(payload));
+    isend(data, dst, tag);
   }
 
   /// Blocking receive into `data` from communicator rank `src`. The payload
@@ -83,11 +118,7 @@ class Comm {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void recv(std::span<T> data, int src, std::uint64_t tag = 0) const {
-    PTDP_CHECK_NE(src, rank_) << "self-recv";
-    std::vector<std::uint8_t> payload = mailbox_->take(channel(src, rank_, tag));
-    PTDP_CHECK_EQ(payload.size(), data.size_bytes())
-        << "message size mismatch on tag " << tag << " src " << src;
-    std::memcpy(data.data(), payload.data(), payload.size());
+    irecv(data, src, tag).wait();
   }
 
   /// Simultaneous exchange with a partner (both sides call with the same tag).

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -68,6 +69,23 @@ class Mailbox {
     auto it = queues_.find(key);
     if (it == queues_.end() || it->second.empty()) {
       throw WorldPoisoned();
+    }
+    std::vector<std::uint8_t> payload = std::move(it->second.front());
+    it->second.pop_front();
+    return payload;
+  }
+
+  /// Non-blocking take: pops the channel's front message if one is queued,
+  /// std::nullopt otherwise. This is the completion path for Request::test()
+  /// — it must never block, so a rank can poll an in-flight irecv between
+  /// compute ops. Throws WorldPoisoned only when the world is poisoned AND
+  /// no real message is available (same drain-first rule as take()).
+  std::optional<std::vector<std::uint8_t>> try_take(const ChannelKey& key) {
+    std::lock_guard lock(mu_);
+    auto it = queues_.find(key);
+    if (it == queues_.end() || it->second.empty()) {
+      if (poisoned_) throw WorldPoisoned();
+      return std::nullopt;
     }
     std::vector<std::uint8_t> payload = std::move(it->second.front());
     it->second.pop_front();

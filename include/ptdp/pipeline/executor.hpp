@@ -6,7 +6,26 @@
 // structure: every microbatch's forward and backward complete inside
 // run_batch (the pipeline flush), so the optimizer step that follows sees
 // gradients for exactly this batch.
+//
+// Communication plane (DESIGN.md §9):
+//  - All inter-stage transfers go through the nonblocking isend/irecv API;
+//    the receive for the next scheduled op is pre-posted before the current
+//    op's compute so p2p latency hides behind stage work.
+//  - With ExecutorOptions::scatter_gather (§4.1) and a tensor-parallel
+//    group of size t > 1, the boundary tensor [s, b, h] is replicated
+//    across the t tensor ranks of the sending stage; each rank sends only
+//    its own contiguous 1/t strip and the receiving stage reconstructs the
+//    tensor with an all-gather over its tensor group. Inter-stage p2p
+//    volume drops from bsh to bsh/t per rank; reconstruction is bitwise
+//    exact, so results are identical with the optimization on or off.
+//  - A chunk-backward hook fires when the last microbatch backward of a
+//    model chunk completes (after its upstream grad send), which is the
+//    point where that chunk's parameter gradients are final for the batch —
+//    comm::GradReducer uses it to overlap data-parallel reduction with the
+//    remaining pipeline ops.
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <span>
 #include <vector>
@@ -17,10 +36,40 @@
 
 namespace ptdp::pipeline {
 
+/// Communication-plane toggles for the executor.
+struct ExecutorOptions {
+  /// §4.1 scatter/gather: send 1/t activation strips across stage
+  /// boundaries and all-gather on the tensor group at the receiver.
+  /// Ignored (full-tensor sends) when the tensor group has size 1.
+  bool scatter_gather = false;
+  /// Pre-post the next scheduled op's irecv before the current op's
+  /// compute. Off = post each receive immediately before its use.
+  bool prepost_recv = true;
+};
+
+/// Bytes/messages this rank pushed across pipeline-stage boundaries.
+/// Cumulative over the executor's lifetime; scatter/gather shows up here as
+/// a 1/t reduction in bytes for the same message count.
+struct CommStats {
+  std::uint64_t p2p_messages = 0;
+  std::uint64_t p2p_bytes_sent = 0;
+};
+
 class PipelineExecutor {
  public:
+  /// Fired with the chunk index when that chunk's parameter grads become
+  /// final for the running batch (all m microbatch backwards done).
+  using ChunkBackwardHook = std::function<void(int chunk)>;
+
   /// `chunks` — the v model chunks this rank owns, chunk index order.
   /// `pipe` — the pipeline-parallel communicator (size p).
+  /// `tensor` — the tensor-parallel communicator this rank's stages compute
+  /// in; used only for the scatter/gather reconstruction all-gather.
+  PipelineExecutor(std::vector<model::GptStage*> chunks, dist::Comm pipe,
+                   dist::Comm tensor, ScheduleParams params, ExecutorOptions options);
+
+  /// Convenience for tensor-parallel-free callers: solo tensor group,
+  /// default options.
   PipelineExecutor(std::vector<model::GptStage*> chunks, dist::Comm pipe,
                    ScheduleParams params);
 
@@ -39,19 +88,50 @@ class PipelineExecutor {
   /// number of microbatches (it ignores the schedule's m).
   float run_forward_only(std::span<const model::Microbatch> microbatches);
 
+  /// Installs (or clears, with nullptr) the grads-final hook. The hook runs
+  /// on the rank thread inside run_batch; it may issue collectives on
+  /// groups orthogonal to the pipeline (e.g. the data-parallel group) but
+  /// must not touch the pipeline communicator.
+  void set_chunk_backward_hook(ChunkBackwardHook hook) { hook_ = std::move(hook); }
+
   const ScheduleParams& params() const { return params_; }
+  const ExecutorOptions& options() const { return options_; }
+  const CommStats& comm_stats() const { return stats_; }
 
  private:
   struct Endpoint {
     int rank;
     int chunk;
   };
+  /// An in-flight boundary receive: `buf` is the landing buffer (a 1/t
+  /// strip under scatter/gather, the full tensor otherwise).
+  struct PendingRecv {
+    tensor::Tensor buf;
+    dist::Request req;
+  };
+
   Endpoint prev_of(int chunk) const;  ///< device holding virtual stage vs-1
   Endpoint next_of(int chunk) const;  ///< device holding virtual stage vs+1
 
+  bool scatter_gather_active() const {
+    return options_.scatter_gather && tensor_.size() > 1;
+  }
+  /// Sends `full` (replicated across the tensor group) to pipeline rank
+  /// `dst` — the caller's 1/t strip under scatter/gather.
+  void send_boundary(const tensor::Tensor& full, int dst, std::uint64_t tag);
+  /// Posts the irecv for a boundary tensor of `full_elems` elements.
+  PendingRecv post_recv(std::int64_t full_elems, int src, std::uint64_t tag);
+  /// Completes a pending receive and reconstructs the full [s, b, h]
+  /// boundary tensor (all-gather over the tensor group under s/g).
+  tensor::Tensor finish_recv(PendingRecv pending, const tensor::Shape& full_shape);
+
   std::vector<model::GptStage*> chunks_;
   dist::Comm pipe_;
+  dist::Comm tensor_;
   ScheduleParams params_;
+  ExecutorOptions options_;
+  ChunkBackwardHook hook_;
+  CommStats stats_;
 };
 
 }  // namespace ptdp::pipeline

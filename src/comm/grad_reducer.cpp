@@ -1,0 +1,81 @@
+#include "ptdp/comm/grad_reducer.hpp"
+
+namespace ptdp::comm {
+
+using model::Param;
+
+GradReducer::GradReducer(std::vector<model::ParamRefs> chunk_params, dist::Comm data,
+                         GradReducerOptions options, std::vector<bool> defer)
+    : chunk_params_(std::move(chunk_params)),
+      data_(std::move(data)),
+      options_(options),
+      defer_(std::move(defer)),
+      reduced_(chunk_params_.size(), false) {
+  if (defer_.empty()) defer_.assign(chunk_params_.size(), false);
+  PTDP_CHECK_EQ(defer_.size(), chunk_params_.size());
+  for (const model::ParamRefs& refs : chunk_params_) {
+    for (const Param* p : refs) PTDP_CHECK(p != nullptr);
+  }
+}
+
+void GradReducer::on_chunk_grads_ready(int chunk) {
+  PTDP_CHECK_GE(chunk, 0);
+  PTDP_CHECK_LT(static_cast<std::size_t>(chunk), chunk_params_.size());
+  if (!enabled() || !options_.overlap) return;
+  if (defer_[static_cast<std::size_t>(chunk)]) return;
+  PTDP_CHECK(!reduced_[static_cast<std::size_t>(chunk)])
+      << "chunk " << chunk << " signalled ready twice in one batch";
+  reduce_chunk(static_cast<std::size_t>(chunk));
+}
+
+void GradReducer::finish() {
+  if (!enabled()) return;
+  for (std::size_t c = 0; c < chunk_params_.size(); ++c) {
+    if (!reduced_[c]) reduce_chunk(c);
+  }
+  reduced_.assign(chunk_params_.size(), false);
+}
+
+void GradReducer::reduce_chunk(std::size_t c) {
+  const float inv_d = 1.0f / static_cast<float>(data_.size());
+  const std::int64_t cap = options_.bucket_elems;
+  reduced_[c] = true;
+  if (cap <= 0) {
+    for (Param* p : chunk_params_[c]) {
+      data_.all_reduce(p->grad.data());
+      auto g = p->grad.data();
+      for (float& v : g) v *= inv_d;
+      elems_reduced_ += g.size();
+    }
+    return;
+  }
+  // Bucket boundaries depend only on the chunk's param order and cap, never
+  // on reduction timing — the bitwise overlap-on/off guarantee.
+  std::vector<float> bucket;
+  std::vector<Param*> members;
+  auto flush = [&] {
+    if (bucket.empty()) return;
+    data_.all_reduce(std::span<float>(bucket));
+    elems_reduced_ += bucket.size();
+    std::size_t off = 0;
+    for (Param* p : members) {
+      auto g = p->grad.data();
+      for (std::size_t j = 0; j < g.size(); ++j) g[j] = bucket[off + j] * inv_d;
+      off += g.size();
+    }
+    bucket.clear();
+    members.clear();
+  };
+  for (Param* p : chunk_params_[c]) {
+    auto g = p->grad.data();
+    if (!bucket.empty() &&
+        static_cast<std::int64_t>(bucket.size() + g.size()) > cap) {
+      flush();
+    }
+    bucket.insert(bucket.end(), g.begin(), g.end());
+    members.push_back(p);
+  }
+  flush();
+}
+
+}  // namespace ptdp::comm

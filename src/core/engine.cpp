@@ -38,11 +38,40 @@ PtdpEngine::PtdpEngine(dist::Comm& world, EngineOptions options)
                                                  spec));
   }
 
+  // Flatten the param walk once; every later consumer (grad reduce, clip,
+  // checkpoint, optimizer construction) reuses this list.
+  for (auto& c : chunks_) {
+    model::ParamRefs r = c->params();
+    params_.insert(params_.end(), r.begin(), r.end());
+  }
+
   std::vector<GptStage*> raw;
   raw.reserve(chunks_.size());
   for (auto& c : chunks_) raw.push_back(c.get());
+  pipeline::ExecutorOptions exec_opts;
+  exec_opts.scatter_gather = cfg.scatter_gather;
   executor_ = std::make_unique<pipeline::PipelineExecutor>(
-      raw, groups_->pipeline(), cfg.schedule_params(options_.global_batch));
+      raw, groups_->pipeline(), groups_->tensor(),
+      cfg.schedule_params(options_.global_batch), exec_opts);
+
+  // Data-parallel reduction plane. The ZeRO optimizer owns its reduction
+  // (reduce-scatter inside step()), so it opts out here.
+  if (cfg.d > 1 && options_.optimizer != EngineOptions::Opt::kZeroAdam) {
+    std::vector<model::ParamRefs> chunk_params;
+    std::vector<bool> defer;
+    for (auto& c : chunks_) {
+      chunk_params.push_back(c->params());
+      // Tied-embedding chunks reduce only after the embedding-group sync.
+      defer.push_back(cfg.p > 1 && c->word_embedding_param() != nullptr);
+    }
+    comm::GradReducerOptions reducer_opts;
+    reducer_opts.bucket_elems = options_.dp_bucket_elems;
+    reducer_opts.overlap = options_.overlap_grad_reduce;
+    grad_reducer_ = std::make_unique<comm::GradReducer>(
+        std::move(chunk_params), groups_->data(), reducer_opts, std::move(defer));
+    executor_->set_chunk_backward_hook(
+        [this](int chunk) { grad_reducer_->on_chunk_grads_ready(chunk); });
+  }
 
   std::unique_ptr<optim::Optimizer> inner;
   if (options_.optimizer == EngineOptions::Opt::kZeroAdam) {
@@ -67,15 +96,6 @@ PtdpEngine::PtdpEngine(dist::Comm& world, EngineOptions options)
   if (options_.lr_schedule) lr_schedule_.emplace(*options_.lr_schedule);
 }
 
-model::ParamRefs PtdpEngine::params() {
-  model::ParamRefs refs;
-  for (auto& c : chunks_) {
-    model::ParamRefs r = c->params();
-    refs.insert(refs.end(), r.begin(), r.end());
-  }
-  return refs;
-}
-
 float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
   const Stopwatch stopwatch;
   const ParallelConfig& cfg = options_.parallel;
@@ -96,48 +116,11 @@ float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
     }
   }
 
-  // Data-parallel gradient all-reduce (mean over replicas), bucketed DDP
-  // style: flatten consecutive grads into buckets of up to dp_bucket_elems
-  // so the ring sees fewer, larger messages. The ZeRO optimizer owns the
-  // reduction itself (reduce-scatter inside step()).
-  const bool zero_owns_reduction =
-      options_.optimizer == EngineOptions::Opt::kZeroAdam;
-  if (cfg.d > 1 && !zero_owns_reduction) {
-    const float inv_d = 1.0f / static_cast<float>(cfg.d);
-    const std::int64_t cap = options_.dp_bucket_elems;
-    model::ParamRefs refs = params();
-    if (cap <= 0) {
-      for (Param* p : refs) {
-        groups_->data().all_reduce(p->grad.data());
-        tensor::scale_(p->grad, inv_d);
-      }
-    } else {
-      std::vector<float> bucket;
-      std::vector<Param*> members;
-      auto flush = [&] {
-        if (bucket.empty()) return;
-        groups_->data().all_reduce(std::span<float>(bucket));
-        std::size_t off = 0;
-        for (Param* p : members) {
-          auto g = p->grad.data();
-          for (std::size_t j = 0; j < g.size(); ++j) g[j] = bucket[off + j] * inv_d;
-          off += g.size();
-        }
-        bucket.clear();
-        members.clear();
-      };
-      for (Param* p : refs) {
-        auto g = p->grad.data();
-        if (!bucket.empty() &&
-            static_cast<std::int64_t>(bucket.size() + g.size()) > cap) {
-          flush();
-        }
-        bucket.insert(bucket.end(), g.begin(), g.end());
-        members.push_back(p);
-      }
-      flush();
-    }
-  }
+  // Data-parallel gradient reduction (mean over replicas). With overlap on,
+  // most chunks were already reduced from the executor's backward hooks;
+  // finish() covers the rest — notably the deferred tied-embedding chunks,
+  // whose grads only became final in the embedding-group sync above.
+  if (grad_reducer_) grad_reducer_->finish();
 
   // Broadcast the loss: only the last pipeline stage computed it.
   if (cfg.p > 1) {
@@ -153,8 +136,7 @@ float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
     const double max_norm = options_.grad_clip * extra_scale;
     const dist::Comm* tp = cfg.t > 1 ? &groups_->tensor() : nullptr;
     const dist::Comm* pp = cfg.p > 1 ? &groups_->pipeline() : nullptr;
-    model::ParamRefs refs = params();
-    last_grad_norm_ = optim::clip_grad_norm(refs, max_norm, tp, pp) / extra_scale;
+    last_grad_norm_ = optim::clip_grad_norm(params_, max_norm, tp, pp) / extra_scale;
   }
 
   optimizer_->step();

@@ -7,19 +7,43 @@ using model::StageCache;
 using tensor::Tensor;
 
 namespace {
-// Tag layout: bit 47 = direction, bits 8..46 = microbatch, bits 0..7 = chunk
-// *at the receiver* (so sender and receiver agree even across the
-// rank-(p-1) -> rank-0 chunk boundary).
-std::uint64_t make_tag(bool backward, int microbatch, int recv_chunk) {
-  return (static_cast<std::uint64_t>(backward) << 47) |
-         (static_cast<std::uint64_t>(microbatch) << 8) |
+
+// Tag layout for inter-stage p2p (the single source of truth — keep
+// DESIGN.md §9 in sync):
+//   bit 47      direction (1 = backward/gradient traffic)
+//   bit 46      eval marker (1 = forward-only/validation traffic)
+//   bits 8..45  microbatch index (38 bits)
+//   bits 0..7   chunk index *at the receiver* (so sender and receiver agree
+//               even across the rank-(p-1) -> rank-0 chunk boundary)
+// Bit 46 used to overlap the microbatch field; it is now carved out so eval
+// traffic can never collide with a training microbatch >= 2^38.
+constexpr int kChunkBits = 8;
+constexpr int kMicrobatchBits = 38;
+constexpr std::uint64_t kEvalBit = 1ULL << (kChunkBits + kMicrobatchBits);
+constexpr std::uint64_t kBackwardBit = kEvalBit << 1;
+
+std::uint64_t make_tag(bool backward, bool eval, std::int64_t microbatch,
+                       int recv_chunk) {
+  PTDP_CHECK_GE(microbatch, 0);
+  PTDP_CHECK_LT(microbatch, std::int64_t{1} << kMicrobatchBits)
+      << "microbatch index overflows the tag field";
+  PTDP_CHECK_GE(recv_chunk, 0);
+  PTDP_CHECK_LT(recv_chunk, 1 << kChunkBits) << "chunk index overflows the tag field";
+  return (backward ? kBackwardBit : 0) | (eval ? kEvalBit : 0) |
+         (static_cast<std::uint64_t>(microbatch) << kChunkBits) |
          static_cast<std::uint64_t>(recv_chunk);
 }
+
 }  // namespace
 
 PipelineExecutor::PipelineExecutor(std::vector<model::GptStage*> chunks,
-                                   dist::Comm pipe, ScheduleParams params)
-    : chunks_(std::move(chunks)), pipe_(std::move(pipe)), params_(params) {
+                                   dist::Comm pipe, dist::Comm tensor,
+                                   ScheduleParams params, ExecutorOptions options)
+    : chunks_(std::move(chunks)),
+      pipe_(std::move(pipe)),
+      tensor_(std::move(tensor)),
+      params_(params),
+      options_(options) {
   PTDP_CHECK_EQ(pipe_.size(), params_.p);
   PTDP_CHECK_EQ(static_cast<int>(chunks_.size()), params_.v);
   for (const auto* c : chunks_) PTDP_CHECK(c != nullptr);
@@ -27,6 +51,11 @@ PipelineExecutor::PipelineExecutor(std::vector<model::GptStage*> chunks,
     PTDP_CHECK_EQ(params_.v, 1) << "interleaving needs a real pipeline (p > 1)";
   }
 }
+
+PipelineExecutor::PipelineExecutor(std::vector<model::GptStage*> chunks,
+                                   dist::Comm pipe, ScheduleParams params)
+    : PipelineExecutor(std::move(chunks), std::move(pipe), dist::Comm::solo(),
+                       params, ExecutorOptions{}) {}
 
 PipelineExecutor::Endpoint PipelineExecutor::prev_of(int chunk) const {
   const int rank = pipe_.rank();
@@ -40,6 +69,47 @@ PipelineExecutor::Endpoint PipelineExecutor::next_of(int chunk) const {
   return {0, chunk + 1};
 }
 
+void PipelineExecutor::send_boundary(const Tensor& full, int dst, std::uint64_t tag) {
+  std::span<const float> data = full.data();
+  if (scatter_gather_active()) {
+    const std::int64_t t = tensor_.size();
+    PTDP_CHECK_EQ(static_cast<std::int64_t>(data.size()) % t, 0)
+        << "scatter/gather needs s*b*h divisible by t";
+    const std::size_t strip = data.size() / static_cast<std::size_t>(t);
+    data = data.subspan(static_cast<std::size_t>(tensor_.rank()) * strip, strip);
+  }
+  pipe_.isend(data, dst, tag);
+  stats_.p2p_messages += 1;
+  stats_.p2p_bytes_sent += data.size_bytes();
+}
+
+PipelineExecutor::PendingRecv PipelineExecutor::post_recv(std::int64_t full_elems,
+                                                          int src, std::uint64_t tag) {
+  std::int64_t elems = full_elems;
+  if (scatter_gather_active()) {
+    const std::int64_t t = tensor_.size();
+    PTDP_CHECK_EQ(full_elems % t, 0) << "scatter/gather needs s*b*h divisible by t";
+    elems = full_elems / t;
+  }
+  PendingRecv pending;
+  pending.buf = Tensor({elems});
+  pending.req = pipe_.irecv(pending.buf.data(), src, tag);
+  return pending;
+}
+
+Tensor PipelineExecutor::finish_recv(PendingRecv pending,
+                                     const tensor::Shape& full_shape) {
+  pending.req.wait();
+  if (!scatter_gather_active()) return pending.buf.view(full_shape);
+  // Reconstruct the replicated boundary tensor: strips are contiguous
+  // rank-order slices, so the tensor-group all-gather is exactly the
+  // inverse of the sender's split — bitwise identical to a full send.
+  Tensor full(full_shape);
+  tensor_.all_gather(std::span<const float>(pending.buf.data()),
+                     std::span<float>(full.data()));
+  return full;
+}
+
 float PipelineExecutor::run_batch(std::span<const Microbatch> microbatches,
                                   float extra_loss_scale) {
   PTDP_CHECK_EQ(static_cast<int>(microbatches.size()), params_.m);
@@ -50,46 +120,76 @@ float PipelineExecutor::run_batch(std::span<const Microbatch> microbatches,
 
   const std::vector<Op> ops = build_rank_schedule(params_, rank);
   std::map<std::pair<int, int>, StageCache> caches;  // (mb, chunk) -> cache
+  std::map<std::size_t, PendingRecv> pending;        // op index -> posted irecv
+  std::vector<int> backwards_done(static_cast<std::size_t>(params_.v), 0);
   double loss_sum = 0.0;
 
-  for (const Op& op : ops) {
+  // Posts op i's boundary irecv if it needs one and none is posted yet.
+  // Every (direction, microbatch, chunk) triple is its own Mailbox channel,
+  // so receives may be posted in any order relative to their arrivals.
+  auto ensure_posted = [&](std::size_t i) {
+    if (i >= ops.size() || pending.contains(i)) return;
+    const Op& op = ops[i];
+    const int vs = virtual_stage(rank, op.chunk, params_.p);
+    const Microbatch& mb = microbatches[static_cast<std::size_t>(op.microbatch)];
+    const std::int64_t elems = mb.s * mb.b * h;
+    if (op.kind == Op::Kind::kForward && vs > 0) {
+      pending.emplace(i, post_recv(elems, prev_of(op.chunk).rank,
+                                   make_tag(false, false, op.microbatch, op.chunk)));
+    } else if (op.kind == Op::Kind::kBackward && vs < P - 1) {
+      pending.emplace(i, post_recv(elems, next_of(op.chunk).rank,
+                                   make_tag(true, false, op.microbatch, op.chunk)));
+    }
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
     const Microbatch& mb = microbatches[static_cast<std::size_t>(op.microbatch)];
     const int vs = virtual_stage(rank, op.chunk, params_.p);
     model::GptStage& stage = *chunks_[static_cast<std::size_t>(op.chunk)];
     StageCache& cache = caches[{op.microbatch, op.chunk}];
 
+    ensure_posted(i);
+    // Pre-post the next op's receive before this op's compute: its payload
+    // can then land while this stage works, instead of serializing after.
+    if (options_.prepost_recv) ensure_posted(i + 1);
+
     if (op.kind == Op::Kind::kForward) {
       Tensor input;
-      if (vs > 0) {
-        input = Tensor({mb.s, mb.b, h});
-        pipe_.recv(input.data(), prev_of(op.chunk).rank,
-                   make_tag(false, op.microbatch, op.chunk));
+      if (auto it = pending.find(i); it != pending.end()) {
+        input = finish_recv(std::move(it->second), {mb.s, mb.b, h});
+        pending.erase(it);
       }
       model::StageForward fwd = stage.forward(input, mb, cache);
       if (vs == P - 1) {
         loss_sum += fwd.loss;
       } else {
         const Endpoint to = next_of(op.chunk);
-        pipe_.send(std::span<const float>(fwd.activation.data()), to.rank,
-                   make_tag(false, op.microbatch, to.chunk));
+        send_boundary(fwd.activation, to.rank,
+                      make_tag(false, false, op.microbatch, to.chunk));
       }
     } else {
       Tensor dy;
-      if (vs < P - 1) {
-        dy = Tensor({mb.s, mb.b, h});
-        pipe_.recv(dy.data(), next_of(op.chunk).rank,
-                   make_tag(true, op.microbatch, op.chunk));
+      if (auto it = pending.find(i); it != pending.end()) {
+        dy = finish_recv(std::move(it->second), {mb.s, mb.b, h});
+        pending.erase(it);
       }
       Tensor dx = stage.backward(dy, loss_scale, cache, mb);
       caches.erase({op.microbatch, op.chunk});  // activations freed here
       if (vs > 0) {
         const Endpoint to = prev_of(op.chunk);
-        pipe_.send(std::span<const float>(dx.data()), to.rank,
-                   make_tag(true, op.microbatch, to.chunk));
+        send_boundary(dx, to.rank, make_tag(true, false, op.microbatch, to.chunk));
       }
+      // After the upstream send this chunk's work for the batch may be
+      // complete — its parameter grads are then final (each backward op
+      // only touches its own chunk's params), which is what the grad
+      // reducer overlap keys on.
+      auto& done = backwards_done[static_cast<std::size_t>(op.chunk)];
+      if (++done == params_.m && hook_) hook_(op.chunk);
     }
   }
   PTDP_CHECK(caches.empty()) << "in-flight microbatches left after flush";
+  PTDP_CHECK(pending.empty()) << "pre-posted receives left after flush";
   return static_cast<float>(loss_sum / params_.m);
 }
 
@@ -105,10 +205,12 @@ float PipelineExecutor::run_forward_only(std::span<const Microbatch> microbatche
       const int vs = virtual_stage(rank, c, params_.p);
       Tensor input;
       if (vs > 0) {
-        input = Tensor({mb.s, mb.b, h});
-        // Distinct tag space from training traffic (bit 46).
-        pipe_.recv(input.data(), prev_of(c).rank,
-                   make_tag(false, static_cast<int>(i), c) | (1ULL << 46));
+        // Eval traffic carries the tag-space eval bit so it can never
+        // collide with training microbatch tags.
+        input = finish_recv(
+            post_recv(mb.s * mb.b * h, prev_of(c).rank,
+                      make_tag(false, true, static_cast<std::int64_t>(i), c)),
+            {mb.s, mb.b, h});
       }
       StageCache cache;  // dropped at scope exit — nothing is stashed
       model::StageForward fwd =
@@ -117,8 +219,8 @@ float PipelineExecutor::run_forward_only(std::span<const Microbatch> microbatche
         loss_sum += fwd.loss;
       } else {
         const Endpoint to = next_of(c);
-        pipe_.send(std::span<const float>(fwd.activation.data()), to.rank,
-                   make_tag(false, static_cast<int>(i), to.chunk) | (1ULL << 46));
+        send_boundary(fwd.activation, to.rank,
+                      make_tag(false, true, static_cast<std::int64_t>(i), to.chunk));
       }
     }
   }

@@ -69,13 +69,16 @@ std::vector<float> serial_trajectory(const GptConfig& c, std::int64_t B,
   return losses;
 }
 
-// (p, t, d, v, schedule)
-using Grid = std::tuple<int, int, int, int, pipeline::ScheduleType>;
+// (p, t, d, v, schedule, scatter_gather, overlap_grad_reduce) — the last two
+// are communication-plane toggles that must never change the math (§4.1
+// scatter/gather is a wire-format change; overlapped reduction reorders
+// *when* the DP all-reduce runs, not what it computes).
+using Grid = std::tuple<int, int, int, int, pipeline::ScheduleType, bool, bool>;
 
 class EngineEquivalenceTest : public ::testing::TestWithParam<Grid> {};
 
 TEST_P(EngineEquivalenceTest, LossTrajectoryMatchesSerial) {
-  const auto [p, t, d, v, schedule] = GetParam();
+  const auto [p, t, d, v, schedule, sg, overlap] = GetParam();
   const std::int64_t B = 8, b = 1;
   const int steps = 3;
   GptConfig c = engine_config(/*layers=*/static_cast<std::int64_t>(p * v));
@@ -93,6 +96,8 @@ TEST_P(EngineEquivalenceTest, LossTrajectoryMatchesSerial) {
     options.parallel.b = b;
     options.parallel.schedule = schedule;
     options.parallel.recompute = false;
+    options.parallel.scatter_gather = sg;
+    options.overlap_grad_reduce = overlap;
     options.global_batch = B;
     options.optimizer = EngineOptions::Opt::kSgd;
     options.sgd.lr = 0.1f;
@@ -113,26 +118,34 @@ INSTANTIATE_TEST_SUITE_P(
     Grids, EngineEquivalenceTest,
     ::testing::Values(
         // Pure pipeline.
-        Grid{2, 1, 1, 1, pipeline::ScheduleType::kOneFOneB},
-        Grid{4, 1, 1, 1, pipeline::ScheduleType::kOneFOneB},
-        Grid{2, 1, 1, 1, pipeline::ScheduleType::kGPipe},
+        Grid{2, 1, 1, 1, pipeline::ScheduleType::kOneFOneB, false, true},
+        Grid{4, 1, 1, 1, pipeline::ScheduleType::kOneFOneB, false, true},
+        Grid{2, 1, 1, 1, pipeline::ScheduleType::kGPipe, false, true},
         // Pure tensor.
-        Grid{1, 2, 1, 1, pipeline::ScheduleType::kOneFOneB},
-        Grid{1, 4, 1, 1, pipeline::ScheduleType::kOneFOneB},
+        Grid{1, 2, 1, 1, pipeline::ScheduleType::kOneFOneB, false, true},
+        Grid{1, 4, 1, 1, pipeline::ScheduleType::kOneFOneB, false, true},
         // Pure data.
-        Grid{1, 1, 2, 1, pipeline::ScheduleType::kOneFOneB},
-        Grid{1, 1, 4, 1, pipeline::ScheduleType::kOneFOneB},
+        Grid{1, 1, 2, 1, pipeline::ScheduleType::kOneFOneB, false, true},
+        Grid{1, 1, 4, 1, pipeline::ScheduleType::kOneFOneB, false, true},
+        Grid{1, 1, 2, 1, pipeline::ScheduleType::kOneFOneB, false, false},
         // Every pair.
-        Grid{2, 2, 1, 1, pipeline::ScheduleType::kOneFOneB},
-        Grid{2, 1, 2, 1, pipeline::ScheduleType::kOneFOneB},
-        Grid{1, 2, 2, 1, pipeline::ScheduleType::kOneFOneB},
-        // Full PTD-P.
-        Grid{2, 2, 2, 1, pipeline::ScheduleType::kOneFOneB},
-        Grid{2, 2, 2, 1, pipeline::ScheduleType::kGPipe},
-        // Interleaved schedules.
-        Grid{2, 1, 1, 2, pipeline::ScheduleType::kInterleaved},
-        Grid{2, 2, 1, 2, pipeline::ScheduleType::kInterleaved},
-        Grid{2, 1, 2, 2, pipeline::ScheduleType::kInterleaved}));
+        Grid{2, 2, 1, 1, pipeline::ScheduleType::kOneFOneB, false, true},
+        Grid{2, 2, 1, 1, pipeline::ScheduleType::kOneFOneB, true, true},
+        Grid{2, 1, 2, 1, pipeline::ScheduleType::kOneFOneB, false, true},
+        Grid{2, 1, 2, 1, pipeline::ScheduleType::kOneFOneB, false, false},
+        Grid{1, 2, 2, 1, pipeline::ScheduleType::kOneFOneB, false, true},
+        // Full PTD-P, all four comm-plane modes (acceptance grid).
+        Grid{2, 2, 2, 1, pipeline::ScheduleType::kOneFOneB, false, false},
+        Grid{2, 2, 2, 1, pipeline::ScheduleType::kOneFOneB, false, true},
+        Grid{2, 2, 2, 1, pipeline::ScheduleType::kOneFOneB, true, false},
+        Grid{2, 2, 2, 1, pipeline::ScheduleType::kOneFOneB, true, true},
+        Grid{2, 2, 2, 1, pipeline::ScheduleType::kGPipe, true, true},
+        // Interleaved schedules (tied-embedding defer path exercises here).
+        Grid{2, 1, 1, 2, pipeline::ScheduleType::kInterleaved, false, true},
+        Grid{2, 2, 1, 2, pipeline::ScheduleType::kInterleaved, true, true},
+        Grid{2, 1, 2, 2, pipeline::ScheduleType::kInterleaved, false, true},
+        Grid{2, 1, 2, 2, pipeline::ScheduleType::kInterleaved, false, false},
+        Grid{2, 2, 2, 2, pipeline::ScheduleType::kInterleaved, true, true}));
 
 TEST(PtdpEngine, EquivalenceHoldsWithDropoutAndRecompute) {
   // Dropout masks are keyed by (tag, layer, global head), so even a

@@ -93,6 +93,37 @@ TEST(WorldFailure, BufferedMessagesStillDeliveredUnderPoison) {
                std::runtime_error);
 }
 
+TEST(WorldFailure, DeathDuringRequestWaitUnblocksPeers) {
+  // The nonblocking path unwinds the same way as blocking recv: a parked
+  // wait() throws WorldPoisoned (absorbed by the World as secondary), and
+  // the abandoned in-flight Request must not escalate during the unwind.
+  World world(3);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 0) {
+                   throw std::runtime_error("rank 0 crashed");
+                 }
+                 float x = 0.f;
+                 Request req = comm.irecv(std::span<float>(&x, 1), 0, /*tag=*/1);
+                 req.wait();
+               }),
+               std::runtime_error);
+}
+
+TEST(WorldFailure, AbandonedRequestUnderPoisonDoesNotEscalate) {
+  // A pre-posted irecv that is never completed because the world died is
+  // dropped silently; the World's post-failure reset clears the channel.
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 0) throw std::runtime_error("boom");
+                 float a = 0.f, b = 0.f;
+                 Request preposted = comm.irecv(std::span<float>(&a, 1), 0, /*tag=*/8);
+                 // Blocks until poisoned; `preposted` dies during unwind.
+                 comm.recv(std::span<float>(&b, 1), 0, /*tag=*/9);
+               }),
+               std::runtime_error);
+  EXPECT_EQ(world.pending_messages(), 0u);
+}
+
 TEST(WorldFailure, CleanRunsAreUnaffected) {
   World world(4);
   for (int i = 0; i < 3; ++i) {

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
+#include "ptdp/dist/process_groups.hpp"
 #include "ptdp/dist/world.hpp"
 #include "ptdp/pipeline/executor.hpp"
 #include "ptdp/tensor/ops.hpp"
@@ -181,6 +184,135 @@ INSTANTIATE_TEST_SUITE_P(
         Case{ScheduleType::kInterleaved, 2, 4, 2},
         Case{ScheduleType::kInterleaved, 2, 2, 2},
         Case{ScheduleType::kInterleaved, 4, 8, 2}));
+
+// ---- §4.1 scatter/gather + pre-posted receives ----------------------------
+//
+// For every (schedule, p, t) grid, run the same batch through three
+// communication-plane modes — full-tensor sends, scatter/gather strips, and
+// scatter/gather without receive pre-posting — and require (a) the loss
+// matches the serial reference and (b) losses and gradients are *bitwise*
+// identical across the modes: the strip all-gather reconstructs the exact
+// bytes a full send would have delivered, and pre-posting only moves when a
+// receive is posted, never what arrives. Also checks the measured
+// inter-stage p2p byte reduction is exactly 1/t.
+
+using SgCase = std::tuple<ScheduleType, int, int, int, int>;  // (schedule, p, t, m, v)
+
+class ScatterGatherEquivalenceTest : public ::testing::TestWithParam<SgCase> {};
+
+TEST_P(ScatterGatherEquivalenceTest, BitwiseIdenticalAcrossCommModes) {
+  const auto [type, p, t, m, v] = GetParam();
+  GptConfig c = tiny_config(/*layers=*/static_cast<std::int64_t>(p * v));
+  auto mbs = make_microbatches(c, m, /*b=*/2);
+  Reference ref = serial_reference(c, mbs);
+
+  struct ModeResult {
+    std::map<std::string, Tensor> grads;  // "rank<r>/<param>" -> grad
+    std::map<int, float> losses;          // last-stage world rank -> loss
+    std::uint64_t p2p_bytes = 0;
+  };
+  const std::vector<ExecutorOptions> modes = {
+      {/*scatter_gather=*/false, /*prepost_recv=*/true},
+      {/*scatter_gather=*/true, /*prepost_recv=*/true},
+      {/*scatter_gather=*/true, /*prepost_recv=*/false},
+  };
+  std::vector<ModeResult> results(modes.size());
+
+  for (std::size_t mode = 0; mode < modes.size(); ++mode) {
+    ModeResult& out = results[mode];
+    std::mutex mu;
+    dist::World world(p * t);
+    world.run([&](dist::Comm& comm) {
+      dist::ProcessGroups groups(comm, p, t, /*d=*/1);
+      const int rank = groups.coord().pipeline;
+      auto chunks = build_chunks(c, groups.tensor(), p, rank, v, /*recompute=*/false);
+      std::vector<GptStage*> raw;
+      for (auto& ch : chunks) {
+        ch->zero_grads();
+        raw.push_back(ch.get());
+      }
+      PipelineExecutor exec(raw, groups.pipeline(), groups.tensor(),
+                            ScheduleParams{type, p, m, v}, modes[mode]);
+      const float loss = exec.run_batch(mbs);
+      std::lock_guard lock(mu);
+      if (rank == p - 1) {
+        EXPECT_NEAR(loss, ref.loss, 2e-4f);
+        out.losses.emplace(comm.rank(), loss);
+      }
+      out.p2p_bytes += exec.comm_stats().p2p_bytes_sent;
+      for (auto& ch : chunks) {
+        for (Param* param : ch->params()) {
+          out.grads.emplace("rank" + std::to_string(comm.rank()) + "/" + param->name,
+                            param->grad.clone());
+        }
+      }
+    });
+  }
+
+  for (std::size_t mode = 1; mode < results.size(); ++mode) {
+    ASSERT_EQ(results[mode].grads.size(), results[0].grads.size());
+    for (auto& [name, grad] : results[mode].grads) {
+      ASSERT_TRUE(results[0].grads.contains(name)) << name;
+      EXPECT_EQ(tensor::max_abs_diff(grad, results[0].grads.at(name)), 0.0f)
+          << name << " differs in comm mode " << mode;
+    }
+    ASSERT_EQ(results[mode].losses.size(), results[0].losses.size());
+    for (auto& [rank, loss] : results[mode].losses) {
+      EXPECT_EQ(loss, results[0].losses.at(rank)) << "loss on rank " << rank;
+    }
+  }
+
+  // §4.1's claim, measured: per-rank inter-stage volume drops bsh -> bsh/t.
+  if (p > 1) {
+    ASSERT_GT(results[0].p2p_bytes, 0u);
+    EXPECT_EQ(results[1].p2p_bytes * static_cast<std::uint64_t>(t),
+              results[0].p2p_bytes);
+    EXPECT_EQ(results[2].p2p_bytes, results[1].p2p_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CommModes, ScatterGatherEquivalenceTest,
+    ::testing::Values(SgCase{ScheduleType::kOneFOneB, 2, 2, 4, 1},
+                      SgCase{ScheduleType::kGPipe, 2, 2, 2, 1},
+                      SgCase{ScheduleType::kOneFOneB, 2, 4, 4, 1},
+                      SgCase{ScheduleType::kOneFOneB, 4, 2, 4, 1},
+                      SgCase{ScheduleType::kInterleaved, 2, 2, 4, 2}));
+
+TEST(PipelineExecutor, ChunkBackwardHookFiresOncePerChunkAfterLastBackward) {
+  const int p = 2, m = 4, v = 2;
+  GptConfig c = tiny_config(/*layers=*/p * v);
+  auto mbs = make_microbatches(c, m, /*b=*/2);
+  dist::World world(p);
+  world.run([&](dist::Comm& comm) {
+    dist::Comm tp = dist::Comm::solo();
+    auto chunks = build_chunks(c, tp, p, comm.rank(), v, /*recompute=*/false);
+    std::vector<GptStage*> raw;
+    for (auto& ch : chunks) {
+      ch->zero_grads();
+      raw.push_back(ch.get());
+    }
+    PipelineExecutor exec(raw, comm, ScheduleParams{ScheduleType::kInterleaved, p, m, v});
+    std::vector<int> fired;
+    exec.set_chunk_backward_hook([&](int chunk) {
+      fired.push_back(chunk);
+      // At hook time the chunk's grads must be final: nothing may still be
+      // zero-only if the batch produced gradient signal (checked cheaply by
+      // non-empty grads; exact finality is covered by the reducer tests).
+      for (Param* param : raw[static_cast<std::size_t>(chunk)]->params()) {
+        EXPECT_GT(param->grad.numel(), 0);
+      }
+    });
+    exec.run_batch(mbs);
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(v));  // once per chunk
+    std::vector<int> sorted = fired;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1}));
+    // Higher virtual stages finish their backwards first.
+    EXPECT_EQ(fired.front(), v - 1);
+    EXPECT_EQ(fired.back(), 0);
+  });
+}
 
 TEST(PipelineExecutor, RecomputeMatchesStashedAcrossPipeline) {
   const int p = 2, m = 4, v = 1;
