@@ -55,7 +55,7 @@ int main() {
     for (model::Param* p : stage.params()) tensors.emplace_back(p->name, &p->value);
     const std::string path = ckpt::shard_path(dir.string(), comm.rank(), 0, 0);
     Stopwatch sw;
-    const std::int64_t bytes = ckpt::save_checkpoint(path, tensors, {1, 0});
+    const std::int64_t bytes = ckpt::save_checkpoint(path, tensors, {1, 0}).bytes;
     const double save_s = sw.elapsed_seconds();
     sw.reset();
     ckpt::load_checkpoint(path, tensors);

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "ptdp/ckpt/manifest.hpp"
 #include "ptdp/ckpt/reshard.hpp"
 #include "ptdp/core/engine.hpp"
 #include "ptdp/data/dataset.hpp"
@@ -52,10 +53,18 @@ int main() {
     });
   }
 
-  // 2) Merge the (p=2, t=2) shards into one serial checkpoint.
+  // 2) Merge the (p=2, t=2) shards into one serial checkpoint. The save
+  // above was a committed checkpoint: resolve its shard directory through
+  // the manifest rather than assuming a layout.
+  const auto committed = ckpt::find_latest_valid_checkpoint(dir.string());
+  if (!committed) {
+    std::fprintf(stderr, "no committed checkpoint under %s\n", dir.c_str());
+    return 1;
+  }
   const auto merged = dir / "merged.ckpt";
-  std::printf("2) merging shards -> %s\n", merged.c_str());
-  ckpt::merge_shards(dir.string(), 2, 2, merged.string());
+  std::printf("2) merging shards of step %llu -> %s\n",
+              static_cast<unsigned long long>(committed->step()), merged.c_str());
+  ckpt::merge_shards(committed->shard_dir, 2, 2, merged.string());
   std::printf("   merged size: %.2f MB\n",
               static_cast<double>(std::filesystem::file_size(merged)) / 1e6);
 

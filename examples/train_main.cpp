@@ -1,7 +1,9 @@
 // train_main — the command-line training driver (the torchrun/megatron
 // entrypoint equivalent). Configures everything from flags, trains with
-// full PTD-P, periodically checkpoints, resumes if a checkpoint exists,
-// and reports per-step telemetry.
+// full PTD-P, periodically commits checkpoints, resumes from the newest
+// committed checkpoint, and — when a checkpoint dir is given — runs under
+// the fault-tolerance supervisor: a rank failure triggers automatic
+// restart from the last committed step.
 //
 // Usage (all flags optional):
 //   train_main --layers 4 --hidden 64 --heads 4 --vocab 128 --seq 32
@@ -12,15 +14,29 @@
 //              --scatter-gather --no-overlap-grad-reduce
 //              --ckpt-dir /tmp/run --ckpt-every 25 --log-every 5
 //              --eval-every 10
+//              --max-restarts 3 --fault-seed 1
+//              --fault-plan kill:<rank>:<site>:<nth>[,...]
+//
+// Fault specs (comma-separated; <site> is send|recv|coll|ckpt):
+//   kill:<rank>:<site>:<nth>          kill rank at its nth op at site
+//   delay:<rank>:<site>:<nth>:<usec>  delay that op instead
+//   corrupt:<rank>:<nth>              flip a byte in the rank's nth ckpt write
+// e.g. --ckpt-dir /tmp/run --ckpt-every 10 --fault-plan kill:1:send:500
+// demonstrates kill -> supervisor restart -> resume from committed step.
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "ptdp/core/engine.hpp"
 #include "ptdp/data/dataset.hpp"
+#include "ptdp/dist/fault.hpp"
 #include "ptdp/dist/world.hpp"
+#include "ptdp/ft/supervisor.hpp"
 
 using namespace ptdp;
 
@@ -42,7 +58,54 @@ struct Args {
   int ckpt_every = 0;
   int log_every = 5;
   int eval_every = 0;
+  std::string fault_plan;
+  std::uint64_t fault_seed = 0;
+  int max_restarts = 3;
 };
+
+std::optional<dist::FaultSite> site_from(const std::string& s) {
+  if (s == "send") return dist::FaultSite::kSend;
+  if (s == "recv") return dist::FaultSite::kRecv;
+  if (s == "coll") return dist::FaultSite::kCollective;
+  if (s == "ckpt") return dist::FaultSite::kCkptWrite;
+  return std::nullopt;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool parse_fault_plan(const std::string& text, dist::FaultPlan& plan) {
+  for (const std::string& token : split(text, ',')) {
+    const auto f = split(token, ':');
+    if (f.size() == 4 && f[0] == "kill") {
+      const auto site = site_from(f[2]);
+      if (!site) return false;
+      plan.kill(std::atoi(f[1].c_str()), *site,
+                static_cast<std::uint64_t>(std::atoll(f[3].c_str())));
+    } else if (f.size() == 5 && f[0] == "delay") {
+      const auto site = site_from(f[2]);
+      if (!site) return false;
+      plan.delay(std::atoi(f[1].c_str()), *site,
+                 static_cast<std::uint64_t>(std::atoll(f[3].c_str())),
+                 std::chrono::microseconds(std::atoll(f[4].c_str())));
+    } else if (f.size() == 3 && f[0] == "corrupt") {
+      plan.corrupt_ckpt(std::atoi(f[1].c_str()),
+                        static_cast<std::uint64_t>(std::atoll(f[2].c_str())));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
 
 bool parse(int argc, char** argv, Args& a) {
   auto next_i64 = [&](int& i) { return std::atoll(argv[++i]); };
@@ -87,6 +150,9 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--ckpt-every") a.ckpt_every = static_cast<int>(next_i64(i));
     else if (flag == "--log-every") a.log_every = static_cast<int>(next_i64(i));
     else if (flag == "--eval-every") a.eval_every = static_cast<int>(next_i64(i));
+    else if (flag == "--fault-plan") a.fault_plan = argv[++i];
+    else if (flag == "--fault-seed") a.fault_seed = static_cast<std::uint64_t>(next_i64(i));
+    else if (flag == "--max-restarts") a.max_restarts = static_cast<int>(next_i64(i));
     else {
       std::fprintf(stderr, "unknown flag '%s' (see header comment for usage)\n",
                    flag.c_str());
@@ -138,19 +204,28 @@ int main(int argc, char** argv) {
       corpus.generate(std::max<std::int64_t>(args.model.seq * 512, 8192)),
       args.model.seq);
 
-  dist::World world(static_cast<int>(args.parallel.n()));
-  world.run([&](dist::Comm& comm) {
+  std::shared_ptr<dist::FaultPlan> plan;
+  if (!args.fault_plan.empty()) {
+    plan = std::make_shared<dist::FaultPlan>(args.fault_seed);
+    if (!parse_fault_plan(args.fault_plan, *plan)) {
+      std::fprintf(stderr, "bad --fault-plan '%s' (see header comment)\n",
+                   args.fault_plan.c_str());
+      return 1;
+    }
+  }
+
+  // The SPMD training body. `committed_step` > 0 means a committed
+  // checkpoint exists under ckpt_dir (resolved by the supervisor, or 0 on
+  // an unsupervised run); `attempt` > 0 means we are recovering.
+  const auto body = [&](dist::Comm& comm, std::uint64_t committed_step,
+                        int attempt) {
     core::PtdpEngine engine(comm, options);
     int start_step = 0;
-    if (!args.ckpt_dir.empty()) {
-      std::filesystem::create_directories(args.ckpt_dir);
-      const auto& c = engine.groups().coord();
-      if (std::filesystem::exists(
-              ckpt::shard_path(args.ckpt_dir, c.pipeline, c.tensor, c.data))) {
-        start_step = static_cast<int>(engine.load_checkpoint(args.ckpt_dir));
-        if (comm.rank() == 0) {
-          std::printf("resumed from checkpoint at step %d\n", start_step);
-        }
+    if (!args.ckpt_dir.empty() && committed_step > 0) {
+      start_step = static_cast<int>(engine.load_checkpoint(args.ckpt_dir));
+      if (comm.rank() == 0) {
+        std::printf("resumed from committed checkpoint at step %d%s\n",
+                    start_step, attempt > 0 ? " (recovery)" : "");
       }
     }
     data::ShardedLoader loader(dataset, args.global_batch, args.parallel.b,
@@ -191,7 +266,36 @@ int main(int argc, char** argv) {
       engine.save_checkpoint(args.ckpt_dir,
                              static_cast<std::uint64_t>(args.steps));
     }
-  });
+  };
+
+  const int world_size = static_cast<int>(args.parallel.n());
+  if (!args.ckpt_dir.empty()) {
+    std::filesystem::create_directories(args.ckpt_dir);
+    ft::SupervisorOptions sup;
+    sup.ckpt_dir = args.ckpt_dir;
+    sup.max_restarts = args.max_restarts;
+    sup.fault_plan = plan;
+    ft::TrainSupervisor supervisor(sup);
+    const auto& stats = supervisor.run(
+        [&](int) { return std::make_unique<dist::World>(world_size); }, body);
+    if (stats.failures > 0) {
+      std::printf("recovered from %d failure(s): %llu step(s) of work lost, "
+                  "%.2f s spent recovering\n",
+                  stats.failures,
+                  static_cast<unsigned long long>(stats.steps_lost),
+                  stats.total_recovery_seconds);
+      for (const auto& e : stats.events) {
+        std::printf("  attempt %d: %s -> resumed at step %llu\n", e.attempt,
+                    e.cause.c_str(),
+                    static_cast<unsigned long long>(e.resumed_step));
+      }
+    }
+  } else {
+    // No checkpoint dir -> nothing to recover from; run unsupervised.
+    dist::World world(world_size);
+    if (plan) world.set_fault_plan(plan);
+    world.run([&](dist::Comm& comm) { body(comm, 0, 0); });
+  }
   std::printf("training complete.\n");
   return 0;
 }

@@ -9,7 +9,9 @@
 // constructed model is exact.
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -28,10 +30,62 @@ struct CheckpointMeta {
 /// CRC32 (IEEE, reflected) of a byte range.
 std::uint32_t crc32(const void* data, std::size_t len);
 
-/// Writes header + every tensor (name, shape, crc, payload) to `path`.
-/// Returns bytes written.
-std::int64_t save_checkpoint(const std::string& path, const NamedTensors& tensors,
-                             const CheckpointMeta& meta);
+/// Streaming CRC32: fold `len` more bytes into a running state. Start from
+/// crc = 0; the running value is always the CRC of everything folded so far.
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t len);
+
+/// Whole-file CRC32. Throws CheckError if the file cannot be read.
+std::uint32_t file_crc32(const std::string& path);
+
+// ---- atomic write plumbing -------------------------------------------------
+//
+// Every file the checkpoint subsystem publishes — tensor shards, manifests,
+// LATEST markers — is written as temp file + fsync + rename, so a crash at
+// any point leaves either the previous file or the new one, never a torn
+// mix. The phases below are the fault-injection sites: a thread-local hook
+// (installed per rank thread by the fault-tolerance layer) is invoked at
+// each one and may throw (simulating a crash) or mutate the temp file
+// (simulating silent corruption).
+
+enum class WritePhase : int {
+  kHeaderWritten = 0,   ///< shard header bytes are in the temp file
+  kPayloadWritten = 1,  ///< all payload bytes are in the temp file
+  kBeforeFsync = 2,     ///< temp file closed, not yet durable
+  kBeforeRename = 3,    ///< temp file durable, publish pending
+  kAfterRename = 4,     ///< the new file is visible under its final name
+};
+
+/// True for phases at which the bytes still live in the temp file.
+constexpr bool phase_is_pre_rename(WritePhase p) {
+  return p != WritePhase::kAfterRename;
+}
+
+using WriteHook =
+    std::function<void(const std::string& final_path, const std::string& tmp_path,
+                       WritePhase phase)>;
+
+/// Installs a thread-local hook invoked at every atomic-write phase on this
+/// thread (empty function clears it). Test/fault-injection only.
+void set_write_hook(WriteHook hook);
+
+/// Atomically replaces `path` with `content` (temp + fsync + rename).
+/// Text phases fire the write hook like any other checkpoint write.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// What save_checkpoint reports about the bytes it intended to publish.
+/// `crc` is computed over the byte stream as it is produced — if the file
+/// on disk is corrupted mid-write, its actual content will disagree.
+struct SaveResult {
+  std::int64_t bytes = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Writes header + every tensor (name, shape, crc, payload) atomically to
+/// `path` (temp file + fsync + rename — a crash mid-save leaves any previous
+/// checkpoint at `path` intact). Returns bytes written and the whole-file
+/// CRC of the intended content.
+SaveResult save_checkpoint(const std::string& path, const NamedTensors& tensors,
+                           const CheckpointMeta& meta);
 
 /// Loads into the given tensors (matched by name; shapes must agree; CRCs
 /// must verify). Throws CheckError on any mismatch or corruption.
@@ -50,5 +104,10 @@ CheckpointMeta load_checkpoint_by_name(const std::string& path,
 
 /// Canonical per-rank file name: <dir>/shard-p<pi>-t<ti>-d<di>.ckpt
 std::string shard_path(const std::string& dir, int p_idx, int t_idx, int d_idx);
+
+/// Directory a committed checkpoint's shards live in: <dir>/step-<step>.
+/// (The commit protocol keeps each step's shard set in its own directory so
+/// a newer, possibly failing save can never damage an older committed one.)
+std::string step_dir(const std::string& dir, std::uint64_t step);
 
 }  // namespace ptdp::ckpt

@@ -1,0 +1,86 @@
+#pragma once
+
+// The world-level checkpoint commit protocol (the durability half of the
+// fault-tolerance plane). A per-rank atomic shard write alone is not a
+// consistent checkpoint: rank 0 can have published step 1000 while rank 3
+// is still at step 900. Commits therefore go through two phases:
+//
+//   phase 1  every rank writes its shard atomically into <dir>/step-<N>/
+//            (temp + fsync + rename; see checkpoint.hpp) and reports the
+//            intended (bytes, crc32) of its file;
+//   phase 2  after a barrier, one rank publishes <dir>/manifest-<N>.json
+//            naming the step and the complete shard set with per-file CRCs,
+//            then swings the <dir>/LATEST marker to it — both atomically.
+//
+// A failure at ANY point leaves either the previous committed checkpoint or
+// the new one, never a torn mix: shard dirs are per-step (a new save never
+// touches an old step's files), and a manifest only exists once every shard
+// it names is durable. find_latest_valid_checkpoint walks markers newest-
+// first, re-validating existence, size, and CRC of every named shard, so
+// stale markers, missing files, truncations, and byte flips are all skipped
+// in favor of the newest checkpoint that is actually whole.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ptdp::ckpt {
+
+/// One shard named by a manifest. `file` is relative to the checkpoint
+/// root (e.g. "step-12/shard-p0-t0-d0.ckpt").
+struct ManifestEntry {
+  std::string file;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;
+};
+
+struct Manifest {
+  std::uint64_t step = 0;
+  std::uint64_t extra = 0;
+  std::vector<ManifestEntry> shards;
+};
+
+/// Serializes `m` to the manifest JSON format.
+std::string manifest_to_json(const Manifest& m);
+
+/// Parses manifest JSON (only the format manifest_to_json emits). Returns
+/// nullopt on any malformed input — corrupted manifests are skipped, not
+/// fatal.
+std::optional<Manifest> parse_manifest_json(const std::string& text);
+
+/// Phase-2 publish: atomically writes <dir>/manifest-<step>.json, then
+/// atomically swings <dir>/LATEST to name it. The caller must have
+/// barriered after all shard writes: every shard `m` names must already be
+/// durable.
+void write_manifest(const std::string& dir, const Manifest& m);
+
+/// Reads and parses one manifest file; nullopt if missing/corrupt.
+std::optional<Manifest> read_manifest(const std::string& path);
+
+/// True iff every shard the manifest names exists under `dir` with the
+/// recorded size and whole-file CRC.
+bool validate_manifest(const std::string& dir, const Manifest& m);
+
+/// A committed checkpoint resolved on disk.
+struct CommittedCheckpoint {
+  Manifest manifest;
+  std::string dir;        ///< checkpoint root
+  std::string shard_dir;  ///< <dir>/step-<step>
+  std::uint64_t step() const { return manifest.step; }
+};
+
+/// Walks markers newest-first — the LATEST marker, then every
+/// manifest-*.json by descending step — and returns the newest one whose
+/// complete shard set validates. nullopt when no committed checkpoint
+/// survives under `dir`.
+std::optional<CommittedCheckpoint> find_latest_valid_checkpoint(
+    const std::string& dir);
+
+/// Deletes committed checkpoints older than the newest `keep` (their
+/// manifest files and step directories). Invalid manifests older than the
+/// newest valid one are garbage too. Never touches the step dir of a
+/// retained manifest.
+void gc_checkpoints(const std::string& dir, int keep);
+
+}  // namespace ptdp::ckpt

@@ -63,6 +63,11 @@ struct EngineOptions {
   /// Optional LR schedule (warmup + cosine); overrides the optimizer's
   /// static learning rate when set.
   std::optional<optim::LrScheduleOptions> lr_schedule;
+  /// Committed checkpoints retained under the checkpoint dir (newest N);
+  /// older manifests and their step directories are garbage-collected after
+  /// each successful commit. Must be >= 1; 2 keeps a fallback if the newest
+  /// checkpoint is later damaged.
+  int ckpt_keep = 2;
 };
 
 /// Per-step telemetry reported by PtdpEngine::last_stats().
@@ -107,7 +112,13 @@ class PtdpEngine {
   const StepStats& last_stats() const { return stats_; }
   std::int64_t steps_completed() const { return step_counter_; }
 
-  /// Per-rank sharded checkpoint I/O (one file per rank under `dir`).
+  /// Committed checkpoint I/O. save_checkpoint is collective and two-phase:
+  /// every rank writes its shard atomically into <dir>/step-<step>/, then
+  /// rank 0 publishes a manifest naming the complete set (see
+  /// ckpt/manifest.hpp). A crash at any point leaves the previous committed
+  /// checkpoint intact. load_checkpoint resolves the newest *valid*
+  /// committed checkpoint under `dir` (rank 0 decides, broadcasts the step)
+  /// and restores step_counter_; it CHECK-fails if none survives.
   void save_checkpoint(const std::string& dir, std::uint64_t step);
   std::uint64_t load_checkpoint(const std::string& dir);
 

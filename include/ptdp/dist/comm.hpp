@@ -21,6 +21,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "ptdp/dist/fault.hpp"
 #include "ptdp/dist/mailbox.hpp"
 #include "ptdp/dist/request.hpp"
 #include "ptdp/runtime/check.hpp"
@@ -87,6 +88,7 @@ class Comm {
     requires std::is_trivially_copyable_v<T>
   Request isend(std::span<const T> data, int dst, std::uint64_t tag = 0) const {
     PTDP_CHECK_NE(dst, rank_) << "self-send";
+    fault_hook(FaultSite::kSend);
     std::vector<std::uint8_t> payload(data.size_bytes());
     std::memcpy(payload.data(), data.data(), data.size_bytes());
     mailbox_->post(channel(rank_, dst, tag), std::move(payload));
@@ -101,6 +103,7 @@ class Comm {
     requires std::is_trivially_copyable_v<T>
   Request irecv(std::span<T> data, int src, std::uint64_t tag = 0) const {
     PTDP_CHECK_NE(src, rank_) << "self-recv";
+    fault_hook(FaultSite::kRecv);
     return Request(mailbox_, channel(src, rank_, tag),
                    std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(data.data()),
                                            data.size_bytes()));
@@ -183,6 +186,12 @@ class Comm {
  private:
   ChannelKey channel(int src, int dst, std::uint64_t tag) const {
     return ChannelKey{comm_id_, world_rank_of(src), world_rank_of(dst), tag};
+  }
+
+  /// Deterministic fault-injection site: counts this op on the installed
+  /// FaultPlan (no-op when none). May throw InjectedFault or sleep.
+  void fault_hook(FaultSite site) const {
+    if (FaultPlan* plan = mailbox_->fault_plan()) plan->on_op(world_rank(), site);
   }
 
   template <typename T>

@@ -1,0 +1,154 @@
+#pragma once
+
+// Deterministic fault injection for the thread-backed world (the MegaScale
+// lesson: at scale, fault *handling* must be tested as rigorously as the
+// happy path — which requires faults that can be produced on demand and
+// replayed exactly).
+//
+// A FaultPlan is a list of armed FaultSpecs installed on a World. Every
+// injection site — each send, each recv, each collective entry, each phase
+// of an atomic checkpoint write — increments a per-(rank, site) counter,
+// and a spec fires when its rank's counter for its site reaches `nth`.
+// Because the counters are per-rank (no cross-rank ordering enters the
+// trigger decision) and contain no wall-clock randomness, a failing
+// schedule replays exactly: reconstruct the same plan, rerun the same
+// program, and the same rank dies at the same op. Specs are one-shot:
+// once fired they stay disarmed across World::run calls, so a supervisor
+// restart proceeds past the injected failure instead of looping on it.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ptdp::dist {
+
+/// Where a fault can be injected. kSend/kRecv count point-to-point posts
+/// (collectives are built from p2p, so their internal traffic counts here
+/// too); kCollective counts collective entries; kCkptWrite counts atomic
+/// checkpoint write phases (see ckpt::WritePhase — bridged by the ft layer).
+enum class FaultSite : int { kSend = 0, kRecv = 1, kCollective = 2, kCkptWrite = 3 };
+inline constexpr int kNumFaultSites = 4;
+
+const char* fault_site_name(FaultSite site);
+
+/// The exception an injected kill throws on the victim rank. Derives from
+/// runtime_error so it propagates through World::run like any real crash.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(int rank, FaultSite site, std::uint64_t count);
+  int rank() const noexcept { return rank_; }
+  FaultSite site() const noexcept { return site_; }
+  /// The per-(rank, site) op count at which the fault fired.
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  int rank_;
+  FaultSite site_;
+  std::uint64_t count_;
+};
+
+/// One scheduled fault.
+struct FaultSpec {
+  enum class Action {
+    kKill,         ///< throw InjectedFault on the victim rank
+    kDelay,        ///< sleep `delay` before the op proceeds
+    kCorruptFile,  ///< flip a byte in the file being written (kCkptWrite only)
+  };
+  Action action = Action::kKill;
+  int rank = -1;  ///< victim world rank; -1 matches any rank
+  FaultSite site = FaultSite::kSend;
+  std::uint64_t nth = 1;  ///< fires when the victim's counter reaches nth (1-based)
+  std::chrono::microseconds delay{0};  ///< kDelay only
+};
+
+/// Record of a fired spec — the replay ledger.
+struct FaultEvent {
+  FaultSpec spec;
+  int rank = -1;            ///< rank the spec actually fired on
+  std::uint64_t count = 0;  ///< counter value at fire time
+  int run_index = 0;        ///< which World::run since plan install
+};
+
+/// Seeded, fully reproducible fault schedule. Thread-safe: the hot-path
+/// hooks are called concurrently from every rank thread.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) : seed_(seed), draw_(seed) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  FaultPlan& add(FaultSpec spec);
+  FaultPlan& kill(int rank, FaultSite site, std::uint64_t nth);
+  FaultPlan& delay(int rank, FaultSite site, std::uint64_t nth,
+                   std::chrono::microseconds d);
+  /// Corrupts the checkpoint file under write at the victim's nth write
+  /// phase (a byte flip in the not-yet-published temp file, or in the
+  /// published file if the phase is post-rename).
+  FaultPlan& corrupt_ckpt(int rank, std::uint64_t nth);
+  /// Seeded helper: derives (victim rank in [0, world_size), nth in
+  /// [1, max_nth]) deterministically from the plan seed and the number of
+  /// random specs added so far.
+  FaultPlan& kill_random(int world_size, FaultSite site, std::uint64_t max_nth);
+
+  // ---- hot-path hooks (called by Comm / the ckpt write-hook bridge) ----
+
+  /// Counts one op at `site` for `rank`; fires any matching armed spec
+  /// (kKill throws InjectedFault, kDelay sleeps).
+  void on_op(int rank, FaultSite site);
+
+  /// Counts one checkpoint write phase for `rank` and fires matching specs.
+  /// `phase_is_pre_rename` selects which file a kCorruptFile spec flips:
+  /// the temp file (pre-rename) or the published file (post-rename).
+  void on_file_phase(int rank, const std::string& final_path,
+                     const std::string& tmp_path, bool phase_is_pre_rename);
+
+  // ---- lifecycle / introspection ----
+
+  /// Called by World::run at the start of every run: zeroes all counters so
+  /// op counts are per-run (replayable), and bumps the run index. Armed
+  /// state is NOT reset — fired specs stay fired.
+  void begin_run();
+
+  /// Re-arms every spec (exact-replay support) and clears history.
+  void rearm();
+
+  /// Current per-run op count for (rank, site).
+  std::uint64_t count(int rank, FaultSite site) const;
+
+  /// Every spec fired so far, in fire order.
+  std::vector<FaultEvent> history() const;
+
+  int runs_started() const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    bool armed = true;
+  };
+
+  static std::int64_t key(int rank, FaultSite site) {
+    return static_cast<std::int64_t>(rank) * kNumFaultSites + static_cast<int>(site);
+  }
+
+  /// Bumps the counter and returns the fired spec (already recorded and
+  /// disarmed) or nullopt. Lock held only inside.
+  struct Fired {
+    FaultSpec spec;
+    std::uint64_t count;
+  };
+  bool bump_and_match(int rank, FaultSite site, Fired* out);
+
+  mutable std::mutex mu_;
+  std::uint64_t seed_;
+  std::uint64_t draw_;  ///< evolving state for kill_random draws
+  std::vector<Armed> specs_;
+  std::unordered_map<std::int64_t, std::uint64_t> counts_;
+  std::vector<FaultEvent> history_;
+  int run_index_ = -1;  ///< becomes 0 on the first begin_run()
+};
+
+}  // namespace ptdp::dist

@@ -6,9 +6,11 @@
 // receiver can wait for a *specific* message regardless of arrival order —
 // the property that makes complex pipeline schedules deadlock-free.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -16,6 +18,8 @@
 #include <vector>
 
 namespace ptdp::dist {
+
+class FaultPlan;
 
 /// Identifies one logical message channel.
 struct ChannelKey {
@@ -123,12 +127,28 @@ class Mailbox {
     return n;
   }
 
+  /// Installs (or clears, with nullptr) the fault-injection plan every Comm
+  /// backed by this Mailbox consults on its hot paths. Must be called while
+  /// no rank threads are running (World::set_fault_plan does).
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    std::lock_guard lock(mu_);
+    fault_plan_owner_ = std::move(plan);
+    fault_plan_.store(fault_plan_owner_.get(), std::memory_order_release);
+  }
+
+  /// Lock-free read for the per-op injection hook (null when no plan).
+  FaultPlan* fault_plan() const noexcept {
+    return fault_plan_.load(std::memory_order_acquire);
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::unordered_map<ChannelKey, std::deque<std::vector<std::uint8_t>>, ChannelKeyHash>
       queues_;
   bool poisoned_ = false;
+  std::shared_ptr<FaultPlan> fault_plan_owner_;
+  std::atomic<FaultPlan*> fault_plan_{nullptr};
 };
 
 }  // namespace ptdp::dist

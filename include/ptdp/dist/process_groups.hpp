@@ -34,6 +34,11 @@ class ProcessGroups {
 
   const GridCoord& coord() const noexcept { return coord_; }
 
+  /// The world communicator these groups were built from. World-spanning
+  /// control-plane operations (e.g. the checkpoint commit protocol) run
+  /// over this.
+  const Comm& world() const noexcept { return *world_; }
+
   /// Tensor-model-parallel group: the t ranks that jointly hold one layer.
   const Comm& tensor() const noexcept { return *tensor_; }
   /// Pipeline-model-parallel group: the p ranks forming one pipeline.
@@ -63,7 +68,7 @@ class ProcessGroups {
  private:
   int p_, t_, d_;
   GridCoord coord_;
-  std::optional<Comm> tensor_, pipeline_, data_, embedding_;
+  std::optional<Comm> world_, tensor_, pipeline_, data_, embedding_;
 };
 
 }  // namespace ptdp::dist

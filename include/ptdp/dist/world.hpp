@@ -4,19 +4,94 @@
 // same function (SPMD, exactly like mpirun/torchrun) and communicates
 // through a shared Mailbox. This is the substitute for the NCCL+multi-node
 // substrate of the paper: semantics are identical, transport is memcpy.
+//
+// Failure semantics: the first rank to throw is the root cause; its death
+// poisons the Mailbox so peers blocked on messages it will never send
+// unwind with WorldPoisoned instead of deadlocking. run() rethrows the
+// root cause wrapped in RankFailure{rank, step, cause} so a supervisor
+// (ptdp::ft::TrainSupervisor) can log who died and where. An optional
+// FaultPlan turns the World into a deterministic failure testbed.
 
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "ptdp/dist/comm.hpp"
+#include "ptdp/dist/fault.hpp"
 #include "ptdp/dist/mailbox.hpp"
 #include "ptdp/runtime/check.hpp"
 
 namespace ptdp::dist {
+
+namespace detail {
+// Per-rank-thread progress marker; see note_step().
+inline thread_local std::uint64_t t_rank_step = 0;
+}  // namespace detail
+
+/// Records the calling rank thread's training progress (its current step).
+/// Purely advisory: World::run stamps the value into RankFailure when the
+/// rank dies, so the supervisor can report steps lost. PtdpEngine calls
+/// this at the top of every train_step.
+inline void note_step(std::uint64_t step) { detail::t_rank_step = step; }
+inline std::uint64_t noted_step() { return detail::t_rank_step; }
+
+/// What World::run throws when a rank fails: the root-cause exception
+/// wrapped with the originating world rank and its last noted step.
+/// Derives from runtime_error; what() includes the cause's message.
+class RankFailure : public std::runtime_error {
+ public:
+  RankFailure(int rank, std::uint64_t step, std::exception_ptr cause)
+      : std::runtime_error(format(rank, step, cause)),
+        rank_(rank),
+        step_(step),
+        cause_(std::move(cause)) {}
+
+  /// World rank whose exception was the root cause.
+  int rank() const noexcept { return rank_; }
+  /// That rank's last note_step() value (0 if it never noted progress).
+  std::uint64_t step() const noexcept { return step_; }
+  std::exception_ptr cause() const noexcept { return cause_; }
+  [[noreturn]] void rethrow_cause() const { std::rethrow_exception(cause_); }
+
+  /// True when the root cause is (derived from) E.
+  template <typename E>
+  bool caused_by() const {
+    try {
+      std::rethrow_exception(cause_);
+    } catch (const E&) {
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+ private:
+  static std::string format(int rank, std::uint64_t step,
+                            const std::exception_ptr& cause) {
+    std::string msg =
+        "rank " + std::to_string(rank) + " failed (step " + std::to_string(step) + ")";
+    try {
+      std::rethrow_exception(cause);
+    } catch (const std::exception& e) {
+      msg += ": ";
+      msg += e.what();
+    } catch (...) {
+      msg += ": unknown exception";
+    }
+    return msg;
+  }
+
+  int rank_;
+  std::uint64_t step_;
+  std::exception_ptr cause_;
+};
 
 class World {
  public:
@@ -26,31 +101,58 @@ class World {
 
   int size() const noexcept { return size_; }
 
+  /// Installs (or clears) a deterministic fault-injection plan. Every Comm
+  /// op in subsequent run() calls consults it; run() calls
+  /// FaultPlan::begin_run so per-run op counts start from zero.
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    fault_plan_ = plan;
+    mailbox_->set_fault_plan(std::move(plan));
+  }
+  const std::shared_ptr<FaultPlan>& fault_plan() const noexcept { return fault_plan_; }
+
   /// Run `fn(comm)` on every rank concurrently (one thread per rank) and
-  /// block until all complete. The first exception thrown by any rank is
-  /// rethrown on the caller after all threads have been joined.
+  /// block until all complete. If any rank throws, the first (root-cause)
+  /// exception is rethrown on the caller wrapped in RankFailure after all
+  /// threads have been joined.
   void run(const std::function<void(Comm&)>& fn) {
     std::vector<int> members(static_cast<std::size_t>(size_));
     for (int r = 0; r < size_; ++r) members[static_cast<std::size_t>(r)] = r;
 
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(size_));
-    std::exception_ptr first_error;
+    if (fault_plan_) fault_plan_->begin_run();
+
+    struct Failure {
+      int rank;
+      std::uint64_t step;
+      std::exception_ptr error;
+    };
+    std::optional<Failure> first_failure;
     std::mutex error_mu;
 
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(size_));
     for (int r = 0; r < size_; ++r) {
       threads.emplace_back([&, r] {
+        note_step(0);
+        const auto record = [&] {
+          std::lock_guard lock(error_mu);
+          if (!first_failure) {
+            first_failure = Failure{r, noted_step(), std::current_exception()};
+          }
+        };
         try {
           Comm comm(mailbox_, members, r, /*comm_id=*/world_comm_id_);
           fn(comm);
         } catch (const WorldPoisoned&) {
-          // Secondary failure caused by another rank's death — not the
-          // root cause; don't overwrite it.
-        } catch (...) {
-          {
-            std::lock_guard lock(error_mu);
-            if (!first_error) first_error = std::current_exception();
+          // Usually a secondary unwind caused by another rank's death — but
+          // only if the world actually *is* poisoned. A rank whose own root
+          // cause derives from WorldPoisoned (before anyone poisoned the
+          // mailbox) must be recorded, or the run would report success.
+          if (!mailbox_->poisoned()) {
+            record();
+            mailbox_->poison();
           }
+        } catch (...) {
+          record();
           // Wake peers blocked on messages this rank will never send.
           mailbox_->poison();
         }
@@ -60,9 +162,10 @@ class World {
     // Give the next run() a fresh communicator id so any message a failed
     // rank left behind cannot be delivered to a later run; clear poison.
     ++world_comm_id_;
-    if (first_error) {
+    if (first_failure) {
       mailbox_->reset();
-      std::rethrow_exception(first_error);
+      throw RankFailure(first_failure->rank, first_failure->step,
+                        first_failure->error);
     }
   }
 
@@ -72,6 +175,7 @@ class World {
  private:
   int size_;
   std::shared_ptr<Mailbox> mailbox_;
+  std::shared_ptr<FaultPlan> fault_plan_;
   std::uint64_t world_comm_id_ = 0;
 };
 

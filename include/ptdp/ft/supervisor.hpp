@@ -1,0 +1,104 @@
+#pragma once
+
+// Fault-tolerance plane, recovery half: TrainSupervisor wraps World::run
+// with automatic restart. When a rank dies (real bug or injected fault),
+// the World rethrows RankFailure; the supervisor records who died and
+// where, tears the world down, re-creates it via a caller factory (which
+// may choose a *different* (p, t, d) — elastic restart through the
+// existing reshard path), resolves the newest committed checkpoint, and
+// re-enters the training body from there, with bounded retries and
+// exponential backoff. Recovery telemetry (failures, steps lost, time to
+// recover) is exposed so tests and experiments can assert on it.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ptdp/ckpt/checkpoint.hpp"
+#include "ptdp/dist/fault.hpp"
+#include "ptdp/dist/world.hpp"
+
+namespace ptdp::ft {
+
+/// RAII bridge from ckpt's thread-local atomic-write hook to a FaultPlan:
+/// while alive on a rank thread, every checkpoint write phase on that
+/// thread counts as a kCkptWrite op for `rank` (and can kill/corrupt per
+/// the plan). The supervisor installs one per rank thread around the
+/// training body; tests can use it directly. A null plan is a no-op.
+class ScopedCkptFaultHook {
+ public:
+  ScopedCkptFaultHook(dist::FaultPlan* plan, int rank);
+  ~ScopedCkptFaultHook();
+  ScopedCkptFaultHook(const ScopedCkptFaultHook&) = delete;
+  ScopedCkptFaultHook& operator=(const ScopedCkptFaultHook&) = delete;
+
+ private:
+  bool installed_ = false;
+};
+
+struct SupervisorOptions {
+  /// Checkpoint root the training body commits to; on restart the
+  /// supervisor resolves the newest valid committed checkpoint here.
+  std::string ckpt_dir;
+  /// Restarts allowed after the initial attempt (so max_restarts + 1 runs
+  /// total). Exceeding it rethrows the final RankFailure.
+  int max_restarts = 3;
+  /// Exponential backoff between restarts: initial * multiplier^k, capped.
+  double backoff_initial_s = 0.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_s = 1.0;
+  /// Installed on every world the supervisor creates (fired specs stay
+  /// disarmed across runs, so a restart proceeds past the injected fault).
+  std::shared_ptr<dist::FaultPlan> fault_plan;
+};
+
+/// One failure the supervisor recovered from (or gave up on).
+struct FailureRecord {
+  int attempt = 0;              ///< which run died (0 = initial attempt)
+  int rank = -1;                ///< root-cause rank
+  std::uint64_t failed_step = 0;   ///< that rank's last noted step
+  std::uint64_t resumed_step = 0;  ///< committed step the next run resumes from
+  std::string cause;            ///< root-cause what()
+  double backoff_s = 0.0;       ///< backoff slept before the restart
+};
+
+struct RecoveryStats {
+  int attempts = 0;   ///< world runs started
+  int failures = 0;   ///< RankFailures caught (== events.size())
+  std::uint64_t steps_lost = 0;  ///< sum over failures of failed - resumed
+  double total_recovery_seconds = 0.0;  ///< failure caught -> body re-entered
+  std::vector<FailureRecord> events;
+  bool succeeded = false;
+};
+
+class TrainSupervisor {
+ public:
+  /// SPMD training body, run on every rank: resume from `start_step` (the
+  /// newest committed checkpoint's step, 0 when none exists — the body
+  /// decides whether to load). `attempt` is 0 on the first run.
+  using Body =
+      std::function<void(dist::Comm& comm, std::uint64_t start_step, int attempt)>;
+
+  /// Builds the world for a given attempt. Returning a different size on
+  /// attempt > 0 is the elastic-restart path: the body can then reshard the
+  /// committed checkpoint into the new layout.
+  using WorldFactory = std::function<std::unique_ptr<dist::World>(int attempt)>;
+
+  explicit TrainSupervisor(SupervisorOptions options);
+
+  /// Runs `body` under supervision until it completes or retries are
+  /// exhausted (then the last RankFailure propagates; stats() is valid
+  /// either way). Returns the stats on success.
+  const RecoveryStats& run(const WorldFactory& factory, const Body& body);
+
+  const RecoveryStats& stats() const { return stats_; }
+  const SupervisorOptions& options() const { return options_; }
+
+ private:
+  SupervisorOptions options_;
+  RecoveryStats stats_;
+};
+
+}  // namespace ptdp::ft

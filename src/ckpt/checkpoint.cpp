@@ -2,8 +2,12 @@
 
 #include "ptdp/ckpt/reshard.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "ptdp/runtime/check.hpp"
@@ -31,11 +35,6 @@ const std::array<std::uint32_t, 256>& crc_table() {
 }
 
 template <typename T>
-void write_pod(std::ofstream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-template <typename T>
 T read_pod(std::ifstream& is) {
   T v{};
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
@@ -43,39 +42,169 @@ T read_pod(std::ifstream& is) {
   return v;
 }
 
+// Thread-local fault-injection hook (one rank == one thread in the
+// thread-backed world, so per-thread scoping gives per-rank scoping).
+thread_local WriteHook t_write_hook;
+
+void fire_hook(const std::string& final_path, const std::string& tmp_path,
+               WritePhase phase) {
+  if (t_write_hook) t_write_hook(final_path, tmp_path, phase);
+}
+
+void fsync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  const int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+// Byte sink that tracks a running whole-file CRC alongside the stream, so
+// save_checkpoint can report the CRC of the content it *intended* to write
+// (a mid-write corruption of the temp file then disagrees with the file's
+// actual CRC and is caught by manifest validation).
+class CrcWriter {
+ public:
+  CrcWriter(const std::string& path) : os_(path, std::ios::binary | std::ios::trunc) {}
+  bool good() const { return os_.good(); }
+  void write(const void* data, std::size_t len) {
+    os_.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+    crc_ = crc32_update(crc_, data, len);
+    bytes_ += static_cast<std::int64_t>(len);
+  }
+  template <typename T>
+  void write_pod(const T& v) {
+    write(&v, sizeof(v));
+  }
+  /// The phase hooks promise "bytes are in the temp file" — flush before
+  /// firing them so a hook that inspects or mutates the file sees them all.
+  void flush() { os_.flush(); }
+  void close() { os_.close(); }
+  std::uint32_t crc() const { return crc_; }
+  std::int64_t bytes() const { return bytes_; }
+
+ private:
+  std::ofstream os_;
+  std::uint32_t crc_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+/// Removes the temp file on unwind (a hook-simulated crash mid-save must
+/// not leave litter; a real crash leaves it, but the next save truncates).
+class TmpFileGuard {
+ public:
+  explicit TmpFileGuard(std::string path) : path_(std::move(path)) {}
+  ~TmpFileGuard() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);  // no-op once renamed away
+  }
+  TmpFileGuard(const TmpFileGuard&) = delete;
+  TmpFileGuard& operator=(const TmpFileGuard&) = delete;
+
+ private:
+  std::string path_;
+};
+
+// Publishes the closed temp file at its final path: fsync, rename, fsync
+// the directory. Fires the corresponding hook phases.
+void publish_tmp(const std::string& tmp, const std::string& path) {
+  fire_hook(path, tmp, WritePhase::kBeforeFsync);
+  fsync_file(tmp);
+  fire_hook(path, tmp, WritePhase::kBeforeRename);
+  std::filesystem::rename(tmp, path);
+  fsync_parent_dir(path);
+  fire_hook(path, tmp, WritePhase::kAfterRename);
+}
+
 }  // namespace
 
-std::uint32_t crc32(const void* data, std::size_t len) {
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t len) {
   const auto* bytes = static_cast<const std::uint8_t*>(data);
-  std::uint32_t c = 0xFFFFFFFFu;
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
   for (std::size_t i = 0; i < len; ++i) {
     c = crc_table()[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }
 
-std::int64_t save_checkpoint(const std::string& path, const NamedTensors& tensors,
-                             const CheckpointMeta& meta) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  PTDP_CHECK(os.good()) << "cannot open " << path << " for writing";
-  write_pod(os, kMagic);
-  write_pod(os, kVersion);
-  write_pod(os, meta.step);
-  write_pod(os, meta.extra);
-  write_pod(os, static_cast<std::uint64_t>(tensors.size()));
-  for (const auto& [name, t] : tensors) {
-    PTDP_CHECK(t != nullptr && t->defined()) << "undefined tensor " << name;
-    write_pod(os, static_cast<std::uint32_t>(name.size()));
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_pod(os, static_cast<std::uint32_t>(t->ndim()));
-    for (std::int64_t d : t->shape()) write_pod(os, static_cast<std::int64_t>(d));
-    auto data = t->data();
-    write_pod(os, crc32(data.data(), data.size_bytes()));
-    os.write(reinterpret_cast<const char*>(data.data()),
-             static_cast<std::streamsize>(data.size_bytes()));
+std::uint32_t crc32(const void* data, std::size_t len) {
+  return crc32_update(0, data, len);
+}
+
+std::uint32_t file_crc32(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PTDP_CHECK(is.good()) << "cannot open " << path;
+  std::uint32_t crc = 0;
+  char buf[1 << 16];
+  while (is) {
+    is.read(buf, sizeof(buf));
+    crc = crc32_update(crc, buf, static_cast<std::size_t>(is.gcount()));
   }
-  PTDP_CHECK(os.good()) << "write failed for " << path;
-  return static_cast<std::int64_t>(os.tellp());
+  return crc;
+}
+
+void set_write_hook(WriteHook hook) { t_write_hook = std::move(hook); }
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  TmpFileGuard guard(tmp);
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    PTDP_CHECK(os.good()) << "cannot open " << tmp << " for writing";
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    os.flush();
+    fire_hook(path, tmp, WritePhase::kPayloadWritten);
+    PTDP_CHECK(os.good()) << "write failed for " << tmp;
+  }
+  publish_tmp(tmp, path);
+}
+
+SaveResult save_checkpoint(const std::string& path, const NamedTensors& tensors,
+                           const CheckpointMeta& meta) {
+  // Write to a temp file and rename into place: the previous checkpoint at
+  // `path` stays intact until the new bytes are durably on disk, so there
+  // is no window in which a crash leaves a truncated shard.
+  const std::string tmp = path + ".tmp";
+  TmpFileGuard guard(tmp);
+  SaveResult result;
+  {
+    CrcWriter os(tmp);
+    PTDP_CHECK(os.good()) << "cannot open " << tmp << " for writing";
+    os.write_pod(kMagic);
+    os.write_pod(kVersion);
+    os.write_pod(meta.step);
+    os.write_pod(meta.extra);
+    os.write_pod(static_cast<std::uint64_t>(tensors.size()));
+    os.flush();
+    fire_hook(path, tmp, WritePhase::kHeaderWritten);
+    for (const auto& [name, t] : tensors) {
+      PTDP_CHECK(t != nullptr && t->defined()) << "undefined tensor " << name;
+      os.write_pod(static_cast<std::uint32_t>(name.size()));
+      os.write(name.data(), name.size());
+      os.write_pod(static_cast<std::uint32_t>(t->ndim()));
+      for (std::int64_t d : t->shape()) os.write_pod(static_cast<std::int64_t>(d));
+      auto data = t->data();
+      os.write_pod(crc32(data.data(), data.size_bytes()));
+      os.write(data.data(), data.size_bytes());
+    }
+    os.flush();
+    fire_hook(path, tmp, WritePhase::kPayloadWritten);
+    PTDP_CHECK(os.good()) << "write failed for " << tmp;
+    result.bytes = os.bytes();
+    result.crc = os.crc();
+  }
+  publish_tmp(tmp, path);
+  return result;
 }
 
 CheckpointMeta load_checkpoint(const std::string& path, const NamedTensors& tensors) {
@@ -186,6 +315,10 @@ CheckpointMeta load_checkpoint_by_name(const std::string& path,
 std::string shard_path(const std::string& dir, int p_idx, int t_idx, int d_idx) {
   return dir + "/shard-p" + std::to_string(p_idx) + "-t" + std::to_string(t_idx) +
          "-d" + std::to_string(d_idx) + ".ckpt";
+}
+
+std::string step_dir(const std::string& dir, std::uint64_t step) {
+  return dir + "/step-" + std::to_string(step);
 }
 
 }  // namespace ptdp::ckpt

@@ -1,5 +1,10 @@
 #include "ptdp/core/engine.hpp"
 
+#include <cstring>
+#include <filesystem>
+
+#include "ptdp/ckpt/manifest.hpp"
+#include "ptdp/dist/world.hpp"
 #include "ptdp/runtime/stopwatch.hpp"
 
 #include "ptdp/tensor/ops.hpp"
@@ -98,6 +103,9 @@ PtdpEngine::PtdpEngine(dist::Comm& world, EngineOptions options)
 
 float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
   const Stopwatch stopwatch;
+  // Progress marker for failure reporting: if this rank dies mid-step, the
+  // World stamps this value into the RankFailure it rethrows.
+  dist::note_step(static_cast<std::uint64_t>(step_counter_));
   const ParallelConfig& cfg = options_.parallel;
   if (lr_schedule_) optimizer_->set_lr(lr_schedule_->at(step_counter_));
   for (auto& c : chunks_) c->zero_grads();
@@ -173,11 +181,65 @@ ckpt::NamedTensors PtdpEngine::checkpoint_tensors() {
   return tensors;
 }
 
+namespace {
+
+// Wire format for the commit-protocol metadata exchange: each rank reports
+// the relative shard file name it wrote plus the intended (bytes, crc).
+std::vector<std::uint8_t> pack_entry(const ckpt::ManifestEntry& e) {
+  std::vector<std::uint8_t> out(sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                                e.file.size());
+  std::memcpy(out.data(), &e.bytes, sizeof(e.bytes));
+  std::memcpy(out.data() + sizeof(e.bytes), &e.crc, sizeof(e.crc));
+  std::memcpy(out.data() + sizeof(e.bytes) + sizeof(e.crc), e.file.data(),
+              e.file.size());
+  return out;
+}
+
+ckpt::ManifestEntry unpack_entry(const std::vector<std::uint8_t>& in) {
+  constexpr std::size_t header = sizeof(std::uint64_t) + sizeof(std::uint32_t);
+  PTDP_CHECK_GE(in.size(), header) << "malformed manifest-entry message";
+  ckpt::ManifestEntry e;
+  std::memcpy(&e.bytes, in.data(), sizeof(e.bytes));
+  std::memcpy(&e.crc, in.data() + sizeof(e.bytes), sizeof(e.crc));
+  e.file.assign(reinterpret_cast<const char*>(in.data() + header),
+                in.size() - header);
+  return e;
+}
+
+}  // namespace
+
 void PtdpEngine::save_checkpoint(const std::string& dir, std::uint64_t step) {
+  // Two-phase commit (§5.10 at failure-prone scale): shards land in a
+  // per-step directory, then rank 0 publishes the manifest + LATEST marker
+  // naming the complete set. A crash anywhere leaves either the previous
+  // committed checkpoint or this one — never a torn mix.
   const auto& c = groups_->coord();
-  ckpt::CheckpointMeta meta{step, 0};
-  ckpt::save_checkpoint(ckpt::shard_path(dir, c.pipeline, c.tensor, c.data),
-                        checkpoint_tensors(), meta);
+  const dist::Comm& world = groups_->world();
+  const std::string sdir = ckpt::step_dir(dir, step);
+  if (world.rank() == 0) std::filesystem::create_directories(sdir);
+  world.barrier();  // the directory exists before any peer writes into it
+
+  // Phase 1: every rank writes its own shard atomically.
+  const std::string path = ckpt::shard_path(sdir, c.pipeline, c.tensor, c.data);
+  const ckpt::SaveResult saved =
+      ckpt::save_checkpoint(path, checkpoint_tensors(), {step, 0});
+  ckpt::ManifestEntry mine{
+      std::filesystem::path(path).lexically_relative(dir).string(),
+      static_cast<std::uint64_t>(saved.bytes), saved.crc};
+
+  // Phase 2: gather every rank's entry (doubling as the all-shards-durable
+  // barrier), then rank 0 publishes the commit.
+  const auto packed = pack_entry(mine);
+  const auto all = world.all_gather_variable(
+      std::span<const std::uint8_t>(packed.data(), packed.size()));
+  if (world.rank() == 0) {
+    ckpt::Manifest m{step, 0, {}};
+    m.shards.reserve(all.size());
+    for (const auto& msg : all) m.shards.push_back(unpack_entry(msg));
+    ckpt::write_manifest(dir, m);
+    ckpt::gc_checkpoints(dir, options_.ckpt_keep);
+  }
+  world.barrier();  // no rank returns before the commit is visible
 }
 
 std::uint64_t PtdpEngine::load_resharded(const std::string& dir) {
@@ -190,9 +252,25 @@ std::uint64_t PtdpEngine::load_resharded(const std::string& dir) {
 }
 
 std::uint64_t PtdpEngine::load_checkpoint(const std::string& dir) {
+  // Rank 0 resolves (and fully validates) the newest committed checkpoint,
+  // then broadcasts the chosen step so every rank loads the same one even
+  // if the directory changes concurrently.
+  const dist::Comm& world = groups_->world();
+  std::int64_t chosen = -1;
+  if (world.rank() == 0) {
+    if (const auto best = ckpt::find_latest_valid_checkpoint(dir)) {
+      chosen = static_cast<std::int64_t>(best->step());
+    }
+  }
+  world.broadcast(std::span<std::int64_t>(&chosen, 1), 0);
+  PTDP_CHECK_GE(chosen, 0) << "no committed checkpoint under " << dir;
+  const auto step = static_cast<std::uint64_t>(chosen);
+
   const auto& c = groups_->coord();
   const auto meta = ckpt::load_checkpoint(
-      ckpt::shard_path(dir, c.pipeline, c.tensor, c.data), checkpoint_tensors());
+      ckpt::shard_path(ckpt::step_dir(dir, step), c.pipeline, c.tensor, c.data),
+      checkpoint_tensors());
+  PTDP_CHECK_EQ(meta.step, step) << "shard/manifest step mismatch";
   step_counter_ = static_cast<std::int64_t>(meta.step);
   return meta.step;
 }

@@ -51,6 +51,7 @@ struct Chunking {
 void Comm::barrier() const {
   const int n = size();
   if (n == 1) return;
+  fault_hook(FaultSite::kCollective);
   const std::uint8_t token = 0;
   std::uint8_t sink = 0;
   for (int dist = 1; dist < n; dist <<= 1) {
@@ -66,6 +67,7 @@ void Comm::broadcast_bytes(std::span<std::uint8_t> data, int root) const {
   PTDP_CHECK_GE(root, 0);
   PTDP_CHECK_LT(root, n);
   if (n == 1) return;
+  fault_hook(FaultSite::kCollective);
   // Binomial tree rooted at `root`, expressed in root-relative ranks.
   const int relative = (rank_ - root + n) % n;
   int mask = 1;
@@ -91,6 +93,7 @@ template <typename F>
 void Comm::all_reduce_impl(std::span<F> data, ReduceOp op) const {
   const int n = size();
   if (n == 1 || data.empty()) return;
+  fault_hook(FaultSite::kCollective);
   const int next = (rank_ + 1) % n;
   const int prev = (rank_ - 1 + n) % n;
   const Chunking ck{data.size(), static_cast<std::size_t>(n)};
@@ -136,6 +139,7 @@ void Comm::reduce_scatter(std::span<const float> in, std::span<float> out,
     std::copy(in.begin(), in.end(), out.begin());
     return;
   }
+  fault_hook(FaultSite::kCollective);
   const std::size_t shard = out.size();
   const int next = (rank_ + 1) % n;
   const int prev = (rank_ - 1 + n) % n;
@@ -163,6 +167,7 @@ void Comm::all_gather_bytes(std::span<const std::uint8_t> in,
   PTDP_CHECK_EQ(out.size(), shard * static_cast<std::size_t>(n));
   std::memcpy(out.data() + static_cast<std::size_t>(rank_) * shard, in.data(), shard);
   if (n == 1) return;
+  fault_hook(FaultSite::kCollective);
   const int next = (rank_ + 1) % n;
   const int prev = (rank_ - 1 + n) % n;
   for (int step = 0; step < n - 1; ++step) {
@@ -180,6 +185,7 @@ std::vector<std::vector<std::uint8_t>> Comm::all_gather_variable(
   const int n = size();
   std::vector<std::vector<std::uint8_t>> result(static_cast<std::size_t>(n));
   result[static_cast<std::size_t>(rank_)].assign(in.begin(), in.end());
+  if (n > 1) fault_hook(FaultSite::kCollective);
   // Control-plane convenience: exchange sizes (fixed 8 bytes) then payloads
   // pairwise. O(n^2) messages; only used for small metadata.
   const std::uint64_t my_size = in.size();

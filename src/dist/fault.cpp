@@ -1,0 +1,172 @@
+#include "ptdp/dist/fault.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "ptdp/runtime/check.hpp"
+#include "ptdp/runtime/rng.hpp"
+
+namespace ptdp::dist {
+
+namespace {
+
+std::string describe(int rank, FaultSite site, std::uint64_t count) {
+  return "injected fault: rank " + std::to_string(rank) + " killed at " +
+         fault_site_name(site) + " op #" + std::to_string(count);
+}
+
+// Flips one mid-file byte so both whole-file CRCs and any structured parse
+// of the file notice. No-op on missing/empty files (a kill elsewhere may
+// already have removed the target).
+void flip_byte(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return;
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f.good()) return;
+  const auto pos = static_cast<std::streamoff>(size / 2);
+  f.seekg(pos);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5A);
+  f.seekp(pos);
+  f.write(&byte, 1);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSend: return "send";
+    case FaultSite::kRecv: return "recv";
+    case FaultSite::kCollective: return "collective";
+    case FaultSite::kCkptWrite: return "ckpt-write";
+  }
+  return "?";
+}
+
+InjectedFault::InjectedFault(int rank, FaultSite site, std::uint64_t count)
+    : std::runtime_error(describe(rank, site, count)),
+      rank_(rank),
+      site_(site),
+      count_(count) {}
+
+FaultPlan& FaultPlan::add(FaultSpec spec) {
+  PTDP_CHECK_GE(spec.nth, 1u) << "fault op counts are 1-based";
+  std::lock_guard lock(mu_);
+  specs_.push_back(Armed{spec});
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill(int rank, FaultSite site, std::uint64_t nth) {
+  return add({FaultSpec::Action::kKill, rank, site, nth, {}});
+}
+
+FaultPlan& FaultPlan::delay(int rank, FaultSite site, std::uint64_t nth,
+                            std::chrono::microseconds d) {
+  return add({FaultSpec::Action::kDelay, rank, site, nth, d});
+}
+
+FaultPlan& FaultPlan::corrupt_ckpt(int rank, std::uint64_t nth) {
+  return add({FaultSpec::Action::kCorruptFile, rank, FaultSite::kCkptWrite, nth, {}});
+}
+
+FaultPlan& FaultPlan::kill_random(int world_size, FaultSite site,
+                                  std::uint64_t max_nth) {
+  PTDP_CHECK_GT(world_size, 0);
+  PTDP_CHECK_GE(max_nth, 1u);
+  std::uint64_t rank_draw, nth_draw;
+  {
+    std::lock_guard lock(mu_);
+    rank_draw = detail::mix64(draw_ ^ 0x9E3779B97F4A7C15ULL);
+    nth_draw = detail::mix64(rank_draw + 1);
+    draw_ = nth_draw;  // evolve so successive calls draw fresh values
+  }
+  return kill(static_cast<int>(rank_draw % static_cast<std::uint64_t>(world_size)),
+              site, 1 + nth_draw % max_nth);
+}
+
+bool FaultPlan::bump_and_match(int rank, FaultSite site, Fired* out) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t c = ++counts_[key(rank, site)];
+  for (Armed& a : specs_) {
+    if (!a.armed) continue;
+    if (a.spec.site != site) continue;
+    if (a.spec.rank != -1 && a.spec.rank != rank) continue;
+    if (a.spec.nth != c) continue;
+    a.armed = false;
+    history_.push_back(FaultEvent{a.spec, rank, c, run_index_});
+    *out = Fired{a.spec, c};
+    return true;
+  }
+  return false;
+}
+
+void FaultPlan::on_op(int rank, FaultSite site) {
+  Fired fired;
+  if (!bump_and_match(rank, site, &fired)) return;
+  switch (fired.spec.action) {
+    case FaultSpec::Action::kKill:
+      throw InjectedFault(rank, site, fired.count);
+    case FaultSpec::Action::kDelay:
+      if (fired.spec.delay.count() > 0) std::this_thread::sleep_for(fired.spec.delay);
+      break;
+    case FaultSpec::Action::kCorruptFile:
+      // File corruption only makes sense at a write phase with a path; a
+      // corrupt spec matching a comm op is a plan-authoring error.
+      PTDP_CHECK(site == FaultSite::kCkptWrite)
+          << "kCorruptFile spec fired at a non-ckpt site";
+      break;
+  }
+}
+
+void FaultPlan::on_file_phase(int rank, const std::string& final_path,
+                              const std::string& tmp_path,
+                              bool phase_is_pre_rename) {
+  Fired fired;
+  if (!bump_and_match(rank, FaultSite::kCkptWrite, &fired)) return;
+  switch (fired.spec.action) {
+    case FaultSpec::Action::kKill:
+      throw InjectedFault(rank, FaultSite::kCkptWrite, fired.count);
+    case FaultSpec::Action::kDelay:
+      if (fired.spec.delay.count() > 0) std::this_thread::sleep_for(fired.spec.delay);
+      break;
+    case FaultSpec::Action::kCorruptFile:
+      flip_byte(phase_is_pre_rename ? tmp_path : final_path);
+      break;
+  }
+}
+
+void FaultPlan::begin_run() {
+  std::lock_guard lock(mu_);
+  counts_.clear();
+  ++run_index_;
+}
+
+void FaultPlan::rearm() {
+  std::lock_guard lock(mu_);
+  for (Armed& a : specs_) a.armed = true;
+  history_.clear();
+  counts_.clear();
+  run_index_ = -1;
+  draw_ = seed_;
+}
+
+std::uint64_t FaultPlan::count(int rank, FaultSite site) const {
+  std::lock_guard lock(mu_);
+  const auto it = counts_.find(key(rank, site));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<FaultEvent> FaultPlan::history() const {
+  std::lock_guard lock(mu_);
+  return history_;
+}
+
+int FaultPlan::runs_started() const {
+  std::lock_guard lock(mu_);
+  return run_index_ + 1;
+}
+
+}  // namespace ptdp::dist

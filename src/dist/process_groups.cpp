@@ -5,7 +5,7 @@
 namespace ptdp::dist {
 
 ProcessGroups::ProcessGroups(const Comm& world, int p, int t, int d)
-    : p_(p), t_(t), d_(d), coord_(coord_of(world.rank(), t, d)) {
+    : p_(p), t_(t), d_(d), coord_(coord_of(world.rank(), t, d)), world_(world) {
   PTDP_CHECK_GT(p, 0);
   PTDP_CHECK_GT(t, 0);
   PTDP_CHECK_GT(d, 0);

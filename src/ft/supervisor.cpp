@@ -1,0 +1,85 @@
+#include "ptdp/ft/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "ptdp/ckpt/manifest.hpp"
+#include "ptdp/runtime/check.hpp"
+#include "ptdp/runtime/stopwatch.hpp"
+
+namespace ptdp::ft {
+
+ScopedCkptFaultHook::ScopedCkptFaultHook(dist::FaultPlan* plan, int rank) {
+  if (plan == nullptr) return;
+  installed_ = true;
+  ckpt::set_write_hook([plan, rank](const std::string& final_path,
+                                    const std::string& tmp_path,
+                                    ckpt::WritePhase phase) {
+    plan->on_file_phase(rank, final_path, tmp_path,
+                        ckpt::phase_is_pre_rename(phase));
+  });
+}
+
+ScopedCkptFaultHook::~ScopedCkptFaultHook() {
+  if (installed_) ckpt::set_write_hook({});
+}
+
+TrainSupervisor::TrainSupervisor(SupervisorOptions options)
+    : options_(std::move(options)) {
+  PTDP_CHECK(!options_.ckpt_dir.empty()) << "supervisor needs a checkpoint dir";
+  PTDP_CHECK_GE(options_.max_restarts, 0);
+}
+
+const RecoveryStats& TrainSupervisor::run(const WorldFactory& factory,
+                                          const Body& body) {
+  stats_ = RecoveryStats{};
+  double backoff = options_.backoff_initial_s;
+  Stopwatch recovery;  // read only after a failure has been caught
+  dist::FaultPlan* plan = options_.fault_plan.get();
+
+  for (int attempt = 0;; ++attempt) {
+    std::unique_ptr<dist::World> world = factory(attempt);
+    PTDP_CHECK(world != nullptr) << "world factory returned null";
+    if (options_.fault_plan) world->set_fault_plan(options_.fault_plan);
+
+    std::uint64_t start_step = 0;
+    if (const auto best = ckpt::find_latest_valid_checkpoint(options_.ckpt_dir)) {
+      start_step = best->step();
+    }
+    if (!stats_.events.empty() && attempt > 0) {
+      stats_.events.back().resumed_step = start_step;
+      const FailureRecord& f = stats_.events.back();
+      stats_.steps_lost += f.failed_step > start_step ? f.failed_step - start_step : 0;
+    }
+
+    ++stats_.attempts;
+    try {
+      world->run([&](dist::Comm& comm) {
+        // Bridge checkpoint write phases into the plan on this rank thread.
+        ScopedCkptFaultHook hook(plan, comm.world_rank());
+        if (attempt > 0 && comm.world_rank() == 0) {
+          stats_.total_recovery_seconds += recovery.elapsed_seconds();
+        }
+        body(comm, start_step, attempt);
+      });
+      stats_.succeeded = true;
+      return stats_;
+    } catch (const dist::RankFailure& f) {
+      recovery.reset();
+      ++stats_.failures;
+      stats_.events.push_back(FailureRecord{attempt, f.rank(), f.step(),
+                                            /*resumed_step=*/0, f.what(),
+                                            /*backoff_s=*/0.0});
+      if (attempt >= options_.max_restarts) throw;
+      if (backoff > 0.0) {
+        stats_.events.back().backoff_s = backoff;
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      backoff = std::min(backoff * options_.backoff_multiplier,
+                         options_.backoff_max_s);
+    }
+  }
+}
+
+}  // namespace ptdp::ft

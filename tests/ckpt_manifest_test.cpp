@@ -1,0 +1,314 @@
+// Corruption matrix for the committed-checkpoint protocol: every way a
+// checkpoint can be damaged — truncated header, truncated payload, flipped
+// byte, stale LATEST pointing at a gone step — must be detected by
+// find_latest_valid_checkpoint and skipped in favor of the newest commit
+// that is actually whole. Plus the atomicity half: a simulated crash at
+// every phase of an atomic write leaves the previous file intact.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ptdp/ckpt/checkpoint.hpp"
+#include "ptdp/ckpt/manifest.hpp"
+#include "ptdp/dist/fault.hpp"
+#include "ptdp/ft/supervisor.hpp"
+#include "ptdp/runtime/check.hpp"
+#include "ptdp/runtime/rng.hpp"
+#include "ptdp/tensor/tensor.hpp"
+
+namespace ptdp::ckpt {
+namespace {
+
+using tensor::Tensor;
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ptdp_manifest_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    Rng rng(7);
+    a_ = Tensor::randn({16}, rng);
+    b_ = Tensor::randn({8}, rng);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Commits a 2-shard checkpoint at `step` and returns its manifest.
+  Manifest commit(std::uint64_t step) {
+    const std::string sdir = step_dir(dir_.string(), step);
+    std::filesystem::create_directories(sdir);
+    Manifest m{step, 0, {}};
+    for (int t = 0; t < 2; ++t) {
+      const std::string path = shard_path(sdir, 0, t, 0);
+      const auto res = save_checkpoint(
+          path, {{"a", &a_}, {"b", &b_}}, CheckpointMeta{step, 0});
+      m.shards.push_back(ManifestEntry{
+          std::filesystem::path(path).lexically_relative(dir_).string(),
+          static_cast<std::uint64_t>(res.bytes), res.crc});
+    }
+    write_manifest(dir_.string(), m);
+    return m;
+  }
+
+  std::string shard_file(std::uint64_t step, int t) {
+    return shard_path(step_dir(dir_.string(), step), 0, t, 0);
+  }
+
+  static void truncate_to(const std::string& path, std::uintmax_t size) {
+    std::filesystem::resize_file(path, size);
+  }
+
+  static void flip_byte_at(const std::string& path, std::uintmax_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5A);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&c, 1);
+  }
+
+  std::filesystem::path dir_;
+  Tensor a_, b_;
+};
+
+TEST_F(ManifestTest, RoundTripAndLatestResolution) {
+  commit(3);
+  const Manifest m5 = commit(5);
+  const auto best = find_latest_valid_checkpoint(dir_.string());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->step(), 5u);
+  EXPECT_EQ(best->shard_dir, step_dir(dir_.string(), 5));
+  EXPECT_EQ(best->manifest.shards.size(), m5.shards.size());
+  // The committed shards actually load.
+  Tensor a({16}), b({8});
+  const auto meta = load_checkpoint(shard_file(5, 0), {{"a", &a}, {"b", &b}});
+  EXPECT_EQ(meta.step, 5u);
+}
+
+TEST_F(ManifestTest, JsonRejectsMalformedInput) {
+  EXPECT_FALSE(parse_manifest_json("").has_value());
+  EXPECT_FALSE(parse_manifest_json("{").has_value());
+  EXPECT_FALSE(parse_manifest_json("{\"step\": 1}").has_value());
+  // An empty shard list is never a valid commit.
+  EXPECT_FALSE(
+      parse_manifest_json("{\"step\": 1, \"extra\": 0, \"shards\": []}")
+          .has_value());
+  const Manifest m{4, 9, {{"step-4/shard-p0-t0-d0.ckpt", 123, 456}}};
+  const auto back = parse_manifest_json(manifest_to_json(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->step, 4u);
+  EXPECT_EQ(back->extra, 9u);
+  ASSERT_EQ(back->shards.size(), 1u);
+  EXPECT_EQ(back->shards[0].file, "step-4/shard-p0-t0-d0.ckpt");
+  EXPECT_EQ(back->shards[0].bytes, 123u);
+  EXPECT_EQ(back->shards[0].crc, 456u);
+}
+
+// ---- the corruption matrix -------------------------------------------------
+// Each case damages the newest (step 6) checkpoint a different way; recovery
+// must fall back to the previous committed step 4 every time.
+
+TEST_F(ManifestTest, TruncatedHeaderFallsBack) {
+  commit(4);
+  commit(6);
+  truncate_to(shard_file(6, 1), 3);  // not even a whole magic number
+  const auto best = find_latest_valid_checkpoint(dir_.string());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->step(), 4u);
+}
+
+TEST_F(ManifestTest, TruncatedPayloadFallsBack) {
+  commit(4);
+  const Manifest m = commit(6);
+  truncate_to(shard_file(6, 0), m.shards[0].bytes - 7);
+  const auto best = find_latest_valid_checkpoint(dir_.string());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->step(), 4u);
+}
+
+TEST_F(ManifestTest, FlippedByteFallsBack) {
+  commit(4);
+  const Manifest m = commit(6);
+  // Size unchanged — only the whole-file CRC can catch this.
+  flip_byte_at(shard_file(6, 1), m.shards[1].bytes / 2);
+  const auto best = find_latest_valid_checkpoint(dir_.string());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->step(), 4u);
+}
+
+TEST_F(ManifestTest, MissingShardFallsBack) {
+  commit(4);
+  commit(6);
+  std::filesystem::remove(shard_file(6, 0));
+  const auto best = find_latest_valid_checkpoint(dir_.string());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->step(), 4u);
+}
+
+TEST_F(ManifestTest, StaleLatestMarkerIsIgnored) {
+  commit(4);
+  commit(6);
+  // LATEST names a manifest whose step dir is gone (e.g. external cleanup
+  // raced the marker update) — the scan must still find step 6.
+  write_file_atomic(dir_.string() + "/LATEST", "manifest-99.json\n");
+  const auto best = find_latest_valid_checkpoint(dir_.string());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->step(), 6u);
+  // A LATEST pointing at an *older valid* manifest must not shadow step 6.
+  write_file_atomic(dir_.string() + "/LATEST", "manifest-4.json\n");
+  EXPECT_EQ(find_latest_valid_checkpoint(dir_.string())->step(), 6u);
+  // Garbage LATEST degrades to the scan too.
+  write_file_atomic(dir_.string() + "/LATEST", "not-a-manifest\n");
+  EXPECT_EQ(find_latest_valid_checkpoint(dir_.string())->step(), 6u);
+}
+
+TEST_F(ManifestTest, CorruptManifestJsonFallsBack) {
+  commit(4);
+  commit(6);
+  truncate_to(dir_.string() + "/manifest-6.json", 10);
+  const auto best = find_latest_valid_checkpoint(dir_.string());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->step(), 4u);
+}
+
+TEST_F(ManifestTest, NoValidCheckpointReturnsNullopt) {
+  EXPECT_FALSE(find_latest_valid_checkpoint(dir_.string()).has_value());
+  EXPECT_FALSE(find_latest_valid_checkpoint("/nonexistent/dir").has_value());
+  commit(2);
+  std::filesystem::remove_all(step_dir(dir_.string(), 2));
+  EXPECT_FALSE(find_latest_valid_checkpoint(dir_.string()).has_value());
+}
+
+TEST_F(ManifestTest, GcKeepsNewestTwo) {
+  commit(1);
+  commit(2);
+  commit(3);
+  gc_checkpoints(dir_.string(), 2);
+  EXPECT_FALSE(std::filesystem::exists(dir_.string() + "/manifest-1.json"));
+  EXPECT_FALSE(std::filesystem::exists(step_dir(dir_.string(), 1)));
+  EXPECT_TRUE(std::filesystem::exists(dir_.string() + "/manifest-2.json"));
+  EXPECT_TRUE(std::filesystem::exists(step_dir(dir_.string(), 3)));
+  EXPECT_EQ(find_latest_valid_checkpoint(dir_.string())->step(), 3u);
+}
+
+// ---- atomic-save kill matrix -----------------------------------------------
+// A simulated crash at every write phase must leave the previously published
+// file untouched (pre-rename phases) or the new file complete (post-rename).
+
+TEST_F(ManifestTest, KillAtEveryWritePhaseNeverTearsTheFile) {
+  const std::string path = (dir_ / "victim.ckpt").string();
+  const auto good = save_checkpoint(path, {{"a", &a_}}, CheckpointMeta{1, 0});
+  ASSERT_EQ(file_crc32(path), good.crc);
+
+  Rng rng(11);
+  Tensor changed = Tensor::randn({16}, rng);
+  for (const WritePhase kill_at :
+       {WritePhase::kHeaderWritten, WritePhase::kPayloadWritten,
+        WritePhase::kBeforeFsync, WritePhase::kBeforeRename,
+        WritePhase::kAfterRename}) {
+    set_write_hook([kill_at](const std::string&, const std::string&,
+                             WritePhase phase) {
+      if (phase == kill_at) throw std::runtime_error("injected crash");
+    });
+    EXPECT_THROW(
+        save_checkpoint(path, {{"a", &changed}}, CheckpointMeta{2, 0}),
+        std::runtime_error);
+    set_write_hook({});
+    if (phase_is_pre_rename(kill_at)) {
+      // Old content still published, new attempt invisible.
+      EXPECT_EQ(file_crc32(path), good.crc) << static_cast<int>(kill_at);
+      EXPECT_EQ(peek_checkpoint(path).step, 1u);
+    } else {
+      // Crash after the rename: the new file is complete and loadable.
+      EXPECT_EQ(peek_checkpoint(path).step, 2u);
+      Tensor back({16});
+      load_checkpoint(path, {{"a", &back}});
+      // Restore the original for the next loop iteration (none follows, but
+      // keep the invariant explicit).
+      save_checkpoint(path, {{"a", &a_}}, CheckpointMeta{1, 0});
+    }
+    // No temp litter.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  }
+}
+
+// ---- kill-during-commit matrix (acceptance) --------------------------------
+// Kill the writer at every kCkptWrite injection site during a full commit of
+// step 8 (two shards + manifest + LATEST, via the real FaultPlan bridge).
+// Whatever phase dies, find_latest_valid_checkpoint returns the previous
+// committed step 6 — or a fully valid step 8 if the kill landed after the
+// commit became complete.
+
+TEST_F(ManifestTest, KillDuringCommitAtEverySiteLeavesCommittedState) {
+  commit(6);
+  const auto baseline = find_latest_valid_checkpoint(dir_.string());
+  ASSERT_TRUE(baseline.has_value());
+  ASSERT_EQ(baseline->step(), 6u);
+
+  // Count the write phases in one full commit to know the site count.
+  dist::FaultPlan probe;
+  {
+    ft::ScopedCkptFaultHook bridge(&probe, /*rank=*/0);
+    probe.begin_run();
+    commit(7);
+  }
+  const std::uint64_t sites = probe.count(0, dist::FaultSite::kCkptWrite);
+  ASSERT_GT(sites, 0u);
+
+  for (std::uint64_t nth = 1; nth <= sites; ++nth) {
+    // Fresh dir state per iteration: only step 6 committed.
+    for (std::uint64_t s : {std::uint64_t{7}, std::uint64_t{8}}) {
+      std::error_code ec;
+      std::filesystem::remove(dir_ / ("manifest-" + std::to_string(s) + ".json"), ec);
+      std::filesystem::remove_all(step_dir(dir_.string(), s), ec);
+    }
+    write_file_atomic(dir_.string() + "/LATEST", "manifest-6.json\n");
+
+    dist::FaultPlan plan;
+    plan.kill(0, dist::FaultSite::kCkptWrite, nth);
+    plan.begin_run();
+    {
+      ft::ScopedCkptFaultHook bridge(&plan, /*rank=*/0);
+      EXPECT_THROW(commit(8), dist::InjectedFault) << "site " << nth;
+    }
+
+    const auto best = find_latest_valid_checkpoint(dir_.string());
+    ASSERT_TRUE(best.has_value()) << "site " << nth;
+    if (best->step() == 8u) {
+      // Kill landed after the commit completed; it must be fully valid.
+      EXPECT_TRUE(validate_manifest(dir_.string(), best->manifest));
+    } else {
+      EXPECT_EQ(best->step(), 6u) << "site " << nth;
+      EXPECT_TRUE(validate_manifest(dir_.string(), best->manifest));
+    }
+  }
+}
+
+TEST_F(ManifestTest, CorruptFaultDuringCommitIsDetected) {
+  commit(6);
+  // Flip a byte in the shard temp file mid-write (pre-rename): the manifest
+  // CRC comes from the intended byte stream, so validation must reject the
+  // new checkpoint and fall back.
+  dist::FaultPlan plan;
+  plan.corrupt_ckpt(/*rank=*/0, /*nth=*/2);  // kPayloadWritten of shard 0
+  plan.begin_run();
+  {
+    ft::ScopedCkptFaultHook bridge(&plan, /*rank=*/0);
+    commit(9);  // corruption is silent — the commit "succeeds"
+  }
+  ASSERT_EQ(plan.history().size(), 1u);
+  const auto best = find_latest_valid_checkpoint(dir_.string());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->step(), 6u);
+}
+
+}  // namespace
+}  // namespace ptdp::ckpt

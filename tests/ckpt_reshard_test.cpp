@@ -6,6 +6,7 @@
 
 #include <filesystem>
 
+#include "ptdp/ckpt/manifest.hpp"
 #include "ptdp/ckpt/reshard.hpp"
 #include "ptdp/core/engine.hpp"
 #include "ptdp/data/dataset.hpp"
@@ -112,6 +113,14 @@ class ReshardFixture : public ::testing::Test {
     return loss;
   }
 
+  // Engine saves are committed checkpoints now: shards live under
+  // <dir>/step-<N>, resolved through the manifest like any consumer would.
+  std::string shard_dir() {
+    const auto best = find_latest_valid_checkpoint(dir_.string());
+    EXPECT_TRUE(best.has_value()) << "no committed checkpoint under " << dir_;
+    return best ? best->shard_dir : dir_.string();
+  }
+
   std::filesystem::path dir_;
   model::GptConfig config_;
   std::unique_ptr<data::SyntheticCorpus> corpus_;
@@ -123,7 +132,7 @@ TEST_F(ReshardFixture, MergeTensorParallelToSerial) {
   const auto merged_dir = dir_ / "merged";
   std::filesystem::create_directories(merged_dir);
   const auto meta =
-      merge_shards(dir_.string(), 1, 2, shard_path(merged_dir.string(), 0, 0, 0));
+      merge_shards(shard_dir(), 1, 2, shard_path(merged_dir.string(), 0, 0, 0));
   EXPECT_EQ(meta.step, 2u);
   const float resumed = resume_resharded(/*t=*/1, merged_dir.string());
   EXPECT_NEAR(resumed, expected, 1e-4f);
@@ -133,7 +142,7 @@ TEST_F(ReshardFixture, MergePipelineToSerial) {
   const float expected = train_and_save(/*p=*/2, /*t=*/2);
   const auto merged_dir = dir_ / "merged";
   std::filesystem::create_directories(merged_dir);
-  merge_shards(dir_.string(), 2, 2, shard_path(merged_dir.string(), 0, 0, 0));
+  merge_shards(shard_dir(), 2, 2, shard_path(merged_dir.string(), 0, 0, 0));
   const float resumed = resume_resharded(/*t=*/1, merged_dir.string());
   EXPECT_NEAR(resumed, expected, 1e-4f);
 }
@@ -142,7 +151,7 @@ TEST_F(ReshardFixture, SplitToWiderTensorParallelism) {
   // Train at t=2, merge, re-split to t=4, resume at t=4.
   const float expected = train_and_save(/*p=*/1, /*t=*/2);
   const auto merged = dir_ / "merged.ckpt";
-  merge_shards(dir_.string(), 1, 2, merged.string());
+  merge_shards(shard_dir(), 1, 2, merged.string());
   const auto split_dir = dir_ / "t4";
   std::filesystem::create_directories(split_dir);
   split_shards(merged.string(), 4, split_dir.string());
@@ -153,7 +162,7 @@ TEST_F(ReshardFixture, SplitToWiderTensorParallelism) {
 TEST_F(ReshardFixture, SplitMergeRoundTripIsExact) {
   train_and_save(1, 2);
   const auto merged = dir_ / "m1.ckpt";
-  merge_shards(dir_.string(), 1, 2, merged.string());
+  merge_shards(shard_dir(), 1, 2, merged.string());
   const auto split_dir = dir_ / "again";
   std::filesystem::create_directories(split_dir);
   split_shards(merged.string(), 2, split_dir.string());
@@ -172,7 +181,7 @@ TEST_F(ReshardFixture, SplitMergeRoundTripIsExact) {
 TEST_F(ReshardFixture, SplitRejectsNonDivisibleWidth) {
   train_and_save(1, 1);
   const auto merged = dir_ / "m.ckpt";
-  merge_shards(dir_.string(), 1, 1, merged.string());
+  merge_shards(shard_dir(), 1, 1, merged.string());
   const auto split_dir = dir_ / "t3";
   std::filesystem::create_directories(split_dir);
   // heads = 4, hidden = 16: t = 3 divides neither.
@@ -182,7 +191,7 @@ TEST_F(ReshardFixture, SplitRejectsNonDivisibleWidth) {
 TEST_F(ReshardFixture, ReadAllReturnsEverything) {
   train_and_save(1, 1);
   CheckpointMeta meta;
-  const auto all = read_all(shard_path(dir_.string(), 0, 0, 0), &meta);
+  const auto all = read_all(shard_path(shard_dir(), 0, 0, 0), &meta);
   EXPECT_EQ(meta.step, 2u);
   // params + adam m/v per param + step counter.
   bool has_word = false, has_step = false;

@@ -113,7 +113,7 @@ TEST_F(CkptTest, MissingFileThrows) {
 TEST_F(CkptTest, ReportedSizeMatchesFile) {
   Rng rng(2);
   Tensor a = Tensor::randn({100}, rng);
-  const std::int64_t bytes = save_checkpoint(path("z.ckpt"), {{"a", &a}}, {});
+  const std::int64_t bytes = save_checkpoint(path("z.ckpt"), {{"a", &a}}, {}).bytes;
   EXPECT_EQ(static_cast<std::uintmax_t>(bytes),
             std::filesystem::file_size(path("z.ckpt")));
   // 400 bytes of payload plus a small header.

@@ -159,7 +159,7 @@ TEST(GradReducer, DoubleReadySignalThrows) {
                  reducer.on_chunk_grads_ready(0);
                  reducer.on_chunk_grads_ready(0);  // same batch: a bug
                }),
-               CheckError);
+               dist::RankFailure);
 }
 
 TEST(GradReducer, SoloDataGroupIsNoop) {

@@ -327,7 +327,7 @@ TEST(PtdpEngine, RejectsInvalidConfigurations) {
                  options.global_batch = 4;
                  PtdpEngine engine(comm, options);
                }),
-               CheckError);
+               dist::RankFailure);
 }
 
 }  // namespace

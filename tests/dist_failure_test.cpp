@@ -29,14 +29,19 @@ TEST(WorldFailure, DeathDuringRecvUnblocksPeers) {
 
 TEST(WorldFailure, DeathDuringCollectiveUnblocksPeers) {
   World world(4);
-  EXPECT_THROW(world.run([](Comm& comm) {
-                 if (comm.rank() == 2) {
-                   throw std::logic_error("rank 2 crashed before all-reduce");
-                 }
-                 std::vector<float> data(64, 1.0f);
-                 comm.all_reduce(std::span<float>(data));
-               }),
-               std::logic_error);
+  try {
+    world.run([](Comm& comm) {
+      if (comm.rank() == 2) {
+        throw std::logic_error("rank 2 crashed before all-reduce");
+      }
+      std::vector<float> data(64, 1.0f);
+      comm.all_reduce(std::span<float>(data));
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& e) {
+    EXPECT_EQ(e.rank(), 2);
+    EXPECT_TRUE(e.caused_by<std::logic_error>());
+  }
 }
 
 TEST(WorldFailure, RootCauseWinsOverSecondaryUnwinds) {
@@ -47,8 +52,38 @@ TEST(WorldFailure, RootCauseWinsOverSecondaryUnwinds) {
       comm.barrier();  // peers die with WorldPoisoned, which must not win
     });
     FAIL() << "expected exception";
-  } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "root cause");
+  } catch (const RankFailure& e) {
+    EXPECT_EQ(e.rank(), 3);
+    EXPECT_TRUE(e.caused_by<std::runtime_error>());
+    EXPECT_FALSE(e.caused_by<WorldPoisoned>());
+    EXPECT_NE(std::string(e.what()).find("root cause"), std::string::npos);
+  }
+}
+
+TEST(WorldFailure, WorldPoisonedRootCauseIsNotSwallowed) {
+  // A rank whose *own* bug throws a WorldPoisoned-derived exception (before
+  // anyone poisoned the mailbox) is a root cause, not a secondary unwind:
+  // the run must fail, not silently report success.
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 1) throw WorldPoisoned();
+                 comm.barrier();
+               }),
+               RankFailure);
+}
+
+TEST(WorldFailure, RankFailureCarriesNotedStep) {
+  World world(2);
+  try {
+    world.run([](Comm& comm) {
+      note_step(17);
+      if (comm.rank() == 1) throw std::runtime_error("died at step 17");
+      comm.barrier();
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& e) {
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_EQ(e.step(), 17u);
   }
 }
 
@@ -134,6 +169,131 @@ TEST(WorldFailure, CleanRunsAreUnaffected) {
     });
   }
   EXPECT_EQ(world.pending_messages(), 0u);
+}
+
+// ---- deterministic fault injection -----------------------------------------
+
+// Each rank sends `rounds` messages around a ring and receives as many: a
+// program with a deterministic per-rank op schedule, so counter-based
+// injection fires at exactly the same op every run.
+void ring_rounds(Comm& comm, int rounds) {
+  const int n = comm.size();
+  for (int i = 0; i < rounds; ++i) {
+    const float v = static_cast<float>(comm.rank() * 100 + i);
+    float got = 0.f;
+    Request s = comm.isend(std::span<const float>(&v, 1), (comm.rank() + 1) % n,
+                           /*tag=*/i);
+    comm.recv(std::span<float>(&got, 1), (comm.rank() + n - 1) % n, /*tag=*/i);
+    s.wait();
+  }
+}
+
+TEST(FaultPlan, KillsVictimAtExactlyTheNthSend) {
+  auto plan = std::make_shared<FaultPlan>(/*seed=*/1);
+  plan->kill(/*rank=*/1, FaultSite::kSend, /*nth=*/3);
+  World world(4);
+  world.set_fault_plan(plan);
+  try {
+    world.run([](Comm& comm) { ring_rounds(comm, 8); });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& e) {
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_TRUE(e.caused_by<InjectedFault>());
+    try {
+      e.rethrow_cause();
+    } catch (const InjectedFault& f) {
+      EXPECT_EQ(f.rank(), 1);
+      EXPECT_EQ(f.site(), FaultSite::kSend);
+      EXPECT_EQ(f.count(), 3u);
+    }
+  }
+  ASSERT_EQ(plan->history().size(), 1u);
+  EXPECT_EQ(plan->history()[0].rank, 1);
+  EXPECT_EQ(plan->history()[0].count, 3u);
+}
+
+TEST(FaultPlan, ScheduleReplaysExactly) {
+  // Same seed + same program -> the same rank dies at the same op count,
+  // across a rearm() and across a freshly constructed identical plan.
+  const auto run_once = [](FaultPlan& plan) {
+    World world(4);
+    world.set_fault_plan({&plan, [](FaultPlan*) {}});
+    std::uint64_t fired_count = 0;
+    int fired_rank = -1;
+    try {
+      world.run([](Comm& comm) { ring_rounds(comm, 16); });
+    } catch (const RankFailure& e) {
+      fired_rank = e.rank();
+      try {
+        e.rethrow_cause();
+      } catch (const InjectedFault& f) {
+        fired_count = f.count();
+      } catch (...) {
+      }
+    }
+    return std::pair<int, std::uint64_t>{fired_rank, fired_count};
+  };
+
+  FaultPlan a(/*seed=*/42);
+  a.kill_random(/*world_size=*/4, FaultSite::kSend, /*max_nth=*/10);
+  const auto first = run_once(a);
+  EXPECT_GE(first.first, 0) << "kill_random never fired";
+
+  a.rearm();
+  EXPECT_EQ(run_once(a), first);
+
+  FaultPlan b(/*seed=*/42);
+  b.kill_random(4, FaultSite::kSend, 10);
+  EXPECT_EQ(run_once(b), first);
+}
+
+TEST(FaultPlan, FiredSpecStaysDisarmedAcrossRuns) {
+  // The supervisor contract: after the injected failure, rerunning the same
+  // program on the same world proceeds past the injection point.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->kill(2, FaultSite::kRecv, 5);
+  World world(4);
+  world.set_fault_plan(plan);
+  EXPECT_THROW(world.run([](Comm& comm) { ring_rounds(comm, 8); }), RankFailure);
+  world.run([](Comm& comm) { ring_rounds(comm, 8); });  // completes
+  EXPECT_EQ(plan->runs_started(), 2);
+  EXPECT_EQ(plan->history().size(), 1u);
+}
+
+TEST(FaultPlan, DelayPerturbsTimingNotResults) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->delay(0, FaultSite::kCollective, 1, std::chrono::microseconds(2000));
+  World world(4);
+  world.set_fault_plan(plan);
+  world.run([](Comm& comm) {
+    std::vector<float> data(16, static_cast<float>(comm.rank()));
+    comm.all_reduce(std::span<float>(data));
+    for (float v : data) ASSERT_EQ(v, 0.f + 1.f + 2.f + 3.f);
+  });
+  ASSERT_EQ(plan->history().size(), 1u);
+  EXPECT_EQ(plan->history()[0].spec.action, FaultSpec::Action::kDelay);
+}
+
+TEST(FaultPlan, CountersArePerRunAndPerSite) {
+  auto plan = std::make_shared<FaultPlan>();
+  World world(2);
+  world.set_fault_plan(plan);
+  world.run([](Comm& comm) { ring_rounds(comm, 4); });
+  // 4 isends and 4 recvs per rank; no collective entered.
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(plan->count(r, FaultSite::kSend), 4u);
+    EXPECT_EQ(plan->count(r, FaultSite::kRecv), 4u);
+    EXPECT_EQ(plan->count(r, FaultSite::kCollective), 0u);
+  }
+  world.run([](Comm& comm) { comm.barrier(); });
+  // begin_run reset the counters; the n=2 barrier is one collective entry
+  // plus one internal send/recv round per rank.
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(plan->count(r, FaultSite::kCollective), 1u);
+    EXPECT_EQ(plan->count(r, FaultSite::kSend), 1u);
+    EXPECT_EQ(plan->count(r, FaultSite::kRecv), 1u);
+  }
+  EXPECT_EQ(plan->runs_started(), 2);
 }
 
 }  // namespace

@@ -118,7 +118,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ProcessGroups, RejectsMismatchedWorldSize) {
   World world(4);
   EXPECT_THROW(world.run([](Comm& comm) { ProcessGroups groups(comm, 3, 1, 1); }),
-               ptdp::CheckError);
+               RankFailure);
 }
 
 TEST(ProcessGroups, FirstAndLastStageFlags) {

@@ -1,0 +1,318 @@
+// End-to-end fault-tolerance tests: a seeded FaultPlan kills ranks of a
+// full (p=2, t=2, d=2) PTD-P engine mid-training; the TrainSupervisor must
+// recover automatically from the last committed checkpoint and finish with
+// weights BITWISE identical to an uninterrupted run with the same
+// checkpoint cadence — the acceptance bar for the whole fault plane.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ptdp/ckpt/manifest.hpp"
+#include "ptdp/ckpt/reshard.hpp"
+#include "ptdp/core/engine.hpp"
+#include "ptdp/data/dataset.hpp"
+#include "ptdp/dist/fault.hpp"
+#include "ptdp/ft/supervisor.hpp"
+
+namespace ptdp::ft {
+namespace {
+
+using core::EngineOptions;
+using core::PtdpEngine;
+
+constexpr int kSteps = 6;
+constexpr int kCkptEvery = 2;
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(is),
+                           std::istreambuf_iterator<char>());
+}
+
+class SupervisorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("ptdp_ft_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(root_);
+    config_.num_layers = 2;
+    config_.hidden = 16;
+    config_.heads = 4;
+    config_.vocab = 32;
+    config_.seq = 8;
+    config_.seed = 99;
+    corpus_ = std::make_unique<data::SyntheticCorpus>(config_.vocab, 4);
+    dataset_ = std::make_unique<data::TokenDataset>(corpus_->generate(4000),
+                                                    config_.seq);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  EngineOptions options_for(int p, int t, int d) {
+    EngineOptions o;
+    o.model = config_;
+    o.parallel.p = p;
+    o.parallel.t = t;
+    o.parallel.d = d;
+    o.parallel.b = 1;
+    o.parallel.recompute = false;
+    o.global_batch = 8;
+    o.optimizer = EngineOptions::Opt::kAdam;
+    o.adam.lr = 2e-3f;
+    return o;
+  }
+
+  // The SPMD training body: resume from the newest committed checkpoint if
+  // one exists, train to kSteps, committing every kCkptEvery steps.
+  void train_body(dist::Comm& comm, const std::string& dir,
+                  std::uint64_t committed_step, int p, int t, int d) {
+    PtdpEngine engine(comm, options_for(p, t, d));
+    int start = 0;
+    if (committed_step > 0) {
+      start = static_cast<int>(engine.load_checkpoint(dir));
+    }
+    data::ShardedLoader loader(*dataset_, 8, 1, d,
+                               engine.groups().coord().data, 8);
+    for (int step = start; step < kSteps; ++step) {
+      engine.train_step(loader.next_batch(step));
+      if ((step + 1) % kCkptEvery == 0) {
+        engine.save_checkpoint(dir, static_cast<std::uint64_t>(step + 1));
+      }
+    }
+  }
+
+  // Runs supervised training under `plan` into `dir`; returns recovery
+  // stats. The factory always builds an 8-rank (2,2,2) world.
+  RecoveryStats run_222(const std::string& dir,
+                        std::shared_ptr<dist::FaultPlan> plan,
+                        int max_restarts = 3) {
+    SupervisorOptions sup;
+    sup.ckpt_dir = dir;
+    sup.max_restarts = max_restarts;
+    sup.fault_plan = std::move(plan);
+    TrainSupervisor supervisor(sup);
+    supervisor.run(
+        [](int) { return std::make_unique<dist::World>(8); },
+        [&](dist::Comm& comm, std::uint64_t committed, int) {
+          train_body(comm, dir, committed, 2, 2, 2);
+        });
+    return supervisor.stats();
+  }
+
+  // Final committed checkpoint must be step kSteps with every shard
+  // bitwise identical between the two checkpoint dirs.
+  void expect_bitwise_identical_final(const std::string& a,
+                                      const std::string& b) {
+    const auto ca = ckpt::find_latest_valid_checkpoint(a);
+    const auto cb = ckpt::find_latest_valid_checkpoint(b);
+    ASSERT_TRUE(ca.has_value());
+    ASSERT_TRUE(cb.has_value());
+    EXPECT_EQ(ca->step(), static_cast<std::uint64_t>(kSteps));
+    EXPECT_EQ(cb->step(), static_cast<std::uint64_t>(kSteps));
+    ASSERT_EQ(ca->manifest.shards.size(), cb->manifest.shards.size());
+    for (std::size_t i = 0; i < ca->manifest.shards.size(); ++i) {
+      const auto& ea = ca->manifest.shards[i];
+      const auto& eb = cb->manifest.shards[i];
+      EXPECT_EQ(ea.file, eb.file);
+      EXPECT_EQ(ea.crc, eb.crc) << ea.file;
+      EXPECT_EQ(read_bytes(a + "/" + ea.file), read_bytes(b + "/" + eb.file))
+          << ea.file;
+    }
+  }
+
+  std::string dir(const char* name) { return (root_ / name).string(); }
+
+  std::filesystem::path root_;
+  model::GptConfig config_;
+  std::unique_ptr<data::SyntheticCorpus> corpus_;
+  std::unique_ptr<data::TokenDataset> dataset_;
+};
+
+// ---- the acceptance test ---------------------------------------------------
+
+TEST_F(SupervisorFixture, KillSweepRecoversToBitwiseIdenticalWeights) {
+  // Uninterrupted reference run (same checkpoint cadence, no faults). An
+  // empty plan rides along purely to count each rank's per-run sends, so
+  // the sweep below can place kills at exact fractions of the run.
+  const std::string ref = dir("ref");
+  std::filesystem::create_directories(ref);
+  auto probe = std::make_shared<dist::FaultPlan>();
+  const auto clean = run_222(ref, probe);
+  EXPECT_TRUE(clean.succeeded);
+  EXPECT_EQ(clean.failures, 0);
+
+  // Kill each of the 8 ranks at its k-th p2p send, with k swept from early
+  // in the run to near its end. Every schedule must recover to identical
+  // weights.
+  for (int victim = 0; victim < 8; ++victim) {
+    const std::uint64_t total = probe->count(victim, dist::FaultSite::kSend);
+    ASSERT_GT(total, 8u) << "rank " << victim << " barely sends?";
+    const std::uint64_t nth =
+        std::max<std::uint64_t>(1, total * static_cast<std::uint64_t>(victim + 1) / 9);
+    SCOPED_TRACE("victim rank " + std::to_string(victim) + " at send #" +
+                 std::to_string(nth) + " of " + std::to_string(total));
+    const std::string d =
+        dir(("kill-" + std::to_string(victim)).c_str());
+    std::filesystem::create_directories(d);
+    auto plan = std::make_shared<dist::FaultPlan>(/*seed=*/1);
+    plan->kill(victim, dist::FaultSite::kSend, nth);
+
+    const auto stats = run_222(d, plan);
+    EXPECT_TRUE(stats.succeeded);
+    EXPECT_EQ(stats.failures, 1);
+    ASSERT_EQ(stats.events.size(), 1u);
+    EXPECT_EQ(stats.events[0].rank, victim);
+    expect_bitwise_identical_final(ref, d);
+  }
+}
+
+TEST_F(SupervisorFixture, KillDuringCheckpointCommitRecovers) {
+  const std::string ref = dir("ref");
+  std::filesystem::create_directories(ref);
+  run_222(ref, nullptr);
+
+  // Kill rank 3 in the middle of its shard write during the step-4 commit
+  // window (each commit is ~18 write phases per rank; the 20th phase lands
+  // inside the second commit). The torn commit must be invisible: recovery
+  // resumes from a committed step and finishes identically.
+  const std::string d = dir("kill-in-commit");
+  std::filesystem::create_directories(d);
+  auto plan = std::make_shared<dist::FaultPlan>();
+  plan->kill(3, dist::FaultSite::kCkptWrite, 7);
+  const auto stats = run_222(d, plan);
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_EQ(stats.failures, 1);
+  EXPECT_TRUE(std::string(stats.events[0].cause).find("ckpt-write") !=
+              std::string::npos);
+  expect_bitwise_identical_final(ref, d);
+}
+
+TEST_F(SupervisorFixture, RetriesAreBoundedAndStatsFaithful) {
+  // Two injected kills but only one restart allowed: the second failure
+  // must propagate out of the supervisor, with both recorded in stats.
+  // Both kills target the same rank: the first ends attempt 0 at send #20
+  // (so the second, later spec cannot also fire in that run), and the
+  // second deterministically ends the restarted attempt at its send #35.
+  const std::string d = dir("bounded");
+  std::filesystem::create_directories(d);
+  auto plan = std::make_shared<dist::FaultPlan>();
+  plan->kill(1, dist::FaultSite::kSend, 20);
+  plan->kill(1, dist::FaultSite::kSend, 35);
+
+  SupervisorOptions sup;
+  sup.ckpt_dir = d;
+  sup.max_restarts = 1;
+  sup.fault_plan = plan;
+  TrainSupervisor supervisor(sup);
+  EXPECT_THROW(
+      supervisor.run(
+          [](int) { return std::make_unique<dist::World>(8); },
+          [&](dist::Comm& comm, std::uint64_t committed, int) {
+            train_body(comm, d, committed, 2, 2, 2);
+          }),
+      dist::RankFailure);
+  const auto& stats = supervisor.stats();
+  EXPECT_FALSE(stats.succeeded);
+  EXPECT_EQ(stats.attempts, 2);
+  EXPECT_EQ(stats.failures, 2);
+  ASSERT_EQ(stats.events.size(), 2u);
+  EXPECT_EQ(stats.events[0].rank, 1);
+  EXPECT_EQ(stats.events[1].rank, 1);
+}
+
+TEST_F(SupervisorFixture, ElasticRestartReshardsToNarrowerLayout) {
+  // Attempt 0 trains under t=2; after the injected kill, the factory
+  // hands back a 1-rank world and the body reshards the committed t=2
+  // checkpoint into a serial layout before resuming — the elastic-restart
+  // path (recover on fewer "GPUs" than you crashed on).
+  // Probe a clean t=2 run to size the kill point at ~mid-run (after the
+  // step-2 commit, before the step-4 one).
+  const std::string probe_dir = dir("elastic-probe");
+  std::filesystem::create_directories(probe_dir);
+  auto probe = std::make_shared<dist::FaultPlan>();
+  {
+    SupervisorOptions psup;
+    psup.ckpt_dir = probe_dir;
+    psup.fault_plan = probe;
+    TrainSupervisor psupervisor(psup);
+    psupervisor.run(
+        [](int) { return std::make_unique<dist::World>(2); },
+        [&](dist::Comm& comm, std::uint64_t committed, int) {
+          train_body(comm, probe_dir, committed, 1, 2, 1);
+        });
+  }
+  const std::uint64_t total = probe->count(1, dist::FaultSite::kSend);
+  ASSERT_GT(total, 2u);
+
+  const std::string d = dir("elastic");
+  std::filesystem::create_directories(d);
+  auto plan = std::make_shared<dist::FaultPlan>();
+  plan->kill(1, dist::FaultSite::kSend, total / 2);
+
+  SupervisorOptions sup;
+  sup.ckpt_dir = d;
+  sup.max_restarts = 1;
+  sup.fault_plan = plan;
+  TrainSupervisor supervisor(sup);
+  const auto& stats = supervisor.run(
+      [](int attempt) {
+        return std::make_unique<dist::World>(attempt == 0 ? 2 : 1);
+      },
+      [&](dist::Comm& comm, std::uint64_t committed, int attempt) {
+        if (attempt == 0) {
+          train_body(comm, d, committed, 1, 2, 1);
+          return;
+        }
+        // Recovery on the narrower world: merge the committed t=2 shards
+        // into one serial checkpoint and resume from it at t=1.
+        ASSERT_GT(committed, 0u);
+        const auto best = ckpt::find_latest_valid_checkpoint(d);
+        ASSERT_TRUE(best.has_value());
+        const std::string merged_dir = dir("elastic-merged");
+        std::filesystem::create_directories(merged_dir);
+        ckpt::merge_shards(best->shard_dir, 1, 2,
+                           ckpt::shard_path(merged_dir, 0, 0, 0));
+        PtdpEngine engine(comm, options_for(1, 1, 1));
+        EXPECT_EQ(engine.load_resharded(merged_dir), committed);
+        data::ShardedLoader loader(*dataset_, 8, 1, 1, 0, 8);
+        for (int step = static_cast<int>(committed); step < kSteps; ++step) {
+          engine.train_step(loader.next_batch(step));
+        }
+      });
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_EQ(stats.failures, 1);
+  ASSERT_EQ(stats.events.size(), 1u);
+  EXPECT_GE(stats.events[0].resumed_step, 2u);
+  EXPECT_LE(stats.steps_lost, static_cast<std::uint64_t>(kCkptEvery));
+}
+
+TEST_F(SupervisorFixture, StepsLostAccountsFailedMinusResumed) {
+  // Kill late (after the step-4 commit): the rank fails at noted step 4 or
+  // 5 having resumed from 4 — at most one step of work is lost.
+  const std::string probe_dir = dir("lost-probe");
+  std::filesystem::create_directories(probe_dir);
+  auto probe = std::make_shared<dist::FaultPlan>();
+  run_222(probe_dir, probe);
+  const std::uint64_t total = probe->count(0, dist::FaultSite::kSend);
+
+  const std::string d = dir("lost");
+  std::filesystem::create_directories(d);
+  auto plan = std::make_shared<dist::FaultPlan>();
+  plan->kill(0, dist::FaultSite::kSend, total - total / 12);  // late in the run
+  const auto stats = run_222(d, plan);
+  EXPECT_TRUE(stats.succeeded);
+  ASSERT_EQ(stats.events.size(), 1u);
+  EXPECT_GE(stats.events[0].resumed_step, 2u);
+  EXPECT_LE(stats.steps_lost,
+            static_cast<std::uint64_t>(kCkptEvery));
+}
+
+}  // namespace
+}  // namespace ptdp::ft

@@ -365,7 +365,7 @@ TEST(PipelineExecutor, RejectsWrongMicrobatchCount) {
                  PipelineExecutor exec(raw, comm, {ScheduleType::kOneFOneB, 2, 4, 1});
                  exec.run_batch(mbs);  // 2 mbs but schedule expects 4
                }),
-               CheckError);
+               dist::RankFailure);
 }
 
 }  // namespace

@@ -116,7 +116,7 @@ TEST(ZeroEngine, RejectsIncompatibleFeatures) {
                  options.mixed_precision = true;
                  PtdpEngine engine(comm, options);
                }),
-               CheckError);
+               dist::RankFailure);
 }
 
 TEST(ZeroEngine, CheckpointCarriesShardedState) {
