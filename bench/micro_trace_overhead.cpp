@@ -1,0 +1,143 @@
+// Observability-plane overhead microbenchmark (DESIGN.md §11): runs the
+// same (p=4, v=2, interleaved) engine workload with tracing off, metrics
+// only, and full span recording, and writes BENCH_trace_overhead.json (the
+// BENCH_tensor_ops.json convention) with steps/s per mode and the overhead
+// relative to tracing-off. The acceptance target is <1% steps/s cost for
+// the disabled tracer: a disabled site is one relaxed atomic load.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "ptdp/core/engine.hpp"
+#include "ptdp/data/dataset.hpp"
+#include "ptdp/dist/world.hpp"
+#include "ptdp/obs/metrics.hpp"
+#include "ptdp/obs/trace.hpp"
+#include "ptdp/runtime/stopwatch.hpp"
+
+namespace ptdp {
+namespace {
+
+constexpr int kWarmupSteps = 2;
+constexpr int kTimedSteps = 8;
+constexpr int kRepeats = 3;
+
+model::GptConfig bench_config() {
+  model::GptConfig c;
+  c.num_layers = 8;
+  c.hidden = 64;
+  c.heads = 4;
+  c.vocab = 64;
+  c.seq = 32;
+  c.dropout = 0.0f;
+  c.seed = 2024;
+  return c;
+}
+
+/// One engine run (p=4, t=1, d=1, v=2, m=8); returns timed steps/s.
+double run_once(obs::TraceMode mode, const data::TokenDataset& dataset) {
+  obs::Tracer::instance().set_mode(mode);
+  double seconds = 0.0;
+  dist::World world(4);
+  world.run([&](dist::Comm& comm) {
+    core::EngineOptions options;
+    options.model = bench_config();
+    options.parallel.p = 4;
+    options.parallel.v = 2;
+    options.parallel.b = 1;
+    options.parallel.schedule = pipeline::ScheduleType::kInterleaved;
+    options.parallel.recompute = false;
+    options.global_batch = 8;
+    options.optimizer = core::EngineOptions::Opt::kSgd;
+    options.sgd.lr = 0.1f;
+    core::PtdpEngine engine(comm, options);
+    data::ShardedLoader loader(dataset, options.global_batch, 1, 1,
+                               engine.groups().coord().data, /*seed=*/88);
+    for (int s = 0; s < kWarmupSteps; ++s) {
+      auto mbs = loader.next_batch(s);
+      engine.train_step(mbs);
+    }
+    Stopwatch watch;
+    for (int s = kWarmupSteps; s < kWarmupSteps + kTimedSteps; ++s) {
+      auto mbs = loader.next_batch(s);
+      engine.train_step(mbs);
+    }
+    if (comm.rank() == 0) seconds = watch.elapsed_seconds();
+  });
+  obs::Tracer::instance().set_mode(obs::TraceMode::kOff);
+  return static_cast<double>(kTimedSteps) / seconds;
+}
+
+struct ModeResult {
+  const char* name;
+  double steps_per_s = 0;
+  double overhead_pct = 0;  ///< vs tracing-off
+  std::uint64_t events = 0;
+};
+
+}  // namespace
+}  // namespace ptdp
+
+int main() {
+  using namespace ptdp;
+  const model::GptConfig c = bench_config();
+  data::SyntheticCorpus corpus(c.vocab, 55);
+  const data::TokenDataset dataset(corpus.generate(4000), c.seq);
+
+  const struct { const char* name; obs::TraceMode mode; } modes[] = {
+      {"off", obs::TraceMode::kOff},
+      {"metrics_only", obs::TraceMode::kMetricsOnly},
+      {"full", obs::TraceMode::kFull},
+  };
+  std::vector<ModeResult> results;
+  for (const auto& m : modes) {
+    // Median of repeats: single runs on an oversubscribed host are noisy.
+    std::vector<double> sps;
+    std::uint64_t events = 0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      obs::Tracer::instance().reset();
+      obs::MetricsRegistry::instance().reset();
+      sps.push_back(run_once(m.mode, dataset));
+      events = obs::Tracer::instance().events_recorded();
+    }
+    std::sort(sps.begin(), sps.end());
+    results.push_back({m.name, sps[sps.size() / 2], 0.0, events});
+  }
+  const double base = results[0].steps_per_s;
+  for (ModeResult& r : results) {
+    r.overhead_pct = base > 0 ? (base - r.steps_per_s) / base * 100.0 : 0.0;
+  }
+
+  std::printf("trace overhead (p=4 v=2 m=8, %d timed steps, median of %d):\n",
+              kTimedSteps, kRepeats);
+  for (const ModeResult& r : results) {
+    std::printf("  %-12s %8.2f steps/s  overhead %+6.2f%%  (%llu events/run)\n",
+                r.name, r.steps_per_s, r.overhead_pct,
+                static_cast<unsigned long long>(r.events));
+  }
+
+  std::FILE* f = std::fopen("BENCH_trace_overhead.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not open BENCH_trace_overhead.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_trace_overhead\",\n");
+  std::fprintf(f, "  \"config\": {\"p\": 4, \"t\": 1, \"d\": 1, \"v\": 2, \"m\": 8, "
+                  "\"timed_steps\": %d, \"repeats\": %d},\n",
+               kTimedSteps, kRepeats);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"steps_per_s\": %.3f, "
+                 "\"overhead_pct\": %.3f, \"events_per_run\": %llu}%s\n",
+                 r.name, r.steps_per_s, r.overhead_pct,
+                 static_cast<unsigned long long>(r.events),
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_trace_overhead.json (%zu modes)\n", results.size());
+  return 0;
+}

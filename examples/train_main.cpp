@@ -16,6 +16,14 @@
 //              --eval-every 10
 //              --max-restarts 3 --fault-seed 1
 //              --fault-plan kill:<rank>:<site>:<nth>[,...]
+//              --trace-out /tmp/trace.json --metrics-out /tmp/metrics.json
+//
+// Observability (DESIGN.md §11): --trace-out enables full tracing and writes
+// a Chrome trace_event JSON (open in Perfetto / chrome://tracing; tid = world
+// rank), then prints the reconstructed pipeline-timeline report (measured
+// bubble fraction vs the analytic (p-1)/(v*m)). --metrics-out enables the
+// metrics plane (counters/histograms + per-rank comm volumes) and writes the
+// registry as JSON. Either flag also prints the per-rank comm-volume report.
 //
 // Fault specs (comma-separated; <site> is send|recv|coll|ckpt):
 //   kill:<rank>:<site>:<nth>          kill rank at its nth op at site
@@ -37,6 +45,9 @@
 #include "ptdp/dist/fault.hpp"
 #include "ptdp/dist/world.hpp"
 #include "ptdp/ft/supervisor.hpp"
+#include "ptdp/obs/metrics.hpp"
+#include "ptdp/obs/timeline.hpp"
+#include "ptdp/obs/trace.hpp"
 
 using namespace ptdp;
 
@@ -61,6 +72,8 @@ struct Args {
   std::string fault_plan;
   std::uint64_t fault_seed = 0;
   int max_restarts = 3;
+  std::string trace_out;    ///< Chrome trace JSON path; enables full tracing
+  std::string metrics_out;  ///< metrics JSON path; enables the metrics plane
 };
 
 std::optional<dist::FaultSite> site_from(const std::string& s) {
@@ -150,6 +163,8 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--ckpt-every") a.ckpt_every = static_cast<int>(next_i64(i));
     else if (flag == "--log-every") a.log_every = static_cast<int>(next_i64(i));
     else if (flag == "--eval-every") a.eval_every = static_cast<int>(next_i64(i));
+    else if (flag == "--trace-out") a.trace_out = argv[++i];
+    else if (flag == "--metrics-out") a.metrics_out = argv[++i];
     else if (flag == "--fault-plan") a.fault_plan = argv[++i];
     else if (flag == "--fault-seed") a.fault_seed = static_cast<std::uint64_t>(next_i64(i));
     else if (flag == "--max-restarts") a.max_restarts = static_cast<int>(next_i64(i));
@@ -203,6 +218,14 @@ int main(int argc, char** argv) {
   data::TokenDataset dataset(
       corpus.generate(std::max<std::int64_t>(args.model.seq * 512, 8192)),
       args.model.seq);
+
+  // Arm the observability plane before any rank runs: full tracing when a
+  // trace path is given, metrics-only when just the metrics path is.
+  if (!args.trace_out.empty()) {
+    obs::Tracer::instance().set_mode(obs::TraceMode::kFull);
+  } else if (!args.metrics_out.empty()) {
+    obs::Tracer::instance().set_mode(obs::TraceMode::kMetricsOnly);
+  }
 
   std::shared_ptr<dist::FaultPlan> plan;
   if (!args.fault_plan.empty()) {
@@ -295,6 +318,42 @@ int main(int argc, char** argv) {
     dist::World world(world_size);
     if (plan) world.set_fault_plan(plan);
     world.run([&](dist::Comm& comm) { body(comm, 0, 0); });
+  }
+  if (!args.trace_out.empty()) {
+    auto& tracer = obs::Tracer::instance();
+    if (!tracer.write_chrome_json(args.trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   args.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace: %llu event(s) recorded (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(tracer.events_recorded()),
+                static_cast<unsigned long long>(tracer.events_dropped()),
+                args.trace_out.c_str());
+    std::fputs(obs::format_report(obs::analyze(tracer)).c_str(), stdout);
+  }
+  if (!args.metrics_out.empty()) {
+    if (!obs::MetricsRegistry::instance().write_json(args.metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   args.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics -> %s\n", args.metrics_out.c_str());
+  }
+  if (!args.trace_out.empty() || !args.metrics_out.empty()) {
+    std::printf("per-rank comm volumes (bytes sent/received):\n");
+    for (const auto& row : obs::MetricsRegistry::instance().comm_report()) {
+      const auto& s = row.stats;
+      std::printf("  rank %2d %-10s p2p %6llu msg %10llu B out / %10llu B in"
+                  "  coll %5llu op %10llu B out / %10llu B in\n",
+                  row.rank, row.group.c_str(),
+                  static_cast<unsigned long long>(s.p2p_sends),
+                  static_cast<unsigned long long>(s.p2p_send_bytes),
+                  static_cast<unsigned long long>(s.p2p_recv_bytes),
+                  static_cast<unsigned long long>(s.collective_ops),
+                  static_cast<unsigned long long>(s.coll_send_bytes),
+                  static_cast<unsigned long long>(s.coll_recv_bytes));
+    }
   }
   std::printf("training complete.\n");
   return 0;

@@ -71,9 +71,19 @@ class GradReducer {
   const GradReducerOptions& options() const { return options_; }
   /// Grad elements pushed through all-reduce over this reducer's lifetime.
   std::uint64_t elems_reduced() const { return elems_reduced_; }
+  /// Of those, elements reduced from the executor hook — i.e. while the
+  /// pipeline was still working, overlapping communication with compute.
+  std::uint64_t elems_overlapped() const { return elems_overlapped_; }
+  /// Fraction of reduced elements that overlapped pipeline compute (0 when
+  /// nothing has been reduced; 0 with overlap off or everything deferred).
+  double overlap_ratio() const {
+    return elems_reduced_ > 0 ? static_cast<double>(elems_overlapped_) /
+                                    static_cast<double>(elems_reduced_)
+                              : 0.0;
+  }
 
  private:
-  void reduce_chunk(std::size_t c);
+  void reduce_chunk(std::size_t c, bool overlapped);
 
   std::vector<model::ParamRefs> chunk_params_;
   dist::Comm data_;
@@ -81,6 +91,7 @@ class GradReducer {
   std::vector<bool> defer_;
   std::vector<bool> reduced_;  ///< per-batch: chunk already reduced
   std::uint64_t elems_reduced_ = 0;
+  std::uint64_t elems_overlapped_ = 0;
 };
 
 }  // namespace ptdp::comm

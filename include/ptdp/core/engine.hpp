@@ -79,6 +79,16 @@ struct StepStats {
   double step_seconds = 0.0;   ///< wall-clock time of train_step
   std::int64_t tokens = 0;     ///< global tokens consumed (B * s)
   double tokens_per_second = 0.0;
+  /// Model FLOPs of the whole iteration per the paper's Eq. 3 (includes the
+  /// activation-recompute forward; an analytic count, not instruction-level).
+  double model_flops = 0.0;
+  /// model_flops / step_seconds: cluster-wide achieved FLOP/s. Divide by
+  /// n = p*t*d for the per-GPU-rank figure the paper tabulates.
+  double achieved_flops_per_second = 0.0;
+  double achieved_flops_per_rank = 0.0;
+  /// Fraction of data-parallel grad elements whose reduction overlapped the
+  /// pipeline (0 when d == 1 / ZeRO / overlap off).
+  double grad_reduce_overlap = 0.0;
 };
 
 class PtdpEngine {

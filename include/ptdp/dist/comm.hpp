@@ -24,6 +24,8 @@
 #include "ptdp/dist/fault.hpp"
 #include "ptdp/dist/mailbox.hpp"
 #include "ptdp/dist/request.hpp"
+#include "ptdp/dist/tags.hpp"
+#include "ptdp/obs/metrics.hpp"
 #include "ptdp/runtime/check.hpp"
 #include "ptdp/runtime/rng.hpp"
 
@@ -89,6 +91,10 @@ class Comm {
   Request isend(std::span<const T> data, int dst, std::uint64_t tag = 0) const {
     PTDP_CHECK_NE(dst, rank_) << "self-send";
     fault_hook(FaultSite::kSend);
+    if (obs::metrics_on()) {
+      obs::MetricsRegistry::instance().on_comm_send(comm_id_, data.size_bytes(),
+                                                    tags::is_collective(tag));
+    }
     std::vector<std::uint8_t> payload(data.size_bytes());
     std::memcpy(payload.data(), data.data(), data.size_bytes());
     mailbox_->post(channel(rank_, dst, tag), std::move(payload));
@@ -104,6 +110,10 @@ class Comm {
   Request irecv(std::span<T> data, int src, std::uint64_t tag = 0) const {
     PTDP_CHECK_NE(src, rank_) << "self-recv";
     fault_hook(FaultSite::kRecv);
+    if (obs::metrics_on()) {
+      obs::MetricsRegistry::instance().on_comm_recv(comm_id_, data.size_bytes(),
+                                                    tags::is_collective(tag));
+    }
     return Request(mailbox_, channel(src, rank_, tag),
                    std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(data.data()),
                                            data.size_bytes()));

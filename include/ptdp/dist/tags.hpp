@@ -1,0 +1,113 @@
+#pragma once
+
+// The ONE tag-space map for the thread-world transport. Every subsystem
+// that mints or interprets a Mailbox tag — dist's collectives, the pipeline
+// executor's boundary p2p, and the obs tracer's tag decoding — includes
+// this header, so the layout can never silently fork (it previously lived
+// as duplicated constants in comm.cpp and executor.cpp; PR 2's bit-46
+// eval/microbatch collision fix is exactly the kind of bug this prevents).
+//
+// 64-bit tag layout:
+//
+//   [63..62] = 11   collective traffic (reserved range, kCollectiveBase)
+//   [61..48]        reserved, must be zero for user tags
+//   ---- user p2p tags live below 2^48 ----
+//   bit 47          direction (1 = backward/gradient traffic)
+//   bit 46          eval marker (1 = forward-only/validation traffic)
+//   bits 8..45      microbatch index (38 bits)
+//   bits 0..7       chunk index *at the receiver* (sender and receiver
+//                   agree even across the rank-(p-1) -> rank-0 boundary)
+
+#include <cstdint>
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::dist::tags {
+
+// ---- pipeline boundary p2p fields ------------------------------------------------
+
+inline constexpr int kChunkBits = 8;
+inline constexpr int kMicrobatchBits = 38;
+inline constexpr std::uint64_t kChunkMask = (1ULL << kChunkBits) - 1;
+inline constexpr std::uint64_t kMicrobatchMask = (1ULL << kMicrobatchBits) - 1;
+inline constexpr std::uint64_t kEvalBit = 1ULL << (kChunkBits + kMicrobatchBits);
+inline constexpr std::uint64_t kBackwardBit = kEvalBit << 1;
+
+/// User point-to-point tags must stay below this; the range above is
+/// reserved (collectives at the top, the rest unassigned).
+inline constexpr std::uint64_t kUserTagLimit = 1ULL << 48;
+
+// ---- collective traffic ----------------------------------------------------------
+
+inline constexpr std::uint64_t kCollectiveBase = 0xC000'0000'0000'0000ULL;
+inline constexpr std::uint64_t kBarrierTag = kCollectiveBase | 1;
+inline constexpr std::uint64_t kBroadcastTag = kCollectiveBase | 2;
+inline constexpr std::uint64_t kAllReduceTag = kCollectiveBase | 3;
+inline constexpr std::uint64_t kReduceScatterTag = kCollectiveBase | 4;
+inline constexpr std::uint64_t kAllGatherTag = kCollectiveBase | 5;
+inline constexpr std::uint64_t kAllGatherVarTag = kCollectiveBase | 6;
+
+// ---- layout guards ---------------------------------------------------------------
+// The three p2p fields and the two flag bits must tile [0, 2^48) exactly,
+// and the whole user range must stay clear of the collective range.
+
+static_assert(kChunkBits + kMicrobatchBits == 46,
+              "chunk + microbatch fields must end exactly at the eval bit");
+static_assert((kChunkMask & (kMicrobatchMask << kChunkBits)) == 0,
+              "chunk and microbatch fields overlap");
+static_assert((kEvalBit & (kChunkMask | (kMicrobatchMask << kChunkBits))) == 0,
+              "eval bit overlaps the microbatch field (the PR 2 bug)");
+static_assert((kBackwardBit & (kEvalBit | kChunkMask |
+                               (kMicrobatchMask << kChunkBits))) == 0,
+              "backward bit overlaps another field");
+static_assert((kBackwardBit | kEvalBit | (kMicrobatchMask << kChunkBits) |
+               kChunkMask) == kUserTagLimit - 1,
+              "p2p fields must tile the user tag range exactly");
+static_assert(kUserTagLimit <= kCollectiveBase,
+              "user tags must not reach the collective range");
+
+/// True for tags in the reserved collective range.
+inline constexpr bool is_collective(std::uint64_t tag) {
+  return tag >= kCollectiveBase;
+}
+
+/// Mints the boundary-p2p tag for (direction, eval, microbatch, receiver
+/// chunk). CHECK-fails on field overflow.
+inline std::uint64_t make_pipeline_tag(bool backward, bool eval,
+                                       std::int64_t microbatch, int recv_chunk) {
+  PTDP_CHECK_GE(microbatch, 0);
+  PTDP_CHECK_LT(microbatch, std::int64_t{1} << kMicrobatchBits)
+      << "microbatch index overflows the tag field";
+  PTDP_CHECK_GE(recv_chunk, 0);
+  PTDP_CHECK_LT(recv_chunk, 1 << kChunkBits) << "chunk index overflows the tag field";
+  return (backward ? kBackwardBit : 0) | (eval ? kEvalBit : 0) |
+         (static_cast<std::uint64_t>(microbatch) << kChunkBits) |
+         static_cast<std::uint64_t>(recv_chunk);
+}
+
+/// A tag split back into its fields (the tracer's decoding path). For
+/// collective tags only `collective` and `collective_kind` are meaningful.
+struct DecodedTag {
+  bool collective = false;
+  std::uint64_t collective_kind = 0;  ///< low bits of the collective tag
+  bool backward = false;
+  bool eval = false;
+  std::int64_t microbatch = 0;
+  int chunk = 0;
+};
+
+inline DecodedTag decode(std::uint64_t tag) {
+  DecodedTag d;
+  if (is_collective(tag)) {
+    d.collective = true;
+    d.collective_kind = tag & ~kCollectiveBase;
+    return d;
+  }
+  d.backward = (tag & kBackwardBit) != 0;
+  d.eval = (tag & kEvalBit) != 0;
+  d.microbatch = static_cast<std::int64_t>((tag >> kChunkBits) & kMicrobatchMask);
+  d.chunk = static_cast<int>(tag & kChunkMask);
+  return d;
+}
+
+}  // namespace ptdp::dist::tags

@@ -133,6 +133,7 @@ class World {
     for (int r = 0; r < size_; ++r) {
       threads.emplace_back([&, r] {
         note_step(0);
+        obs::bind_rank(r);  // attribute trace events / metrics to this rank
         const auto record = [&] {
           std::lock_guard lock(error_mu);
           if (!first_failure) {

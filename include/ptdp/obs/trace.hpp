@@ -1,0 +1,217 @@
+#pragma once
+
+// ptdp::obs event tracer (DESIGN.md §11): a lock-light per-rank span/instant
+// recorder for the functional runtime. MegaScale-style motivation: at scale
+// the parallelization is only as debuggable as its observability plane, so
+// the runtime itself must be able to answer "where did the step time go"
+// per rank, not just predict it in the simulator.
+//
+// Design:
+//  - Each recording thread owns a fixed-capacity ring of TraceEvent records
+//    (oldest events are overwritten; the drop count is reported). Pushes
+//    take only the owning buffer's uncontended mutex — no global lock, no
+//    allocation on the hot path after the buffer exists.
+//  - Spans are RAII (obs::Span): constructed armed only when the tracer is
+//    in kFull mode, so a disabled tracer costs one relaxed atomic load per
+//    site. Every span records both wall duration (steady clock) and thread
+//    CPU duration — on an oversubscribed test host the wall clock measures
+//    the scheduler, the CPU clock measures the work, and the timeline
+//    analyzer can replay with either.
+//  - Export is Chrome trace_event JSON ("X"/"i"/"M" phases, ts in µs), so a
+//    whole-world run opens directly in Perfetto / chrome://tracing. One
+//    process, tid = world rank.
+//
+// Modes: kOff (nothing recorded), kMetricsOnly (metrics registry counters
+// update, no spans), kFull (spans + metrics). The three are exactly what
+// bench/micro_trace_overhead.cpp sweeps.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ptdp/runtime/stopwatch.hpp"
+
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#define PTDP_OBS_HAS_THREAD_CPUTIME 1
+#endif
+
+namespace ptdp::obs {
+
+enum class TraceMode : int { kOff = 0, kMetricsOnly = 1, kFull = 2 };
+
+/// Event category (maps to the Chrome "cat" field).
+enum class Cat : std::uint8_t {
+  kCompute = 0,     ///< stage forward/backward work
+  kP2p = 1,         ///< pipeline boundary sends / receive waits
+  kCollective = 2,  ///< all-reduce / all-gather / barrier traffic
+  kCkpt = 3,        ///< checkpoint write / commit
+  kEngine = 4,      ///< engine-level phases (train_step, optimizer, ...)
+  kRuntime = 5,     ///< everything else (world lifecycle, faults)
+};
+const char* cat_name(Cat cat);
+
+/// Thread CPU time of the calling thread in ns (0 where unsupported).
+inline std::int64_t thread_cpu_now_ns() {
+#ifdef PTDP_OBS_HAS_THREAD_CPUTIME
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+#else
+  return 0;
+#endif
+}
+
+/// One recorded event. `name` and arg keys must have static storage
+/// duration (string literals) — the ring stores raw pointers.
+struct TraceEvent {
+  struct Arg {
+    const char* key = nullptr;  ///< nullptr = slot unused
+    std::int64_t value = 0;
+  };
+  static constexpr int kMaxArgs = 5;
+
+  std::int64_t ts_ns = 0;     ///< steady-clock start timestamp
+  std::int64_t wall_ns = -1;  ///< span wall duration; -1 = instant event
+  std::int64_t cpu_ns = -1;   ///< span thread-CPU duration; -1 = unknown
+  const char* name = nullptr;
+  Cat cat = Cat::kRuntime;
+  std::int32_t rank = -1;  ///< bound world rank of the emitting thread
+  std::array<Arg, kMaxArgs> args{};
+
+  /// Value of arg `key`, or `fallback` when absent.
+  std::int64_t arg(const char* key, std::int64_t fallback = -1) const;
+};
+
+// ---- rank binding ----------------------------------------------------------------
+// World::run binds each rank thread to its world rank so events and metrics
+// can be attributed without threading a handle through every layer.
+// Unbound threads (main, helper pools) record as rank -1.
+
+namespace detail {
+inline thread_local int t_bound_rank = -1;
+inline std::atomic<int> g_mode{static_cast<int>(TraceMode::kOff)};
+}  // namespace detail
+
+inline void bind_rank(int world_rank) { detail::t_bound_rank = world_rank; }
+inline int bound_rank() { return detail::t_bound_rank; }
+
+/// True when spans should be recorded (kFull).
+inline bool spans_on() {
+  return detail::g_mode.load(std::memory_order_relaxed) ==
+         static_cast<int>(TraceMode::kFull);
+}
+/// True when metrics should be updated (kMetricsOnly or kFull).
+inline bool metrics_on() {
+  return detail::g_mode.load(std::memory_order_relaxed) >=
+         static_cast<int>(TraceMode::kMetricsOnly);
+}
+
+// ---- the tracer ------------------------------------------------------------------
+
+class Tracer {
+ public:
+  /// Process-wide instance (the thread world is one process).
+  static Tracer& instance();
+
+  void set_mode(TraceMode mode) {
+    detail::g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+  }
+  TraceMode mode() const {
+    return static_cast<TraceMode>(detail::g_mode.load(std::memory_order_relaxed));
+  }
+
+  /// Per-thread ring capacity (events). Applies to buffers created after
+  /// the call; default 1<<15.
+  void set_thread_capacity(std::size_t events);
+
+  /// Records one event into the calling thread's ring (creating it on
+  /// first use). Called by Span/instant — rarely directly.
+  void emit(const TraceEvent& event);
+
+  /// Drops all recorded events and forgets per-thread buffers. Threads
+  /// re-register on their next emit.
+  void reset();
+
+  /// Merged snapshot of every thread's surviving events, sorted by ts.
+  /// Call quiesced (after World::run has joined) for a consistent cut.
+  std::vector<TraceEvent> snapshot() const;
+
+  std::uint64_t events_recorded() const;
+  /// Events overwritten because a ring wrapped.
+  std::uint64_t events_dropped() const;
+
+  /// Chrome trace_event JSON of the current snapshot (schema:
+  /// ptdp-trace-v1; see DESIGN.md §11 and tools/validate_trace.py).
+  std::string chrome_json() const;
+  /// Writes chrome_json() to `path`. Returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    explicit ThreadBuffer(std::size_t cap) : ring(cap) {}
+    std::mutex mu;
+    std::vector<TraceEvent> ring;
+    std::uint64_t pushed = 0;  ///< total, including overwritten
+  };
+
+  ThreadBuffer* thread_buffer();
+
+  std::atomic<std::size_t> capacity_{std::size_t{1} << 15};
+  std::atomic<std::uint64_t> epoch_{0};  ///< bumped by reset()
+  mutable std::mutex registry_mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+// ---- recording convenience --------------------------------------------------------
+
+/// RAII span: measures [construction, destruction) and emits one complete
+/// event. Near-zero cost when the tracer is not in kFull mode.
+class Span {
+ public:
+  using Arg = TraceEvent::Arg;
+
+  Span(const char* name, Cat cat, std::initializer_list<Arg> args = {}) {
+    if (!spans_on()) return;
+    armed_ = true;
+    ev_.name = name;
+    ev_.cat = cat;
+    ev_.rank = bound_rank();
+    int i = 0;
+    for (const Arg& a : args) {
+      if (i >= TraceEvent::kMaxArgs) break;
+      ev_.args[static_cast<std::size_t>(i++)] = a;
+    }
+    cpu_start_ = thread_cpu_now_ns();
+    ev_.ts_ns = steady_now_ns();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches/overwrites an arg after construction (e.g. a byte count only
+  /// known at the end of the measured region). No-op when disarmed.
+  void arg(const char* key, std::int64_t value);
+
+  ~Span() {
+    if (!armed_) return;
+    ev_.wall_ns = steady_now_ns() - ev_.ts_ns;
+    ev_.cpu_ns = thread_cpu_now_ns() - cpu_start_;
+    Tracer::instance().emit(ev_);
+  }
+
+ private:
+  bool armed_ = false;
+  std::int64_t cpu_start_ = 0;
+  TraceEvent ev_;
+};
+
+/// Records an instant event (zero duration).
+void instant(const char* name, Cat cat,
+             std::initializer_list<TraceEvent::Arg> args = {});
+
+}  // namespace ptdp::obs

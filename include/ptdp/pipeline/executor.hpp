@@ -132,6 +132,7 @@ class PipelineExecutor {
   ExecutorOptions options_;
   ChunkBackwardHook hook_;
   CommStats stats_;
+  std::int64_t batches_run_ = 0;  ///< run_batch count; labels trace spans
 };
 
 }  // namespace ptdp::pipeline

@@ -2,26 +2,42 @@
 
 // Wall-clock stopwatch for coarse timing of functional runs (the
 // performance *simulator* has its own virtual clock; this is for real time).
+//
+// Monotonic-clock policy: every wall-clock measurement in the repo — the
+// Stopwatch, the obs tracer's span timestamps, and the bench harnesses —
+// goes through std::chrono::steady_clock via steady_now_ns(). system_clock
+// is reserved for human-readable datestamps only; it can jump (NTP, DST)
+// and must never feed a duration.
 
 #include <chrono>
+#include <cstdint>
 
 namespace ptdp {
 
+/// Monotonic wall clock, nanoseconds since an arbitrary epoch. The single
+/// time source for Stopwatch, trace spans, and bench timing.
+inline std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_ns_(steady_now_ns()) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() { start_ns_ = steady_now_ns(); }
+
+  std::int64_t elapsed_ns() const { return steady_now_ns() - start_ns_; }
 
   double elapsed_seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(elapsed_ns()) * 1e-9;
   }
 
   double elapsed_ms() const { return elapsed_seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::int64_t start_ns_;
 };
 
 }  // namespace ptdp

@@ -10,7 +10,10 @@
 #include <filesystem>
 #include <fstream>
 
+#include "ptdp/obs/metrics.hpp"
+#include "ptdp/obs/trace.hpp"
 #include "ptdp/runtime/check.hpp"
+#include "ptdp/runtime/stopwatch.hpp"
 
 namespace ptdp::ckpt {
 
@@ -171,6 +174,10 @@ void write_file_atomic(const std::string& path, std::string_view content) {
 
 SaveResult save_checkpoint(const std::string& path, const NamedTensors& tensors,
                            const CheckpointMeta& meta) {
+  obs::Span span("ckpt_write", obs::Cat::kCkpt,
+                 {{"step", static_cast<std::int64_t>(meta.step)},
+                  {"tensors", static_cast<std::int64_t>(tensors.size())}});
+  Stopwatch watch;
   // Write to a temp file and rename into place: the previous checkpoint at
   // `path` stays intact until the new bytes are durably on disk, so there
   // is no window in which a crash leaves a truncated shard.
@@ -204,6 +211,13 @@ SaveResult save_checkpoint(const std::string& path, const NamedTensors& tensors,
     result.crc = os.crc();
   }
   publish_tmp(tmp, path);
+  span.arg("bytes", static_cast<std::int64_t>(result.bytes));
+  if (obs::metrics_on()) {
+    auto& metrics = obs::MetricsRegistry::instance();
+    metrics.histogram("ckpt.write_ms").observe(watch.elapsed_ms());
+    metrics.counter("ckpt.bytes_written").add(static_cast<std::int64_t>(result.bytes));
+    metrics.counter("ckpt.shards_written").add(1);
+  }
   return result;
 }
 

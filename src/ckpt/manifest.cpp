@@ -7,7 +7,10 @@
 #include <sstream>
 
 #include "ptdp/ckpt/checkpoint.hpp"
+#include "ptdp/obs/metrics.hpp"
+#include "ptdp/obs/trace.hpp"
 #include "ptdp/runtime/check.hpp"
+#include "ptdp/runtime/stopwatch.hpp"
 
 namespace ptdp::ckpt {
 
@@ -147,12 +150,21 @@ std::optional<Manifest> parse_manifest_json(const std::string& text) {
 
 void write_manifest(const std::string& dir, const Manifest& m) {
   PTDP_CHECK(!m.shards.empty()) << "refusing to commit an empty manifest";
+  obs::Span span("ckpt_commit", obs::Cat::kCkpt,
+                 {{"step", static_cast<std::int64_t>(m.step)},
+                  {"shards", static_cast<std::int64_t>(m.shards.size())}});
+  Stopwatch watch;
   const std::string name = manifest_name(m.step);
   write_file_atomic(dir + "/" + name, manifest_to_json(m));
   // The LATEST swing is the commit point for the fast path; even if it is
   // lost or stale, the manifest scan in find_latest_valid_checkpoint still
   // discovers the new checkpoint.
   write_file_atomic(dir + "/" + std::string(kLatestName), name + "\n");
+  if (obs::metrics_on()) {
+    auto& metrics = obs::MetricsRegistry::instance();
+    metrics.histogram("ckpt.commit_ms").observe(watch.elapsed_ms());
+    metrics.counter("ckpt.commits").add(1);
+  }
 }
 
 std::optional<Manifest> read_manifest(const std::string& path) {

@@ -1,5 +1,7 @@
 #include "ptdp/comm/grad_reducer.hpp"
 
+#include "ptdp/obs/trace.hpp"
+
 namespace ptdp::comm {
 
 using model::Param;
@@ -25,18 +27,22 @@ void GradReducer::on_chunk_grads_ready(int chunk) {
   if (defer_[static_cast<std::size_t>(chunk)]) return;
   PTDP_CHECK(!reduced_[static_cast<std::size_t>(chunk)])
       << "chunk " << chunk << " signalled ready twice in one batch";
-  reduce_chunk(static_cast<std::size_t>(chunk));
+  reduce_chunk(static_cast<std::size_t>(chunk), /*overlapped=*/true);
 }
 
 void GradReducer::finish() {
   if (!enabled()) return;
   for (std::size_t c = 0; c < chunk_params_.size(); ++c) {
-    if (!reduced_[c]) reduce_chunk(c);
+    if (!reduced_[c]) reduce_chunk(c, /*overlapped=*/false);
   }
   reduced_.assign(chunk_params_.size(), false);
 }
 
-void GradReducer::reduce_chunk(std::size_t c) {
+void GradReducer::reduce_chunk(std::size_t c, bool overlapped) {
+  obs::Span span("grad_reduce", obs::Cat::kCollective,
+                 {{"chunk", static_cast<std::int64_t>(c)},
+                  {"overlapped", overlapped ? 1 : 0}});
+  const std::uint64_t before = elems_reduced_;
   const float inv_d = 1.0f / static_cast<float>(data_.size());
   const std::int64_t cap = options_.bucket_elems;
   reduced_[c] = true;
@@ -47,6 +53,8 @@ void GradReducer::reduce_chunk(std::size_t c) {
       for (float& v : g) v *= inv_d;
       elems_reduced_ += g.size();
     }
+    if (overlapped) elems_overlapped_ += elems_reduced_ - before;
+    span.arg("elems", static_cast<std::int64_t>(elems_reduced_ - before));
     return;
   }
   // Bucket boundaries depend only on the chunk's param order and cap, never
@@ -76,6 +84,8 @@ void GradReducer::reduce_chunk(std::size_t c) {
     members.push_back(p);
   }
   flush();
+  if (overlapped) elems_overlapped_ += elems_reduced_ - before;
+  span.arg("elems", static_cast<std::int64_t>(elems_reduced_ - before));
 }
 
 }  // namespace ptdp::comm

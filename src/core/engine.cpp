@@ -4,7 +4,10 @@
 #include <filesystem>
 
 #include "ptdp/ckpt/manifest.hpp"
+#include "ptdp/core/analytics.hpp"
 #include "ptdp/dist/world.hpp"
+#include "ptdp/obs/metrics.hpp"
+#include "ptdp/obs/trace.hpp"
 #include "ptdp/runtime/stopwatch.hpp"
 
 #include "ptdp/tensor/ops.hpp"
@@ -103,6 +106,7 @@ PtdpEngine::PtdpEngine(dist::Comm& world, EngineOptions options)
 
 float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
   const Stopwatch stopwatch;
+  obs::Span step_span("train_step", obs::Cat::kEngine, {{"step", step_counter_}});
   // Progress marker for failure reporting: if this rank dies mid-step, the
   // World stamps this value into the RankFailure it rethrows.
   dist::note_step(static_cast<std::uint64_t>(step_counter_));
@@ -117,6 +121,7 @@ float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
   // the word-embedding matrix and accumulate partial grads; their sum is
   // the true grad (this is what the embedding group exists for).
   if (cfg.p > 1 && groups_->in_embedding_group()) {
+    obs::Span span("embedding_sync", obs::Cat::kEngine);
     for (auto& c : chunks_) {
       if (Param* w = c->word_embedding_param()) {
         groups_->embedding().all_reduce(w->grad.data());
@@ -128,7 +133,10 @@ float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
   // most chunks were already reduced from the executor's backward hooks;
   // finish() covers the rest — notably the deferred tied-embedding chunks,
   // whose grads only became final in the embedding-group sync above.
-  if (grad_reducer_) grad_reducer_->finish();
+  if (grad_reducer_) {
+    obs::Span span("grad_reduce_finish", obs::Cat::kEngine);
+    grad_reducer_->finish();
+  }
 
   // Broadcast the loss: only the last pipeline stage computed it.
   if (cfg.p > 1) {
@@ -147,7 +155,10 @@ float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
     last_grad_norm_ = optim::clip_grad_norm(params_, max_norm, tp, pp) / extra_scale;
   }
 
-  optimizer_->step();
+  {
+    obs::Span span("optimizer_step", obs::Cat::kEngine);
+    optimizer_->step();
+  }
 
   stats_.step = step_counter_++;
   stats_.loss = loss;
@@ -157,6 +168,23 @@ float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
   stats_.tokens = options_.global_batch * options_.model.seq;
   stats_.tokens_per_second =
       stats_.step_seconds > 0 ? stats_.tokens / stats_.step_seconds : 0.0;
+  // Achieved throughput against the paper's Eq. 3 analytic FLOP count.
+  stats_.model_flops = flops_per_iteration(options_.model, options_.global_batch);
+  stats_.achieved_flops_per_second =
+      stats_.step_seconds > 0 ? stats_.model_flops / stats_.step_seconds : 0.0;
+  stats_.achieved_flops_per_rank =
+      stats_.achieved_flops_per_second / static_cast<double>(cfg.n());
+  stats_.grad_reduce_overlap =
+      grad_reducer_ ? grad_reducer_->overlap_ratio() : 0.0;
+  if (obs::metrics_on()) {
+    auto& metrics = obs::MetricsRegistry::instance();
+    metrics.histogram("engine.step_ms").observe(stats_.step_seconds * 1e3);
+    metrics.counter("engine.steps").add(1);
+    metrics.counter("engine.tokens").add(stats_.tokens);
+    metrics.gauge("engine.achieved_flops_per_second")
+        .set(stats_.achieved_flops_per_second);
+    metrics.gauge("engine.grad_reduce_overlap").set(stats_.grad_reduce_overlap);
+  }
   return loss;
 }
 

@@ -3,19 +3,21 @@
 #include <algorithm>
 #include <cstring>
 
+#include "ptdp/dist/tags.hpp"
+#include "ptdp/obs/trace.hpp"
+
 namespace ptdp::dist {
 
 namespace {
 
-// Collective traffic lives in a reserved tag range so it can never collide
-// with user point-to-point tags (which must stay below 2^48).
-constexpr std::uint64_t kCollectiveBase = 0xC000'0000'0000'0000ULL;
-constexpr std::uint64_t kBarrierTag = kCollectiveBase | 1;
-constexpr std::uint64_t kBroadcastTag = kCollectiveBase | 2;
-constexpr std::uint64_t kAllReduceTag = kCollectiveBase | 3;
-constexpr std::uint64_t kReduceScatterTag = kCollectiveBase | 4;
-constexpr std::uint64_t kAllGatherTag = kCollectiveBase | 5;
-constexpr std::uint64_t kAllGatherVarTag = kCollectiveBase | 6;
+// Collective tags come from the shared tag-space map (ptdp/dist/tags.hpp);
+// the aliases keep the algorithm bodies readable.
+using tags::kAllGatherTag;
+using tags::kAllGatherVarTag;
+using tags::kAllReduceTag;
+using tags::kBarrierTag;
+using tags::kBroadcastTag;
+using tags::kReduceScatterTag;
 
 template <typename F>
 void apply_reduce(ReduceOp op, std::span<F> acc, std::span<const F> other) {
@@ -48,10 +50,23 @@ struct Chunking {
 
 }  // namespace
 
+namespace {
+// One metrics tick per collective *call* (ring/tree steps are accounted as
+// bytes by the isend/irecv hooks).
+inline void note_collective(std::uint64_t comm_id) {
+  if (obs::metrics_on()) {
+    obs::MetricsRegistry::instance().on_comm_collective(comm_id);
+  }
+}
+}  // namespace
+
 void Comm::barrier() const {
   const int n = size();
   if (n == 1) return;
   fault_hook(FaultSite::kCollective);
+  note_collective(comm_id_);
+  obs::Span span("barrier", obs::Cat::kCollective,
+                 {{"ranks", n}, {"comm", static_cast<std::int64_t>(comm_id_)}});
   const std::uint8_t token = 0;
   std::uint8_t sink = 0;
   for (int dist = 1; dist < n; dist <<= 1) {
@@ -68,6 +83,9 @@ void Comm::broadcast_bytes(std::span<std::uint8_t> data, int root) const {
   PTDP_CHECK_LT(root, n);
   if (n == 1) return;
   fault_hook(FaultSite::kCollective);
+  note_collective(comm_id_);
+  obs::Span span("broadcast", obs::Cat::kCollective,
+                 {{"bytes", static_cast<std::int64_t>(data.size())}, {"ranks", n}});
   // Binomial tree rooted at `root`, expressed in root-relative ranks.
   const int relative = (rank_ - root + n) % n;
   int mask = 1;
@@ -94,6 +112,9 @@ void Comm::all_reduce_impl(std::span<F> data, ReduceOp op) const {
   const int n = size();
   if (n == 1 || data.empty()) return;
   fault_hook(FaultSite::kCollective);
+  note_collective(comm_id_);
+  obs::Span span("all_reduce", obs::Cat::kCollective,
+                 {{"bytes", static_cast<std::int64_t>(data.size_bytes())}, {"ranks", n}});
   const int next = (rank_ + 1) % n;
   const int prev = (rank_ - 1 + n) % n;
   const Chunking ck{data.size(), static_cast<std::size_t>(n)};
@@ -140,6 +161,9 @@ void Comm::reduce_scatter(std::span<const float> in, std::span<float> out,
     return;
   }
   fault_hook(FaultSite::kCollective);
+  note_collective(comm_id_);
+  obs::Span span("reduce_scatter", obs::Cat::kCollective,
+                 {{"bytes", static_cast<std::int64_t>(in.size_bytes())}, {"ranks", n}});
   const std::size_t shard = out.size();
   const int next = (rank_ + 1) % n;
   const int prev = (rank_ - 1 + n) % n;
@@ -168,6 +192,9 @@ void Comm::all_gather_bytes(std::span<const std::uint8_t> in,
   std::memcpy(out.data() + static_cast<std::size_t>(rank_) * shard, in.data(), shard);
   if (n == 1) return;
   fault_hook(FaultSite::kCollective);
+  note_collective(comm_id_);
+  obs::Span span("all_gather", obs::Cat::kCollective,
+                 {{"bytes", static_cast<std::int64_t>(out.size())}, {"ranks", n}});
   const int next = (rank_ + 1) % n;
   const int prev = (rank_ - 1 + n) % n;
   for (int step = 0; step < n - 1; ++step) {
@@ -185,7 +212,12 @@ std::vector<std::vector<std::uint8_t>> Comm::all_gather_variable(
   const int n = size();
   std::vector<std::vector<std::uint8_t>> result(static_cast<std::size_t>(n));
   result[static_cast<std::size_t>(rank_)].assign(in.begin(), in.end());
-  if (n > 1) fault_hook(FaultSite::kCollective);
+  if (n > 1) {
+    fault_hook(FaultSite::kCollective);
+    note_collective(comm_id_);
+  }
+  obs::Span span("all_gather_variable", obs::Cat::kCollective,
+                 {{"bytes", static_cast<std::int64_t>(in.size())}, {"ranks", n}});
   // Control-plane convenience: exchange sizes (fixed 8 bytes) then payloads
   // pairwise. O(n^2) messages; only used for small metadata.
   const std::uint64_t my_size = in.size();

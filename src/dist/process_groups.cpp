@@ -1,5 +1,6 @@
 #include "ptdp/dist/process_groups.hpp"
 
+#include "ptdp/obs/metrics.hpp"
 #include "ptdp/runtime/check.hpp"
 
 namespace ptdp::dist {
@@ -42,6 +43,15 @@ ProcessGroups::ProcessGroups(const Comm& world, int p, int t, int d)
   } else {
     PTDP_CHECK_EQ(embedding_->size(), 1);
   }
+
+  // Name the groups for the per-rank comm-volume report. Idempotent: every
+  // rank of a group registers the same (comm id, name) pair.
+  auto& metrics = obs::MetricsRegistry::instance();
+  metrics.name_comm_group(world.id(), "world");
+  metrics.name_comm_group(tensor_->id(), "tensor");
+  metrics.name_comm_group(pipeline_->id(), "pipeline");
+  metrics.name_comm_group(data_->id(), "data");
+  metrics.name_comm_group(embedding_->id(), "embedding");
 }
 
 }  // namespace ptdp::dist

@@ -1,0 +1,256 @@
+#include "ptdp/obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace ptdp::obs {
+
+const char* cat_name(Cat cat) {
+  switch (cat) {
+    case Cat::kCompute: return "compute";
+    case Cat::kP2p: return "p2p";
+    case Cat::kCollective: return "collective";
+    case Cat::kCkpt: return "ckpt";
+    case Cat::kEngine: return "engine";
+    case Cat::kRuntime: return "runtime";
+  }
+  return "unknown";
+}
+
+std::int64_t TraceEvent::arg(const char* key, std::int64_t fallback) const {
+  for (const Arg& a : args) {
+    if (a.key != nullptr && std::strcmp(a.key, key) == 0) return a.value;
+  }
+  return fallback;
+}
+
+void Span::arg(const char* key, std::int64_t value) {
+  if (!armed_) return;
+  for (auto& slot : ev_.args) {
+    if (slot.key != nullptr && std::strcmp(slot.key, key) == 0) {
+      slot.value = value;
+      return;
+    }
+    if (slot.key == nullptr) {
+      slot = {key, value};
+      return;
+    }
+  }
+}
+
+void instant(const char* name, Cat cat,
+             std::initializer_list<TraceEvent::Arg> args) {
+  if (!spans_on()) return;
+  TraceEvent ev;
+  ev.ts_ns = steady_now_ns();
+  ev.name = name;
+  ev.cat = cat;
+  ev.rank = bound_rank();
+  int i = 0;
+  for (const auto& a : args) {
+    if (i >= TraceEvent::kMaxArgs) break;
+    ev.args[static_cast<std::size_t>(i++)] = a;
+  }
+  Tracer::instance().emit(ev);
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_thread_capacity(std::size_t events) {
+  capacity_.store(std::max<std::size_t>(events, 16), std::memory_order_relaxed);
+}
+
+// Each thread caches a pointer to its registered buffer, revalidated
+// against the reset epoch. The shared_ptr copy keeps the buffer alive even
+// if a concurrent reset() drops it from the registry mid-push.
+Tracer::ThreadBuffer* Tracer::thread_buffer() {
+  struct Slot {
+    std::shared_ptr<ThreadBuffer> buf;
+    std::uint64_t epoch = ~std::uint64_t{0};
+  };
+  thread_local Slot slot;
+  const std::uint64_t now_epoch = epoch_.load(std::memory_order_acquire);
+  if (!slot.buf || slot.epoch != now_epoch) {
+    auto fresh =
+        std::make_shared<ThreadBuffer>(capacity_.load(std::memory_order_relaxed));
+    {
+      std::lock_guard lock(registry_mu_);
+      buffers_.push_back(fresh);
+    }
+    slot.buf = std::move(fresh);
+    slot.epoch = now_epoch;
+  }
+  return slot.buf.get();
+}
+
+void Tracer::emit(const TraceEvent& event) {
+  ThreadBuffer* buf = thread_buffer();
+  std::lock_guard lock(buf->mu);
+  buf->ring[static_cast<std::size_t>(buf->pushed % buf->ring.size())] = event;
+  ++buf->pushed;
+}
+
+void Tracer::reset() {
+  std::lock_guard lock(registry_mu_);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  buffers_.clear();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+  {
+    std::lock_guard lock(registry_mu_);
+    bufs = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& b : bufs) {
+    std::lock_guard lock(b->mu);
+    const std::size_t cap = b->ring.size();
+    const std::size_t live = static_cast<std::size_t>(
+        std::min<std::uint64_t>(b->pushed, cap));
+    // Oldest-first: when wrapped, the oldest live event sits at pushed % cap.
+    const std::size_t start =
+        b->pushed > cap ? static_cast<std::size_t>(b->pushed % cap) : 0;
+    for (std::size_t i = 0; i < live; ++i) {
+      out.push_back(b->ring[(start + i) % cap]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::events_recorded() const {
+  std::lock_guard lock(registry_mu_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard inner(b->mu);
+    n += b->pushed;
+  }
+  return n;
+}
+
+std::uint64_t Tracer::events_dropped() const {
+  std::lock_guard lock(registry_mu_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard inner(b->mu);
+    if (b->pushed > b->ring.size()) n += b->pushed - b->ring.size();
+  }
+  return n;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+      out += hex;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_event(std::string& out, const TraceEvent& ev) {
+  char num[64];
+  out += "{\"name\":\"";
+  append_escaped(out, ev.name != nullptr ? ev.name : "?");
+  out += "\",\"cat\":\"";
+  out += cat_name(ev.cat);
+  // Instant events use ph "i" with thread scope; spans are complete "X".
+  out += ev.wall_ns < 0 ? "\",\"ph\":\"i\",\"s\":\"t" : "\",\"ph\":\"X";
+  out += "\",\"pid\":0,\"tid\":";
+  std::snprintf(num, sizeof(num), "%d", ev.rank);
+  out += num;
+  // Microsecond timestamps with ns precision kept in the fraction.
+  std::snprintf(num, sizeof(num), ",\"ts\":%.3f",
+                static_cast<double>(ev.ts_ns) / 1e3);
+  out += num;
+  if (ev.wall_ns >= 0) {
+    std::snprintf(num, sizeof(num), ",\"dur\":%.3f",
+                  static_cast<double>(ev.wall_ns) / 1e3);
+    out += num;
+  }
+  out += ",\"args\":{";
+  bool first = true;
+  if (ev.cpu_ns >= 0) {
+    std::snprintf(num, sizeof(num), "\"cpu_ns\":%" PRId64, ev.cpu_ns);
+    out += num;
+    first = false;
+  }
+  for (const auto& a : ev.args) {
+    if (a.key == nullptr) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_escaped(out, a.key);
+    std::snprintf(num, sizeof(num), "\":%" PRId64, a.value);
+    out += num;
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 160 + 512);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":\"ptdp-trace-v1\","
+         "\"dropped_events\":";
+  char num[32];
+  std::snprintf(num, sizeof(num), "%llu",
+                static_cast<unsigned long long>(events_dropped()));
+  out += num;
+  out += "},\"traceEvents\":[";
+  // Thread-name metadata so Perfetto labels each lane "rank N".
+  std::vector<std::int32_t> ranks;
+  for (const TraceEvent& ev : events) {
+    if (std::find(ranks.begin(), ranks.end(), ev.rank) == ranks.end()) {
+      ranks.push_back(ev.rank);
+    }
+  }
+  std::sort(ranks.begin(), ranks.end());
+  bool first = true;
+  for (std::int32_t r : ranks) {
+    if (!first) out.push_back(',');
+    first = false;
+    char meta[160];
+    std::snprintf(meta, sizeof(meta),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  r, r < 0 ? "unbound" : ("rank " + std::to_string(r)).c_str());
+    out += meta;
+  }
+  for (const TraceEvent& ev : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_event(out, ev);
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ptdp::obs

@@ -1,40 +1,18 @@
 #include "ptdp/pipeline/executor.hpp"
 
+#include "ptdp/dist/tags.hpp"
+#include "ptdp/obs/trace.hpp"
+
 namespace ptdp::pipeline {
 
 using model::Microbatch;
 using model::StageCache;
 using tensor::Tensor;
 
-namespace {
-
-// Tag layout for inter-stage p2p (the single source of truth — keep
-// DESIGN.md §9 in sync):
-//   bit 47      direction (1 = backward/gradient traffic)
-//   bit 46      eval marker (1 = forward-only/validation traffic)
-//   bits 8..45  microbatch index (38 bits)
-//   bits 0..7   chunk index *at the receiver* (so sender and receiver agree
-//               even across the rank-(p-1) -> rank-0 chunk boundary)
-// Bit 46 used to overlap the microbatch field; it is now carved out so eval
-// traffic can never collide with a training microbatch >= 2^38.
-constexpr int kChunkBits = 8;
-constexpr int kMicrobatchBits = 38;
-constexpr std::uint64_t kEvalBit = 1ULL << (kChunkBits + kMicrobatchBits);
-constexpr std::uint64_t kBackwardBit = kEvalBit << 1;
-
-std::uint64_t make_tag(bool backward, bool eval, std::int64_t microbatch,
-                       int recv_chunk) {
-  PTDP_CHECK_GE(microbatch, 0);
-  PTDP_CHECK_LT(microbatch, std::int64_t{1} << kMicrobatchBits)
-      << "microbatch index overflows the tag field";
-  PTDP_CHECK_GE(recv_chunk, 0);
-  PTDP_CHECK_LT(recv_chunk, 1 << kChunkBits) << "chunk index overflows the tag field";
-  return (backward ? kBackwardBit : 0) | (eval ? kEvalBit : 0) |
-         (static_cast<std::uint64_t>(microbatch) << kChunkBits) |
-         static_cast<std::uint64_t>(recv_chunk);
-}
-
-}  // namespace
+// Inter-stage p2p tags come from the shared tag-space map
+// (ptdp/dist/tags.hpp) — backward/eval bits, microbatch field, receiver
+// chunk field. The tracer and comm-volume tests decode the same layout.
+using dist::tags::make_pipeline_tag;
 
 PipelineExecutor::PipelineExecutor(std::vector<model::GptStage*> chunks,
                                    dist::Comm pipe, dist::Comm tensor,
@@ -78,6 +56,10 @@ void PipelineExecutor::send_boundary(const Tensor& full, int dst, std::uint64_t 
     const std::size_t strip = data.size() / static_cast<std::size_t>(t);
     data = data.subspan(static_cast<std::size_t>(tensor_.rank()) * strip, strip);
   }
+  obs::Span span("p2p_send", obs::Cat::kP2p,
+                 {{"bytes", static_cast<std::int64_t>(data.size_bytes())},
+                  {"dst", dst},
+                  {"pipe", static_cast<std::int64_t>(pipe_.id())}});
   pipe_.isend(data, dst, tag);
   stats_.p2p_messages += 1;
   stats_.p2p_bytes_sent += data.size_bytes();
@@ -99,7 +81,11 @@ PipelineExecutor::PendingRecv PipelineExecutor::post_recv(std::int64_t full_elem
 
 Tensor PipelineExecutor::finish_recv(PendingRecv pending,
                                      const tensor::Shape& full_shape) {
-  pending.req.wait();
+  {
+    obs::Span span("recv_wait", obs::Cat::kP2p,
+                   {{"pipe", static_cast<std::int64_t>(pipe_.id())}});
+    pending.req.wait();
+  }
   if (!scatter_gather_active()) return pending.buf.view(full_shape);
   // Reconstruct the replicated boundary tensor: strips are contiguous
   // rank-order slices, so the tensor-group all-gather is exactly the
@@ -118,6 +104,7 @@ float PipelineExecutor::run_batch(std::span<const Microbatch> microbatches,
   const std::int64_t h = chunks_.front()->config().hidden;
   const float loss_scale = extra_loss_scale / static_cast<float>(params_.m);
 
+  const std::int64_t batch = batches_run_++;  // labels this flush in traces
   const std::vector<Op> ops = build_rank_schedule(params_, rank);
   std::map<std::pair<int, int>, StageCache> caches;  // (mb, chunk) -> cache
   std::map<std::size_t, PendingRecv> pending;        // op index -> posted irecv
@@ -135,10 +122,10 @@ float PipelineExecutor::run_batch(std::span<const Microbatch> microbatches,
     const std::int64_t elems = mb.s * mb.b * h;
     if (op.kind == Op::Kind::kForward && vs > 0) {
       pending.emplace(i, post_recv(elems, prev_of(op.chunk).rank,
-                                   make_tag(false, false, op.microbatch, op.chunk)));
+                                   make_pipeline_tag(false, false, op.microbatch, op.chunk)));
     } else if (op.kind == Op::Kind::kBackward && vs < P - 1) {
       pending.emplace(i, post_recv(elems, next_of(op.chunk).rank,
-                                   make_tag(true, false, op.microbatch, op.chunk)));
+                                   make_pipeline_tag(true, false, op.microbatch, op.chunk)));
     }
   };
 
@@ -160,13 +147,21 @@ float PipelineExecutor::run_batch(std::span<const Microbatch> microbatches,
         input = finish_recv(std::move(it->second), {mb.s, mb.b, h});
         pending.erase(it);
       }
-      model::StageForward fwd = stage.forward(input, mb, cache);
+      model::StageForward fwd = [&] {
+        obs::Span span("fwd", obs::Cat::kCompute,
+                       {{"mb", op.microbatch},
+                        {"vs", vs},
+                        {"stage", rank},
+                        {"pipe", static_cast<std::int64_t>(pipe_.id())},
+                        {"batch", batch}});
+        return stage.forward(input, mb, cache);
+      }();
       if (vs == P - 1) {
         loss_sum += fwd.loss;
       } else {
         const Endpoint to = next_of(op.chunk);
         send_boundary(fwd.activation, to.rank,
-                      make_tag(false, false, op.microbatch, to.chunk));
+                      make_pipeline_tag(false, false, op.microbatch, to.chunk));
       }
     } else {
       Tensor dy;
@@ -174,11 +169,19 @@ float PipelineExecutor::run_batch(std::span<const Microbatch> microbatches,
         dy = finish_recv(std::move(it->second), {mb.s, mb.b, h});
         pending.erase(it);
       }
-      Tensor dx = stage.backward(dy, loss_scale, cache, mb);
+      Tensor dx = [&] {
+        obs::Span span("bwd", obs::Cat::kCompute,
+                       {{"mb", op.microbatch},
+                        {"vs", vs},
+                        {"stage", rank},
+                        {"pipe", static_cast<std::int64_t>(pipe_.id())},
+                        {"batch", batch}});
+        return stage.backward(dy, loss_scale, cache, mb);
+      }();
       caches.erase({op.microbatch, op.chunk});  // activations freed here
       if (vs > 0) {
         const Endpoint to = prev_of(op.chunk);
-        send_boundary(dx, to.rank, make_tag(true, false, op.microbatch, to.chunk));
+        send_boundary(dx, to.rank, make_pipeline_tag(true, false, op.microbatch, to.chunk));
       }
       // After the upstream send this chunk's work for the batch may be
       // complete — its parameter grads are then final (each backward op
@@ -209,18 +212,26 @@ float PipelineExecutor::run_forward_only(std::span<const Microbatch> microbatche
         // collide with training microbatch tags.
         input = finish_recv(
             post_recv(mb.s * mb.b * h, prev_of(c).rank,
-                      make_tag(false, true, static_cast<std::int64_t>(i), c)),
+                      make_pipeline_tag(false, true, static_cast<std::int64_t>(i), c)),
             {mb.s, mb.b, h});
       }
       StageCache cache;  // dropped at scope exit — nothing is stashed
-      model::StageForward fwd =
-          chunks_[static_cast<std::size_t>(c)]->forward(input, mb, cache);
+      // Named "fwd_eval" (not "fwd") so the timeline analyzer never mixes
+      // validation traffic into training-batch bubble accounting.
+      model::StageForward fwd = [&] {
+        obs::Span span("fwd_eval", obs::Cat::kCompute,
+                       {{"mb", static_cast<std::int64_t>(i)},
+                        {"vs", vs},
+                        {"stage", rank},
+                        {"pipe", static_cast<std::int64_t>(pipe_.id())}});
+        return chunks_[static_cast<std::size_t>(c)]->forward(input, mb, cache);
+      }();
       if (vs == P - 1) {
         loss_sum += fwd.loss;
       } else {
         const Endpoint to = next_of(c);
         send_boundary(fwd.activation, to.rank,
-                      make_tag(false, true, static_cast<std::int64_t>(i), to.chunk));
+                      make_pipeline_tag(false, true, static_cast<std::int64_t>(i), to.chunk));
       }
     }
   }

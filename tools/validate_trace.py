@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Schema validation for ptdp observability artifacts (DESIGN.md §11).
+
+Validates a Chrome trace_event JSON written by obs::Tracer::write_chrome_json
+(schema ptdp-trace-v1), and optionally a metrics JSON written by
+obs::MetricsRegistry::write_json (schema ptdp-metrics-v1). CI's
+obs-trace-smoke job runs this against a 3-step train_main trace; exits 1 on
+any violation so a malformed exporter fails the build.
+
+Usage:
+    tools/validate_trace.py TRACE.json [--metrics METRICS.json]
+        [--min-events N] [--expect-ranks P]
+"""
+
+import argparse
+import json
+import sys
+
+TRACE_SCHEMA = "ptdp-trace-v1"
+METRICS_SCHEMA = "ptdp-metrics-v1"
+VALID_PHASES = {"X", "i", "M"}
+VALID_CATS = {"compute", "p2p", "collective", "ckpt", "engine", "runtime"}
+
+_errors = []
+
+
+def err(msg):
+    _errors.append(msg)
+
+
+def validate_trace(path, min_events, expect_ranks):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(f"{path}: not readable JSON: {e}")
+        return
+
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        err(f"{path}: missing otherData object")
+        return
+    if other.get("schema") != TRACE_SCHEMA:
+        err(f"{path}: schema {other.get('schema')!r} != {TRACE_SCHEMA!r}")
+    if not isinstance(other.get("dropped_events"), int):
+        err(f"{path}: otherData.dropped_events missing or not an int")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        err(f"{path}: traceEvents missing or not a list")
+        return
+
+    ranks = set()
+    named_ranks = set()
+    spans = 0
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            err(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            err(f"{where}: ph {ph!r} not in {sorted(VALID_PHASES)}")
+            continue
+        if ph == "M":
+            if ev.get("name") != "thread_name":
+                err(f"{where}: metadata event is not thread_name")
+            named_ranks.add(ev.get("tid"))
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in ev:
+                err(f"{where}: missing {key!r}")
+        if not isinstance(ev.get("ts"), (int, float)) or ev.get("ts", 0) < 0:
+            err(f"{where}: ts must be a non-negative number")
+        if ev.get("cat") not in VALID_CATS:
+            err(f"{where}: cat {ev.get('cat')!r} not in {sorted(VALID_CATS)}")
+        if ph == "X":
+            spans += 1
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                err(f"{where}: complete event needs a non-negative dur")
+        ranks.add(ev.get("tid"))
+
+    if len(events) < min_events:
+        err(f"{path}: only {len(events)} events (expected >= {min_events})")
+    if spans == 0:
+        err(f"{path}: no complete ('X') span events")
+    missing_names = ranks - named_ranks
+    if missing_names:
+        err(f"{path}: tids {sorted(missing_names)} have no thread_name metadata")
+    if expect_ranks is not None:
+        # Rank threads are tids 0..p-1; helper threads record as tid -1.
+        expected = set(range(expect_ranks))
+        if not expected <= ranks:
+            err(f"{path}: expected events from ranks {sorted(expected)}, "
+                f"saw {sorted(ranks)}")
+    return len(events)
+
+
+def validate_metrics(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(f"{path}: not readable JSON: {e}")
+        return
+    if doc.get("schema") != METRICS_SCHEMA:
+        err(f"{path}: schema {doc.get('schema')!r} != {METRICS_SCHEMA!r}")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            err(f"{path}: {section} missing or not an object")
+    comm = doc.get("comm")
+    if not isinstance(comm, list):
+        err(f"{path}: comm missing or not a list")
+        return
+    for i, row in enumerate(comm):
+        where = f"{path}: comm[{i}]"
+        if not isinstance(row, dict):
+            err(f"{where}: not an object")
+            continue
+        for key in ("rank", "group", "p2p_sends", "p2p_send_bytes", "p2p_recvs",
+                    "p2p_recv_bytes", "collective_ops", "coll_send_bytes",
+                    "coll_recv_bytes"):
+            if key not in row:
+                err(f"{where}: missing {key!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace JSON from --trace-out")
+    ap.add_argument("--metrics", help="metrics JSON from --metrics-out")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="fail unless the trace holds at least N events")
+    ap.add_argument("--expect-ranks", type=int, default=None,
+                    help="fail unless every rank 0..P-1 emitted events")
+    args = ap.parse_args()
+
+    n = validate_trace(args.trace, args.min_events, args.expect_ranks)
+    if args.metrics:
+        validate_metrics(args.metrics)
+
+    if _errors:
+        for e in _errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"ok: {args.trace} valid {TRACE_SCHEMA} ({n} events)"
+          + (f", {args.metrics} valid {METRICS_SCHEMA}" if args.metrics else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
