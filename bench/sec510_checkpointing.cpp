@@ -12,6 +12,7 @@
 
 #include "ptdp/ckpt/checkpoint.hpp"
 #include "ptdp/dist/world.hpp"
+#include "ptdp/mem/pool.hpp"
 #include "ptdp/model/stage.hpp"
 #include "ptdp/runtime/stopwatch.hpp"
 
@@ -44,6 +45,8 @@ int main() {
   tiny.heads = 8;
   tiny.vocab = 512;
   tiny.seq = 64;
+  mem::reset_global_peak();
+  const mem::PoolStats mem_before = mem::global_stats();
   dist::World world(2);
   world.run([&](dist::Comm& comm) {
     dist::Comm tp = dist::Comm::solo();
@@ -68,6 +71,18 @@ int main() {
     }
   });
   std::filesystem::remove_all(dir);
+  // Measured memory-plane counterpart: the paper's storage model above is
+  // analytic; here the ptdp::mem accounting reports what the functional run
+  // actually held live (model shards + serialization staging) across ranks.
+  const mem::PoolStats mem_after = mem::global_stats();
+  const auto acq = mem_after.acquires - mem_before.acquires;
+  const auto hits = mem_after.pool_hits - mem_before.pool_hits;
+  std::printf("measured tensor memory: peak %.2f MB live across ranks, "
+              "%llu allocations (pool hit rate %.2f)\n",
+              static_cast<double>(mem_after.peak_bytes) / 1e6,
+              static_cast<unsigned long long>(acq),
+              acq > 0 ? static_cast<double>(hits) / static_cast<double>(acq)
+                      : 0.0);
   std::printf("Every rank writes exactly its own shard in parallel — the "
               "layout that lets the paper's 384 nodes saturate the parallel "
               "filesystem.\n");

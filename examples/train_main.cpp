@@ -264,9 +264,11 @@ int main(int argc, char** argv) {
       const auto& stats = engine.last_stats();
       if (comm.rank() == 0 &&
           (step % args.log_every == 0 || step == args.steps - 1)) {
-        std::printf("step %4lld  loss %.4f  lr %.2e  %.0f tok/s  %.0f ms/step%s\n",
+        std::printf("step %4lld  loss %.4f  lr %.2e  %.0f tok/s  %.0f ms/step  "
+                    "peak %.1f MB%s\n",
                     static_cast<long long>(stats.step), stats.loss, stats.lr,
                     stats.tokens_per_second, stats.step_seconds * 1e3,
+                    static_cast<double>(stats.peak_memory_bytes) / 1e6,
                     args.clip > 0
                         ? (" grad-norm " + std::to_string(stats.grad_norm)).c_str()
                         : "");

@@ -90,6 +90,11 @@ class GradReducer {
   GradReducerOptions options_;
   std::vector<bool> defer_;
   std::vector<bool> reduced_;  ///< per-batch: chunk already reduced
+  /// Bucket staging reused across chunks and iterations (clear() keeps
+  /// capacity): the steady-state reduction path makes zero heap
+  /// allocations (memory plane, DESIGN.md §12).
+  std::vector<float> bucket_;
+  std::vector<model::Param*> members_;
   std::uint64_t elems_reduced_ = 0;
   std::uint64_t elems_overlapped_ = 0;
 };

@@ -89,6 +89,18 @@ struct StepStats {
   /// Fraction of data-parallel grad elements whose reduction overlapped the
   /// pipeline (0 when d == 1 / ZeRO / overlap off).
   double grad_reduce_overlap = 0.0;
+  /// MEASURED peak tensor bytes live on this rank's thread during the step
+  /// (requested bytes, from the ptdp::mem allocator — the empirical
+  /// counterpart of the §3.5 analytic activation-memory model). Per-rank:
+  /// compare against analytics::activation_bytes_per_layer * layers/p.
+  std::int64_t peak_memory_bytes = 0;
+  /// Allocator traffic this step on this rank's thread: total acquires and
+  /// how many fell through the pool to the heap. Steady-state pooled steps
+  /// should show heap_allocs near zero (the >=10x allocation-count win).
+  std::uint64_t mem_acquires = 0;
+  std::uint64_t mem_heap_allocs = 0;
+  /// Fraction of this step's acquires served from the pool's free lists.
+  double mem_pool_hit_rate = 0.0;
 };
 
 class PtdpEngine {

@@ -2,9 +2,14 @@
 
 // Dense float32 tensor with shared storage (torch-like copy semantics:
 // copies share the buffer, clone() deep-copies). Tensors are always
-// contiguous in row-major order — transposes and slices copy. This keeps
-// every kernel a flat loop over std::span, which is what the fused-kernel
-// story of §4.2 needs anyway.
+// contiguous in row-major order — transposes and non-leading-dim slices
+// copy, but slice(dim=0, ...) is a zero-copy view (a contiguous strip of
+// the parent's storage). This keeps every kernel a flat loop over
+// std::span, which is what the fused-kernel story of §4.2 needs anyway.
+//
+// Storage comes from the ptdp::mem pooled allocator (DESIGN.md §12):
+// Tensor::empty() is the uninitialized fast path for outputs that are
+// fully overwritten; Tensor(shape)/zeros() additionally zero-fill.
 
 #include <cstdint>
 #include <initializer_list>
@@ -13,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "ptdp/mem/pool.hpp"
 #include "ptdp/runtime/check.hpp"
 #include "ptdp/runtime/rng.hpp"
 
@@ -33,6 +39,11 @@ class Tensor {
 
   // ---- factories -----------------------------------------------------------
 
+  /// UNINITIALIZED tensor: for outputs every element of which is about to
+  /// be overwritten. Reading before writing is undefined (and will differ
+  /// between pool-on and pool-off runs — never let uninitialized bytes
+  /// reach arithmetic).
+  static Tensor empty(Shape shape);
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor full(Shape shape, float value);
   static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
@@ -44,7 +55,7 @@ class Tensor {
   static Tensor arange(std::int64_t n);
   /// 1-D tensor from explicit values.
   static Tensor from_values(std::initializer_list<float> values);
-  static Tensor from_vector(Shape shape, std::vector<float> values);
+  static Tensor from_vector(Shape shape, const std::vector<float>& values);
 
   // ---- metadata ------------------------------------------------------------
 
@@ -77,7 +88,10 @@ class Tensor {
   void fill(float value);
   void zero() { fill(0.0f); }
 
-  /// Copying slice along dimension `dim`: rows [start, start+len).
+  /// Slice along dimension `dim`: rows [start, start+len). dim 0 is a
+  /// zero-copy VIEW (shares and keeps alive the parent's storage; writes
+  /// are visible both ways) — clone() the result before mutating it if
+  /// aliasing the parent is not wanted. Other dims deep-copy.
   Tensor slice(std::int64_t dim, std::int64_t start, std::int64_t len) const;
   /// Copying transpose of the two given dimensions.
   Tensor transpose(std::int64_t d0, std::int64_t d1) const;
@@ -89,12 +103,14 @@ class Tensor {
 
   Shape shape_;
   std::int64_t numel_ = 0;
-  std::shared_ptr<std::vector<float>> storage_;
+  std::int64_t offset_ = 0;  ///< float offset into storage_ (dim-0 views)
+  std::shared_ptr<mem::Buffer> storage_;
 };
 
 /// Concatenate along dimension `dim` (all other dims equal).
 Tensor concat(const std::vector<Tensor>& parts, std::int64_t dim);
-/// Split into `n` equal parts along dimension `dim`.
+/// Split into `n` equal parts along dimension `dim`. Parts along dim 0
+/// are zero-copy views into `x` (see Tensor::slice).
 std::vector<Tensor> split(const Tensor& x, std::int64_t n, std::int64_t dim);
 
 /// Max |a - b| over all elements (shapes must match).

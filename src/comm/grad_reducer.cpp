@@ -59,8 +59,10 @@ void GradReducer::reduce_chunk(std::size_t c, bool overlapped) {
   }
   // Bucket boundaries depend only on the chunk's param order and cap, never
   // on reduction timing — the bitwise overlap-on/off guarantee.
-  std::vector<float> bucket;
-  std::vector<Param*> members;
+  std::vector<float>& bucket = bucket_;
+  std::vector<Param*>& members = members_;
+  bucket.clear();
+  members.clear();
   auto flush = [&] {
     if (bucket.empty()) return;
     data_.all_reduce(std::span<float>(bucket));

@@ -6,6 +6,7 @@
 #include "ptdp/ckpt/manifest.hpp"
 #include "ptdp/core/analytics.hpp"
 #include "ptdp/dist/world.hpp"
+#include "ptdp/mem/pool.hpp"
 #include "ptdp/obs/metrics.hpp"
 #include "ptdp/obs/trace.hpp"
 #include "ptdp/runtime/stopwatch.hpp"
@@ -106,6 +107,12 @@ PtdpEngine::PtdpEngine(dist::Comm& world, EngineOptions options)
 
 float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
   const Stopwatch stopwatch;
+  // Memory-plane snapshot: train_step runs on this rank's thread and
+  // tensors are freed where they were allocated, so the thread-local
+  // counters give byte-exact per-rank accounting. Resetting the peak here
+  // makes peak_memory_bytes the high-water mark *within* this step.
+  mem::reset_thread_peak();
+  const mem::PoolStats mem_before = mem::thread_stats();
   obs::Span step_span("train_step", obs::Cat::kEngine, {{"step", step_counter_}});
   // Progress marker for failure reporting: if this rank dies mid-step, the
   // World stamps this value into the RankFailure it rethrows.
@@ -176,6 +183,16 @@ float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
       stats_.achieved_flops_per_second / static_cast<double>(cfg.n());
   stats_.grad_reduce_overlap =
       grad_reducer_ ? grad_reducer_->overlap_ratio() : 0.0;
+  const mem::PoolStats mem_after = mem::thread_stats();
+  stats_.peak_memory_bytes = mem_after.peak_bytes;
+  stats_.mem_acquires = mem_after.acquires - mem_before.acquires;
+  stats_.mem_heap_allocs = mem_after.heap_allocs - mem_before.heap_allocs;
+  const std::uint64_t step_hits = mem_after.pool_hits - mem_before.pool_hits;
+  stats_.mem_pool_hit_rate =
+      stats_.mem_acquires > 0
+          ? static_cast<double>(step_hits) /
+                static_cast<double>(stats_.mem_acquires)
+          : 0.0;
   if (obs::metrics_on()) {
     auto& metrics = obs::MetricsRegistry::instance();
     metrics.histogram("engine.step_ms").observe(stats_.step_seconds * 1e3);
@@ -184,6 +201,17 @@ float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
     metrics.gauge("engine.achieved_flops_per_second")
         .set(stats_.achieved_flops_per_second);
     metrics.gauge("engine.grad_reduce_overlap").set(stats_.grad_reduce_overlap);
+    metrics.counter("mem.acquires").add(
+        static_cast<std::int64_t>(stats_.mem_acquires));
+    metrics.counter("mem.heap_allocs").add(
+        static_cast<std::int64_t>(stats_.mem_heap_allocs));
+    const std::string rank_prefix =
+        "mem.rank" + std::to_string(groups_->world().rank());
+    metrics.gauge(rank_prefix + ".peak_step_bytes")
+        .set(static_cast<double>(stats_.peak_memory_bytes));
+    metrics.gauge(rank_prefix + ".live_bytes")
+        .set(static_cast<double>(mem_after.live_bytes));
+    metrics.gauge(rank_prefix + ".pool_hit_rate").set(stats_.mem_pool_hit_rate);
   }
   return loss;
 }

@@ -39,7 +39,7 @@ ParallelAttention::ParallelAttention(const GptConfig& config,
 Tensor ParallelAttention::make_prob_dropout_mask(std::int64_t b,
                                                  std::uint64_t mb_tag) const {
   const std::int64_t s = config_.seq;
-  Tensor mask({b * heads_local_, s, s});
+  Tensor mask = Tensor::empty({b * heads_local_, s, s});
   const float p = config_.dropout;
   const float keep_scale = 1.0f / (1.0f - p);
   auto dm = mask.data();

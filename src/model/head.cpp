@@ -56,7 +56,7 @@ float GptHead::forward(const Tensor& x, std::span<const std::int32_t> targets,
   Tensor rowmax = tensor::row_max(logits);                 // local max
   tp_.all_reduce(rowmax.data(), dist::ReduceOp::kMax);     // global max
 
-  cache.exp_shift = Tensor({n, vocab_per_rank_});
+  cache.exp_shift = Tensor::empty({n, vocab_per_rank_});
   auto dl = logits.data();
   auto dm = rowmax.data();
   auto de = cache.exp_shift.data();
@@ -126,7 +126,7 @@ Tensor GptHead::backward(float loss_scale, const HeadCache& cache) {
 
   // dlogits[i,j] = (softmax_ij − 1{j == target_i}) * loss_scale * w_i,
   // where w_i is the (normalized) per-token loss weight (1/n by default).
-  Tensor dlogits({n, vocab_per_rank_});
+  Tensor dlogits = Tensor::empty({n, vocab_per_rank_});
   auto de = cache.exp_shift.data();
   auto dd = dlogits.data();
   for (std::int64_t i = 0; i < n; ++i) {
@@ -165,7 +165,8 @@ Tensor GptHead::full_logits(const Tensor& x) {
   Tensor local = tensor::matmul_nt(ln.y, word_->value);  // [n, V/t]
   if (tp_.size() == 1) return local;
   // Gather the vocab shards: ranks contribute column blocks in rank order.
-  Tensor gathered({static_cast<std::int64_t>(tp_.size()), n, vocab_per_rank_});
+  Tensor gathered =
+      Tensor::empty({static_cast<std::int64_t>(tp_.size()), n, vocab_per_rank_});
   tp_.all_gather(std::span<const float>(local.data()), gathered.data());
   return gathered.permute({1, 0, 2}).view({n, config_.vocab});
 }

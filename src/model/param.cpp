@@ -38,7 +38,9 @@ tensor::Tensor init_weight_row_shard(const std::string& name, std::int64_t rows,
   Rng rng(seed, param_stream(name));
   tensor::Tensor full = tensor::Tensor::randn({rows, cols}, rng, stddev);
   if (row_begin == 0 && row_end == rows) return full;
-  return full.slice(0, row_begin, row_end - row_begin);
+  // clone(): a dim-0 slice is a view — the param would otherwise alias
+  // (and keep alive) the full rows x cols init tensor.
+  return full.slice(0, row_begin, row_end - row_begin).clone();
 }
 
 }  // namespace ptdp::model

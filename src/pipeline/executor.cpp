@@ -74,7 +74,10 @@ PipelineExecutor::PendingRecv PipelineExecutor::post_recv(std::int64_t full_elem
     elems = full_elems / t;
   }
   PendingRecv pending;
-  pending.buf = Tensor({elems});
+  // Staging buffer is fully overwritten by the irecv payload; the pool
+  // recycles it across microbatches/iterations (steady-state p2p staging
+  // stops hitting the heap entirely).
+  pending.buf = Tensor::empty({elems});
   pending.req = pipe_.irecv(pending.buf.data(), src, tag);
   return pending;
 }
@@ -90,7 +93,7 @@ Tensor PipelineExecutor::finish_recv(PendingRecv pending,
   // Reconstruct the replicated boundary tensor: strips are contiguous
   // rank-order slices, so the tensor-group all-gather is exactly the
   // inverse of the sender's split — bitwise identical to a full send.
-  Tensor full(full_shape);
+  Tensor full = Tensor::empty(full_shape);
   tensor_.all_gather(std::span<const float>(pending.buf.data()),
                      std::span<float>(full.data()));
   return full;

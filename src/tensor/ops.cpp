@@ -31,7 +31,9 @@ std::int64_t row_grain(std::int64_t n) {
 // step absorbs the transpose, so the microkernel only ever sees contiguous
 // panels (this is also what removed the old data-dependent sparsity branch
 // in the TN kernel — gradient GEMM time no longer depends on activation
-// sparsity). C must be zero-initialized (beta = 0).
+// sparsity). C is fully OVERWRITTEN (beta = 0): the first k-panel stores
+// its tile, later panels accumulate — so callers can hand in
+// Tensor::empty storage and skip the zero-fill memset.
 //
 // Blocking follows the BLIS decomposition: pack a KCxNR B sliver and an
 // MRxKC A micro-panel into contiguous scratch (zero-padded to full tiles so
@@ -133,7 +135,13 @@ void micro_kernel(std::int64_t kc, const float* __restrict ap,
 void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
                   std::int64_t rsa, std::int64_t csa, const float* b,
                   std::int64_t rsb, std::int64_t csb, float* c) {
-  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    // Empty contraction: the product is the zero matrix, and C may be
+    // uninitialized storage.
+    std::fill_n(c, m * n, 0.0f);
+    return;
+  }
   const std::int64_t nc_max = std::min(n, kNC);
   const std::int64_t nc_padded = (nc_max + kNR - 1) / kNR * kNR;
   std::vector<float> bp(static_cast<std::size_t>(kKC * nc_padded));
@@ -165,7 +173,12 @@ void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, const float* a
               micro_kernel(kc, ap.data() + ir * kc, bsliver, acc);
               for (std::int64_t i = 0; i < mr; ++i) {
                 float* crow = c + (i0 + ir + i) * n + jc + jr;
-                for (std::int64_t j = 0; j < nr; ++j) crow[j] += acc[i * kNR + j];
+                if (pc == 0) {
+                  // First k-panel overwrites (beta = 0); later panels add.
+                  for (std::int64_t j = 0; j < nr; ++j) crow[j] = acc[i * kNR + j];
+                } else {
+                  for (std::int64_t j = 0; j < nr; ++j) crow[j] += acc[i * kNR + j];
+                }
               }
             }
           }
@@ -175,19 +188,19 @@ void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, const float* a
   }
 }
 
-// C[m,n] += A[m,k] · B[k,n], all row-major. C must be zero-initialized.
+// C[m,n] = A[m,k] · B[k,n], all row-major. C may be uninitialized.
 void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c) {
   gemm_strided(m, n, k, a, k, 1, b, n, 1, c);
 }
 
-// C[m,n] += A[m,k] · B[n,k]ᵀ.
+// C[m,n] = A[m,k] · B[n,k]ᵀ.
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c) {
   gemm_strided(m, n, k, a, k, 1, b, 1, k, c);
 }
 
-// C[m,n] += A[k,m]ᵀ · B[k,n].
+// C[m,n] = A[k,m]ᵀ · B[k,n].
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c) {
   gemm_strided(m, n, k, a, 1, m, b, n, 1, c);
@@ -212,7 +225,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   check_2d(a, "matmul lhs");
   check_2d(b, "matmul rhs");
   PTDP_CHECK_EQ(a.dim(1), b.dim(0)) << a.shape_str() << " x " << b.shape_str();
-  Tensor c({a.dim(0), b.dim(1)});
+  Tensor c = Tensor::empty({a.dim(0), b.dim(1)});
   gemm_nn(a.dim(0), b.dim(1), a.dim(1), a.data().data(), b.data().data(),
           c.data().data());
   return c;
@@ -222,7 +235,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   check_2d(a, "matmul_nt lhs");
   check_2d(b, "matmul_nt rhs");
   PTDP_CHECK_EQ(a.dim(1), b.dim(1)) << a.shape_str() << " x " << b.shape_str() << "^T";
-  Tensor c({a.dim(0), b.dim(0)});
+  Tensor c = Tensor::empty({a.dim(0), b.dim(0)});
   gemm_nt(a.dim(0), b.dim(0), a.dim(1), a.data().data(), b.data().data(),
           c.data().data());
   return c;
@@ -232,7 +245,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   check_2d(a, "matmul_tn lhs");
   check_2d(b, "matmul_tn rhs");
   PTDP_CHECK_EQ(a.dim(0), b.dim(0)) << a.shape_str() << "^T x " << b.shape_str();
-  Tensor c({a.dim(1), b.dim(1)});
+  Tensor c = Tensor::empty({a.dim(1), b.dim(1)});
   gemm_tn(a.dim(1), b.dim(1), a.dim(0), a.data().data(), b.data().data(),
           c.data().data());
   return c;
@@ -244,7 +257,7 @@ template <typename Kernel>
 Tensor bmm_impl(const Tensor& a, const Tensor& b, std::int64_t m, std::int64_t n,
                 std::int64_t k, Kernel kernel) {
   const std::int64_t batches = a.dim(0);
-  Tensor c({batches, m, n});
+  Tensor c = Tensor::empty({batches, m, n});
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
@@ -297,7 +310,7 @@ namespace {
 template <typename F>
 Tensor binary_op(const Tensor& a, const Tensor& b, F f) {
   PTDP_CHECK(a.same_shape(b)) << a.shape_str() << " vs " << b.shape_str();
-  Tensor out(a.shape());
+  Tensor out = Tensor::empty(a.shape());
   auto da = a.data();
   auto db = b.data();
   auto dout = out.data();
@@ -320,7 +333,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor scale(const Tensor& a, float alpha) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::empty(a.shape());
   auto da = a.data();
   auto dout = out.data();
   parallel_for(0, static_cast<std::int64_t>(da.size()), kElemGrain,
@@ -363,7 +376,7 @@ Tensor add_bias(const Tensor& x, const Tensor& bias) {
   PTDP_CHECK_EQ(x.dim(-1), bias.dim(0));
   const std::int64_t rows = leading_rows(x);
   const std::int64_t n = x.dim(-1);
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   auto dx = x.data();
   auto db = bias.data();
   auto dout = out.data();
@@ -413,7 +426,7 @@ inline float gelu_grad_scalar(float x) {
 }  // namespace
 
 Tensor gelu(const Tensor& x) {
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   auto dx = x.data();
   auto dout = out.data();
   parallel_for(0, static_cast<std::int64_t>(dx.size()), kElemGrain,
@@ -425,7 +438,7 @@ Tensor gelu(const Tensor& x) {
 
 Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
   PTDP_CHECK(dy.same_shape(x));
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   auto ddy = dy.data();
   auto dx = x.data();
   auto dout = out.data();
@@ -443,8 +456,8 @@ Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
 Tensor dropout(const Tensor& x, float p, Rng& rng, Tensor& mask) {
   PTDP_CHECK_GE(p, 0.0f);
   PTDP_CHECK_LT(p, 1.0f);
-  mask = Tensor(x.shape());
-  Tensor out(x.shape());
+  mask = Tensor::empty(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   auto dx = x.data();
   auto dm = mask.data();
   auto dout = out.data();
@@ -475,7 +488,8 @@ LayerNormResult layernorm(const Tensor& x, const Tensor& gamma, const Tensor& be
   PTDP_CHECK_EQ(beta.dim(0), n);
   const std::int64_t rows = leading_rows(x);
 
-  LayerNormResult result{Tensor(x.shape()), Tensor({rows}), Tensor({rows})};
+  LayerNormResult result{Tensor::empty(x.shape()), Tensor::empty({rows}),
+                         Tensor::empty({rows})};
   auto dx = x.data();
   auto dg = gamma.data();
   auto db = beta.data();
@@ -518,7 +532,8 @@ LayerNormGrads layernorm_backward(const Tensor& dy, const Tensor& x,
   PTDP_CHECK_EQ(mean.numel(), rows);
   PTDP_CHECK_EQ(rstd.numel(), rows);
 
-  LayerNormGrads grads{Tensor(x.shape()), Tensor({n}), Tensor({n})};
+  // dx is fully overwritten; dgamma/dbeta accumulate and must start at zero.
+  LayerNormGrads grads{Tensor::empty(x.shape()), Tensor({n}), Tensor({n})};
   auto ddy = dy.data();
   auto dx = x.data();
   auto dg = gamma.data();
@@ -579,7 +594,7 @@ LayerNormGrads layernorm_backward(const Tensor& dy, const Tensor& x,
 Tensor softmax_lastdim(const Tensor& x) {
   const std::int64_t n = x.dim(-1);
   const std::int64_t rows = leading_rows(x);
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   auto dx = x.data();
   auto dout = out.data();
   parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
@@ -604,7 +619,7 @@ Tensor softmax_backward(const Tensor& y, const Tensor& dy) {
   PTDP_CHECK(y.same_shape(dy));
   const std::int64_t n = y.dim(-1);
   const std::int64_t rows = leading_rows(y);
-  Tensor out(y.shape());
+  Tensor out = Tensor::empty(y.shape());
   auto dyv = dy.data();
   auto yv = y.data();
   auto dout = out.data();
@@ -628,7 +643,7 @@ Tensor fused_bias_gelu(const Tensor& x, const Tensor& bias) {
   PTDP_CHECK_EQ(x.dim(-1), bias.dim(0));
   const std::int64_t rows = leading_rows(x);
   const std::int64_t n = x.dim(-1);
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   auto dx = x.data();
   auto db = bias.data();
   auto dout = out.data();
@@ -650,7 +665,7 @@ Tensor fused_bias_gelu_backward(const Tensor& dy, const Tensor& x, const Tensor&
   PTDP_CHECK(dbias.same_shape(bias));
   const std::int64_t rows = leading_rows(x);
   const std::int64_t n = x.dim(-1);
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   auto ddy = dy.data();
   auto dx = x.data();
   auto db = bias.data();
@@ -698,7 +713,8 @@ Tensor fused_scale_causal_softmax(const Tensor& scores, float scl) {
   const std::int64_t sk = scores.dim(2);
   PTDP_CHECK_GE(sk, sq) << "causal mask requires sk >= sq";
   const std::int64_t shift = sk - sq;
-  Tensor out(scores.shape());
+  // Every element is written (masked tail gets explicit zeros).
+  Tensor out = Tensor::empty(scores.shape());
   auto dx = scores.data();
   auto dout = out.data();
   parallel_for(0, rows * sq, row_grain(sk), [&](std::int64_t q0, std::int64_t q1) {
@@ -730,7 +746,7 @@ Tensor fused_scale_mask_softmax(const Tensor& scores, const Tensor& mask, float 
   const std::int64_t sk = scores.dim(2);
   PTDP_CHECK_EQ(mask.dim(0), sq);
   PTDP_CHECK_EQ(mask.dim(1), sk);
-  Tensor out(scores.shape());
+  Tensor out = Tensor::empty(scores.shape());
   auto dx = scores.data();
   auto dm = mask.data();
   auto dout = out.data();
@@ -777,7 +793,7 @@ Tensor embedding(const Tensor& table, std::span<const std::int32_t> ids) {
   PTDP_CHECK_EQ(table.ndim(), 2);
   const std::int64_t vocab = table.dim(0);
   const std::int64_t h = table.dim(1);
-  Tensor out({static_cast<std::int64_t>(ids.size()), h});
+  Tensor out = Tensor::empty({static_cast<std::int64_t>(ids.size()), h});
   auto dt = table.data();
   auto dout = out.data();
   parallel_for(0, static_cast<std::int64_t>(ids.size()), row_grain(h),
@@ -874,7 +890,7 @@ double squared_norm(const Tensor& x) {
 Tensor row_max(const Tensor& x) {
   const std::int64_t n = x.dim(-1);
   const std::int64_t rows = leading_rows(x);
-  Tensor out({rows});
+  Tensor out = Tensor::empty({rows});
   auto dx = x.data();
   auto dout = out.data();
   parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
@@ -892,7 +908,7 @@ Tensor row_max(const Tensor& x) {
 Tensor row_sum(const Tensor& x) {
   const std::int64_t n = x.dim(-1);
   const std::int64_t rows = leading_rows(x);
-  Tensor out({rows});
+  Tensor out = Tensor::empty({rows});
   auto dx = x.data();
   auto dout = out.data();
   parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {

@@ -16,49 +16,55 @@ std::int64_t numel_of(const Shape& shape) {
   return n;
 }
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      numel_(numel_of(shape_)),
-      storage_(std::make_shared<std::vector<float>>(
-          static_cast<std::size_t>(numel_), 0.0f)) {}
+Tensor Tensor::empty(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = numel_of(t.shape_);
+  t.storage_ =
+      std::make_shared<mem::Buffer>(static_cast<std::size_t>(t.numel_));
+  return t;
+}
+
+Tensor::Tensor(Shape shape) {
+  *this = empty(std::move(shape));
+  zero();
+}
 
 Tensor Tensor::full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   t.fill(value);
   return t;
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   for (float& v : t.data()) v = static_cast<float>(rng.next_gaussian(0.0, stddev));
   return t;
 }
 
 Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   for (float& v : t.data()) v = static_cast<float>(rng.next_uniform(lo, hi));
   return t;
 }
 
 Tensor Tensor::arange(std::int64_t n) {
-  Tensor t({n});
+  Tensor t = empty({n});
   auto d = t.data();
   for (std::int64_t i = 0; i < n; ++i) d[static_cast<std::size_t>(i)] = static_cast<float>(i);
   return t;
 }
 
 Tensor Tensor::from_values(std::initializer_list<float> values) {
-  Tensor t({static_cast<std::int64_t>(values.size())});
+  Tensor t = empty({static_cast<std::int64_t>(values.size())});
   std::copy(values.begin(), values.end(), t.data().begin());
   return t;
 }
 
-Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
+Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
   PTDP_CHECK_EQ(numel_of(shape), static_cast<std::int64_t>(values.size()));
-  Tensor t;
-  t.shape_ = std::move(shape);
-  t.numel_ = static_cast<std::int64_t>(values.size());
-  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  Tensor t = empty(std::move(shape));
+  std::copy(values.begin(), values.end(), t.data().begin());
   return t;
 }
 
@@ -82,12 +88,12 @@ std::string Tensor::shape_str() const {
 
 std::span<float> Tensor::data() {
   PTDP_CHECK(defined()) << "data() on undefined tensor";
-  return {storage_->data(), static_cast<std::size_t>(numel_)};
+  return {storage_->data() + offset_, static_cast<std::size_t>(numel_)};
 }
 
 std::span<const float> Tensor::data() const {
   PTDP_CHECK(defined()) << "data() on undefined tensor";
-  return {storage_->data(), static_cast<std::size_t>(numel_)};
+  return {storage_->data() + offset_, static_cast<std::size_t>(numel_)};
 }
 
 std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
@@ -116,15 +122,15 @@ Tensor Tensor::view(Shape new_shape) const {
   Tensor t;
   t.shape_ = std::move(new_shape);
   t.numel_ = numel_;
+  t.offset_ = offset_;
   t.storage_ = storage_;
   return t;
 }
 
 Tensor Tensor::clone() const {
-  Tensor t;
-  t.shape_ = shape_;
-  t.numel_ = numel_;
-  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  Tensor t = empty(shape_);
+  auto src = data();
+  std::copy(src.begin(), src.end(), t.data().begin());
   return t;
 }
 
@@ -147,15 +153,27 @@ Tensor Tensor::slice(std::int64_t dim, std::int64_t start, std::int64_t len) con
 
   Shape out_shape = shape_;
   out_shape[static_cast<std::size_t>(dim)] = len;
-  Tensor out(out_shape);
 
-  // Treat the tensor as [outer, dim, inner].
-  std::int64_t outer = 1, inner = 1;
-  for (std::int64_t i = 0; i < dim; ++i) outer *= shape_[static_cast<std::size_t>(i)];
+  std::int64_t inner = 1;
   for (std::int64_t i = dim + 1; i < ndim(); ++i)
     inner *= shape_[static_cast<std::size_t>(i)];
+
+  if (dim == 0) {
+    // Leading-dim slice is a contiguous strip: zero-copy view.
+    Tensor out;
+    out.shape_ = std::move(out_shape);
+    out.numel_ = len * inner;
+    out.offset_ = offset_ + start * inner;
+    out.storage_ = storage_;
+    return out;
+  }
+
+  // Treat the tensor as [outer, dim, inner] and copy.
+  std::int64_t outer = 1;
+  for (std::int64_t i = 0; i < dim; ++i) outer *= shape_[static_cast<std::size_t>(i)];
   const std::int64_t src_dim = shape_[static_cast<std::size_t>(dim)];
 
+  Tensor out = empty(std::move(out_shape));
   auto src = data();
   auto dst = out.data();
   for (std::int64_t o = 0; o < outer; ++o) {
@@ -183,7 +201,7 @@ Tensor Tensor::permute(const std::vector<std::int64_t>& perm) const {
   for (std::size_t i = 0; i < nd; ++i) {
     out_shape[i] = shape_[static_cast<std::size_t>(perm[i])];
   }
-  Tensor out(out_shape);
+  Tensor out = empty(out_shape);
   if (numel_ == 0) return out;
 
   // Row-major strides for the source shape.
@@ -231,7 +249,7 @@ Tensor concat(const std::vector<Tensor>& parts, std::int64_t dim) {
     total += p.dim(dim);
   }
   out_shape[static_cast<std::size_t>(dim)] = total;
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
 
   std::int64_t outer = 1, inner = 1;
   for (std::int64_t i = 0; i < dim; ++i) outer *= first.dim(i);

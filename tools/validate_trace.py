@@ -9,7 +9,7 @@ any violation so a malformed exporter fails the build.
 
 Usage:
     tools/validate_trace.py TRACE.json [--metrics METRICS.json]
-        [--min-events N] [--expect-ranks P]
+        [--min-events N] [--expect-ranks P] [--expect-metric NAME ...]
 """
 
 import argparse
@@ -96,7 +96,7 @@ def validate_trace(path, min_events, expect_ranks):
     return len(events)
 
 
-def validate_metrics(path):
+def validate_metrics(path, expect_metrics=()):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -108,6 +108,15 @@ def validate_metrics(path):
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(doc.get(section), dict):
             err(f"{path}: {section} missing or not an object")
+    present = set()
+    for section in ("counters", "gauges", "histograms"):
+        sec = doc.get(section)
+        if isinstance(sec, dict):
+            present.update(sec.keys())
+    for name in expect_metrics:
+        if name not in present:
+            err(f"{path}: expected metric {name!r} not found in "
+                f"counters/gauges/histograms")
     comm = doc.get("comm")
     if not isinstance(comm, list):
         err(f"{path}: comm missing or not a list")
@@ -132,11 +141,17 @@ def main():
                     help="fail unless the trace holds at least N events")
     ap.add_argument("--expect-ranks", type=int, default=None,
                     help="fail unless every rank 0..P-1 emitted events")
+    ap.add_argument("--expect-metric", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless NAME appears in the metrics JSON "
+                         "(repeatable; requires --metrics)")
     args = ap.parse_args()
+    if args.expect_metric and not args.metrics:
+        ap.error("--expect-metric requires --metrics")
 
     n = validate_trace(args.trace, args.min_events, args.expect_ranks)
     if args.metrics:
-        validate_metrics(args.metrics)
+        validate_metrics(args.metrics, args.expect_metric)
 
     if _errors:
         for e in _errors:
