@@ -183,7 +183,7 @@ SweepResult sweep_entry(const std::string& op, std::vector<std::int64_t> shape,
 }
 
 void write_json(const std::vector<SweepResult>& results, double speedup_1t,
-                double speedup_4t) {
+                double speedup_4t, double bf16_speedup_1t) {
   std::FILE* f = std::fopen("BENCH_tensor_ops.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "could not open BENCH_tensor_ops.json for writing\n");
@@ -192,6 +192,7 @@ void write_json(const std::vector<SweepResult>& results, double speedup_1t,
   std::fprintf(f, "{\n  \"bench\": \"micro_tensor_ops\",\n");
   std::fprintf(f, "  \"matmul512_speedup_vs_seed_scalar_1t\": %.2f,\n", speedup_1t);
   std::fprintf(f, "  \"matmul512_speedup_vs_seed_scalar_4t\": %.2f,\n", speedup_4t);
+  std::fprintf(f, "  \"matmul512_bf16_speedup_vs_f32_1t\": %.2f,\n", bf16_speedup_1t);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
@@ -228,8 +229,15 @@ void run_sweep() {
                                 }));
   const double seed_gflops = results.back().gflops;
 
+  // bf16 operands for the mixed-precision rows (DESIGN.md §13): both-bf16
+  // takes the native tile-engine path where available, f32 x bf16 the
+  // inline-widening pack path.
+  Tensor a16 = a.to(tensor::DType::kBf16);
+  Tensor b16 = b.to(tensor::DType::kBf16);
+
   double gflops_1t = 0.0;
   double gflops_4t = 0.0;
+  double bf16_gflops_1t = 0.0;
   for (std::size_t threads : {1u, 2u, 4u}) {
     runtime::set_intra_op_threads(threads);
 
@@ -237,6 +245,18 @@ void run_sweep() {
                                   [&] { benchmark::DoNotOptimize(tensor::matmul(a, b)); }));
     if (threads == 1) gflops_1t = results.back().gflops;
     if (threads == 4) gflops_4t = results.back().gflops;
+
+    results.push_back(sweep_entry("matmul_bf16", {kN, kN, kN}, threads,
+                                  kMatmulFlops, [&] {
+                                    benchmark::DoNotOptimize(
+                                        tensor::matmul(a16, b16));
+                                  }));
+    if (threads == 1) bf16_gflops_1t = results.back().gflops;
+    results.push_back(sweep_entry("matmul_f32xbf16", {kN, kN, kN}, threads,
+                                  kMatmulFlops, [&] {
+                                    benchmark::DoNotOptimize(
+                                        tensor::matmul(a, b16));
+                                  }));
 
     results.push_back(sweep_entry("matmul_nt", {kN, kN, kN}, threads, kMatmulFlops, [&] {
       benchmark::DoNotOptimize(tensor::matmul_nt(a, b));
@@ -286,7 +306,9 @@ void run_sweep() {
   std::printf("\nmatmul 512x512x512: seed scalar %.2f GFLOP/s | backend %.2f (1t, %.1fx) "
               "| %.2f (4t, %.1fx)\n",
               seed_gflops, gflops_1t, speedup_1t, gflops_4t, speedup_4t);
-  write_json(results, speedup_1t, speedup_4t);
+  std::printf("matmul 512x512x512 bf16: %.2f GFLOP/s (%.2fx vs f32, 1t)\n",
+              bf16_gflops_1t, bf16_gflops_1t / gflops_1t);
+  write_json(results, speedup_1t, speedup_4t, bf16_gflops_1t / gflops_1t);
 }
 
 }  // namespace

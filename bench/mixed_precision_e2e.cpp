@@ -1,0 +1,166 @@
+// The mixed-precision headline (DESIGN.md §13): end-to-end train_step wall
+// time and pipeline p2p comm bytes on the (p,t,d)=(2,2,2) grid, bf16
+// weights + bf16 boundaries + bf16 grad wire vs the all-f32 baseline, plus
+// the two grad-reduce wire dtypes measured separately. Writes
+// BENCH_mixed_precision.json to the working directory.
+//
+// The model is sized so the step is GEMM- and comm-dominated (the regime
+// the paper's mixed-precision runs live in), not overhead-dominated like
+// the tiny correctness-test configs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ptdp/core/engine.hpp"
+#include "ptdp/data/dataset.hpp"
+#include "ptdp/dist/world.hpp"
+
+namespace {
+
+using namespace ptdp;
+using tensor::DType;
+
+constexpr int kP = 2, kT = 2, kD = 2;
+constexpr std::int64_t kGlobalBatch = 8;
+constexpr std::int64_t kMicroBatch = 2;
+constexpr int kWarmupSteps = 1;
+constexpr int kTimedSteps = 4;
+
+model::GptConfig bench_config() {
+  model::GptConfig c;
+  c.num_layers = 2;  // one per pipeline stage
+  c.hidden = 512;
+  c.heads = 8;
+  c.vocab = 512;
+  c.seq = 64;
+  c.dropout = 0.0f;
+  c.seed = 7;
+  return c;
+}
+
+struct RunResult {
+  std::string name;
+  double best_step_ms = 0.0;
+  std::uint64_t p2p_bytes = 0;    ///< world-summed, timed steps only
+  std::uint64_t p2p_messages = 0; ///< world-summed, timed steps only
+  float final_loss = 0.0f;
+};
+
+RunResult run_config(const std::string& name, DType model_dtype,
+                     DType grad_comm_dtype) {
+  const model::GptConfig c = [&] {
+    model::GptConfig base = bench_config();
+    base.dtype = model_dtype;
+    return base;
+  }();
+  data::SyntheticCorpus corpus(c.vocab, 55);
+  data::TokenDataset dataset(corpus.generate(8000), c.seq);
+
+  const int world_size = kP * kT * kD;
+  std::vector<double> step_ms(world_size, 0.0);
+  std::vector<std::uint64_t> bytes(world_size, 0), msgs(world_size, 0);
+  std::vector<float> loss(world_size, 0.0f);
+
+  dist::World world(world_size);
+  world.run([&](dist::Comm& comm) {
+    core::EngineOptions options;
+    options.model = c;
+    options.parallel.p = kP;
+    options.parallel.t = kT;
+    options.parallel.d = kD;
+    options.parallel.b = kMicroBatch;
+    options.parallel.recompute = false;
+    options.global_batch = kGlobalBatch;
+    options.optimizer = core::EngineOptions::Opt::kSgd;
+    options.sgd.lr = 0.01f;
+    options.grad_comm_dtype = grad_comm_dtype;
+    core::PtdpEngine engine(comm, options);
+    data::ShardedLoader loader(dataset, kGlobalBatch, kMicroBatch, kD,
+                               engine.groups().coord().data, /*seed=*/88);
+    int step = 0;
+    for (int s = 0; s < kWarmupSteps; ++s) {
+      engine.train_step(loader.next_batch(step++));
+    }
+    const auto before = engine.executor().comm_stats();
+    double best = 1e30;
+    float last = 0.0f;
+    for (int s = 0; s < kTimedSteps; ++s) {
+      const auto t0 = std::chrono::steady_clock::now();
+      last = engine.train_step(loader.next_batch(step++));
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best,
+                      std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    const auto after = engine.executor().comm_stats();
+    const int r = comm.rank();
+    step_ms[static_cast<std::size_t>(r)] = best;
+    bytes[static_cast<std::size_t>(r)] = after.p2p_bytes_sent - before.p2p_bytes_sent;
+    msgs[static_cast<std::size_t>(r)] = after.p2p_messages - before.p2p_messages;
+    loss[static_cast<std::size_t>(r)] = last;
+  });
+
+  RunResult out;
+  out.name = name;
+  // A step is over when the slowest rank finishes: report the max over the
+  // world of each rank's best step time.
+  out.best_step_ms = *std::max_element(step_ms.begin(), step_ms.end());
+  for (auto b : bytes) out.p2p_bytes += b;
+  for (auto m : msgs) out.p2p_messages += m;
+  out.final_loss = loss[0];
+  return out;
+}
+
+void write_json(const std::vector<RunResult>& runs, double e2e_speedup,
+                double p2p_ratio) {
+  std::FILE* f = std::fopen("BENCH_mixed_precision.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not open BENCH_mixed_precision.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"mixed_precision_e2e\",\n");
+  std::fprintf(f, "  \"grid\": {\"p\": %d, \"t\": %d, \"d\": %d},\n", kP, kT, kD);
+  std::fprintf(f, "  \"bf16_e2e_speedup_vs_f32\": %.3f,\n", e2e_speedup);
+  std::fprintf(f, "  \"bf16_p2p_bytes_ratio_vs_f32\": %.3f,\n", p2p_ratio);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"step_ms\": %.2f, \"p2p_bytes\": "
+                 "%llu, \"p2p_messages\": %llu, \"loss\": %.4f}%s\n",
+                 r.name.c_str(), r.best_step_ms,
+                 static_cast<unsigned long long>(r.p2p_bytes),
+                 static_cast<unsigned long long>(r.p2p_messages), r.final_loss,
+                 i + 1 == runs.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_mixed_precision.json (%zu runs)\n", runs.size());
+}
+
+}  // namespace
+
+int main() {
+  std::vector<RunResult> runs;
+  runs.push_back(run_config("f32", DType::kF32, DType::kF32));
+  runs.push_back(run_config("f32_gradbf16", DType::kF32, DType::kBf16));
+  runs.push_back(run_config("bf16", DType::kBf16, DType::kF32));
+  runs.push_back(run_config("bf16_gradbf16", DType::kBf16, DType::kBf16));
+
+  const RunResult& f32 = runs[0];
+  const RunResult& bf16 = runs[3];
+  const double speedup = f32.best_step_ms / bf16.best_step_ms;
+  const double ratio =
+      static_cast<double>(bf16.p2p_bytes) / static_cast<double>(f32.p2p_bytes);
+  for (const RunResult& r : runs) {
+    std::printf("%-14s step %7.2f ms | p2p %9llu B in %llu msgs | loss %.4f\n",
+                r.name.c_str(), r.best_step_ms,
+                static_cast<unsigned long long>(r.p2p_bytes),
+                static_cast<unsigned long long>(r.p2p_messages), r.final_loss);
+  }
+  std::printf("bf16 vs f32: %.2fx e2e, p2p bytes ratio %.3f\n", speedup, ratio);
+  write_json(runs, speedup, ratio);
+  return 0;
+}

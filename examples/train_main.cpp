@@ -11,6 +11,7 @@
 //              --schedule 1f1b|gpipe|interleaved --chunks 2
 //              --steps 50 --lr 3e-3 --warmup 10 --clip 1.0
 //              --objective causal|mlm --mixed-precision --no-recompute
+//              --dtype f32|bf16 --grad-comm-dtype f32|bf16
 //              --scatter-gather --no-overlap-grad-reduce
 //              --ckpt-dir /tmp/run --ckpt-every 25 --log-every 5
 //              --eval-every 10
@@ -33,6 +34,7 @@
 // demonstrates kill -> supervisor restart -> resume from committed step.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -64,6 +66,7 @@ struct Args {
   double clip = 0.0;
   bool mlm = false;
   bool mixed = false;
+  tensor::DType grad_comm_dtype = tensor::DType::kF32;
   bool overlap_grad_reduce = true;
   std::string ckpt_dir;
   int ckpt_every = 0;
@@ -75,6 +78,12 @@ struct Args {
   std::string trace_out;    ///< Chrome trace JSON path; enables full tracing
   std::string metrics_out;  ///< metrics JSON path; enables the metrics plane
 };
+
+std::optional<tensor::DType> dtype_from(const std::string& s) {
+  if (s == "f32") return tensor::DType::kF32;
+  if (s == "bf16") return tensor::DType::kBf16;
+  return std::nullopt;
+}
 
 std::optional<dist::FaultSite> site_from(const std::string& s) {
   if (s == "send") return dist::FaultSite::kSend;
@@ -155,6 +164,15 @@ bool parse(int argc, char** argv, Args& a) {
       const std::string v = argv[++i];
       a.mlm = v == "mlm";
       a.model.causal = !a.mlm;
+    } else if (flag == "--dtype" || flag == "--grad-comm-dtype") {
+      const std::string v = argv[++i];
+      const auto dt = dtype_from(v);
+      if (!dt) {
+        std::fprintf(stderr, "unknown dtype '%s' (want f32|bf16)\n", v.c_str());
+        return false;
+      }
+      if (flag == "--dtype") a.model.dtype = *dt;
+      else a.grad_comm_dtype = *dt;
     } else if (flag == "--mixed-precision") a.mixed = true;
     else if (flag == "--no-recompute") a.parallel.recompute = false;
     else if (flag == "--scatter-gather") a.parallel.scatter_gather = true;
@@ -181,6 +199,16 @@ bool parse(int argc, char** argv, Args& a) {
 
 int main(int argc, char** argv) {
   Args args;
+  // PTDP_DTYPE=f32|bf16 sets the default weight dtype (CI smoke runs use it
+  // to sweep precision without editing command lines); --dtype wins.
+  if (const char* env = std::getenv("PTDP_DTYPE")) {
+    const auto dt = dtype_from(env);
+    if (!dt) {
+      std::fprintf(stderr, "bad PTDP_DTYPE '%s' (want f32|bf16)\n", env);
+      return 1;
+    }
+    args.model.dtype = *dt;
+  }
   if (!parse(argc, argv, args)) return 1;
 
   core::EngineOptions options;
@@ -190,6 +218,7 @@ int main(int argc, char** argv) {
   options.optimizer = core::EngineOptions::Opt::kAdam;
   options.adam.lr = args.lr;
   options.mixed_precision = args.mixed;
+  options.grad_comm_dtype = args.grad_comm_dtype;
   options.overlap_grad_reduce = args.overlap_grad_reduce;
   options.grad_clip = args.clip;
   if (args.warmup > 0) {
@@ -201,14 +230,15 @@ int main(int argc, char** argv) {
   }
 
   std::printf("model: %lldL/%lldh/%lld heads, vocab %lld, seq %lld (%.2fM params)"
-              " — %s objective\n",
+              " — %s objective, %s weights\n",
               static_cast<long long>(args.model.num_layers),
               static_cast<long long>(args.model.hidden),
               static_cast<long long>(args.model.heads),
               static_cast<long long>(args.model.vocab),
               static_cast<long long>(args.model.seq),
               static_cast<double>(args.model.exact_params()) / 1e6,
-              args.mlm ? "masked-LM" : "causal-LM");
+              args.mlm ? "masked-LM" : "causal-LM",
+              tensor::dtype_name(args.model.dtype));
   std::printf("parallelism: %s, global batch %lld, %d \"GPUs\"\n",
               args.parallel.str().c_str(),
               static_cast<long long>(args.global_batch),

@@ -28,11 +28,17 @@
 namespace ptdp::ckpt {
 
 /// One shard named by a manifest. `file` is relative to the checkpoint
-/// root (e.g. "step-12/shard-p0-t0-d0.ckpt").
+/// root (e.g. "step-12/shard-p0-t0-d0.ckpt"). `dtype` is the run's weight
+/// storage dtype ("f32"/"bf16") and `has_master_weights` whether the shard
+/// carries fp32 master copies (mixed precision) — recorded so a resume can
+/// reject a checkpoint from a different precision regime before opening
+/// any shard. Manifests written before these fields default to f32/false.
 struct ManifestEntry {
   std::string file;
   std::uint64_t bytes = 0;
   std::uint32_t crc = 0;
+  std::string dtype = "f32";
+  bool has_master_weights = false;
 };
 
 struct Manifest {
@@ -73,9 +79,13 @@ struct CommittedCheckpoint {
 /// Walks markers newest-first — the LATEST marker, then every
 /// manifest-*.json by descending step — and returns the newest one whose
 /// complete shard set validates. nullopt when no committed checkpoint
-/// survives under `dir`.
+/// survives under `dir`. When `expected_dtype` is set ("f32"/"bf16"), the
+/// newest valid checkpoint must have been written at that dtype: a
+/// mismatch CHECK-fails with a clear error rather than silently resuming
+/// from (or skipping past) a checkpoint of the wrong precision regime.
 std::optional<CommittedCheckpoint> find_latest_valid_checkpoint(
-    const std::string& dir);
+    const std::string& dir,
+    const std::optional<std::string>& expected_dtype = std::nullopt);
 
 /// Deletes committed checkpoints older than the newest `keep` (their
 /// manifest files and step directories). Invalid manifests older than the

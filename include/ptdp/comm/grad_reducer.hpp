@@ -34,6 +34,7 @@
 
 #include "ptdp/dist/comm.hpp"
 #include "ptdp/model/param.hpp"
+#include "ptdp/tensor/dtype.hpp"
 
 namespace ptdp::comm {
 
@@ -42,6 +43,14 @@ struct GradReducerOptions {
   std::int64_t bucket_elems = 1 << 16;
   /// Reduce each chunk from the executor hook instead of all at finish().
   bool overlap = true;
+  /// Wire dtype of the reduction (DESIGN.md §13). kF32 (default): ring
+  /// all-reduce in full precision — grads are born f32 from the
+  /// fp32-accumulate GEMMs, so nothing is widened or rounded. kBf16:
+  /// narrow the bucket to bf16, ring ALL-GATHER the d peers' payloads
+  /// (fewer wire bytes than an f32 all-reduce once d >= 2), then sum the
+  /// widened contributions in f32 in fixed rank order — deterministic and
+  /// identical on every rank, at the cost of one bf16 round per grad.
+  tensor::DType comm_dtype = tensor::DType::kF32;
 };
 
 class GradReducer {
@@ -84,6 +93,9 @@ class GradReducer {
 
  private:
   void reduce_chunk(std::size_t c, bool overlapped);
+  /// All-reduce-average `data` in place over the data group, in the
+  /// configured wire dtype (see GradReducerOptions::comm_dtype).
+  void reduce_span(std::span<float> data);
 
   std::vector<model::ParamRefs> chunk_params_;
   dist::Comm data_;
@@ -95,6 +107,9 @@ class GradReducer {
   /// allocations (memory plane, DESIGN.md §12).
   std::vector<float> bucket_;
   std::vector<model::Param*> members_;
+  /// bf16 wire staging (comm_dtype == kBf16 only), reused like bucket_.
+  std::vector<tensor::bf16_t> wire16_;
+  std::vector<tensor::bf16_t> gathered16_;
   std::uint64_t elems_reduced_ = 0;
   std::uint64_t elems_overlapped_ = 0;
 };

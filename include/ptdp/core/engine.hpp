@@ -47,8 +47,16 @@ struct EngineOptions {
   Opt optimizer = Opt::kSgd;
   optim::SgdOptions sgd{};
   optim::AdamOptions adam{};
+  /// fp32 master weights + dynamic loss scaling (optim/mixed_precision.hpp).
+  /// Forced on when model.dtype == kBf16 — bf16 params require the master-
+  /// weight step path; leaving it false there is not an option.
   bool mixed_precision = false;
   optim::LossScalerOptions scaler{};
+  /// Wire dtype of the data-parallel grad reduction (see
+  /// comm::GradReducerOptions::comm_dtype). Independent of model.dtype:
+  /// grads are born f32 either way, so f32 reduction stays exact even for
+  /// bf16 models, and bf16 reduction is an opt-in bytes-for-rounding trade.
+  tensor::DType grad_comm_dtype = tensor::DType::kF32;
   double grad_clip = 0.0;  ///< 0 disables clipping
   /// Data-parallel grad all-reduce bucketing: each chunk's grads are
   /// flattened into buckets of up to this many elements and reduced per
@@ -89,6 +97,10 @@ struct StepStats {
   /// Fraction of data-parallel grad elements whose reduction overlapped the
   /// pipeline (0 when d == 1 / ZeRO / overlap off).
   double grad_reduce_overlap = 0.0;
+  /// Dynamic loss scale in effect after this step (1 when mixed precision
+  /// is off) and cumulative steps skipped on grad overflow so far.
+  float loss_scale = 1.0f;
+  std::int64_t overflow_steps = 0;
   /// MEASURED peak tensor bytes live on this rank's thread during the step
   /// (requested bytes, from the ptdp::mem allocator — the empirical
   /// counterpart of the §3.5 analytic activation-memory model). Per-rank:
@@ -162,6 +174,7 @@ class PtdpEngine {
   std::unique_ptr<comm::GradReducer> grad_reducer_;  ///< null when d == 1 or ZeRO
   std::unique_ptr<optim::Optimizer> optimizer_;
   optim::MixedPrecisionOptimizer* mixed_ = nullptr;  ///< non-owning view
+  std::int64_t reported_skipped_ = 0;  ///< overflow steps already counted
   double last_grad_norm_ = 0.0;
   std::optional<optim::LrSchedule> lr_schedule_;
   std::int64_t step_counter_ = 0;

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "ptdp/tensor/dtype.hpp"
+
 namespace ptdp::model {
 
 struct GptConfig {
@@ -18,6 +20,12 @@ struct GptConfig {
   float dropout = 0.0f;          ///< attention/hidden dropout probability
   float init_stddev = 0.02f;     ///< N(0, σ²) weight init
   std::uint64_t seed = 1234;     ///< global init seed
+  /// Working dtype of the GEMM weight matrices (QKV/proj/fc1/fc2). bf16
+  /// halves their storage and GEMM read traffic; init still draws in f32
+  /// (then rounds), gradients accumulate in f32, and the small fp32-compute
+  /// params (biases, layernorm, embeddings) stay f32 — DESIGN.md §13.
+  /// bf16 requires the engine's mixed-precision optimizer (fp32 masters).
+  tensor::DType dtype = tensor::DType::kF32;
   /// true = GPT-style autoregressive attention (the fused implicit-causal
   /// softmax kernel); false = BERT-style bidirectional attention (the fused
   /// general-mask kernel) — see §4.2's two custom kernels.

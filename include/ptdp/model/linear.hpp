@@ -26,10 +26,13 @@ class ColumnParallelLinear {
  public:
   /// Weight is logically [in, out]; this rank holds columns
   /// [rank*out/t, (rank+1)*out/t). `skip_bias_add` leaves the (sharded)
-  /// bias un-applied so a fused kernel can consume it.
+  /// bias un-applied so a fused kernel can consume it. `dtype` is the
+  /// weight's STORAGE dtype: init draws in f32 (identical bits regardless
+  /// of dtype) then rounds, gradients and the bias stay f32 (DESIGN.md §13).
   ColumnParallelLinear(std::string name, std::int64_t in, std::int64_t out,
                        dist::Comm tp, float stddev, std::uint64_t seed,
-                       bool skip_bias_add = false);
+                       bool skip_bias_add = false,
+                       tensor::DType dtype = tensor::DType::kF32);
 
   /// x: [n, in] replicated. Returns [n, out/t] (bias applied unless skipped).
   tensor::Tensor forward(const tensor::Tensor& x, LinearCache& cache);
@@ -60,7 +63,8 @@ class RowParallelLinear {
   /// replicated and applied once after the all-reduce (or skipped).
   RowParallelLinear(std::string name, std::int64_t in, std::int64_t out,
                     dist::Comm tp, float stddev, std::uint64_t seed,
-                    bool skip_bias_add = false);
+                    bool skip_bias_add = false,
+                    tensor::DType dtype = tensor::DType::kF32);
 
   /// x: [n, in/t] local shard. Returns [n, out] replicated (operator g
   /// forward = all-reduce), bias applied unless skipped.

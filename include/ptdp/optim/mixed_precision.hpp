@@ -1,12 +1,17 @@
 #pragma once
 
-// Mixed-precision emulation (§5's runs are fp16 with fp32 master weights).
-// There is no 16-bit arithmetic on this substrate, so we emulate the
-// *numerics*: model weights are rounded to bfloat16 after every optimizer
-// step while the optimizer updates full-precision master copies, and a
-// dynamic loss scaler skips steps whose grads contain inf/nan. This
-// exercises the same state layout (master fp32 + working low precision +
-// scaler) the paper's training loop carries.
+// Mixed precision (§5's runs are fp16 with fp32 master weights; we use
+// bf16 — DESIGN.md §13). Two modes per parameter, chosen by its storage
+// dtype:
+//   - bf16 STORAGE params (the GEMM weights when GptConfig.dtype=bf16):
+//     the optimizer keeps an fp32 master; each step swaps the master in as
+//     the param's value, runs the inner optimizer on it in full precision,
+//     then rounds the result back into the bf16 working tensor.
+//   - f32 params: numerics-only emulation — the value is rounded to
+//     bf16-representable floats after every step while the master stays
+//     full precision. Same state layout, f32 storage.
+// A dynamic loss scaler skips steps whose grads contain inf/nan and
+// grows/backs off the scale, matching the paper's training loop.
 
 #include <memory>
 
@@ -14,7 +19,8 @@
 
 namespace ptdp::optim {
 
-/// Rounds every element to the nearest bfloat16 (round-to-nearest-even).
+/// Rounds every element of an f32 tensor to the nearest bfloat16-
+/// representable float (round-to-nearest-even), in place.
 void truncate_to_bf16(tensor::Tensor& t);
 float bf16_round(float v);
 
@@ -52,7 +58,10 @@ bool grads_have_overflow(const model::ParamRefs& params);
 /// dynamic loss scaling. Usage per batch:
 ///   engine scales microbatch loss grads by scaler().scale();
 ///   wrapper.step() unscales, checks overflow, steps or skips, and
-///   re-truncates the working weights.
+///   rounds the working weights back to bf16.
+/// Inner optimizers only ever see f32 values: bf16 params have their fp32
+/// master swapped in for the duration of the inner step, so Sgd/Adam stay
+/// dtype-oblivious.
 class MixedPrecisionOptimizer final : public Optimizer {
  public:
   MixedPrecisionOptimizer(std::unique_ptr<Optimizer> inner,
@@ -75,6 +84,9 @@ class MixedPrecisionOptimizer final : public Optimizer {
   std::unique_ptr<Optimizer> inner_;
   DynamicLossScaler scaler_;
   std::vector<tensor::Tensor> master_;  ///< fp32 master copy per param
+  /// The param's own bf16 tensor for bf16-storage params (shares storage
+  /// with the model); undefined for f32 params (emulation mode).
+  std::vector<tensor::Tensor> working_;
   std::int64_t skipped_ = 0;
 };
 

@@ -33,6 +33,7 @@
 #include "ptdp/dist/comm.hpp"
 #include "ptdp/model/stage.hpp"
 #include "ptdp/pipeline/schedule.hpp"
+#include "ptdp/tensor/dtype.hpp"
 
 namespace ptdp::pipeline {
 
@@ -45,6 +46,13 @@ struct ExecutorOptions {
   /// Pre-post the next scheduled op's irecv before the current op's
   /// compute. Off = post each receive immediately before its use.
   bool prepost_recv = true;
+  /// Wire dtype of inter-stage boundary tensors (DESIGN.md §13). kBf16
+  /// narrows activations/grads to bf16 before the isend and widens after
+  /// the irecv (and all-gathers bf16 strips under scatter/gather), halving
+  /// p2p bytes. Compute stays f32 either way; the rounding is deterministic,
+  /// so runs are still bitwise-reproducible at fixed dtype. Composes with
+  /// scatter_gather for a combined 2t x byte reduction.
+  tensor::DType boundary_dtype = tensor::DType::kF32;
 };
 
 /// Bytes/messages this rank pushed across pipeline-stage boundaries.

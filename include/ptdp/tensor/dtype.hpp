@@ -1,0 +1,63 @@
+#pragma once
+
+// The dtype axis of ptdp::tensor (DESIGN.md §13). Two storage types:
+//
+//   f32   IEEE binary32 — the compute type. Every kernel accumulates in
+//         f32 regardless of input dtype, which is what keeps results
+//         bitwise-deterministic across thread counts.
+//   bf16  bfloat16 stored as raw uint16 bit patterns (the high 16 bits of
+//         the corresponding f32). Same exponent range as f32, 8-bit
+//         significand: casts never overflow, so bf16 needs no loss-scale
+//         protection on the *weights* — the dynamic loss scaler exists for
+//         small activation gradients, not for range.
+//
+// Conversions: f32 -> bf16 rounds to nearest-even on the truncated 16
+// mantissa bits (identical numerics to optim::bf16_round, which is the
+// scalar emulation this module supersedes); bf16 -> f32 is exact (shift).
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string_view>
+
+namespace ptdp::tensor {
+
+enum class DType : std::uint8_t { kF32 = 0, kBf16 = 1 };
+
+/// bf16 payload type: the raw upper-16-bits-of-f32 pattern. Kept as an
+/// integer (not a wrapper class) so comm templates over trivially-copyable
+/// spans and byte-exact I/O work unchanged.
+using bf16_t = std::uint16_t;
+
+constexpr std::size_t dtype_size(DType d) {
+  return d == DType::kBf16 ? sizeof(bf16_t) : sizeof(float);
+}
+
+constexpr const char* dtype_name(DType d) {
+  return d == DType::kBf16 ? "bf16" : "f32";
+}
+
+/// Parses "f32"/"bf16"; nullopt for anything else.
+inline std::optional<DType> dtype_from_name(std::string_view name) {
+  if (name == "f32") return DType::kF32;
+  if (name == "bf16") return DType::kBf16;
+  return std::nullopt;
+}
+
+/// Exact widening: bf16 bits are the high half of the f32 pattern.
+inline float bf16_to_f32(bf16_t v) {
+  const std::uint32_t bits = static_cast<std::uint32_t>(v) << 16;
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+/// Round-to-nearest-even narrowing on the truncated 16 mantissa bits.
+inline bf16_t f32_to_bf16(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const std::uint32_t rounding = 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<bf16_t>((bits + rounding) >> 16);
+}
+
+}  // namespace ptdp::tensor

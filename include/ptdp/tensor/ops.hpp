@@ -18,6 +18,12 @@ namespace ptdp::tensor {
 // All matrices are row-major. The _nt/_tn suffix names which operand is
 // transposed, matching BLAS mnemonics. These three cover every product a
 // linear layer's forward and backward need.
+//
+// Dtype: each input may independently be f32 or bf16 (bf16 operands are
+// widened inline while packing panels); the output and the accumulation
+// are always f32, so results stay bitwise-deterministic across thread
+// counts at any input dtype. Every other kernel in this library is
+// f32-only (layernorm/softmax/losses stay fp32-compute — DESIGN.md §13).
 
 /// C[m,n] = A[m,k] · B[k,n]
 Tensor matmul(const Tensor& a, const Tensor& b);

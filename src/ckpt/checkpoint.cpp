@@ -20,7 +20,11 @@ namespace ptdp::ckpt {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x5054'4450'434B'5031ULL;  // "PTDPCKP1"
-constexpr std::uint32_t kVersion = 1;
+// v1: implicit f32 payloads. v2: a u32 dtype code follows each tensor's
+// shape (payload bytes are numel * itemsize). Readers accept both; writers
+// always emit v2.
+constexpr std::uint32_t kVersionF32Only = 1;
+constexpr std::uint32_t kVersion = 2;
 
 const std::array<std::uint32_t, 256>& crc_table() {
   static const auto table = [] {
@@ -43,6 +47,19 @@ T read_pod(std::ifstream& is) {
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
   PTDP_CHECK(is.good()) << "truncated checkpoint";
   return v;
+}
+
+std::uint32_t read_version(std::ifstream& is, const std::string& path) {
+  const auto v = read_pod<std::uint32_t>(is);
+  PTDP_CHECK(v == kVersionF32Only || v == kVersion)
+      << "unsupported checkpoint version " << v << " in " << path;
+  return v;
+}
+
+tensor::DType dtype_from_code(std::uint32_t code, const std::string& name) {
+  PTDP_CHECK_LE(code, static_cast<std::uint32_t>(tensor::DType::kBf16))
+      << "unknown dtype code " << code << " for tensor " << name;
+  return static_cast<tensor::DType>(code);
 }
 
 // Thread-local fault-injection hook (one rank == one thread in the
@@ -200,9 +217,10 @@ SaveResult save_checkpoint(const std::string& path, const NamedTensors& tensors,
       os.write(name.data(), name.size());
       os.write_pod(static_cast<std::uint32_t>(t->ndim()));
       for (std::int64_t d : t->shape()) os.write_pod(static_cast<std::int64_t>(d));
-      auto data = t->data();
-      os.write_pod(crc32(data.data(), data.size_bytes()));
-      os.write(data.data(), data.size_bytes());
+      os.write_pod(static_cast<std::uint32_t>(t->dtype()));
+      auto data = t->raw_bytes();
+      os.write_pod(crc32(data.data(), data.size()));
+      os.write(data.data(), data.size());
     }
     os.flush();
     fire_hook(path, tmp, WritePhase::kPayloadWritten);
@@ -225,7 +243,7 @@ CheckpointMeta load_checkpoint(const std::string& path, const NamedTensors& tens
   std::ifstream is(path, std::ios::binary);
   PTDP_CHECK(is.good()) << "cannot open " << path;
   PTDP_CHECK_EQ(read_pod<std::uint64_t>(is), kMagic) << "bad magic in " << path;
-  PTDP_CHECK_EQ(read_pod<std::uint32_t>(is), kVersion) << "bad version in " << path;
+  const auto version = read_version(is, path);
   CheckpointMeta meta;
   meta.step = read_pod<std::uint64_t>(is);
   meta.extra = read_pod<std::uint64_t>(is);
@@ -245,12 +263,20 @@ CheckpointMeta load_checkpoint(const std::string& path, const NamedTensors& tens
     for (auto& d : shape) d = read_pod<std::int64_t>(is);
     PTDP_CHECK(shape == t->shape())
         << name << ": checkpoint shape differs from model shape " << t->shape_str();
+    const tensor::DType saved_dtype =
+        version >= kVersion ? dtype_from_code(read_pod<std::uint32_t>(is), name)
+                            : tensor::DType::kF32;
+    PTDP_CHECK(saved_dtype == t->dtype())
+        << name << ": checkpoint dtype " << tensor::dtype_name(saved_dtype)
+        << " does not match model dtype " << tensor::dtype_name(t->dtype())
+        << " — resume with a matching GptConfig.dtype (checkpoints are not "
+           "converted on load)";
     const auto saved_crc = read_pod<std::uint32_t>(is);
-    auto data = t->data();
+    auto data = t->raw_bytes();
     is.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size_bytes()));
+            static_cast<std::streamsize>(data.size()));
     PTDP_CHECK(is.good()) << "truncated tensor payload for " << name;
-    PTDP_CHECK_EQ(crc32(data.data(), data.size_bytes()), saved_crc)
+    PTDP_CHECK_EQ(crc32(data.data(), data.size()), saved_crc)
         << "CRC mismatch for " << name << " — corrupted checkpoint";
   }
   return meta;
@@ -260,7 +286,7 @@ CheckpointMeta peek_checkpoint(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   PTDP_CHECK(is.good()) << "cannot open " << path;
   PTDP_CHECK_EQ(read_pod<std::uint64_t>(is), kMagic) << "bad magic in " << path;
-  PTDP_CHECK_EQ(read_pod<std::uint32_t>(is), kVersion) << "bad version in " << path;
+  read_version(is, path);
   CheckpointMeta meta;
   meta.step = read_pod<std::uint64_t>(is);
   meta.extra = read_pod<std::uint64_t>(is);
@@ -269,23 +295,28 @@ CheckpointMeta peek_checkpoint(const std::string& path) {
 
 namespace {
 
-// Shared payload reader: consumes one (name, shape, crc, data) record.
-std::pair<std::string, tensor::Tensor> read_one_tensor(std::ifstream& is) {
+// Shared payload reader: consumes one (name, shape, [dtype,] crc, data)
+// record in the given format version.
+std::pair<std::string, tensor::Tensor> read_one_tensor(std::ifstream& is,
+                                                       std::uint32_t version) {
   const auto name_len = read_pod<std::uint32_t>(is);
   std::string name(name_len, '\0');
   is.read(name.data(), name_len);
   const auto ndim = read_pod<std::uint32_t>(is);
   tensor::Shape shape(ndim);
   for (auto& d : shape) d = read_pod<std::int64_t>(is);
+  const tensor::DType dtype =
+      version >= kVersion ? dtype_from_code(read_pod<std::uint32_t>(is), name)
+                          : tensor::DType::kF32;
   const auto saved_crc = read_pod<std::uint32_t>(is);
-  std::vector<float> values(static_cast<std::size_t>(tensor::numel_of(shape)));
-  is.read(reinterpret_cast<char*>(values.data()),
-          static_cast<std::streamsize>(values.size() * sizeof(float)));
+  tensor::Tensor t = tensor::Tensor::empty(std::move(shape), dtype);
+  auto data = t.raw_bytes();
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
   PTDP_CHECK(is.good()) << "truncated tensor payload for " << name;
-  PTDP_CHECK_EQ(crc32(values.data(), values.size() * sizeof(float)), saved_crc)
+  PTDP_CHECK_EQ(crc32(data.data(), data.size()), saved_crc)
       << "CRC mismatch for " << name;
-  return {std::move(name), tensor::Tensor::from_vector(std::move(shape),
-                                                       std::move(values))};
+  return {std::move(name), std::move(t)};
 }
 
 }  // namespace
@@ -294,7 +325,7 @@ OwnedTensors read_all(const std::string& path, CheckpointMeta* meta_out) {
   std::ifstream is(path, std::ios::binary);
   PTDP_CHECK(is.good()) << "cannot open " << path;
   PTDP_CHECK_EQ(read_pod<std::uint64_t>(is), kMagic) << "bad magic in " << path;
-  PTDP_CHECK_EQ(read_pod<std::uint32_t>(is), kVersion) << "bad version in " << path;
+  const auto version = read_version(is, path);
   CheckpointMeta meta;
   meta.step = read_pod<std::uint64_t>(is);
   meta.extra = read_pod<std::uint64_t>(is);
@@ -302,7 +333,9 @@ OwnedTensors read_all(const std::string& path, CheckpointMeta* meta_out) {
   const auto count = read_pod<std::uint64_t>(is);
   OwnedTensors all;
   all.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) all.push_back(read_one_tensor(is));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    all.push_back(read_one_tensor(is, version));
+  }
   return all;
 }
 

@@ -97,8 +97,9 @@ std::string manifest_to_json(const Manifest& m) {
   for (std::size_t i = 0; i < m.shards.size(); ++i) {
     const ManifestEntry& e = m.shards[i];
     os << "    { \"file\": \"" << e.file << "\", \"bytes\": " << e.bytes
-       << ", \"crc\": " << e.crc << " }" << (i + 1 < m.shards.size() ? "," : "")
-       << "\n";
+       << ", \"crc\": " << e.crc << ", \"dtype\": \"" << e.dtype
+       << "\", \"master\": " << (e.has_master_weights ? 1 : 0) << " }"
+       << (i + 1 < m.shards.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
   os << "}\n";
@@ -129,11 +130,25 @@ std::optional<Manifest> parse_manifest_json(const std::string& text) {
           !parse_string(text, pos, &e.file) || !expect(text, pos, ',') ||
           !parse_key(text, pos, "bytes") || !parse_u64(text, pos, &e.bytes) ||
           !expect(text, pos, ',') || !parse_key(text, pos, "crc") ||
-          !parse_u64(text, pos, &crc) || !expect(text, pos, '}')) {
+          !parse_u64(text, pos, &crc)) {
         return std::nullopt;
       }
       if (crc > 0xFFFFFFFFull) return std::nullopt;
       e.crc = static_cast<std::uint32_t>(crc);
+      // Optional precision fields (absent in manifests written before the
+      // mixed-precision plane; ManifestEntry defaults cover those).
+      if (!skip_ws(text, pos)) return std::nullopt;
+      if (text[pos] == ',') {
+        ++pos;
+        std::uint64_t master = 0;
+        if (!parse_key(text, pos, "dtype") || !parse_string(text, pos, &e.dtype) ||
+            !expect(text, pos, ',') || !parse_key(text, pos, "master") ||
+            !parse_u64(text, pos, &master) || master > 1) {
+          return std::nullopt;
+        }
+        e.has_master_weights = master == 1;
+      }
+      if (!expect(text, pos, '}')) return std::nullopt;
       m.shards.push_back(std::move(e));
       if (!skip_ws(text, pos)) return std::nullopt;
       if (text[pos] == ',') {
@@ -189,7 +204,7 @@ bool validate_manifest(const std::string& dir, const Manifest& m) {
 }
 
 std::optional<CommittedCheckpoint> find_latest_valid_checkpoint(
-    const std::string& dir) {
+    const std::string& dir, const std::optional<std::string>& expected_dtype) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec) || ec) return std::nullopt;
 
@@ -231,6 +246,19 @@ std::optional<CommittedCheckpoint> find_latest_valid_checkpoint(
     const auto m = read_manifest(dir + "/" + name);
     if (!m) continue;
     if (!validate_manifest(dir, *m)) continue;
+    if (expected_dtype) {
+      // The newest valid checkpoint decides: resuming a run at a different
+      // precision than it was checkpointed at is an operator error, not
+      // something to silently skip past in search of an older match.
+      for (const ManifestEntry& e : m->shards) {
+        PTDP_CHECK_EQ(e.dtype, *expected_dtype)
+            << "checkpoint " << name << " (shard " << e.file
+            << ") was written with dtype " << e.dtype
+            << " but this run uses dtype " << *expected_dtype
+            << " — restart with the matching GptConfig.dtype or point at a "
+               "different checkpoint dir";
+      }
+    }
     return CommittedCheckpoint{*m, dir, step_dir(dir, m->step)};
   }
   return std::nullopt;

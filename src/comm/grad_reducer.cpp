@@ -1,6 +1,7 @@
 #include "ptdp/comm/grad_reducer.hpp"
 
 #include "ptdp/obs/trace.hpp"
+#include "ptdp/tensor/tensor.hpp"
 
 namespace ptdp::comm {
 
@@ -38,20 +39,45 @@ void GradReducer::finish() {
   reduced_.assign(chunk_params_.size(), false);
 }
 
+void GradReducer::reduce_span(std::span<float> data) {
+  const float inv_d = 1.0f / static_cast<float>(data_.size());
+  if (options_.comm_dtype == tensor::DType::kBf16) {
+    // Low-precision reduction: each rank contributes its grads as bf16,
+    // the group all-gathers the d payloads (half the wire bytes of an f32
+    // ring all-reduce at d = 2), and every rank sums the widened
+    // contributions in f32 in rank order — a fixed association, so the
+    // result is deterministic and identical on all ranks.
+    const std::size_t n = data.size();
+    const std::size_t d = static_cast<std::size_t>(data_.size());
+    wire16_.resize(n);
+    tensor::narrow_bf16(data, std::span<tensor::bf16_t>(wire16_));
+    gathered16_.resize(n * d);
+    data_.all_gather(std::span<const tensor::bf16_t>(wire16_),
+                     std::span<tensor::bf16_t>(gathered16_));
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t r = 0; r < d; ++r) {
+        acc += tensor::bf16_to_f32(gathered16_[r * n + j]);
+      }
+      data[j] = acc * inv_d;
+    }
+    return;
+  }
+  data_.all_reduce(data);
+  for (float& v : data) v *= inv_d;
+}
+
 void GradReducer::reduce_chunk(std::size_t c, bool overlapped) {
   obs::Span span("grad_reduce", obs::Cat::kCollective,
                  {{"chunk", static_cast<std::int64_t>(c)},
                   {"overlapped", overlapped ? 1 : 0}});
   const std::uint64_t before = elems_reduced_;
-  const float inv_d = 1.0f / static_cast<float>(data_.size());
   const std::int64_t cap = options_.bucket_elems;
   reduced_[c] = true;
   if (cap <= 0) {
     for (Param* p : chunk_params_[c]) {
-      data_.all_reduce(p->grad.data());
-      auto g = p->grad.data();
-      for (float& v : g) v *= inv_d;
-      elems_reduced_ += g.size();
+      reduce_span(p->grad.data());
+      elems_reduced_ += p->grad.data().size();
     }
     if (overlapped) elems_overlapped_ += elems_reduced_ - before;
     span.arg("elems", static_cast<std::int64_t>(elems_reduced_ - before));
@@ -65,12 +91,12 @@ void GradReducer::reduce_chunk(std::size_t c, bool overlapped) {
   members.clear();
   auto flush = [&] {
     if (bucket.empty()) return;
-    data_.all_reduce(std::span<float>(bucket));
+    reduce_span(std::span<float>(bucket));
     elems_reduced_ += bucket.size();
     std::size_t off = 0;
     for (Param* p : members) {
       auto g = p->grad.data();
-      for (std::size_t j = 0; j < g.size(); ++j) g[j] = bucket[off + j] * inv_d;
+      for (std::size_t j = 0; j < g.size(); ++j) g[j] = bucket[off + j];
       off += g.size();
     }
     bucket.clear();

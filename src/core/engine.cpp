@@ -28,6 +28,15 @@ PtdpEngine::PtdpEngine(dist::Comm& world, EngineOptions options)
   PTDP_CHECK_EQ(world.size(), cfg.n())
       << "world size " << world.size() << " != p*t*d for " << cfg.str();
 
+  if (options_.model.dtype == tensor::DType::kBf16) {
+    // bf16 weights only exist behind fp32 masters: the plain optimizers
+    // write f32 values, so the mixed-precision wrapper's master-swap step
+    // path is mandatory (and ZeRO's sharded state doesn't carry masters).
+    PTDP_CHECK(options_.optimizer != EngineOptions::Opt::kZeroAdam)
+        << "ZeRO-sharded Adam does not support bf16 weights";
+    options_.mixed_precision = true;
+  }
+
   groups_ = std::make_unique<dist::ProcessGroups>(world, cfg.p, cfg.t, cfg.d);
 
   // Build this rank's v chunks: chunk c is virtual stage c*p + rank with
@@ -59,6 +68,9 @@ PtdpEngine::PtdpEngine(dist::Comm& world, EngineOptions options)
   for (auto& c : chunks_) raw.push_back(c.get());
   pipeline::ExecutorOptions exec_opts;
   exec_opts.scatter_gather = cfg.scatter_gather;
+  // bf16 models transmit bf16 stage boundaries: activations feeding bf16
+  // GEMMs lose nothing extra, and p2p volume halves (DESIGN.md §13).
+  exec_opts.boundary_dtype = options_.model.dtype;
   executor_ = std::make_unique<pipeline::PipelineExecutor>(
       raw, groups_->pipeline(), groups_->tensor(),
       cfg.schedule_params(options_.global_batch), exec_opts);
@@ -76,6 +88,7 @@ PtdpEngine::PtdpEngine(dist::Comm& world, EngineOptions options)
     comm::GradReducerOptions reducer_opts;
     reducer_opts.bucket_elems = options_.dp_bucket_elems;
     reducer_opts.overlap = options_.overlap_grad_reduce;
+    reducer_opts.comm_dtype = options_.grad_comm_dtype;
     grad_reducer_ = std::make_unique<comm::GradReducer>(
         std::move(chunk_params), groups_->data(), reducer_opts, std::move(defer));
     executor_->set_chunk_backward_hook(
@@ -183,6 +196,8 @@ float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
       stats_.achieved_flops_per_second / static_cast<double>(cfg.n());
   stats_.grad_reduce_overlap =
       grad_reducer_ ? grad_reducer_->overlap_ratio() : 0.0;
+  stats_.loss_scale = mixed_ != nullptr ? mixed_->scaler().scale() : 1.0f;
+  stats_.overflow_steps = mixed_ != nullptr ? mixed_->skipped_steps() : 0;
   const mem::PoolStats mem_after = mem::thread_stats();
   stats_.peak_memory_bytes = mem_after.peak_bytes;
   stats_.mem_acquires = mem_after.acquires - mem_before.acquires;
@@ -201,6 +216,15 @@ float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
     metrics.gauge("engine.achieved_flops_per_second")
         .set(stats_.achieved_flops_per_second);
     metrics.gauge("engine.grad_reduce_overlap").set(stats_.grad_reduce_overlap);
+    if (mixed_ != nullptr) {
+      // Scaler telemetry: the live scale plus overflow-skip increments
+      // since the last report (the counter stays a sum of deltas even if
+      // metrics were toggled mid-run).
+      metrics.gauge("optim.loss_scale").set(stats_.loss_scale);
+      metrics.counter("optim.overflow_steps")
+          .add(stats_.overflow_steps - reported_skipped_);
+      reported_skipped_ = stats_.overflow_steps;
+    }
     metrics.counter("mem.acquires").add(
         static_cast<std::int64_t>(stats_.mem_acquires));
     metrics.counter("mem.heap_allocs").add(
@@ -291,7 +315,15 @@ void PtdpEngine::save_checkpoint(const std::string& dir, std::uint64_t step) {
   if (world.rank() == 0) {
     ckpt::Manifest m{step, 0, {}};
     m.shards.reserve(all.size());
-    for (const auto& msg : all) m.shards.push_back(unpack_entry(msg));
+    for (const auto& msg : all) {
+      ckpt::ManifestEntry e = unpack_entry(msg);
+      // Precision metadata is uniform across ranks (one EngineOptions per
+      // world), so rank 0 stamps it from its own options rather than
+      // widening the wire format of the per-rank entry exchange.
+      e.dtype = tensor::dtype_name(options_.model.dtype);
+      e.has_master_weights = options_.mixed_precision;
+      m.shards.push_back(std::move(e));
+    }
     ckpt::write_manifest(dir, m);
     ckpt::gc_checkpoints(dir, options_.ckpt_keep);
   }
@@ -314,7 +346,10 @@ std::uint64_t PtdpEngine::load_checkpoint(const std::string& dir) {
   const dist::Comm& world = groups_->world();
   std::int64_t chosen = -1;
   if (world.rank() == 0) {
-    if (const auto best = ckpt::find_latest_valid_checkpoint(dir)) {
+    // Rejects (CHECK-fails) if the newest valid checkpoint was written at a
+    // different weight dtype than this run — see find_latest_valid_checkpoint.
+    if (const auto best = ckpt::find_latest_valid_checkpoint(
+            dir, std::string(tensor::dtype_name(options_.model.dtype)))) {
       chosen = static_cast<std::int64_t>(best->step());
     }
   }

@@ -20,12 +20,12 @@ ParallelAttention::ParallelAttention(const GptConfig& config,
     : config_(config),
       layer_idx_(global_layer_idx),
       qkv_(layer_name(global_layer_idx, "qkv"), config.hidden, 3 * config.hidden, tp,
-           config.init_stddev, config.seed, /*skip_bias_add=*/false),
+           config.init_stddev, config.seed, /*skip_bias_add=*/false, config.dtype),
       proj_(layer_name(global_layer_idx, "proj"), config.hidden, config.hidden, tp,
             // Scaled init for residual-path projections (Megatron convention).
             config.init_stddev /
                 std::sqrt(2.0f * static_cast<float>(config.num_layers)),
-            config.seed, /*skip_bias_add=*/true) {
+            config.seed, /*skip_bias_add=*/true, config.dtype) {
   const int t = tp.size();
   PTDP_CHECK_EQ(config.heads % t, 0)
       << "attention heads (" << config.heads << ") must divide by tensor size " << t;

@@ -49,8 +49,14 @@ float GptHead::forward(const Tensor& x, std::span<const std::int32_t> targets,
   Tensor x2d = x.view({n, h});
   cache.ln = tensor::layernorm(x2d, ln_gamma_.value, ln_beta_.value);
 
-  // Column-parallel logits through the tied embedding: [n, V/t].
-  Tensor logits = tensor::matmul_nt(cache.ln.y, word_->value);
+  // Column-parallel logits through the tied embedding: [n, V/t]. With bf16
+  // tied weights the LN output is narrowed for the product (both GEMM
+  // operands at storage precision, f32 accumulate — DESIGN.md §13); the
+  // cache keeps the f32 LN output the layernorm backward needs.
+  Tensor logits = word_->value.dtype() == tensor::DType::kBf16
+                      ? tensor::matmul_nt(
+                            cache.ln.y.to(tensor::DType::kBf16), word_->value)
+                      : tensor::matmul_nt(cache.ln.y, word_->value);
 
   // Vocab-parallel cross entropy.
   Tensor rowmax = tensor::row_max(logits);                 // local max

@@ -6,10 +6,28 @@ namespace ptdp::model {
 
 using tensor::Tensor;
 
+namespace {
+
+// Mixed-precision GEMM input rule (DESIGN.md §13): when the layer stores
+// bf16 weights, the activation operand is narrowed to bf16 as well, so the
+// product runs both operands at storage precision (and hits the native
+// bf16 kernel where the CPU has one) while accumulation and the returned
+// activations stay f32. The narrowed copy is what the cache keeps, halving
+// cached-activation bytes. f32 layers pass through untouched.
+Tensor gemm_input(const Tensor& x, const Tensor& weight) {
+  if (weight.dtype() == tensor::DType::kBf16 &&
+      x.dtype() == tensor::DType::kF32) {
+    return x.to(tensor::DType::kBf16);
+  }
+  return x;
+}
+
+}  // namespace
+
 ColumnParallelLinear::ColumnParallelLinear(std::string name, std::int64_t in,
                                            std::int64_t out, dist::Comm tp,
                                            float stddev, std::uint64_t seed,
-                                           bool skip_bias_add)
+                                           bool skip_bias_add, tensor::DType dtype)
     : name_(std::move(name)), tp_(std::move(tp)), in_(in), out_(out),
       skip_bias_add_(skip_bias_add) {
   const int t = tp_.size();
@@ -18,7 +36,8 @@ ColumnParallelLinear::ColumnParallelLinear(std::string name, std::int64_t in,
   const std::int64_t c0 = tp_.rank() * out_per_rank_;
   const std::int64_t c1 = c0 + out_per_rank_;
   weight_ = Param{name_ + ".weight",
-                  init_weight_shard(name_ + ".weight", in_, out_, c0, c1, stddev, seed),
+                  init_weight_shard(name_ + ".weight", in_, out_, c0, c1, stddev, seed)
+                      .to(dtype),
                   Tensor({in_, out_per_rank_}), /*replicated=*/false};
   // Biases init to zero (standard GPT practice); still keyed by shard range.
   bias_ = Param{name_ + ".bias", Tensor({out_per_rank_}), Tensor({out_per_rank_}),
@@ -27,8 +46,8 @@ ColumnParallelLinear::ColumnParallelLinear(std::string name, std::int64_t in,
 
 Tensor ColumnParallelLinear::forward(const Tensor& x, LinearCache& cache) {
   PTDP_CHECK_EQ(x.dim(-1), in_) << name_;
-  cache.input = x;  // shares storage; cheap
-  Tensor y = tensor::matmul(x, weight_.value);
+  cache.input = gemm_input(x, weight_.value);  // f32: shares storage; cheap
+  Tensor y = tensor::matmul(cache.input, weight_.value);
   if (!skip_bias_add_) y = tensor::add_bias(y, bias_.value);
   return y;
 }
@@ -51,7 +70,8 @@ void ColumnParallelLinear::collect_params(ParamRefs& out) {
 
 RowParallelLinear::RowParallelLinear(std::string name, std::int64_t in,
                                      std::int64_t out, dist::Comm tp, float stddev,
-                                     std::uint64_t seed, bool skip_bias_add)
+                                     std::uint64_t seed, bool skip_bias_add,
+                                     tensor::DType dtype)
     : name_(std::move(name)), tp_(std::move(tp)), in_(in), out_(out),
       skip_bias_add_(skip_bias_add) {
   const int t = tp_.size();
@@ -61,7 +81,8 @@ RowParallelLinear::RowParallelLinear(std::string name, std::int64_t in,
   const std::int64_t r1 = r0 + in_per_rank_;
   weight_ = Param{
       name_ + ".weight",
-      init_weight_row_shard(name_ + ".weight", in_, out_, r0, r1, stddev, seed),
+      init_weight_row_shard(name_ + ".weight", in_, out_, r0, r1, stddev, seed)
+          .to(dtype),
       Tensor({in_per_rank_, out_}), /*replicated=*/false};
   bias_ = Param{name_ + ".bias", Tensor({out_}), Tensor({out_}),
                 /*replicated=*/true};
@@ -69,8 +90,8 @@ RowParallelLinear::RowParallelLinear(std::string name, std::int64_t in,
 
 Tensor RowParallelLinear::forward(const Tensor& x, LinearCache& cache) {
   PTDP_CHECK_EQ(x.dim(-1), in_per_rank_) << name_;
-  cache.input = x;
-  Tensor y = tensor::matmul(x, weight_.value);
+  cache.input = gemm_input(x, weight_.value);
+  Tensor y = tensor::matmul(cache.input, weight_.value);
   // Operator g forward: sum partial products across tensor ranks.
   tp_.all_reduce(y.data());
   if (!skip_bias_add_) y = tensor::add_bias(y, bias_.value);

@@ -8,14 +8,9 @@ namespace ptdp::optim {
 using tensor::Tensor;
 
 float bf16_round(float v) {
-  std::uint32_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  // Round-to-nearest-even on the truncated 16 mantissa bits.
-  const std::uint32_t rounding = 0x7FFFu + ((bits >> 16) & 1u);
-  bits = (bits + rounding) & 0xFFFF0000u;
-  float out;
-  std::memcpy(&out, &bits, sizeof(out));
-  return out;
+  // Round-trip through the storage conversion so emulation-mode numerics
+  // are bit-identical to real bf16 storage.
+  return tensor::bf16_to_f32(tensor::f32_to_bf16(v));
 }
 
 void truncate_to_bf16(Tensor& t) {
@@ -51,32 +46,52 @@ MixedPrecisionOptimizer::MixedPrecisionOptimizer(std::unique_ptr<Optimizer> inne
                                                  LossScalerOptions scaler_options)
     : inner_(std::move(inner)), scaler_(scaler_options) {
   master_.reserve(inner_->params().size());
+  working_.reserve(inner_->params().size());
   for (model::Param* p : inner_->params()) {
-    master_.push_back(p->value.clone());  // fp32 master copy
-    truncate_to_bf16(p->value);           // working weights are bf16-valued
+    if (p->value.dtype() == tensor::DType::kBf16) {
+      // Real bf16 storage: master is a widened fp32 copy; the working
+      // tensor is the model's own bf16 value (shared storage).
+      master_.push_back(p->value.to(tensor::DType::kF32));
+      working_.push_back(p->value);
+    } else {
+      master_.push_back(p->value.clone());  // fp32 master copy
+      truncate_to_bf16(p->value);           // working weights are bf16-valued
+      working_.push_back(Tensor{});         // undefined marks emulation mode
+    }
   }
 }
 
 void MixedPrecisionOptimizer::step() {
   const auto& params = inner_->params();
   const bool overflow = grads_have_overflow(params);
+  // Grads were scaled by the CURRENT scale; capture it before update()
+  // possibly grows it, or growth steps would unscale by the wrong factor.
+  const float inv_scale = 1.0f / scaler_.scale();
   const bool apply = scaler_.update(overflow);
   if (!apply) {
     ++skipped_;
     return;
   }
-  // Unscale grads, step on the master weights, re-truncate the working set.
-  const float inv_scale = 1.0f / scaler_.scale();
+  // Unscale grads, step on the master weights, round back the working set.
   for (model::Param* p : params) {
     for (float& g : p->grad.data()) g *= inv_scale;
   }
   for (std::size_t i = 0; i < params.size(); ++i) {
-    params[i]->value.copy_from(master_[i]);
+    if (working_[i].defined()) {
+      params[i]->value = master_[i];  // swap fp32 master in (shares storage)
+    } else {
+      params[i]->value.copy_from(master_[i]);
+    }
   }
-  inner_->step();
+  inner_->step();  // updates the masters in full precision
   for (std::size_t i = 0; i < params.size(); ++i) {
-    master_[i].copy_from(params[i]->value);
-    truncate_to_bf16(params[i]->value);
+    if (working_[i].defined()) {
+      tensor::cast_into(master_[i], working_[i]);  // round master -> bf16
+      params[i]->value = working_[i];              // restore the bf16 tensor
+    } else {
+      master_[i].copy_from(params[i]->value);
+      truncate_to_bf16(params[i]->value);
+    }
   }
 }
 

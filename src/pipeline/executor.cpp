@@ -56,13 +56,29 @@ void PipelineExecutor::send_boundary(const Tensor& full, int dst, std::uint64_t 
     const std::size_t strip = data.size() / static_cast<std::size_t>(t);
     data = data.subspan(static_cast<std::size_t>(tensor_.rank()) * strip, strip);
   }
+  std::size_t wire_bytes = data.size_bytes();
+  // Narrow to the wire dtype in a pooled staging tensor. Compute upstream
+  // stays f32; only the boundary payload is rounded.
+  Tensor staged;
+  std::span<const tensor::bf16_t> staged_bits;
+  if (options_.boundary_dtype == tensor::DType::kBf16) {
+    staged = Tensor::empty({static_cast<std::int64_t>(data.size())},
+                           tensor::DType::kBf16);
+    tensor::narrow_bf16(data, staged.data_bf16());
+    staged_bits = staged.data_bf16();
+    wire_bytes = staged.nbytes();
+  }
   obs::Span span("p2p_send", obs::Cat::kP2p,
-                 {{"bytes", static_cast<std::int64_t>(data.size_bytes())},
+                 {{"bytes", static_cast<std::int64_t>(wire_bytes)},
                   {"dst", dst},
                   {"pipe", static_cast<std::int64_t>(pipe_.id())}});
-  pipe_.isend(data, dst, tag);
+  if (staged.defined()) {
+    pipe_.isend(staged_bits, dst, tag);
+  } else {
+    pipe_.isend(data, dst, tag);
+  }
   stats_.p2p_messages += 1;
-  stats_.p2p_bytes_sent += data.size_bytes();
+  stats_.p2p_bytes_sent += wire_bytes;
 }
 
 PipelineExecutor::PendingRecv PipelineExecutor::post_recv(std::int64_t full_elems,
@@ -76,9 +92,12 @@ PipelineExecutor::PendingRecv PipelineExecutor::post_recv(std::int64_t full_elem
   PendingRecv pending;
   // Staging buffer is fully overwritten by the irecv payload; the pool
   // recycles it across microbatches/iterations (steady-state p2p staging
-  // stops hitting the heap entirely).
-  pending.buf = Tensor::empty({elems});
-  pending.req = pipe_.irecv(pending.buf.data(), src, tag);
+  // stops hitting the heap entirely). It lands in the wire dtype; widening
+  // (if any) happens in finish_recv after the wait.
+  pending.buf = Tensor::empty({elems}, options_.boundary_dtype);
+  pending.req = pending.buf.dtype() == tensor::DType::kBf16
+                    ? pipe_.irecv(pending.buf.data_bf16(), src, tag)
+                    : pipe_.irecv(pending.buf.data(), src, tag);
   return pending;
 }
 
@@ -89,13 +108,29 @@ Tensor PipelineExecutor::finish_recv(PendingRecv pending,
                    {{"pipe", static_cast<std::int64_t>(pipe_.id())}});
     pending.req.wait();
   }
-  if (!scatter_gather_active()) return pending.buf.view(full_shape);
+  const bool wire_bf16 = pending.buf.dtype() == tensor::DType::kBf16;
+  if (!scatter_gather_active()) {
+    if (!wire_bf16) return pending.buf.view(full_shape);
+    Tensor full = Tensor::empty(full_shape);
+    tensor::widen_bf16(pending.buf.data_bf16(), full.data());
+    return full;
+  }
   // Reconstruct the replicated boundary tensor: strips are contiguous
   // rank-order slices, so the tensor-group all-gather is exactly the
-  // inverse of the sender's split — bitwise identical to a full send.
+  // inverse of the sender's split — bitwise identical to a full send (of
+  // the same wire dtype). Under bf16 the gather moves bf16 strips (half
+  // the collective bytes too) and widens once at the end.
   Tensor full = Tensor::empty(full_shape);
-  tensor_.all_gather(std::span<const float>(pending.buf.data()),
-                     std::span<float>(full.data()));
+  if (wire_bf16) {
+    Tensor gathered = Tensor::empty({tensor::numel_of(full_shape)},
+                                    tensor::DType::kBf16);
+    tensor_.all_gather(std::span<const tensor::bf16_t>(pending.buf.data_bf16()),
+                       std::span<tensor::bf16_t>(gathered.data_bf16()));
+    tensor::widen_bf16(gathered.data_bf16(), full.data());
+  } else {
+    tensor_.all_gather(std::span<const float>(pending.buf.data()),
+                       std::span<float>(full.data()));
+  }
   return full;
 }
 

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <type_traits>
 #include <vector>
+
+#if defined(__AMX_BF16__) && defined(__AMX_TILE__) && defined(__linux__)
+#include <immintrin.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define PTDP_GEMM_NATIVE_BF16 1
+#else
+#define PTDP_GEMM_NATIVE_BF16 0
+#endif
 
 #include "ptdp/runtime/parallel_for.hpp"
 
@@ -54,17 +64,28 @@ constexpr std::int64_t kNC = 1024;  // column-panel width (multiple of kNR)
 // Below this many FLOPs per row-panel chunk the fan-out is not worth it.
 constexpr std::int64_t kGemmGrainFlops = 1 << 22;
 
+// The dtype axis enters the GEMM here and only here: source panels may be
+// f32 or bf16, and the packing step widens bf16 inline (a shift, fused
+// into the pack loop the compiler vectorizes). The microkernel below never
+// changes — it always consumes f32 panels and accumulates in f32 — so
+// bf16 inputs keep the bitwise-deterministic-across-threads property for
+// free, and the uplift comes from halving the A/B bytes the pack loops
+// stream from memory.
+inline float load_f32(const float* p) { return *p; }
+inline float load_f32(const bf16_t* p) { return bf16_to_f32(*p); }
+
 // A block [i0, i0+mc) x [p0, p0+kc) packed as ceil(mc/kMR) micro-panels,
 // each kc steps of kMR contiguous row elements, zero-padded to kMR.
-void pack_a_block(const float* a, std::int64_t rsa, std::int64_t csa,
+template <typename TA>
+void pack_a_block(const TA* a, std::int64_t rsa, std::int64_t csa,
                   std::int64_t i0, std::int64_t mc, std::int64_t p0,
                   std::int64_t kc, float* ap) {
   for (std::int64_t ir = 0; ir < mc; ir += kMR) {
     const std::int64_t mr = std::min(kMR, mc - ir);
     float* dst = ap + ir * kc;
     for (std::int64_t p = 0; p < kc; ++p) {
-      const float* src = a + (i0 + ir) * rsa + (p0 + p) * csa;
-      for (std::int64_t i = 0; i < mr; ++i) dst[p * kMR + i] = src[i * rsa];
+      const TA* src = a + (i0 + ir) * rsa + (p0 + p) * csa;
+      for (std::int64_t i = 0; i < mr; ++i) dst[p * kMR + i] = load_f32(src + i * rsa);
       for (std::int64_t i = mr; i < kMR; ++i) dst[p * kMR + i] = 0.0f;
     }
   }
@@ -72,15 +93,16 @@ void pack_a_block(const float* a, std::int64_t rsa, std::int64_t csa,
 
 // B panel [p0, p0+kc) x [j0, j0+nc) packed as ceil(nc/kNR) slivers, each kc
 // steps of kNR contiguous column elements, zero-padded to kNR.
-void pack_b_panel(const float* b, std::int64_t rsb, std::int64_t csb,
+template <typename TB>
+void pack_b_panel(const TB* b, std::int64_t rsb, std::int64_t csb,
                   std::int64_t p0, std::int64_t kc, std::int64_t j0,
                   std::int64_t nc, float* bp) {
   for (std::int64_t jr = 0; jr < nc; jr += kNR) {
     const std::int64_t nr = std::min(kNR, nc - jr);
     float* dst = bp + jr * kc;
     for (std::int64_t p = 0; p < kc; ++p) {
-      const float* src = b + (p0 + p) * rsb + (j0 + jr) * csb;
-      for (std::int64_t j = 0; j < nr; ++j) dst[p * kNR + j] = src[j * csb];
+      const TB* src = b + (p0 + p) * rsb + (j0 + jr) * csb;
+      for (std::int64_t j = 0; j < nr; ++j) dst[p * kNR + j] = load_f32(src + j * csb);
       for (std::int64_t j = nr; j < kNR; ++j) dst[p * kNR + j] = 0.0f;
     }
   }
@@ -132,8 +154,192 @@ void micro_kernel(std::int64_t kc, const float* __restrict ap,
 }
 #endif
 
-void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-                  std::int64_t rsa, std::int64_t csa, const float* b,
+#if PTDP_GEMM_NATIVE_BF16
+// Native bf16 path: when BOTH operands are bf16 and the kernel grants this
+// process the AMX tile state (a one-time arch_prctl), the packed panels
+// stay bf16 and the micro-tile contraction runs on the AMX matrix engine —
+// tdpbf16ps multiplies a 16x32 bf16 A-tile by a 32-wide-by-16 pair-
+// interleaved B-tile into a 16x16 f32 accumulator tile, ~5x the FLOP/s of
+// the f32 FMA pipes on this substrate (measured in BENCH_tensor_ops.json).
+// Numerics: bf16 products are exact in f32 (8-bit mantissas) and the tile
+// engine accumulates in f32 in a fixed order, so per-element error is
+// comparable to the widen-then-FMA path and the bf16 tolerance table
+// covers both. The cache blocking (kMC/kKC/kNC) and the row-panel
+// parallel_for partition are IDENTICAL to the f32 driver, and each C
+// element's accumulation order is a pure function of the shape — results
+// stay bitwise-deterministic across thread counts and run-to-run.
+//
+// Tile geometry: a 32x32 C block is held as 2x2 accumulator tiles
+// (tmm0..3); each k step of 32 loads two A tiles (tmm4,5: 16 rows x 32
+// bf16) and two B tiles (tmm6,7: 16 pair-rows x 16 columns x 2) and issues
+// four tdpbf16ps. A packs row-major [row][k] (rows padded to 32, k padded
+// to a multiple of 32 with zeros); B packs pair-interleaved
+// [k/2][col][k&1] so consecutive k pairs sit in one tile row.
+
+constexpr std::int64_t kAmxTile = 16;  // tile rows / f32 columns
+constexpr std::int64_t kAmxMR = 32;    // C block rows  (2 tiles)
+constexpr std::int64_t kAmxNR = 32;    // C block cols  (2 tiles)
+constexpr std::int64_t kAmxK = 32;     // bf16 k-steps per tile op
+
+// One-time per-process request for the AMX tile-data XSTATE component.
+bool amx_tile_ready() {
+  static const bool ok =
+      syscall(SYS_arch_prctl, /*ARCH_REQ_XCOMP_PERM=*/0x1023,
+              /*XFEATURE_XTILEDATA=*/18) == 0;
+  return ok;
+}
+
+// All eight tiles configured 16 rows x 64 bytes; loaded once per thread
+// (tile config is per-thread XSTATE and context-switches with it).
+struct AmxTileConfig {
+  std::uint8_t palette = 1, start_row = 0;
+  std::uint8_t reserved[14] = {};
+  std::uint16_t colsb[16] = {};
+  std::uint8_t rows[16] = {};
+};
+
+void amx_configure_thread() {
+  thread_local bool configured = false;
+  if (configured) return;
+  AmxTileConfig cfg;
+  for (int t = 0; t < 8; ++t) {
+    cfg.rows[t] = kAmxTile;
+    cfg.colsb[t] = 64;
+  }
+  _tile_loadconfig(&cfg);
+  configured = true;
+}
+
+// A block [i0, i0+mc) x [p0, p0+kc) packed row-major with row stride
+// kc_pad bf16 (k zero-padded to a multiple of kAmxK, rows to kAmxMR).
+void pack_a_block_bf16(const bf16_t* a, std::int64_t rsa, std::int64_t csa,
+                       std::int64_t i0, std::int64_t mc, std::int64_t p0,
+                       std::int64_t kc, std::int64_t kc_pad, bf16_t* ap) {
+  const std::int64_t mc_pad = (mc + kAmxMR - 1) / kAmxMR * kAmxMR;
+  for (std::int64_t i = 0; i < mc_pad; ++i) {
+    bf16_t* dst = ap + i * kc_pad;
+    if (i < mc) {
+      const bf16_t* src = a + (i0 + i) * rsa + p0 * csa;
+      for (std::int64_t p = 0; p < kc; ++p) dst[p] = src[p * csa];
+    } else {
+      std::fill_n(dst, kc, bf16_t{0});
+    }
+    std::fill_n(dst + kc, kc_pad - kc, bf16_t{0});
+  }
+}
+
+// B panel [p0, p0+kc) x [j0, j0+nc) packed pair-interleaved:
+// bp[(p/2) * nc_pad * 2 + j * 2 + (p&1)], zero-padded to (kc_pad, nc_pad).
+void pack_b_panel_bf16(const bf16_t* b, std::int64_t rsb, std::int64_t csb,
+                       std::int64_t p0, std::int64_t kc, std::int64_t kc_pad,
+                       std::int64_t j0, std::int64_t nc, std::int64_t nc_pad,
+                       bf16_t* bp) {
+  std::fill_n(bp, (kc_pad / 2) * nc_pad * 2, bf16_t{0});
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const bf16_t* src = b + (p0 + p) * rsb + j0 * csb;
+    bf16_t* dst = bp + (p / 2) * nc_pad * 2 + (p & 1);
+    for (std::int64_t j = 0; j < nc; ++j) dst[j * 2] = src[j * csb];
+  }
+}
+
+void gemm_strided_bf16_native(std::int64_t m, std::int64_t n, std::int64_t k,
+                              const bf16_t* a, std::int64_t rsa,
+                              std::int64_t csa, const bf16_t* b,
+                              std::int64_t rsb, std::int64_t csb, float* c) {
+  const std::int64_t nc_max = std::min(n, kNC);
+  const std::int64_t nc_pad_cap = (nc_max + kAmxNR - 1) / kAmxNR * kAmxNR;
+  const std::int64_t kc_pad_cap = (kKC + kAmxK - 1) / kAmxK * kAmxK;
+  std::vector<bf16_t> bp(
+      static_cast<std::size_t>(kc_pad_cap / 2 * nc_pad_cap * 2));
+
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nc = std::min(kNC, n - jc);
+    const std::int64_t nc_pad = (nc + kAmxNR - 1) / kAmxNR * kAmxNR;
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kc = std::min(kKC, k - pc);
+      const std::int64_t kc_pad = (kc + kAmxK - 1) / kAmxK * kAmxK;
+      pack_b_panel_bf16(b, rsb, csb, pc, kc, kc_pad, jc, nc, nc_pad, bp.data());
+
+      const std::int64_t nblocks = (m + kMC - 1) / kMC;
+      const std::int64_t block_flops = 2 * kMC * nc * kc;
+      const std::int64_t grain =
+          std::max<std::int64_t>(1, kGemmGrainFlops / std::max<std::int64_t>(
+                                                          block_flops, 1));
+      parallel_for(0, nblocks, grain, [&](std::int64_t blk0, std::int64_t blk1) {
+        amx_configure_thread();
+        thread_local std::vector<bf16_t> ap;
+        ap.resize(static_cast<std::size_t>(
+            (kMC + kAmxMR - 1) / kAmxMR * kAmxMR * kc_pad_cap));
+        for (std::int64_t blk = blk0; blk < blk1; ++blk) {
+          const std::int64_t i0 = blk * kMC;
+          const std::int64_t mc = std::min(kMC, m - i0);
+          pack_a_block_bf16(a, rsa, csa, i0, mc, pc, kc, kc_pad, ap.data());
+          for (std::int64_t jr = 0; jr < nc; jr += kAmxNR) {
+            const std::int64_t nr = std::min(kAmxNR, nc - jr);
+            const bf16_t* bcol = bp.data() + jr * 2;
+            for (std::int64_t ir = 0; ir < mc; ir += kAmxMR) {
+              const std::int64_t mr = std::min(kAmxMR, mc - ir);
+              const bf16_t* arow = ap.data() + ir * kc_pad;
+              float* ctile = c + (i0 + ir) * n + jc + jr;
+              const bool full = mr == kAmxMR && nr == kAmxNR;
+              if (full && pc > 0) {
+                // Accumulate straight into C: seed the tiles from it.
+                _tile_loadd(0, ctile, n * 4);
+                _tile_loadd(1, ctile + kAmxTile, n * 4);
+                _tile_loadd(2, ctile + kAmxTile * n, n * 4);
+                _tile_loadd(3, ctile + kAmxTile * n + kAmxTile, n * 4);
+              } else {
+                _tile_zero(0);
+                _tile_zero(1);
+                _tile_zero(2);
+                _tile_zero(3);
+              }
+              for (std::int64_t p = 0; p < kc_pad; p += kAmxK) {
+                _tile_loadd(4, arow + p, kc_pad * 2);
+                _tile_loadd(5, arow + kAmxTile * kc_pad + p, kc_pad * 2);
+                const bf16_t* bk = bcol + (p / 2) * nc_pad * 2;
+                _tile_loadd(6, bk, nc_pad * 4);
+                _tile_loadd(7, bk + kAmxTile * 2, nc_pad * 4);
+                _tile_dpbf16ps(0, 4, 6);
+                _tile_dpbf16ps(1, 4, 7);
+                _tile_dpbf16ps(2, 5, 6);
+                _tile_dpbf16ps(3, 5, 7);
+              }
+              if (full) {
+                _tile_stored(0, ctile, n * 4);
+                _tile_stored(1, ctile + kAmxTile, n * 4);
+                _tile_stored(2, ctile + kAmxTile * n, n * 4);
+                _tile_stored(3, ctile + kAmxTile * n + kAmxTile, n * 4);
+              } else {
+                // Edge block: land in scratch, then copy/add the live part.
+                alignas(64) float acc[kAmxMR * kAmxNR];
+                _tile_stored(0, acc, kAmxNR * 4);
+                _tile_stored(1, acc + kAmxTile, kAmxNR * 4);
+                _tile_stored(2, acc + kAmxTile * kAmxNR, kAmxNR * 4);
+                _tile_stored(3, acc + kAmxTile * kAmxNR + kAmxTile, kAmxNR * 4);
+                for (std::int64_t i = 0; i < mr; ++i) {
+                  float* crow = c + (i0 + ir + i) * n + jc + jr;
+                  if (pc == 0) {
+                    for (std::int64_t j = 0; j < nr; ++j)
+                      crow[j] = acc[i * kAmxNR + j];
+                  } else {
+                    for (std::int64_t j = 0; j < nr; ++j)
+                      crow[j] += acc[i * kAmxNR + j];
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+}
+#endif  // PTDP_GEMM_NATIVE_BF16
+
+template <typename TA, typename TB>
+void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, const TA* a,
+                  std::int64_t rsa, std::int64_t csa, const TB* b,
                   std::int64_t rsb, std::int64_t csb, float* c) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
@@ -142,6 +348,14 @@ void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, const float* a
     std::fill_n(c, m * n, 0.0f);
     return;
   }
+#if PTDP_GEMM_NATIVE_BF16
+  if constexpr (std::is_same_v<TA, bf16_t> && std::is_same_v<TB, bf16_t>) {
+    if (amx_tile_ready()) {
+      gemm_strided_bf16_native(m, n, k, a, rsa, csa, b, rsb, csb, c);
+      return;
+    }
+  }
+#endif
   const std::int64_t nc_max = std::min(n, kNC);
   const std::int64_t nc_padded = (nc_max + kNR - 1) / kNR * kNR;
   std::vector<float> bp(static_cast<std::size_t>(kKC * nc_padded));
@@ -188,22 +402,22 @@ void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, const float* a
   }
 }
 
-// C[m,n] = A[m,k] · B[k,n], all row-major. C may be uninitialized.
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-             const float* b, float* c) {
-  gemm_strided(m, n, k, a, k, 1, b, n, 1, c);
-}
-
-// C[m,n] = A[m,k] · B[n,k]ᵀ.
-void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-             const float* b, float* c) {
-  gemm_strided(m, n, k, a, k, 1, b, 1, k, c);
-}
-
-// C[m,n] = A[k,m]ᵀ · B[k,n].
-void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-             const float* b, float* c) {
-  gemm_strided(m, n, k, a, 1, m, b, n, 1, c);
+// Runs f(pa, pb) with each pointer typed to the tensor's storage dtype —
+// the one place matmul/bmm fan out over the four (f32|bf16)² input
+// combinations. The output is always f32 (fp32 accumulate).
+template <typename F>
+void dispatch_gemm(const Tensor& a, const Tensor& b, F&& f) {
+  const bool a16 = a.dtype() == DType::kBf16;
+  const bool b16 = b.dtype() == DType::kBf16;
+  if (!a16 && !b16) {
+    f(a.data().data(), b.data().data());
+  } else if (!a16 && b16) {
+    f(a.data().data(), b.data_bf16().data());
+  } else if (a16 && !b16) {
+    f(a.data_bf16().data(), b.data().data());
+  } else {
+    f(a.data_bf16().data(), b.data_bf16().data());
+  }
 }
 
 void check_2d(const Tensor& t, const char* what) {
@@ -225,9 +439,11 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   check_2d(a, "matmul lhs");
   check_2d(b, "matmul rhs");
   PTDP_CHECK_EQ(a.dim(1), b.dim(0)) << a.shape_str() << " x " << b.shape_str();
-  Tensor c = Tensor::empty({a.dim(0), b.dim(1)});
-  gemm_nn(a.dim(0), b.dim(1), a.dim(1), a.data().data(), b.data().data(),
-          c.data().data());
+  const std::int64_t m = a.dim(0), n = b.dim(1), k = a.dim(1);
+  Tensor c = Tensor::empty({m, n});
+  dispatch_gemm(a, b, [&](const auto* pa, const auto* pb) {
+    gemm_strided(m, n, k, pa, k, 1, pb, n, 1, c.data().data());
+  });
   return c;
 }
 
@@ -235,9 +451,11 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   check_2d(a, "matmul_nt lhs");
   check_2d(b, "matmul_nt rhs");
   PTDP_CHECK_EQ(a.dim(1), b.dim(1)) << a.shape_str() << " x " << b.shape_str() << "^T";
-  Tensor c = Tensor::empty({a.dim(0), b.dim(0)});
-  gemm_nt(a.dim(0), b.dim(0), a.dim(1), a.data().data(), b.data().data(),
-          c.data().data());
+  const std::int64_t m = a.dim(0), n = b.dim(0), k = a.dim(1);
+  Tensor c = Tensor::empty({m, n});
+  dispatch_gemm(a, b, [&](const auto* pa, const auto* pb) {
+    gemm_strided(m, n, k, pa, k, 1, pb, 1, k, c.data().data());
+  });
   return c;
 }
 
@@ -245,21 +463,23 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   check_2d(a, "matmul_tn lhs");
   check_2d(b, "matmul_tn rhs");
   PTDP_CHECK_EQ(a.dim(0), b.dim(0)) << a.shape_str() << "^T x " << b.shape_str();
-  Tensor c = Tensor::empty({a.dim(1), b.dim(1)});
-  gemm_tn(a.dim(1), b.dim(1), a.dim(0), a.data().data(), b.data().data(),
-          c.data().data());
+  const std::int64_t m = a.dim(1), n = b.dim(1), k = a.dim(0);
+  Tensor c = Tensor::empty({m, n});
+  dispatch_gemm(a, b, [&](const auto* pa, const auto* pb) {
+    gemm_strided(m, n, k, pa, 1, m, pb, n, 1, c.data().data());
+  });
   return c;
 }
 
 namespace {
 
-template <typename Kernel>
+// Batched GEMM over per-variant strides (NN/NT/TN encode their transpose
+// in (rsa, csa, rsb, csb), exactly as the 2-D wrappers do).
 Tensor bmm_impl(const Tensor& a, const Tensor& b, std::int64_t m, std::int64_t n,
-                std::int64_t k, Kernel kernel) {
+                std::int64_t k, std::int64_t rsa, std::int64_t csa,
+                std::int64_t rsb, std::int64_t csb) {
   const std::int64_t batches = a.dim(0);
   Tensor c = Tensor::empty({batches, m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
   float* pc = c.data().data();
   const std::int64_t sa = a.dim(1) * a.dim(2);
   const std::int64_t sb = b.dim(1) * b.dim(2);
@@ -270,10 +490,13 @@ Tensor bmm_impl(const Tensor& a, const Tensor& b, std::int64_t m, std::int64_t n
   const std::int64_t batch_flops = 2 * m * n * k;
   const std::int64_t grain = std::max<std::int64_t>(
       1, kGemmGrainFlops / std::max<std::int64_t>(batch_flops, 1));
-  parallel_for(0, batches, grain, [&](std::int64_t b0, std::int64_t b1) {
-    for (std::int64_t batch = b0; batch < b1; ++batch) {
-      kernel(m, n, k, pa + batch * sa, pb + batch * sb, pc + batch * sc);
-    }
+  dispatch_gemm(a, b, [&](const auto* pa, const auto* pb) {
+    parallel_for(0, batches, grain, [&](std::int64_t b0, std::int64_t b1) {
+      for (std::int64_t batch = b0; batch < b1; ++batch) {
+        gemm_strided(m, n, k, pa + batch * sa, rsa, csa, pb + batch * sb, rsb,
+                     csb, pc + batch * sc);
+      }
+    });
   });
   return c;
 }
@@ -285,7 +508,8 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   check_3d(b, "bmm rhs");
   PTDP_CHECK_EQ(a.dim(0), b.dim(0));
   PTDP_CHECK_EQ(a.dim(2), b.dim(1)) << a.shape_str() << " x " << b.shape_str();
-  return bmm_impl(a, b, a.dim(1), b.dim(2), a.dim(2), gemm_nn);
+  const std::int64_t m = a.dim(1), n = b.dim(2), k = a.dim(2);
+  return bmm_impl(a, b, m, n, k, k, 1, n, 1);
 }
 
 Tensor bmm_nt(const Tensor& a, const Tensor& b) {
@@ -293,7 +517,8 @@ Tensor bmm_nt(const Tensor& a, const Tensor& b) {
   check_3d(b, "bmm_nt rhs");
   PTDP_CHECK_EQ(a.dim(0), b.dim(0));
   PTDP_CHECK_EQ(a.dim(2), b.dim(2)) << a.shape_str() << " x " << b.shape_str() << "^T";
-  return bmm_impl(a, b, a.dim(1), b.dim(1), a.dim(2), gemm_nt);
+  const std::int64_t m = a.dim(1), n = b.dim(1), k = a.dim(2);
+  return bmm_impl(a, b, m, n, k, k, 1, 1, k);
 }
 
 Tensor bmm_tn(const Tensor& a, const Tensor& b) {
@@ -301,7 +526,8 @@ Tensor bmm_tn(const Tensor& a, const Tensor& b) {
   check_3d(b, "bmm_tn rhs");
   PTDP_CHECK_EQ(a.dim(0), b.dim(0));
   PTDP_CHECK_EQ(a.dim(1), b.dim(1)) << a.shape_str() << "^T x " << b.shape_str();
-  return bmm_impl(a, b, a.dim(2), b.dim(2), a.dim(1), gemm_tn);
+  const std::int64_t m = a.dim(2), n = b.dim(2), k = a.dim(1);
+  return bmm_impl(a, b, m, n, k, 1, m, n, 1);
 }
 
 // ---- elementwise ---------------------------------------------------------------

@@ -1,0 +1,362 @@
+// The dtype axis of ptdp::tensor (DESIGN.md §13): bf16 conversions are
+// round-to-nearest-even and exact on widening, structural ops preserve
+// dtype without touching payload bits, pooled staging never leaks stale
+// bytes into bf16 tensors, and the checkpoint/manifest formats carry dtype
+// end to end — including v1 (implicit f32) read back-compat and rejection
+// of mismatched-dtype resumes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ptdp/ckpt/checkpoint.hpp"
+#include "ptdp/ckpt/manifest.hpp"
+#include "ptdp/ckpt/reshard.hpp"
+#include "ptdp/runtime/check.hpp"
+#include "ptdp/tensor/ops.hpp"
+#include "ptdp/tensor/tensor.hpp"
+
+namespace ptdp::tensor {
+namespace {
+
+using ptdp::CheckError;
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  if (a.dtype() != b.dtype() || !a.same_shape(b)) return false;
+  const auto ba = a.raw_bytes();
+  const auto bb = b.raw_bytes();
+  return ba.size() == bb.size() &&
+         std::memcmp(ba.data(), bb.data(), ba.size()) == 0;
+}
+
+TEST(DTypeScalar, WideningIsExactAndNarrowingRoundsToNearestEven) {
+  // bf16 bit patterns widen to exactly the float with those high bits.
+  EXPECT_EQ(bf16_to_f32(0x3F80), 1.0f);
+  EXPECT_EQ(bf16_to_f32(0xBF80), -1.0f);
+  EXPECT_EQ(bf16_to_f32(0x0000), 0.0f);
+  EXPECT_EQ(f32_to_bf16(1.0f), 0x3F80);
+  // 1 + 2^-8 is exactly halfway between bf16(1.0) and the next value up;
+  // round-to-nearest-even picks the even mantissa (1.0).
+  EXPECT_EQ(bf16_to_f32(f32_to_bf16(1.00390625f)), 1.0f);
+  // 1 + 3*2^-9 is above the halfway point and must round up.
+  EXPECT_EQ(bf16_to_f32(f32_to_bf16(1.005859375f)), 1.0078125f);
+  // Values already representable in bf16 round-trip bit-exactly.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, -2.25f, 1024.0f, 65536.0f,
+                  std::ldexp(1.0f, 127)}) {
+    EXPECT_EQ(bf16_to_f32(f32_to_bf16(v)), v) << v;
+  }
+  // One narrow errs by at most half a bf16 ulp — 2^(e-8) for a value with
+  // exponent e, hence <= |v| * 2^-8.
+  Rng rng(11);
+  Tensor x = Tensor::randn({1000}, rng);
+  for (float v : x.data()) {
+    const float r = bf16_to_f32(f32_to_bf16(v));
+    EXPECT_LE(std::abs(r - v), std::abs(v) * (1.0f / 256.0f) + 1e-38f) << v;
+  }
+}
+
+TEST(DTypeTensor, MetadataAndAccessors) {
+  Tensor t = Tensor::zeros({3, 5}, DType::kBf16);
+  EXPECT_EQ(t.dtype(), DType::kBf16);
+  EXPECT_EQ(t.itemsize(), 2u);
+  EXPECT_EQ(t.nbytes(), 30u);
+  EXPECT_EQ(t.data_bf16().size(), 15u);
+  EXPECT_EQ(t.raw_bytes().size(), 30u);
+  // The f32 fast path refuses bf16 tensors instead of reinterpreting bits.
+  EXPECT_THROW(t.data(), CheckError);
+  Tensor f = Tensor::zeros({3});
+  EXPECT_EQ(f.dtype(), DType::kF32);
+  EXPECT_THROW(f.data_bf16(), CheckError);
+}
+
+TEST(DTypeTensor, OddNumelStorageSlackIsNeverExposed) {
+  // 7 bf16 elements = 14 bytes, stored in 4 floats (16 bytes) — the
+  // accessors must expose exactly the payload, not the slack.
+  Tensor t = Tensor::empty({7}, DType::kBf16);
+  EXPECT_EQ(t.nbytes(), 14u);
+  EXPECT_EQ(t.data_bf16().size(), 7u);
+  EXPECT_EQ(t.raw_bytes().size(), 14u);
+  t.fill(1.5f);
+  Tensor wide = t.to(DType::kF32);
+  for (float v : wide.data()) EXPECT_EQ(v, 1.5f);
+}
+
+TEST(DTypeTensor, CastRoundTripAndFill) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({33, 9}, rng);
+  Tensor narrow = x.to(DType::kBf16);
+  EXPECT_EQ(narrow.dtype(), DType::kBf16);
+  Tensor wide = narrow.to(DType::kF32);
+  // Widening is exact, so the round trip equals a scalar round per element.
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(wide.data()[idx], bf16_to_f32(f32_to_bf16(x.data()[idx])));
+  }
+  // to() at the same dtype is a deep copy, not a view.
+  Tensor copy = narrow.to(DType::kBf16);
+  EXPECT_TRUE(same_bits(copy, narrow));
+  copy.data_bf16()[0] ^= 0x1;
+  EXPECT_FALSE(same_bits(copy, narrow));
+  // fill() rounds to the storage dtype.
+  Tensor filled = Tensor::empty({4}, DType::kBf16);
+  filled.fill(1.00390625f);
+  for (bf16_t v : filled.data_bf16()) EXPECT_EQ(v, f32_to_bf16(1.00390625f));
+}
+
+TEST(DTypeTensor, CastIntoBothDirectionsAndCopyFromGuards) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({17}, rng);
+  Tensor n = Tensor::empty({17}, DType::kBf16);
+  cast_into(x, n);
+  Tensor w = Tensor::empty({17});
+  cast_into(n, w);
+  EXPECT_TRUE(same_bits(w, n.to(DType::kF32)));
+  // Same-dtype cast_into degenerates to a copy.
+  Tensor w2 = Tensor::empty({17});
+  cast_into(x, w2);
+  EXPECT_TRUE(same_bits(w2, x));
+  // copy_from is strictly same-dtype; converting copies must go via cast.
+  EXPECT_THROW(n.copy_from(x), CheckError);
+  EXPECT_THROW(x.copy_from(n), CheckError);
+}
+
+TEST(DTypeTensor, StructuralOpsPreserveDtypeAndBits) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({6, 4}, rng).to(DType::kBf16);
+
+  // view shares storage; dim-0 slice is a zero-copy window.
+  Tensor v = x.view({4, 6});
+  EXPECT_EQ(v.dtype(), DType::kBf16);
+  Tensor row = x.slice(0, 2, 2);
+  EXPECT_EQ(row.dtype(), DType::kBf16);
+  row.data_bf16()[0] = f32_to_bf16(42.0f);
+  EXPECT_EQ(x.data_bf16()[2 * 4], f32_to_bf16(42.0f));  // write visible
+
+  // clone is a deep copy of the same bits.
+  Tensor c = x.clone();
+  EXPECT_TRUE(same_bits(c, x));
+
+  // Non-leading-dim slice copies; match against the widened reference.
+  Tensor col = x.slice(1, 1, 2);
+  EXPECT_EQ(col.dtype(), DType::kBf16);
+  EXPECT_TRUE(same_bits(col.to(DType::kF32),
+                        x.to(DType::kF32).slice(1, 1, 2)));
+
+  // concat/split round trip.
+  auto parts = split(x, 2, 0);
+  Tensor re = concat({parts[0], parts[1]}, 0);
+  EXPECT_TRUE(same_bits(re, x));
+
+  // transpose/permute on bf16 move bits exactly as the f32 path moves
+  // the widened values.
+  EXPECT_TRUE(same_bits(x.transpose(0, 1).to(DType::kF32),
+                        x.to(DType::kF32).transpose(0, 1)));
+  Tensor y = Tensor::randn({2, 3, 4}, rng).to(DType::kBf16);
+  EXPECT_TRUE(same_bits(y.permute({2, 0, 1}).to(DType::kF32),
+                        y.to(DType::kF32).permute({2, 0, 1})));
+}
+
+TEST(DTypeTensor, MixedDtypeComparisonsWidenExactly) {
+  Rng rng(9);
+  Tensor x = Tensor::randn({64}, rng);
+  Tensor n = x.to(DType::kBf16);
+  // max|x - bf16(x)| must equal the true rounding gap, computed in f32.
+  float expect_gap = 0.0f;
+  for (float v : x.data()) {
+    expect_gap = std::max(expect_gap, std::abs(v - bf16_to_f32(f32_to_bf16(v))));
+  }
+  EXPECT_EQ(max_abs_diff(x, n), expect_gap);
+  EXPECT_EQ(max_abs_diff(n, n.clone()), 0.0f);
+  EXPECT_TRUE(allclose(n, x, /*rtol=*/1.0f / 128.0f, /*atol=*/1e-6f));
+}
+
+TEST(DTypeTensor, PooledEmptyNeverLeaksStaleBytes) {
+  // Regression (satellite: empty + beta=0 fast paths): dirty a pooled
+  // buffer with NaN bits, release it, then reuse it through the bf16
+  // staging path — every byte of the result must come from the cast, not
+  // the previous tenant.
+  Rng rng(13);
+  Tensor src = Tensor::randn({129}, rng);  // odd numel: exercises the slack
+  Tensor clean = Tensor::empty({129}, DType::kBf16);
+  cast_into(src, clean);
+  const std::vector<std::uint16_t> expect(clean.data_bf16().begin(),
+                                          clean.data_bf16().end());
+  {
+    Tensor junk = Tensor::empty({129});
+    junk.fill(std::numeric_limits<float>::quiet_NaN());
+  }  // released back to the pool, bytes still NaN
+  Tensor reused = Tensor::empty({129}, DType::kBf16);
+  cast_into(src, reused);
+  ASSERT_EQ(reused.data_bf16().size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(reused.data_bf16()[i], expect[i]) << "element " << i;
+  }
+  Tensor wide = reused.to(DType::kF32);
+  for (float v : wide.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+// ---- checkpoint format v2 ---------------------------------------------------
+
+class DtypeCkptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ptdp_dtype_ckpt_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(DtypeCkptTest, MixedDtypeShardRoundTripsBitwise) {
+  Rng rng(21);
+  Tensor wf = Tensor::randn({8, 6}, rng).to(DType::kBf16);
+  Tensor bf = Tensor::randn({6}, rng);
+  Tensor master = Tensor::randn({8, 6}, rng);
+  const std::string path = (dir_ / "shard.ckpt").string();
+  ckpt::save_checkpoint(path, {{"w", &wf}, {"b", &bf}, {"w.fp32_master", &master}},
+                        {/*step=*/7, 0});
+
+  Tensor wf2 = Tensor::zeros({8, 6}, DType::kBf16);
+  Tensor bf2 = Tensor::zeros({6});
+  Tensor master2 = Tensor::zeros({8, 6});
+  const auto meta = ckpt::load_checkpoint(
+      path, {{"w", &wf2}, {"b", &bf2}, {"w.fp32_master", &master2}});
+  EXPECT_EQ(meta.step, 7u);
+  EXPECT_TRUE(same_bits(wf2, wf));
+  EXPECT_TRUE(same_bits(bf2, bf));
+  EXPECT_TRUE(same_bits(master2, master));
+
+  // read_all reconstructs tensors in their saved dtype.
+  auto all = ckpt::read_all(path, nullptr);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].second.dtype(), DType::kBf16);
+  EXPECT_EQ(all[1].second.dtype(), DType::kF32);
+  EXPECT_TRUE(same_bits(all[0].second, wf));
+
+  // Name-matched load works across dtypes too.
+  Tensor wf3 = Tensor::zeros({8, 6}, DType::kBf16);
+  ckpt::load_checkpoint_by_name(path, {{"w", &wf3}});
+  EXPECT_TRUE(same_bits(wf3, wf));
+}
+
+TEST_F(DtypeCkptTest, DtypeMismatchRejectedWithClearError) {
+  Rng rng(22);
+  Tensor w = Tensor::randn({4, 4}, rng).to(DType::kBf16);
+  const std::string path = (dir_ / "shard.ckpt").string();
+  ckpt::save_checkpoint(path, {{"w", &w}}, {1, 0});
+  Tensor as_f32 = Tensor::zeros({4, 4});
+  try {
+    ckpt::load_checkpoint(path, {{"w", &as_f32}});
+    FAIL() << "expected dtype-mismatch CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("dtype"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bf16"), std::string::npos);
+  }
+}
+
+TEST_F(DtypeCkptTest, Version1FilesStillLoadAsImplicitF32) {
+  // Hand-write a v1 shard (the pre-dtype format: no dtype code per tensor)
+  // and check both strict-order and peek readers accept it.
+  Rng rng(23);
+  Tensor w = Tensor::randn({3, 2}, rng);
+  const std::string path = (dir_ / "old.ckpt").string();
+  {
+    std::ofstream os(path, std::ios::binary);
+    const std::uint64_t magic = 0x5054'4450'434B'5031ULL;
+    const std::uint32_t version = 1;
+    const std::uint64_t step = 42, extra = 0, count = 1;
+    auto pod = [&os](const auto& v) {
+      os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    pod(magic);
+    pod(version);
+    pod(step);
+    pod(extra);
+    pod(count);
+    const std::string name = "w";
+    pod(static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    pod(static_cast<std::uint32_t>(2));
+    pod(static_cast<std::int64_t>(3));
+    pod(static_cast<std::int64_t>(2));
+    auto data = w.data();
+    pod(ckpt::crc32(data.data(), data.size_bytes()));
+    os.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size_bytes()));
+  }
+  EXPECT_EQ(ckpt::peek_checkpoint(path).step, 42u);
+  Tensor w2 = Tensor::zeros({3, 2});
+  EXPECT_EQ(ckpt::load_checkpoint(path, {{"w", &w2}}).step, 42u);
+  EXPECT_TRUE(same_bits(w2, w));
+  // A v1 file can never satisfy a bf16 destination.
+  Tensor as_bf16 = Tensor::zeros({3, 2}, DType::kBf16);
+  EXPECT_THROW(ckpt::load_checkpoint(path, {{"w", &as_bf16}}), CheckError);
+}
+
+// ---- manifest dtype metadata ------------------------------------------------
+
+TEST_F(DtypeCkptTest, ManifestCarriesDtypeAndMasterFlag) {
+  ckpt::Manifest m{12, 0, {}};
+  m.shards.push_back({"step-12/shard-p0-t0-d0.ckpt", 100, 7, "bf16", true});
+  m.shards.push_back({"step-12/shard-p0-t1-d0.ckpt", 100, 8, "bf16", true});
+  const auto parsed = ckpt::parse_manifest_json(ckpt::manifest_to_json(m));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->shards.size(), 2u);
+  EXPECT_EQ(parsed->shards[0].dtype, "bf16");
+  EXPECT_TRUE(parsed->shards[0].has_master_weights);
+
+  // Manifests written before the precision fields parse with defaults.
+  const std::string old_json =
+      "{\n  \"step\": 3,\n  \"extra\": 0,\n  \"shards\": [\n"
+      "    { \"file\": \"step-3/s.ckpt\", \"bytes\": 10, \"crc\": 5 }\n  ]\n}\n";
+  const auto old_parsed = ckpt::parse_manifest_json(old_json);
+  ASSERT_TRUE(old_parsed.has_value());
+  EXPECT_EQ(old_parsed->shards[0].dtype, "f32");
+  EXPECT_FALSE(old_parsed->shards[0].has_master_weights);
+}
+
+TEST_F(DtypeCkptTest, ResumeRejectsMismatchedDtypeCheckpoint) {
+  // Commit a real bf16-labelled checkpoint, then resolve it with both the
+  // matching and the mismatching expected dtype.
+  Rng rng(31);
+  Tensor w = Tensor::randn({8}, rng).to(DType::kBf16);
+  const std::uint64_t step = 5;
+  const std::string sdir = ckpt::step_dir(dir_.string(), step);
+  std::filesystem::create_directories(sdir);
+  const std::string path = ckpt::shard_path(sdir, 0, 0, 0);
+  const auto res = ckpt::save_checkpoint(path, {{"w", &w}}, {step, 0});
+  ckpt::Manifest m{step, 0, {}};
+  m.shards.push_back({std::filesystem::path(path)
+                          .lexically_relative(dir_.string())
+                          .string(),
+                      static_cast<std::uint64_t>(res.bytes), res.crc, "bf16",
+                      true});
+  ckpt::write_manifest(dir_.string(), m);
+
+  const auto ok = ckpt::find_latest_valid_checkpoint(dir_.string(),
+                                                     std::string("bf16"));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->step(), step);
+  // No expected dtype = legacy behavior, still resolves.
+  EXPECT_TRUE(ckpt::find_latest_valid_checkpoint(dir_.string()).has_value());
+  try {
+    ckpt::find_latest_valid_checkpoint(dir_.string(), std::string("f32"));
+    FAIL() << "expected dtype-mismatch CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bf16"), std::string::npos);
+    EXPECT_NE(what.find("f32"), std::string::npos);
+    EXPECT_NE(what.find("dtype"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ptdp::tensor
