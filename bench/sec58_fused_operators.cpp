@@ -1,11 +1,20 @@
 // §5.8: operator fusion impact. The paper reports +19% end-to-end for
 // GPT-3 175B (113 -> 135 TFLOP/s per GPU) and +11% for the 530B model
 // (133 -> 148). We run the same end-to-end configurations with the fused
-// kernels toggled in the cost model, and additionally measure the *real*
-// CPU fused kernels against their unfused compositions.
+// kernels toggled in the cost model, measure the *real* CPU fused kernels
+// against their unfused compositions, and — three-way — run a whole
+// transformer block unfused (planned graph, fusion pass off), hand-fused
+// (the eager bodies), and planner-fused (planned graph, fusion pass on),
+// writing the comparison to BENCH_graph_fusion.json. The planner-fused plan
+// dispatches the same kernels as the hand-written bodies, so it must match
+// or beat them.
 
 #include "bench_util.hpp"
 
+#include "ptdp/dist/comm.hpp"
+#include "ptdp/graph/builder.hpp"
+#include "ptdp/graph/executor.hpp"
+#include "ptdp/model/transformer_layer.hpp"
 #include "ptdp/runtime/stopwatch.hpp"
 #include "ptdp/tensor/ops.hpp"
 
@@ -90,5 +99,91 @@ int main() {
   std::printf("  scale+mask+softmax: %6.3f ms -> %6.3f ms (%.2fx, and the fused "
               "kernel also applies causal masking)\n",
               composed_sm, fused_sm, composed_sm / fused_sm);
+
+  // ---- three-way block benchmark: unfused / hand-fused / planner-fused ----
+  model::GptConfig bc;
+  bc.num_layers = 1;
+  bc.hidden = 512;
+  bc.heads = 8;
+  bc.vocab = 1024;
+  bc.seq = 256;
+  bc.dropout = 0.1f;
+  bc.seed = 11;
+  const std::int64_t bb = 4;
+  dist::Comm solo = dist::Comm::solo();
+  model::TransformerLayer layer(bc, 0, solo);
+  Rng brng(bc.seed, substream(1, 2));
+  const tensor::Tensor bx = tensor::Tensor::randn({bc.seq, bb, bc.hidden}, brng);
+  const tensor::Tensor bdy = tensor::Tensor::randn({bc.seq, bb, bc.hidden}, brng);
+
+  graph::PlannerOptions unfused_opts;
+  unfused_opts.fuse = false;
+  const graph::LayerPlan unfused_plan =
+      graph::build_layer_plan(bc, /*with_dropout=*/true, unfused_opts);
+  const graph::ExecContext ctx{bc.seq, bb, /*mb_tag=*/1, bc.dropout};
+
+  const int reps = 10;
+  const double ms_unfused = time_ms(
+      [&] {
+        graph::Frame frame;
+        frame.begin(unfused_plan, bx);
+        (void)graph::SequentialExecutor::run_forward(unfused_plan, frame,
+                                                     layer.binding(), ctx);
+        (void)graph::SequentialExecutor::run_backward(unfused_plan, frame,
+                                                      layer.binding(), ctx, bdy);
+      },
+      reps);
+  const bool prev_enabled = graph::set_enabled(false);
+  const double ms_hand = time_ms(
+      [&] {
+        model::LayerCache cache;
+        (void)layer.forward(bx, cache, 1);
+        (void)layer.backward(bdy, cache);
+      },
+      reps);
+  graph::set_enabled(true);
+  const double ms_planner = time_ms(
+      [&] {
+        model::LayerCache cache;
+        (void)layer.forward(bx, cache, 1);
+        (void)layer.backward(bdy, cache);
+      },
+      reps);
+  graph::set_enabled(prev_enabled);
+
+  std::printf("\nTransformer block fwd+bwd (s=%lld b=%lld h=%lld, dropout on):\n",
+              static_cast<long long>(bc.seq), static_cast<long long>(bb),
+              static_cast<long long>(bc.hidden));
+  std::printf("  unfused plan     : %7.3f ms\n", ms_unfused);
+  std::printf("  hand-fused eager : %7.3f ms (%.2fx vs unfused)\n", ms_hand,
+              ms_unfused / ms_hand);
+  std::printf("  planner-fused    : %7.3f ms (%.2fx vs unfused, %.2fx vs hand)\n",
+              ms_planner, ms_unfused / ms_planner, ms_hand / ms_planner);
+
+  std::FILE* f = std::fopen("BENCH_graph_fusion.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not open BENCH_graph_fusion.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sec58_fused_operators\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"hidden\": %lld, \"heads\": %lld, \"seq\": %lld, "
+               "\"b\": %lld, \"dropout\": 0.1, \"reps\": %d},\n",
+               static_cast<long long>(bc.hidden), static_cast<long long>(bc.heads),
+               static_cast<long long>(bc.seq), static_cast<long long>(bb), reps);
+  std::fprintf(f, "  \"block_fwd_bwd_ms\": {\n");
+  std::fprintf(f, "    \"unfused\": %.4f,\n", ms_unfused);
+  std::fprintf(f, "    \"hand_fused\": %.4f,\n", ms_hand);
+  std::fprintf(f, "    \"planner_fused\": %.4f\n  },\n", ms_planner);
+  std::fprintf(f, "  \"speedup\": {\"hand_vs_unfused\": %.4f, "
+                  "\"planner_vs_unfused\": %.4f, \"planner_vs_hand\": %.4f},\n",
+               ms_unfused / ms_hand, ms_unfused / ms_planner, ms_hand / ms_planner);
+  std::fprintf(f, "  \"kernel_ms\": {\"bias_gelu\": [%.4f, %.4f], "
+                  "\"bias_dropout_add\": [%.4f, %.4f], "
+                  "\"scale_softmax\": [%.4f, %.4f]}\n}\n",
+               unfused_gelu, fused_gelu, unfused_bda, fused_bda, composed_sm,
+               fused_sm);
+  std::fclose(f);
+  std::printf("wrote BENCH_graph_fusion.json\n");
   return 0;
 }

@@ -18,6 +18,14 @@
 //              --max-restarts 3 --fault-seed 1
 //              --fault-plan kill:<rank>:<site>:<nth>[,...]
 //              --trace-out /tmp/trace.json --metrics-out /tmp/metrics.json
+//              --dump-plan plan.json
+//
+// Planned execution (DESIGN.md §14): layers run their fused op-graph plans by
+// default; set PTDP_GRAPH=0 to fall back to the hand-written eager bodies
+// (bitwise-identical results either way). --dump-plan writes every virtual
+// stage's planned graph — post-fusion node sequences, value lifetimes, arena
+// slot assignment, buffer stats — as ptdp-plan-v1 JSON (path or "-" for
+// stdout) and exits without training.
 //
 // Observability (DESIGN.md §11): --trace-out enables full tracing and writes
 // a Chrome trace_event JSON (open in Perfetto / chrome://tracing; tid = world
@@ -44,6 +52,8 @@
 
 #include "ptdp/core/engine.hpp"
 #include "ptdp/data/dataset.hpp"
+#include "ptdp/graph/builder.hpp"
+#include "ptdp/graph/passes.hpp"
 #include "ptdp/dist/fault.hpp"
 #include "ptdp/dist/world.hpp"
 #include "ptdp/ft/supervisor.hpp"
@@ -77,6 +87,7 @@ struct Args {
   int max_restarts = 3;
   std::string trace_out;    ///< Chrome trace JSON path; enables full tracing
   std::string metrics_out;  ///< metrics JSON path; enables the metrics plane
+  std::string dump_plan;    ///< plan JSON path ("-" = stdout); dump and exit
 };
 
 std::optional<tensor::DType> dtype_from(const std::string& s) {
@@ -183,6 +194,7 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--eval-every") a.eval_every = static_cast<int>(next_i64(i));
     else if (flag == "--trace-out") a.trace_out = argv[++i];
     else if (flag == "--metrics-out") a.metrics_out = argv[++i];
+    else if (flag == "--dump-plan") a.dump_plan = argv[++i];
     else if (flag == "--fault-plan") a.fault_plan = argv[++i];
     else if (flag == "--fault-seed") a.fault_seed = static_cast<std::uint64_t>(next_i64(i));
     else if (flag == "--max-restarts") a.max_restarts = static_cast<int>(next_i64(i));
@@ -210,6 +222,34 @@ int main(int argc, char** argv) {
     args.model.dtype = *dt;
   }
   if (!parse(argc, argv, args)) return 1;
+
+  if (!args.dump_plan.empty()) {
+    // Plan inspection: emit every virtual stage's planned op graph (same
+    // layer striping as the engine, §2.2.2) as a JSON array and exit.
+    std::FILE* out = args.dump_plan == "-"
+                         ? stdout
+                         : std::fopen(args.dump_plan.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.dump_plan.c_str());
+      return 1;
+    }
+    graph::PlannerOptions popts;
+    popts.tp_size = args.parallel.t;
+    const int P = args.parallel.p * std::max(args.parallel.v, 1);
+    const std::int64_t per_stage = args.model.num_layers / P;
+    std::fputs("[\n", out);
+    for (int vs = 0; vs < P; ++vs) {
+      const auto sp = graph::build_stage_plan(
+          args.model, vs * per_stage, (vs + 1) * per_stage,
+          /*has_embedding=*/vs == 0, /*has_head=*/vs == P - 1,
+          args.parallel.recompute, popts);
+      graph::dump_stage_plan_json(sp, args.model, out);
+      std::fputs(vs + 1 < P ? ",\n" : "\n", out);
+    }
+    std::fputs("]\n", out);
+    if (out != stdout) std::fclose(out);
+    return 0;
+  }
 
   core::EngineOptions options;
   options.model = args.model;

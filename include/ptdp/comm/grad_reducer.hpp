@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "ptdp/dist/comm.hpp"
+#include "ptdp/mem/arena.hpp"
 #include "ptdp/model/param.hpp"
 #include "ptdp/tensor/dtype.hpp"
 
@@ -102,14 +103,19 @@ class GradReducer {
   GradReducerOptions options_;
   std::vector<bool> defer_;
   std::vector<bool> reduced_;  ///< per-batch: chunk already reduced
-  /// Bucket staging reused across chunks and iterations (clear() keeps
-  /// capacity): the steady-state reduction path makes zero heap
-  /// allocations (memory plane, DESIGN.md §12).
-  std::vector<float> bucket_;
+  /// Staging slots in the planned arena (DESIGN.md §12/§14): kBucket holds
+  /// the flattened f32 bucket, kWire16/kGathered16 the bf16 wire payloads
+  /// (comm_dtype == kBf16 only). The arena blocks come from the pooled
+  /// allocator and are reused across chunks and iterations, so the
+  /// steady-state reduction path makes zero heap allocations AND the
+  /// staging bytes show up in the pool's live/peak accounting (the
+  /// mem.rank<r>.* gauges) — unlike the std::vector staging this replaces.
+  enum Slot : std::size_t { kBucket = 0, kWire16 = 1, kGathered16 = 2 };
+  mem::Arena arena_{3};
+  /// Largest bucket any chunk produces — a pure function of (chunk params,
+  /// bucket_elems), computed once at construction: the bucket *plan*.
+  std::size_t max_bucket_elems_ = 0;
   std::vector<model::Param*> members_;
-  /// bf16 wire staging (comm_dtype == kBf16 only), reused like bucket_.
-  std::vector<tensor::bf16_t> wire16_;
-  std::vector<tensor::bf16_t> gathered16_;
   std::uint64_t elems_reduced_ = 0;
   std::uint64_t elems_overlapped_ = 0;
 };

@@ -1,0 +1,64 @@
+#pragma once
+
+// ptdp::mem::Arena — the planned-arena face of the memory plane
+// (DESIGN.md §12/§14): a fixed set of named slots over the pooled
+// allocator for staging buffers whose sizes are a pure function of the
+// plan (GradReducer bucket layout, wire-format scratch). Each slot keeps
+// its block across calls and grows monotonically to its high-water size,
+// so the steady state performs zero acquires — and, unlike ad-hoc
+// std::vector staging, the bytes are pool-accounted, so thread/global
+// live and peak stats (the engine's mem.rank<r>.* gauges) see them.
+//
+// Contract:
+//  - get<T>(slot, count) returns a span of `count` Ts over the slot's
+//    block, reacquiring a larger block only when the request has grown.
+//    Contents are UNINITIALIZED after a (re)growth and otherwise carry
+//    whatever the previous use of the slot left — callers fully write
+//    before reading, like Tensor::empty.
+//  - A slot may be viewed as different element types on different calls
+//    (the GradReducer stages f32 buckets and bf16 wire payloads through
+//    one arena); the storage is float-aligned, so T must not require
+//    stronger alignment.
+//  - An Arena belongs to one thread at a time (same ownership rule as a
+//    Tensor): the pool's free lists are thread-cached.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ptdp/mem/pool.hpp"
+
+namespace ptdp::mem {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t num_slots);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// A span of `count` Ts over slot `slot` (see class contract).
+  template <typename T = float>
+  std::span<T> get(std::size_t slot, std::size_t count) {
+    static_assert(alignof(T) <= alignof(float),
+                  "arena storage is float-aligned");
+    const std::size_t floats =
+        (count * sizeof(T) + sizeof(float) - 1) / sizeof(float);
+    return {reinterpret_cast<T*>(ensure(slot, floats)), count};
+  }
+
+  std::size_t num_slots() const { return slots_.size(); }
+  /// Current accounted capacity of a slot in floats (0 before first use).
+  std::size_t slot_floats(std::size_t slot) const;
+
+ private:
+  float* ensure(std::size_t slot, std::size_t floats);
+
+  struct Slot {
+    Block block;
+    std::size_t floats = 0;  ///< requested floats (what accounting carries)
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace ptdp::mem

@@ -70,6 +70,14 @@ struct Block {
 Block acquire(std::size_t n);
 void release(float* data, std::size_t capacity);
 
+/// Adjusts the calling thread's and the global live counters by
+/// `floats_delta * sizeof(float)` requested bytes (peaks track positive
+/// deltas). acquire() credits the requested size but release() cannot
+/// debit it (it only sees capacity), so raw acquire/release users
+/// (Buffer, Arena) call this with the negated request alongside release()
+/// — keeping live/peak accounting byte-exact over requested bytes.
+void account_adjust(std::int64_t floats_delta);
+
 PoolStats thread_stats();
 PoolStats global_stats();
 

@@ -44,9 +44,19 @@ class ParallelAttention {
   /// Eval-mode switch: 0 disables attention-probability dropout.
   void set_dropout(float p) { config_.dropout = p; }
 
- private:
+  // Graph-plan bindings (ptdp::graph drives the same modules the eager body
+  // drives; see DESIGN.md §14).
+  ColumnParallelLinear& qkv() { return qkv_; }
+  RowParallelLinear& proj() { return proj_; }
+  std::int64_t heads_local() const { return heads_local_; }
+  std::int64_t head_dim() const { return head_dim_; }
+  std::int64_t hidden_local() const { return hidden_local_; }
+  /// Site-keyed attention-probability dropout mask (kAttentionProb streams,
+  /// keyed by global head so tensor-parallel ranks agree). Public so a
+  /// planned kAttnProbMask node can draw the identical mask.
   tensor::Tensor make_prob_dropout_mask(std::int64_t b, std::uint64_t mb_tag) const;
 
+ private:
   GptConfig config_;
   std::int64_t layer_idx_;
   std::int64_t heads_local_, head_dim_, hidden_local_, head_begin_;

@@ -13,6 +13,7 @@
 #include "ptdp/dist/comm.hpp"
 #include "ptdp/model/config.hpp"
 #include "ptdp/model/param.hpp"
+#include "ptdp/tensor/arena.hpp"
 #include "ptdp/tensor/ops.hpp"
 
 namespace ptdp::model {
@@ -62,6 +63,13 @@ class GptHead {
   Param ln_gamma_, ln_beta_;
   std::optional<Param> own_word_;
   Param* word_;
+  /// Planned scratch (DESIGN.md §12/§14): the head's per-call transients
+  /// that never escape — kTargetLogit in forward, kDlogits in backward,
+  /// kGather in full_logits — reuse the same storage every microbatch
+  /// instead of allocating fresh tensors. cache.exp_shift stays a real
+  /// allocation: it must survive until backward, per microbatch.
+  enum ScratchSlot : std::size_t { kTargetLogit = 0, kDlogits = 1, kGather = 2 };
+  tensor::TensorArena scratch_{3};
 };
 
 }  // namespace ptdp::model

@@ -29,6 +29,10 @@ class ParallelMlp {
   Param& fc2_bias() { return fc2_.bias(); }
   void collect_params(ParamRefs& out);
 
+  // Graph-plan bindings (DESIGN.md §14).
+  ColumnParallelLinear& fc1() { return fc1_; }
+  RowParallelLinear& fc2() { return fc2_; }
+
  private:
   std::int64_t hidden_;
   ColumnParallelLinear fc1_;

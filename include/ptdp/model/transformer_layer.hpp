@@ -3,12 +3,18 @@
 // One pre-LayerNorm GPT transformer block:
 //   h1 = x + dropout(attn(LN1(x)) + proj_bias)
 //   y  = h1 + dropout(mlp(LN2(h1)) + fc2_bias)
-// with the bias+dropout+add fusions of §4.2. Forward/backward are
+// with the bias+dropout+add fusions of §4.2.
+//
+// Execution is planned: the block builds its ptdp::graph LayerPlans once
+// (fusion + dtype + buffer passes, DESIGN.md §14) and forward/backward run
+// them through the SequentialExecutor — bit-identical to the hand-written
+// eager bodies, which remain available behind PTDP_GRAPH=0. Both paths are
 // functional over an explicit LayerCache so a pipeline stage can hold many
-// microbatches in flight, and so activation recomputation can rebuild the
-// cache from the stashed input.
+// microbatches in flight, and so activation recomputation can rebuild state
+// from the stashed input.
 
 #include "ptdp/dist/comm.hpp"
+#include "ptdp/graph/executor.hpp"
 #include "ptdp/model/attention.hpp"
 #include "ptdp/model/mlp.hpp"
 #include "ptdp/tensor/ops.hpp"
@@ -22,10 +28,13 @@ struct LayerCache {
   MlpCache mlp;
   tensor::Tensor h1;  ///< post-attention residual stream [s*b, h] (2-D view shape)
   tensor::Tensor attn_resid_mask, mlp_resid_mask;
+  graph::Frame frame;  ///< graph-mode execution state (empty in eager mode)
 
   /// Drops everything except the input (activation recomputation, §3.5).
   void keep_input_only() {
-    *this = LayerCache{std::move(input), {}, {}, {}, {}, {}, {}, {}};
+    frame.keep_input_only();
+    *this = LayerCache{std::move(input), {}, {}, {}, {}, {}, {}, {},
+                       std::move(frame)};
   }
 };
 
@@ -38,20 +47,44 @@ class TransformerLayer {
   tensor::Tensor forward(const tensor::Tensor& x, LayerCache& cache,
                          std::uint64_t mb_tag);
 
-  /// dy: [s, b, h]; returns dx and accumulates all parameter grads.
-  tensor::Tensor backward(const tensor::Tensor& dy, const LayerCache& cache);
+  /// dy: [s, b, h]; returns dx and accumulates all parameter grads. In graph
+  /// mode the cache's frame slots are released at their planned last use.
+  tensor::Tensor backward(const tensor::Tensor& dy, LayerCache& cache);
+
+  /// Backward with activation recomputation (§3.5): the cache holds only the
+  /// layer input. Graph mode runs the fwd ++ bwd recompute plan; eager mode
+  /// replays forward() then runs backward(). `mb_tag` must match the
+  /// original forward so the counter-based dropout streams replay bitwise.
+  tensor::Tensor backward_recompute(const tensor::Tensor& dy, LayerCache& cache,
+                                    std::uint64_t mb_tag);
 
   std::int64_t layer_idx() const { return layer_idx_; }
   void collect_params(ParamRefs& out);
   /// Eval-mode switch: 0 disables this layer's dropouts (incl. attention).
+  /// Plans are topology-selected by dropout > 0, so this just flips which
+  /// prebuilt plan runs.
   void set_dropout(float p);
 
+  /// The planned graphs this layer executes (with- and without-dropout
+  /// topologies) and the module binding they run against.
+  const graph::LayerPlan& plan(bool with_dropout) const {
+    return with_dropout ? plan_drop_ : plan_nodrop_;
+  }
+  const graph::LayerBinding& binding() const { return binding_; }
+
  private:
+  tensor::Tensor forward_eager(const tensor::Tensor& x, LayerCache& cache,
+                               std::uint64_t mb_tag);
+  tensor::Tensor backward_eager(const tensor::Tensor& dy, const LayerCache& cache);
+
   GptConfig config_;
   std::int64_t layer_idx_;
   Param ln1_gamma_, ln1_beta_, ln2_gamma_, ln2_beta_;
   ParallelAttention attention_;
   ParallelMlp mlp_;
+  graph::LayerPlan plan_nodrop_, plan_drop_;
+  graph::LayerBinding binding_;  ///< self-referential: layer is pinned by
+                                 ///< unique_ptr ownership (no copies/moves)
 };
 
 }  // namespace ptdp::model

@@ -1,0 +1,52 @@
+#pragma once
+
+// tensor::TensorArena — the tensor-level face of the planned arena
+// (mem::Arena, DESIGN.md §12/§14): slot-indexed scratch Tensors with
+// planned reuse. tensor(slot, shape) returns the same storage on every
+// call with an unchanged shape/dtype, so the steady state allocates
+// nothing — not even the shared_ptr control block a fresh Tensor::empty
+// costs — and the scratch bytes sit constant in the pool's live
+// accounting instead of churning through it each step.
+//
+// Contract (mirrors Tensor::empty): contents are whatever the previous
+// use left; callers fully overwrite before reading. Do not keep the
+// returned Tensor, or a storage-sharing view of it, alive across the
+// slot's next use — the storage would alias. An arena belongs to one
+// rank thread, like the Tensors it hands out.
+
+#include <cstddef>
+#include <vector>
+
+#include "ptdp/tensor/tensor.hpp"
+
+namespace ptdp::tensor {
+
+class TensorArena {
+ public:
+  explicit TensorArena(std::size_t num_slots) : slots_(num_slots) {}
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  /// Uninitialized scratch of the given shape (Tensor::empty semantics).
+  Tensor& empty(std::size_t slot, Shape shape, DType dtype = DType::kF32) {
+    Tensor& t = slots_.at(slot);
+    if (!t.defined() || t.dtype() != dtype || t.shape() != shape) {
+      t = Tensor::empty(std::move(shape), dtype);
+    }
+    return t;
+  }
+
+  /// Zeroed scratch (Tensor::zeros semantics — zero-fills on reuse too).
+  Tensor& zeros(std::size_t slot, Shape shape, DType dtype = DType::kF32) {
+    Tensor& t = empty(slot, std::move(shape), dtype);
+    t.zero();
+    return t;
+  }
+
+  std::size_t num_slots() const { return slots_.size(); }
+
+ private:
+  std::vector<Tensor> slots_;
+};
+
+}  // namespace ptdp::tensor

@@ -1,5 +1,7 @@
 #include "ptdp/comm/grad_reducer.hpp"
 
+#include <algorithm>
+
 #include "ptdp/obs/trace.hpp"
 #include "ptdp/tensor/tensor.hpp"
 
@@ -16,8 +18,25 @@ GradReducer::GradReducer(std::vector<model::ParamRefs> chunk_params, dist::Comm 
       reduced_(chunk_params_.size(), false) {
   if (defer_.empty()) defer_.assign(chunk_params_.size(), false);
   PTDP_CHECK_EQ(defer_.size(), chunk_params_.size());
+  // The bucket plan: walk each chunk's bucketing once to size the arena's
+  // bucket slot at the largest flush any chunk ever needs. Depends only on
+  // (chunk params, bucket_elems) — the same pure function reduce_chunk
+  // replays, so the slot never regrows after construction.
+  const std::int64_t cap = options_.bucket_elems;
   for (const model::ParamRefs& refs : chunk_params_) {
-    for (const Param* p : refs) PTDP_CHECK(p != nullptr);
+    std::int64_t cur = 0;
+    for (const Param* p : refs) {
+      PTDP_CHECK(p != nullptr);
+      const std::int64_t g = p->grad.numel();
+      if (cap > 0) {
+        if (cur != 0 && cur + g > cap) cur = 0;
+        cur += g;
+      } else {
+        cur = g;  // per-param reduction: the wire slots see one grad
+      }
+      max_bucket_elems_ =
+          std::max(max_bucket_elems_, static_cast<std::size_t>(cur));
+    }
   }
 }
 
@@ -49,15 +68,16 @@ void GradReducer::reduce_span(std::span<float> data) {
     // result is deterministic and identical on all ranks.
     const std::size_t n = data.size();
     const std::size_t d = static_cast<std::size_t>(data_.size());
-    wire16_.resize(n);
-    tensor::narrow_bf16(data, std::span<tensor::bf16_t>(wire16_));
-    gathered16_.resize(n * d);
-    data_.all_gather(std::span<const tensor::bf16_t>(wire16_),
-                     std::span<tensor::bf16_t>(gathered16_));
+    std::span<tensor::bf16_t> wire16 =
+        arena_.get<tensor::bf16_t>(kWire16, n);
+    tensor::narrow_bf16(data, wire16);
+    std::span<tensor::bf16_t> gathered16 =
+        arena_.get<tensor::bf16_t>(kGathered16, n * d);
+    data_.all_gather(std::span<const tensor::bf16_t>(wire16), gathered16);
     for (std::size_t j = 0; j < n; ++j) {
       float acc = 0.0f;
       for (std::size_t r = 0; r < d; ++r) {
-        acc += tensor::bf16_to_f32(gathered16_[r * n + j]);
+        acc += tensor::bf16_to_f32(gathered16[r * n + j]);
       }
       data[j] = acc * inv_d;
     }
@@ -84,31 +104,35 @@ void GradReducer::reduce_chunk(std::size_t c, bool overlapped) {
     return;
   }
   // Bucket boundaries depend only on the chunk's param order and cap, never
-  // on reduction timing — the bitwise overlap-on/off guarantee.
-  std::vector<float>& bucket = bucket_;
+  // on reduction timing — the bitwise overlap-on/off guarantee. The bucket
+  // lives in the planned arena, sized once at construction to the largest
+  // flush of any chunk (max_bucket_elems_).
+  std::span<float> bucket = arena_.get<float>(kBucket, max_bucket_elems_);
   std::vector<Param*>& members = members_;
-  bucket.clear();
+  std::size_t len = 0;
   members.clear();
   auto flush = [&] {
-    if (bucket.empty()) return;
-    reduce_span(std::span<float>(bucket));
-    elems_reduced_ += bucket.size();
+    if (len == 0) return;
+    reduce_span(bucket.first(len));
+    elems_reduced_ += len;
     std::size_t off = 0;
     for (Param* p : members) {
       auto g = p->grad.data();
       for (std::size_t j = 0; j < g.size(); ++j) g[j] = bucket[off + j];
       off += g.size();
     }
-    bucket.clear();
+    len = 0;
     members.clear();
   };
   for (Param* p : chunk_params_[c]) {
     auto g = p->grad.data();
-    if (!bucket.empty() &&
-        static_cast<std::int64_t>(bucket.size() + g.size()) > cap) {
+    if (len != 0 && static_cast<std::int64_t>(len + g.size()) > cap) {
       flush();
     }
-    bucket.insert(bucket.end(), g.begin(), g.end());
+    PTDP_CHECK_LE(len + g.size(), bucket.size())
+        << "bucket plan undersized for chunk " << c;
+    std::copy(g.begin(), g.end(), bucket.begin() + static_cast<std::ptrdiff_t>(len));
+    len += g.size();
     members.push_back(p);
   }
   flush();

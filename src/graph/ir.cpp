@@ -1,0 +1,62 @@
+#include "ptdp/graph/ir.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace ptdp::graph {
+
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kView2D: return "graph.view2d";
+    case OpKind::kView3D: return "graph.view3d";
+    case OpKind::kAttnSplitHeads: return "graph.attn_split_heads";
+    case OpKind::kAttnMergeHeads: return "graph.attn_merge_heads";
+    case OpKind::kAttnSplitGradHeads: return "graph.attn_split_grad_heads";
+    case OpKind::kAttnMergeQkvGrad: return "graph.attn_merge_qkv_grad";
+    case OpKind::kLinearFwd: return "graph.linear_fwd";
+    case OpKind::kLinearBwd: return "graph.linear_bwd";
+    case OpKind::kAttnProbMask: return "graph.attn_prob_mask";
+    case OpKind::kLayerNorm: return "graph.layernorm";
+    case OpKind::kLayerNormBwd: return "graph.layernorm_bwd";
+    case OpKind::kAddBias: return "graph.add_bias";
+    case OpKind::kGelu: return "graph.gelu";
+    case OpKind::kGeluBwd: return "graph.gelu_bwd";
+    case OpKind::kDropout: return "graph.dropout";
+    case OpKind::kDropoutBwd: return "graph.dropout_bwd";
+    case OpKind::kAdd: return "graph.add";
+    case OpKind::kMul: return "graph.mul";
+    case OpKind::kScale: return "graph.scale";
+    case OpKind::kMaskFill: return "graph.mask_fill";
+    case OpKind::kSoftmax: return "graph.softmax";
+    case OpKind::kSoftmaxBwd: return "graph.softmax_bwd";
+    case OpKind::kBmm: return "graph.bmm";
+    case OpKind::kBmmNT: return "graph.bmm_nt";
+    case OpKind::kBmmTN: return "graph.bmm_tn";
+    case OpKind::kBiasGradAccum: return "graph.bias_grad_accum";
+    case OpKind::kFusedBiasGelu: return "graph.fused_bias_gelu";
+    case OpKind::kFusedBiasGeluBwd: return "graph.fused_bias_gelu_bwd";
+    case OpKind::kFusedBiasDropoutAdd: return "graph.fused_bias_dropout_add";
+    case OpKind::kScaleCausalSoftmax: return "graph.scale_causal_softmax";
+    case OpKind::kScaleMaskSoftmax: return "graph.scale_mask_softmax";
+    case OpKind::kScaleSoftmaxBwd: return "graph.scale_softmax_bwd";
+  }
+  return "graph.unknown";
+}
+
+namespace {
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("PTDP_GRAPH");
+    return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+  }();
+  return flag;
+}
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+bool set_enabled(bool on) {
+  return enabled_flag().exchange(on, std::memory_order_relaxed);
+}
+
+}  // namespace ptdp::graph

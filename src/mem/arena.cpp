@@ -1,0 +1,42 @@
+#include "ptdp/mem/arena.hpp"
+
+#include "ptdp/runtime/check.hpp"
+
+namespace ptdp::mem {
+
+Arena::Arena(std::size_t num_slots) : slots_(num_slots) {}
+
+Arena::~Arena() {
+  for (Slot& s : slots_) {
+    if (s.block.data != nullptr) {
+      account_adjust(-static_cast<std::int64_t>(s.floats));
+      release(s.block.data, s.block.capacity);
+    }
+  }
+}
+
+float* Arena::ensure(std::size_t slot, std::size_t floats) {
+  PTDP_CHECK_LT(slot, slots_.size());
+  Slot& s = slots_[slot];
+  if (s.block.data == nullptr || floats > s.block.capacity) {
+    if (s.block.data != nullptr) {
+      account_adjust(-static_cast<std::int64_t>(s.floats));
+      release(s.block.data, s.block.capacity);
+    }
+    s.block = acquire(floats);
+    s.floats = floats;
+  } else if (floats > s.floats) {
+    // High-water grew but still fits the block: adjust the accounted
+    // request so live bytes stay exact without a reacquire.
+    account_adjust(static_cast<std::int64_t>(floats - s.floats));
+    s.floats = floats;
+  }
+  return s.block.data;
+}
+
+std::size_t Arena::slot_floats(std::size_t slot) const {
+  PTDP_CHECK_LT(slot, slots_.size());
+  return slots_[slot].floats;
+}
+
+}  // namespace ptdp::mem

@@ -207,6 +207,15 @@ void release(float* data, std::size_t capacity) {
   heap_free(data);
 }
 
+void account_adjust(std::int64_t floats_delta) {
+  const std::int64_t bytes =
+      floats_delta * static_cast<std::int64_t>(sizeof(float));
+  PoolStats& st = thread_cache().stats;
+  st.live_bytes += bytes;
+  if (st.live_bytes > st.peak_bytes) st.peak_bytes = st.live_bytes;
+  bump_global_live(bytes);
+}
+
 PoolStats thread_stats() { return thread_cache().stats; }
 
 PoolStats global_stats() {
@@ -238,9 +247,7 @@ void trim_thread_cache() { thread_cache().flush(); }
 Buffer::Buffer(std::size_t n) : block_(acquire(n)), size_(n) {}
 
 Buffer::~Buffer() {
-  const std::int64_t bytes = static_cast<std::int64_t>(size_ * sizeof(float));
-  thread_cache().stats.live_bytes -= bytes;
-  bump_global_live(-bytes);
+  account_adjust(-static_cast<std::int64_t>(size_));
   release(block_.data, block_.capacity);
 }
 

@@ -39,6 +39,9 @@ Tensor VocabParallelEmbedding::forward(std::span<const std::int32_t> tokens,
   cache.b = b;
   const std::int64_t h = config_.hidden;
 
+  // The lookup output escapes as the stage activation (the pipeline owns
+  // it until backward), so it is a real pooled allocation — deliberately
+  // not TensorArena scratch, unlike the head's per-call transients.
   Tensor out({s * b, h});
   auto dw = word_.value.data();
   auto dout = out.data();

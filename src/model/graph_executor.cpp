@@ -1,0 +1,306 @@
+#include "ptdp/graph/executor.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "ptdp/model/attention.hpp"
+#include "ptdp/model/config.hpp"
+#include "ptdp/model/linear.hpp"
+#include "ptdp/model/param.hpp"
+#include "ptdp/model/rng_sites.hpp"
+#include "ptdp/obs/metrics.hpp"
+#include "ptdp/obs/trace.hpp"
+#include "ptdp/runtime/check.hpp"
+#include "ptdp/tensor/ops.hpp"
+
+namespace ptdp::graph {
+
+using tensor::Tensor;
+
+namespace {
+
+model::Param& param(const LayerBinding& bind, std::int8_t slot) {
+  PTDP_CHECK(slot >= 0 && slot < kNumParamSlots);
+  return *bind.params[static_cast<std::size_t>(slot)];
+}
+
+/// Unfused-plan helper: applies the implicit causal mask as an explicit
+/// -inf fill so the plain softmax kernel can follow. The fused
+/// scale+causal+softmax kernel replaces this pair after the fusion pass; a
+/// zero padding mask (the BERT configuration) is a pure copy.
+Tensor mask_fill(const Tensor& x, bool causal) {
+  Tensor out = Tensor::empty({x.dim(0), x.dim(1), x.dim(2)});
+  auto src = x.data();
+  auto dst = out.data();
+  std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
+  if (!causal) return out;
+  const std::int64_t sq = x.dim(1), sk = x.dim(2);
+  const float ninf = -std::numeric_limits<float>::infinity();
+  for (std::int64_t r = 0; r < x.dim(0); ++r) {
+    float* slab = dst.data() + r * sq * sk;
+    for (std::int64_t i = 0; i < sq; ++i) {
+      for (std::int64_t j = i + (sk - sq) + 1; j < sk; ++j) {
+        slab[i * sk + j] = ninf;
+      }
+    }
+  }
+  return out;
+}
+
+struct Runner {
+  const LayerPlan& plan;
+  Frame& frame;
+  const LayerBinding& bind;
+  const ExecContext& ctx;
+
+  Tensor& at(ValueId vid) { return frame.vals[static_cast<std::size_t>(vid)]; }
+
+  Rng rng_for(const Node& node) const {
+    return model::site_rng(bind.config->seed, ctx.mb_tag,
+                           static_cast<std::uint64_t>(bind.layer_idx),
+                           node.site);
+  }
+
+  void exec(const Node& n) {
+    namespace ts = ptdp::tensor;
+    switch (n.kind) {
+      case OpKind::kView2D: {
+        const Tensor& x = at(n.in[0]);
+        at(n.out[0]) = x.view({x.dim(0) * x.dim(1), x.dim(2)});
+        break;
+      }
+      case OpKind::kView3D: {
+        const Tensor& x = at(n.in[0]);
+        at(n.out[0]) = x.view({ctx.s, ctx.b, x.dim(1)});
+        break;
+      }
+      case OpKind::kLayerNorm: {
+        auto r = ts::layernorm(at(n.in[0]), param(bind, n.param).value,
+                               param(bind, n.param2).value);
+        at(n.out[0]) = r.y;
+        at(n.out[1]) = r.mean;
+        at(n.out[2]) = r.rstd;
+        break;
+      }
+      case OpKind::kLayerNormBwd: {
+        model::Param& gamma = param(bind, n.param);
+        model::Param& beta = param(bind, n.param2);
+        auto g = ts::layernorm_backward(at(n.in[0]), at(n.in[1]), gamma.value,
+                                        at(n.in[2]), at(n.in[3]));
+        ts::add_(gamma.grad, g.dgamma);
+        ts::add_(beta.grad, g.dbeta);
+        at(n.out[0]) = g.dx;
+        break;
+      }
+      case OpKind::kLinearFwd: {
+        model::LinearCache c;
+        switch (static_cast<LinearSlot>(n.linear)) {
+          case LinearSlot::kQkv: at(n.out[0]) = bind.qkv->forward(at(n.in[0]), c); break;
+          case LinearSlot::kProj: at(n.out[0]) = bind.proj->forward(at(n.in[0]), c); break;
+          case LinearSlot::kFc1: at(n.out[0]) = bind.fc1->forward(at(n.in[0]), c); break;
+          case LinearSlot::kFc2: at(n.out[0]) = bind.fc2->forward(at(n.in[0]), c); break;
+        }
+        at(n.out[1]) = c.input;
+        break;
+      }
+      case OpKind::kLinearBwd: {
+        model::LinearCache c{at(n.in[1])};
+        switch (static_cast<LinearSlot>(n.linear)) {
+          case LinearSlot::kQkv: at(n.out[0]) = bind.qkv->backward(at(n.in[0]), c); break;
+          case LinearSlot::kProj: at(n.out[0]) = bind.proj->backward(at(n.in[0]), c); break;
+          case LinearSlot::kFc1: at(n.out[0]) = bind.fc1->backward(at(n.in[0]), c); break;
+          case LinearSlot::kFc2: at(n.out[0]) = bind.fc2->backward(at(n.in[0]), c); break;
+        }
+        break;
+      }
+      case OpKind::kAttnSplitHeads: {
+        const std::int64_t al = bind.attn->heads_local();
+        const std::int64_t dk = bind.attn->head_dim();
+        Tensor qkv4d = at(n.in[0])
+                           .view({ctx.s, ctx.b, al, 3 * dk})
+                           .permute({1, 2, 0, 3})
+                           .view({ctx.b * al, ctx.s, 3 * dk});
+        at(n.out[0]) = qkv4d.slice(-1, 0, dk);
+        at(n.out[1]) = qkv4d.slice(-1, dk, dk);
+        at(n.out[2]) = qkv4d.slice(-1, 2 * dk, dk);
+        break;
+      }
+      case OpKind::kAttnMergeHeads: {
+        const std::int64_t al = bind.attn->heads_local();
+        const std::int64_t dk = bind.attn->head_dim();
+        at(n.out[0]) = at(n.in[0])
+                           .view({ctx.b, al, ctx.s, dk})
+                           .permute({2, 0, 1, 3})
+                           .view({ctx.s * ctx.b, al * dk});
+        break;
+      }
+      case OpKind::kAttnSplitGradHeads: {
+        const std::int64_t al = bind.attn->heads_local();
+        const std::int64_t dk = bind.attn->head_dim();
+        at(n.out[0]) = at(n.in[0])
+                           .view({ctx.s, ctx.b, al, dk})
+                           .permute({1, 2, 0, 3})
+                           .view({ctx.b * al, ctx.s, dk});
+        break;
+      }
+      case OpKind::kAttnMergeQkvGrad: {
+        const std::int64_t al = bind.attn->heads_local();
+        const std::int64_t dk = bind.attn->head_dim();
+        at(n.out[0]) = ts::concat({at(n.in[0]), at(n.in[1]), at(n.in[2])}, -1)
+                           .view({ctx.b, al, ctx.s, 3 * dk})
+                           .permute({2, 0, 1, 3})
+                           .view({ctx.s * ctx.b, 3 * al * dk});
+        break;
+      }
+      case OpKind::kAttnProbMask:
+        at(n.out[0]) = bind.attn->make_prob_dropout_mask(ctx.b, ctx.mb_tag);
+        break;
+      case OpKind::kAddBias:
+        at(n.out[0]) = ts::add_bias(at(n.in[0]), param(bind, n.param).value);
+        break;
+      case OpKind::kGelu:
+        at(n.out[0]) = ts::gelu(at(n.in[0]));
+        break;
+      case OpKind::kGeluBwd:
+        at(n.out[0]) = ts::gelu_backward(at(n.in[0]), at(n.in[1]));
+        break;
+      case OpKind::kDropout: {
+        Rng rng = rng_for(n);
+        at(n.out[0]) = ts::dropout(at(n.in[0]), ctx.dropout, rng, at(n.out[1]));
+        break;
+      }
+      case OpKind::kDropoutBwd:
+        at(n.out[0]) = ts::dropout_backward(at(n.in[0]), at(n.in[1]));
+        break;
+      case OpKind::kAdd:
+        at(n.out[0]) = ts::add(at(n.in[0]), at(n.in[1]));
+        break;
+      case OpKind::kMul:
+        at(n.out[0]) = ts::mul(at(n.in[0]), at(n.in[1]));
+        break;
+      case OpKind::kScale:
+        at(n.out[0]) = ts::scale(at(n.in[0]), n.scale);
+        break;
+      case OpKind::kMaskFill:
+        at(n.out[0]) = mask_fill(at(n.in[0]), n.causal);
+        break;
+      case OpKind::kSoftmax:
+        at(n.out[0]) = ts::softmax_lastdim(at(n.in[0]));
+        break;
+      case OpKind::kSoftmaxBwd:
+        at(n.out[0]) = ts::softmax_backward(at(n.in[0]), at(n.in[1]));
+        break;
+      case OpKind::kBmm:
+        at(n.out[0]) = ts::bmm(at(n.in[0]), at(n.in[1]));
+        break;
+      case OpKind::kBmmNT:
+        at(n.out[0]) = ts::bmm_nt(at(n.in[0]), at(n.in[1]));
+        break;
+      case OpKind::kBmmTN:
+        at(n.out[0]) = ts::bmm_tn(at(n.in[0]), at(n.in[1]));
+        break;
+      case OpKind::kBiasGradAccum:
+        ts::add_(param(bind, n.param).grad, ts::bias_grad(at(n.in[0])));
+        break;
+      case OpKind::kFusedBiasGelu:
+        at(n.out[0]) =
+            ts::fused_bias_gelu(at(n.in[0]), param(bind, n.param).value);
+        break;
+      case OpKind::kFusedBiasGeluBwd: {
+        model::Param& b = param(bind, n.param);
+        at(n.out[0]) =
+            ts::fused_bias_gelu_backward(at(n.in[0]), at(n.in[1]), b.value, b.grad);
+        break;
+      }
+      case OpKind::kFusedBiasDropoutAdd: {
+        Rng rng = rng_for(n);
+        Tensor scratch_mask;
+        Tensor& mask = n.out.size() > 1 ? at(n.out[1]) : scratch_mask;
+        at(n.out[0]) = ts::fused_bias_dropout_add(
+            at(n.in[0]), param(bind, n.param).value, at(n.in[1]), ctx.dropout,
+            rng, mask);
+        break;
+      }
+      case OpKind::kScaleCausalSoftmax:
+        at(n.out[0]) = ts::fused_scale_causal_softmax(at(n.in[0]), n.scale);
+        break;
+      case OpKind::kScaleMaskSoftmax:
+        at(n.out[0]) = ts::fused_scale_mask_softmax(
+            at(n.in[0]), Tensor({ctx.s, ctx.s}), n.scale);
+        break;
+      case OpKind::kScaleSoftmaxBwd:
+        at(n.out[0]) = ts::fused_scale_softmax_backward(at(n.in[0]), at(n.in[1]),
+                                                        n.scale);
+        break;
+    }
+  }
+
+  /// Executes unified nodes [from, to), releasing each slot at its planned
+  /// last use (the buffer plan's arena reuse, realized through the mem pool).
+  void run_range(std::size_t from, std::size_t to) {
+    for (std::size_t u = from; u < to; ++u) {
+      const Node& n = plan.unified(u);
+      {
+        obs::Span span(op_name(n.kind), obs::Cat::kCompute,
+                       {{"layer", bind.layer_idx}});
+        exec(n);
+      }
+      const auto iu = static_cast<std::int32_t>(u);
+      auto release_dead = [&](ValueId vid) {
+        if (vid == plan.input || vid == plan.output || vid == plan.grad_in ||
+            vid == plan.grad_out) {
+          return;
+        }
+        const Value& v = plan.values[static_cast<std::size_t>(vid)];
+        if (v.last_use == iu) at(vid) = Tensor();
+      };
+      for (ValueId vid : n.in) release_dead(vid);
+      for (ValueId vid : n.out) release_dead(vid);
+    }
+    if (obs::metrics_on()) {
+      obs::MetricsRegistry::instance()
+          .counter("graph.ops_executed")
+          .add(static_cast<std::int64_t>(to - from));
+    }
+  }
+};
+
+}  // namespace
+
+Tensor SequentialExecutor::run_forward(const LayerPlan& plan, Frame& frame,
+                                       const LayerBinding& bind,
+                                       const ExecContext& ctx) {
+  PTDP_CHECK(frame.vals.size() == plan.values.size());
+  Runner r{plan, frame, bind, ctx};
+  r.run_range(0, plan.fwd.size());
+  return frame.vals[static_cast<std::size_t>(plan.output)];
+}
+
+Tensor SequentialExecutor::run_backward(const LayerPlan& plan, Frame& frame,
+                                        const LayerBinding& bind,
+                                        const ExecContext& ctx,
+                                        const Tensor& dy) {
+  PTDP_CHECK(frame.vals.size() == plan.values.size());
+  frame.vals[static_cast<std::size_t>(plan.grad_in)] = dy;
+  Runner r{plan, frame, bind, ctx};
+  r.run_range(plan.fwd.size(), plan.unified_size());
+  Tensor dx = frame.vals[static_cast<std::size_t>(plan.grad_out)];
+  frame.clear();  // the microbatch is done on this layer
+  return dx;
+}
+
+Tensor SequentialExecutor::run_recompute(const LayerPlan& plan, Frame& frame,
+                                         const LayerBinding& bind,
+                                         const ExecContext& ctx,
+                                         const Tensor& dy) {
+  PTDP_CHECK(frame.vals.size() == plan.values.size());
+  PTDP_CHECK(frame.vals[static_cast<std::size_t>(plan.input)].defined());
+  frame.vals[static_cast<std::size_t>(plan.grad_in)] = dy;
+  Runner r{plan, frame, bind, ctx};
+  r.run_range(0, plan.unified_size());
+  Tensor dx = frame.vals[static_cast<std::size_t>(plan.grad_out)];
+  frame.clear();
+  return dx;
+}
+
+}  // namespace ptdp::graph

@@ -78,7 +78,7 @@ float GptHead::forward(const Tensor& x, std::span<const std::int32_t> targets,
 
   // Target logits: the rank owning each target contributes it; others 0.
   cache.local_targets.assign(static_cast<std::size_t>(n), -1);
-  Tensor target_logit({n});
+  Tensor& target_logit = scratch_.zeros(kTargetLogit, {n});
   auto dt = target_logit.data();
   for (std::int64_t i = 0; i < n; ++i) {
     const std::int32_t tgt = targets[static_cast<std::size_t>(i)];
@@ -132,7 +132,7 @@ Tensor GptHead::backward(float loss_scale, const HeadCache& cache) {
 
   // dlogits[i,j] = (softmax_ij − 1{j == target_i}) * loss_scale * w_i,
   // where w_i is the (normalized) per-token loss weight (1/n by default).
-  Tensor dlogits = Tensor::empty({n, vocab_per_rank_});
+  Tensor& dlogits = scratch_.empty(kDlogits, {n, vocab_per_rank_});
   auto de = cache.exp_shift.data();
   auto dd = dlogits.data();
   for (std::int64_t i = 0; i < n; ++i) {
@@ -171,8 +171,8 @@ Tensor GptHead::full_logits(const Tensor& x) {
   Tensor local = tensor::matmul_nt(ln.y, word_->value);  // [n, V/t]
   if (tp_.size() == 1) return local;
   // Gather the vocab shards: ranks contribute column blocks in rank order.
-  Tensor gathered =
-      Tensor::empty({static_cast<std::int64_t>(tp_.size()), n, vocab_per_rank_});
+  Tensor& gathered = scratch_.empty(
+      kGather, {static_cast<std::int64_t>(tp_.size()), n, vocab_per_rank_});
   tp_.all_gather(std::span<const float>(local.data()), gathered.data());
   return gathered.permute({1, 0, 2}).view({n, config_.vocab});
 }

@@ -60,12 +60,12 @@ Tensor GptStage::backward(const Tensor& dy, float loss_scale, StageCache& cache,
     grad = dy;
   }
   for (std::size_t i = layers_.size(); i-- > 0;) {
-    if (spec_.recompute) {
-      // Replay the forward with the same microbatch tag: dropout masks are
-      // counter-based, so the rebuilt cache is bitwise identical.
-      (void)layers_[i]->forward(cache.layers[i].input, cache.layers[i], mb.tag);
-    }
-    grad = layers_[i]->backward(grad, cache.layers[i]);
+    // Recompute (§3.5) is a plan transformation: the layer reruns its
+    // forward plan from the stashed input before the backward plan, with the
+    // same microbatch tag so the counter-based dropout masks replay bitwise.
+    grad = spec_.recompute
+               ? layers_[i]->backward_recompute(grad, cache.layers[i], mb.tag)
+               : layers_[i]->backward(grad, cache.layers[i]);
   }
   if (spec_.has_embedding) {
     embedding_->backward(grad, cache.embedding);

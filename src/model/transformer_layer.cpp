@@ -1,5 +1,7 @@
 #include "ptdp/model/transformer_layer.hpp"
 
+#include "ptdp/graph/builder.hpp"
+
 namespace ptdp::model {
 
 using tensor::Tensor;
@@ -23,11 +25,72 @@ TransformerLayer::TransformerLayer(const GptConfig& config,
       ln2_gamma_(layernorm_param(global_layer_idx, "ln2.gamma", config.hidden, 1.0f)),
       ln2_beta_(layernorm_param(global_layer_idx, "ln2.beta", config.hidden, 0.0f)),
       attention_(config, global_layer_idx, tp),
-      mlp_(config, global_layer_idx, tp) {}
+      mlp_(config, global_layer_idx, tp) {
+  graph::PlannerOptions opts;
+  opts.tp_size = tp.size();
+  plan_nodrop_ = graph::build_layer_plan(config, /*with_dropout=*/false, opts);
+  plan_drop_ = graph::build_layer_plan(config, /*with_dropout=*/true, opts);
+
+  binding_.config = &config_;
+  binding_.layer_idx = layer_idx_;
+  auto slot = [this](graph::ParamSlot s) -> Param*& {
+    return binding_.params[static_cast<int>(s)];
+  };
+  slot(graph::ParamSlot::kLn1Gamma) = &ln1_gamma_;
+  slot(graph::ParamSlot::kLn1Beta) = &ln1_beta_;
+  slot(graph::ParamSlot::kLn2Gamma) = &ln2_gamma_;
+  slot(graph::ParamSlot::kLn2Beta) = &ln2_beta_;
+  slot(graph::ParamSlot::kProjBias) = &attention_.proj_bias();
+  slot(graph::ParamSlot::kFc1Bias) = &mlp_.fc1().bias();
+  slot(graph::ParamSlot::kFc2Bias) = &mlp_.fc2_bias();
+  binding_.qkv = &attention_.qkv();
+  binding_.proj = &attention_.proj();
+  binding_.fc1 = &mlp_.fc1();
+  binding_.fc2 = &mlp_.fc2();
+  binding_.attn = &attention_;
+}
 
 Tensor TransformerLayer::forward(const Tensor& x, LayerCache& cache,
                                  std::uint64_t mb_tag) {
   PTDP_CHECK_EQ(x.ndim(), 3);
+  if (!graph::enabled()) return forward_eager(x, cache, mb_tag);
+
+  const graph::LayerPlan& plan = this->plan(config_.dropout > 0.0f);
+  cache.input = x;  // recompute + stage replay still key off cache.input
+  cache.frame.begin(plan, x);
+  graph::ExecContext ctx{x.dim(0), x.dim(1), mb_tag, config_.dropout};
+  return graph::SequentialExecutor::run_forward(plan, cache.frame, binding_, ctx);
+}
+
+Tensor TransformerLayer::backward(const Tensor& dy, LayerCache& cache) {
+  if (!(graph::enabled() && cache.frame.active()))
+    return backward_eager(dy, cache);
+
+  const graph::LayerPlan& plan = this->plan(cache.frame.with_dropout);
+  graph::ExecContext ctx{dy.dim(0), dy.dim(1), /*mb_tag=*/0, config_.dropout};
+  return graph::SequentialExecutor::run_backward(plan, cache.frame, binding_,
+                                                 ctx, dy);
+}
+
+Tensor TransformerLayer::backward_recompute(const Tensor& dy, LayerCache& cache,
+                                            std::uint64_t mb_tag) {
+  if (!graph::enabled()) {
+    // Eager §3.5 replay: rebuild the cache from the stashed input, then run
+    // the normal backward. The counter-based RNG streams make the replay
+    // bitwise-identical to the original forward.
+    (void)forward_eager(cache.input, cache, mb_tag);
+    return backward_eager(dy, cache);
+  }
+
+  const graph::LayerPlan& plan = this->plan(cache.frame.with_dropout);
+  PTDP_CHECK(cache.frame.active()) << "recompute backward without a frame";
+  graph::ExecContext ctx{dy.dim(0), dy.dim(1), mb_tag, config_.dropout};
+  return graph::SequentialExecutor::run_recompute(plan, cache.frame, binding_,
+                                                  ctx, dy);
+}
+
+Tensor TransformerLayer::forward_eager(const Tensor& x, LayerCache& cache,
+                                       std::uint64_t mb_tag) {
   const std::int64_t s = x.dim(0);
   const std::int64_t b = x.dim(1);
   const std::int64_t h = config_.hidden;
@@ -61,7 +124,7 @@ Tensor TransformerLayer::forward(const Tensor& x, LayerCache& cache,
   return y2d.view({s, b, h});
 }
 
-Tensor TransformerLayer::backward(const Tensor& dy, const LayerCache& cache) {
+Tensor TransformerLayer::backward_eager(const Tensor& dy, const LayerCache& cache) {
   const std::int64_t s = dy.dim(0);
   const std::int64_t b = dy.dim(1);
   const std::int64_t h = config_.hidden;

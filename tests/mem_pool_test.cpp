@@ -338,5 +338,69 @@ TEST(MemPoolSteadyStateTest, HeapAllocsCollapseAfterWarmup) {
   EXPECT_GT(pooled.peak_memory_bytes, 0);
 }
 
+// Zero steady-state pool growth: once the first step has warmed the pool,
+// the planned arenas (GradReducer staging, head scratch) and every
+// transient tensor reuse recycled blocks — per-rank live bytes between
+// steps are constant and no step touches the heap again. d = 2 so the
+// data-parallel GradReducer (arena-backed bucket + copy-back) is on the
+// measured path.
+TEST(MemPoolSteadyStateTest, ZeroPoolGrowthPerStep) {
+  PoolGuard guard;
+  mem::set_pool_enabled(true);
+
+  model::GptConfig c;
+  c.num_layers = 2;
+  c.hidden = 16;
+  c.heads = 4;
+  c.vocab = 32;
+  c.seq = 6;
+  c.dropout = 0.1f;
+  c.seed = 2024;
+  const std::int64_t B = 4, b = 1;
+  constexpr int kSteps = 6;
+
+  data::SyntheticCorpus corpus(c.vocab, 55);
+  data::TokenDataset dataset(corpus.generate(2000), c.seq);
+
+  constexpr int kRanks = 2;
+  std::vector<std::vector<std::int64_t>> live(kRanks);
+  std::vector<std::vector<std::uint64_t>> heap(kRanks);
+  dist::World world(kRanks);
+  world.run([&](dist::Comm& comm) {
+    core::EngineOptions options;
+    options.model = c;
+    options.parallel.d = kRanks;
+    options.parallel.b = b;
+    options.global_batch = B;
+    options.optimizer = core::EngineOptions::Opt::kAdam;
+    options.adam.lr = 1e-3f;
+    core::PtdpEngine engine(comm, options);
+    data::ShardedLoader loader(dataset, B, b, kRanks,
+                               engine.groups().coord().data, /*seed=*/88);
+    for (int s = 0; s < kSteps; ++s) {
+      auto mbs = loader.next_batch(s);
+      engine.train_step(mbs);
+      const mem::PoolStats st = mem::thread_stats();
+      live[static_cast<std::size_t>(comm.rank())].push_back(st.live_bytes);
+      heap[static_cast<std::size_t>(comm.rank())].push_back(st.heap_allocs);
+    }
+  });
+
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_EQ(live[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(kSteps));
+    for (int s = 1; s < kSteps; ++s) {
+      EXPECT_EQ(live[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)],
+                live[static_cast<std::size_t>(r)][1])
+          << "rank " << r << " live bytes drifted at step " << s;
+    }
+    for (int s = 2; s < kSteps; ++s) {
+      EXPECT_EQ(heap[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)],
+                heap[static_cast<std::size_t>(r)][1])
+          << "rank " << r << " hit the heap after warmup, step " << s;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ptdp

@@ -10,6 +10,7 @@ any violation so a malformed exporter fails the build.
 Usage:
     tools/validate_trace.py TRACE.json [--metrics METRICS.json]
         [--min-events N] [--expect-ranks P] [--expect-metric NAME ...]
+        [--expect-span NAME ...]
 """
 
 import argparse
@@ -28,7 +29,7 @@ def err(msg):
     _errors.append(msg)
 
 
-def validate_trace(path, min_events, expect_ranks):
+def validate_trace(path, min_events, expect_ranks, expect_spans=()):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -53,6 +54,7 @@ def validate_trace(path, min_events, expect_ranks):
     ranks = set()
     named_ranks = set()
     spans = 0
+    span_names = set()
     for i, ev in enumerate(events):
         where = f"{path}: traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -76,6 +78,7 @@ def validate_trace(path, min_events, expect_ranks):
             err(f"{where}: cat {ev.get('cat')!r} not in {sorted(VALID_CATS)}")
         if ph == "X":
             spans += 1
+            span_names.add(ev.get("name"))
             if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
                 err(f"{where}: complete event needs a non-negative dur")
         ranks.add(ev.get("tid"))
@@ -93,6 +96,12 @@ def validate_trace(path, min_events, expect_ranks):
         if not expected <= ranks:
             err(f"{path}: expected events from ranks {sorted(expected)}, "
                 f"saw {sorted(ranks)}")
+    for name in expect_spans:
+        # Graph mode (DESIGN.md §14) emits a span per executed op, named
+        # graph.<op>; CI asserts a representative set is present.
+        if name not in span_names:
+            err(f"{path}: expected span {name!r} not found "
+                f"(have {len(span_names)} distinct span names)")
     return len(events)
 
 
@@ -145,11 +154,16 @@ def main():
                     metavar="NAME",
                     help="fail unless NAME appears in the metrics JSON "
                          "(repeatable; requires --metrics)")
+    ap.add_argument("--expect-span", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless a complete ('X') span named NAME "
+                         "appears in the trace (repeatable)")
     args = ap.parse_args()
     if args.expect_metric and not args.metrics:
         ap.error("--expect-metric requires --metrics")
 
-    n = validate_trace(args.trace, args.min_events, args.expect_ranks)
+    n = validate_trace(args.trace, args.min_events, args.expect_ranks,
+                       args.expect_span)
     if args.metrics:
         validate_metrics(args.metrics, args.expect_metric)
 
