@@ -1,0 +1,241 @@
+// Self-healing recovery benchmark (DESIGN.md §15). MegaScale-style
+// accounting for the fault-tolerance plane: a clean supervised run sets the
+// baseline, then a persistent straggler and a silent hang are injected and
+// healed end-to-end (detect -> restart-in-place -> evict -> elastic
+// relayout -> resume). Reports detection latency, time-to-recover, goodput
+// fraction (useful steps / executed steps) and ETTR (effective-training-
+// time ratio: clean wall time / faulty wall time), and writes
+// BENCH_recovery.json in the working directory (the BENCH_*.json
+// convention) so the trajectory can be tracked across commits.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ptdp/ckpt/manifest.hpp"
+#include "ptdp/ckpt/reshard.hpp"
+#include "ptdp/core/engine.hpp"
+#include "ptdp/data/dataset.hpp"
+#include "ptdp/dist/fault.hpp"
+#include "ptdp/dist/world.hpp"
+#include "ptdp/ft/health.hpp"
+#include "ptdp/ft/supervisor.hpp"
+#include "ptdp/runtime/stopwatch.hpp"
+
+using namespace ptdp;
+
+namespace {
+
+constexpr int kSteps = 10;
+constexpr int kCkptEvery = 2;
+
+struct ScenarioResult {
+  std::string name;
+  double wall_s = 0.0;
+  int restarts = 0;
+  int evictions = 0;
+  std::uint64_t detect_latency_steps = 0;
+  std::uint64_t steps_lost = 0;
+  double time_to_recover_s = 0.0;
+  double goodput_fraction = 1.0;
+  double ettr = 1.0;
+};
+
+core::EngineOptions options_for(const model::GptConfig& config, int t) {
+  core::EngineOptions o;
+  o.model = config;
+  o.parallel.p = 1;
+  o.parallel.t = t;
+  o.parallel.d = 1;
+  o.parallel.b = 1;
+  o.parallel.recompute = false;
+  o.global_batch = 8;
+  o.optimizer = core::EngineOptions::Opt::kAdam;
+  o.adam.lr = 2e-3f;
+  o.ckpt_keep = 8;
+  return o;
+}
+
+// The elastic SPMD body shared by every scenario: t=2 on the full world,
+// merge + serial resume on the shrunken one (train_main's recipe).
+void elastic_body(dist::Comm& comm, const std::string& dir,
+                  std::uint64_t committed, const model::GptConfig& config,
+                  data::TokenDataset& dataset,
+                  const std::shared_ptr<ft::HealthMonitor>& monitor) {
+  if (comm.size() == 2) {
+    core::PtdpEngine engine(comm, options_for(config, 2));
+    int start = 0;
+    if (committed > 0) start = static_cast<int>(engine.load_checkpoint(dir));
+    data::ShardedLoader loader(dataset, 8, 1, 1, 0, 8);
+    for (int step = start; step < kSteps; ++step) {
+      engine.train_step(loader.next_batch(step));
+      if (monitor) {
+        const auto& s = engine.last_stats();
+        monitor->record_step(comm.world_rank(),
+                             static_cast<std::uint64_t>(step), s.step_seconds,
+                             s.busy_seconds, s.comm_wait_seconds);
+        monitor->enforce();
+      }
+      if ((step + 1) % kCkptEvery == 0) {
+        engine.save_checkpoint(dir, static_cast<std::uint64_t>(step + 1));
+      }
+    }
+    return;
+  }
+  const auto best = ckpt::find_latest_valid_checkpoint(dir);
+  core::PtdpEngine engine(comm, options_for(config, 1));
+  int start = 0;
+  if (best) {
+    const std::string merged = dir + "/merged";
+    std::filesystem::create_directories(merged);
+    ckpt::merge_shards(best->shard_dir, 1, 2,
+                       ckpt::shard_path(merged, 0, 0, 0));
+    start = static_cast<int>(engine.load_resharded(merged));
+  }
+  data::ShardedLoader loader(dataset, 8, 1, 1, 0, 8);
+  for (int step = start; step < kSteps; ++step) {
+    engine.train_step(loader.next_batch(step));
+    if ((step + 1) % kCkptEvery == 0) {
+      engine.save_checkpoint(dir, static_cast<std::uint64_t>(step + 1));
+    }
+  }
+}
+
+ScenarioResult run_scenario(const std::string& name,
+                            const std::filesystem::path& root,
+                            const model::GptConfig& config,
+                            data::TokenDataset& dataset,
+                            std::shared_ptr<dist::FaultPlan> plan,
+                            int op_timeout_ms, double clean_wall_s) {
+  const std::string d = (root / name).string();
+  std::filesystem::create_directories(d);
+  auto monitor = std::make_shared<ft::HealthMonitor>([] {
+    ft::HealthOptions h;
+    h.straggler_patience = 2;
+    return h;
+  }());
+
+  ft::SupervisorOptions sup;
+  sup.ckpt_dir = d;
+  sup.max_restarts = 4;
+  sup.fault_plan = plan;
+  sup.health = monitor;
+  sup.timeouts.op_timeout_ms = op_timeout_ms;
+  ft::TrainSupervisor supervisor(sup);
+
+  Stopwatch wall;
+  const auto& stats = supervisor.run(
+      [](const ft::RestartContext& ctx) {
+        return std::make_unique<dist::World>(ctx.evicted.empty() ? 2 : 1);
+      },
+      [&](dist::Comm& comm, std::uint64_t committed, int) {
+        elastic_body(comm, d, committed, config, dataset, monitor);
+      });
+
+  ScenarioResult r;
+  r.name = name;
+  r.wall_s = wall.elapsed_seconds();
+  r.restarts = stats.failures;
+  r.evictions = stats.evictions;
+  r.steps_lost = stats.steps_lost;
+  r.time_to_recover_s = stats.total_recovery_seconds;
+  if (!stats.events.empty()) {
+    r.detect_latency_steps = stats.events.front().detect_latency_steps;
+  }
+  const double executed = static_cast<double>(kSteps) +
+                          static_cast<double>(stats.steps_lost);
+  r.goodput_fraction = executed > 0 ? static_cast<double>(kSteps) / executed : 1.0;
+  r.ettr = r.wall_s > 0 ? clean_wall_s / r.wall_s : 1.0;
+  return r;
+}
+
+void print_row(const ScenarioResult& r) {
+  std::printf("%-16s wall %6.2f s  restarts %d  evictions %d  detect %llu step(s)"
+              "  lost %llu step(s)  recover %5.3f s  goodput %.3f  ettr %.3f\n",
+              r.name.c_str(), r.wall_s, r.restarts, r.evictions,
+              static_cast<unsigned long long>(r.detect_latency_steps),
+              static_cast<unsigned long long>(r.steps_lost),
+              r.time_to_recover_s, r.goodput_fraction, r.ettr);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n================================================================\n");
+  std::printf("Self-healing recovery — detection latency, ETTR, goodput\n");
+  std::printf("================================================================\n");
+
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("ptdp_bench_recovery_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(root);
+
+  model::GptConfig config;
+  config.num_layers = 2;
+  config.hidden = 16;
+  config.heads = 4;
+  config.vocab = 32;
+  config.seq = 8;
+  config.seed = 99;
+  data::SyntheticCorpus corpus(config.vocab, 4);
+  data::TokenDataset dataset(corpus.generate(4000), config.seq);
+
+  std::vector<ScenarioResult> results;
+
+  // Baseline: supervised, fault-free.
+  results.push_back(run_scenario("clean", root, config, dataset,
+                                 std::make_shared<dist::FaultPlan>(),
+                                 /*op_timeout_ms=*/0, /*clean_wall_s=*/0.0));
+  results[0].ettr = 1.0;
+  const double clean_wall = results[0].wall_s;
+  print_row(results[0]);
+
+  // Persistent straggler: rank 1 busy-spins 300 us on every send, sticky —
+  // restart-in-place cannot heal it, the ladder must evict.
+  {
+    auto plan = std::make_shared<dist::FaultPlan>();
+    plan->slow_rank(1, dist::FaultSite::kSend, 1,
+                    std::chrono::microseconds(300));
+    results.push_back(run_scenario("straggler_evict", root, config, dataset,
+                                   plan, /*op_timeout_ms=*/0, clean_wall));
+    print_row(results.back());
+  }
+
+  // Silent hang: rank 1 stops answering mid-run; the watchdog attributes
+  // it, the ladder evicts immediately after one restart attempt.
+  {
+    auto plan = std::make_shared<dist::FaultPlan>();
+    plan->hang(1, dist::FaultSite::kSend, 1000);
+    results.push_back(run_scenario("hang_recover", root, config, dataset,
+                                   plan, /*op_timeout_ms=*/300, clean_wall));
+    print_row(results.back());
+  }
+
+  std::filesystem::remove_all(root);
+
+  std::FILE* f = std::fopen("BENCH_recovery.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "could not open BENCH_recovery.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sec_recovery\",\n  \"steps\": %d,\n"
+               "  \"scenarios\": [\n", kSteps);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"wall_s\": %.6f, \"restarts\": %d, "
+                 "\"evictions\": %d, \"detect_latency_steps\": %llu, "
+                 "\"steps_lost\": %llu, \"time_to_recover_s\": %.6f, "
+                 "\"goodput_fraction\": %.6f, \"ettr\": %.6f}%s\n",
+                 r.name.c_str(), r.wall_s, r.restarts, r.evictions,
+                 static_cast<unsigned long long>(r.detect_latency_steps),
+                 static_cast<unsigned long long>(r.steps_lost),
+                 r.time_to_recover_s, r.goodput_fraction, r.ettr,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_recovery.json (%zu scenarios)\n", results.size());
+  return 0;
+}

@@ -17,6 +17,8 @@
 //              --eval-every 10
 //              --max-restarts 3 --fault-seed 1
 //              --fault-plan kill:<rank>:<site>:<nth>[,...]
+//              --op-timeout-ms 2000 --restarts-before-evict 1
+//              --straggler-ratio 3.0 --straggler-patience 3 --no-health
 //              --trace-out /tmp/trace.json --metrics-out /tmp/metrics.json
 //              --dump-plan plan.json
 //
@@ -38,9 +40,27 @@
 //   kill:<rank>:<site>:<nth>          kill rank at its nth op at site
 //   delay:<rank>:<site>:<nth>:<usec>  delay that op instead
 //   corrupt:<rank>:<nth>              flip a byte in the rank's nth ckpt write
+//   slow:<rank>:<site>:<nth>:<usec>   from the nth op on, busy-spin usec per op
+//                                     (sticky: survives restart, forces evict)
+//   flaky:<rank>:<nth>:<period>:<usec>  from the nth send on, delay every
+//                                     period-th send by usec (0 usec = drop
+//                                     the message instead; non-sticky)
+//   hang:<rank>:<site>:<nth>          from the nth op on, rank hangs forever
+//                                     (sticky; auto-arms --op-timeout-ms 2000
+//                                     when no explicit timeout is given)
 // e.g. --ckpt-dir /tmp/run --ckpt-every 10 --fault-plan kill:1:send:500
-// demonstrates kill -> supervisor restart -> resume from committed step.
+// demonstrates kill -> supervisor restart -> resume from committed step;
+// --fault-plan slow:1:send:40:3000 demonstrates straggler detection ->
+// restart-in-place -> eviction -> elastic relayout on a 1-rank world.
+//
+// Self-healing (DESIGN.md §15): under the supervisor a HealthMonitor watches
+// per-rank busy time vs the across-rank median (straggler detection), the
+// watchdog converts silent peer hangs into attributed RankTimeouts, and the
+// escalation ladder goes warn -> restart-in-place -> evict + elastic
+// relayout (merge the committed shards, resume serial). --no-health disables
+// the monitor; --restarts-before-evict sets the grace budget.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,10 +68,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "ptdp/ckpt/manifest.hpp"
+#include "ptdp/ckpt/reshard.hpp"
 #include "ptdp/core/engine.hpp"
 #include "ptdp/data/dataset.hpp"
+#include "ptdp/ft/health.hpp"
 #include "ptdp/graph/builder.hpp"
 #include "ptdp/graph/passes.hpp"
 #include "ptdp/dist/fault.hpp"
@@ -85,6 +109,11 @@ struct Args {
   std::string fault_plan;
   std::uint64_t fault_seed = 0;
   int max_restarts = 3;
+  int op_timeout_ms = 0;         ///< watchdog; 0 = off (auto-armed by hang:)
+  int restarts_before_evict = 1; ///< degraded-rank grace budget
+  bool health = true;            ///< straggler monitor under the supervisor
+  double straggler_ratio = 3.0;
+  int straggler_patience = 3;
   std::string trace_out;    ///< Chrome trace JSON path; enables full tracing
   std::string metrics_out;  ///< metrics JSON path; enables the metrics plane
   std::string dump_plan;    ///< plan JSON path ("-" = stdout); dump and exit
@@ -116,7 +145,25 @@ std::vector<std::string> split(const std::string& s, char sep) {
   return out;
 }
 
-bool parse_fault_plan(const std::string& text, dist::FaultPlan& plan) {
+/// (p, t) of the layout that wrote a manifest, recovered from its shard
+/// file names (shard-p{i}-t{j}-d{k}.ckpt) — manifests carry no layout
+/// metadata, but the grid is fully determined by the names.
+std::pair<int, int> shard_layout(const ckpt::Manifest& m) {
+  int p = 1, t = 1;
+  for (const auto& e : m.shards) {
+    const auto pos = e.file.rfind("shard-p");
+    int pi = 0, ti = 0, di = 0;
+    if (pos != std::string::npos &&
+        std::sscanf(e.file.c_str() + pos, "shard-p%d-t%d-d%d", &pi, &ti, &di) == 3) {
+      p = std::max(p, pi + 1);
+      t = std::max(t, ti + 1);
+    }
+  }
+  return {p, t};
+}
+
+bool parse_fault_plan(const std::string& text, dist::FaultPlan& plan,
+                      bool& has_hang) {
   for (const std::string& token : split(text, ',')) {
     const auto f = split(token, ':');
     if (f.size() == 4 && f[0] == "kill") {
@@ -133,6 +180,24 @@ bool parse_fault_plan(const std::string& text, dist::FaultPlan& plan) {
     } else if (f.size() == 3 && f[0] == "corrupt") {
       plan.corrupt_ckpt(std::atoi(f[1].c_str()),
                         static_cast<std::uint64_t>(std::atoll(f[2].c_str())));
+    } else if (f.size() == 5 && f[0] == "slow") {
+      const auto site = site_from(f[2]);
+      if (!site) return false;
+      plan.slow_rank(std::atoi(f[1].c_str()), *site,
+                     static_cast<std::uint64_t>(std::atoll(f[3].c_str())),
+                     std::chrono::microseconds(std::atoll(f[4].c_str())));
+    } else if (f.size() == 5 && f[0] == "flaky") {
+      const auto usec = std::atoll(f[4].c_str());
+      plan.flaky_link(std::atoi(f[1].c_str()),
+                      static_cast<std::uint64_t>(std::atoll(f[2].c_str())),
+                      static_cast<std::uint64_t>(std::atoll(f[3].c_str())),
+                      std::chrono::microseconds(usec), /*drop=*/usec == 0);
+    } else if (f.size() == 4 && f[0] == "hang") {
+      const auto site = site_from(f[2]);
+      if (!site) return false;
+      plan.hang(std::atoi(f[1].c_str()), *site,
+                static_cast<std::uint64_t>(std::atoll(f[3].c_str())));
+      has_hang = true;
     } else {
       return false;
     }
@@ -198,6 +263,11 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--fault-plan") a.fault_plan = argv[++i];
     else if (flag == "--fault-seed") a.fault_seed = static_cast<std::uint64_t>(next_i64(i));
     else if (flag == "--max-restarts") a.max_restarts = static_cast<int>(next_i64(i));
+    else if (flag == "--op-timeout-ms") a.op_timeout_ms = static_cast<int>(next_i64(i));
+    else if (flag == "--restarts-before-evict") a.restarts_before_evict = static_cast<int>(next_i64(i));
+    else if (flag == "--no-health") a.health = false;
+    else if (flag == "--straggler-ratio") a.straggler_ratio = std::atof(argv[++i]);
+    else if (flag == "--straggler-patience") a.straggler_patience = static_cast<int>(next_i64(i));
     else {
       std::fprintf(stderr, "unknown flag '%s' (see header comment for usage)\n",
                    flag.c_str());
@@ -298,31 +368,81 @@ int main(int argc, char** argv) {
   }
 
   std::shared_ptr<dist::FaultPlan> plan;
+  bool plan_has_hang = false;
   if (!args.fault_plan.empty()) {
     plan = std::make_shared<dist::FaultPlan>(args.fault_seed);
-    if (!parse_fault_plan(args.fault_plan, *plan)) {
+    if (!parse_fault_plan(args.fault_plan, *plan, plan_has_hang)) {
       std::fprintf(stderr, "bad --fault-plan '%s' (see header comment)\n",
                    args.fault_plan.c_str());
       return 1;
     }
   }
+  // A hung rank is only detectable when the watchdog is armed — a hang spec
+  // without a timeout would deadlock the world, so auto-arm a default.
+  if (plan_has_hang && args.op_timeout_ms == 0) args.op_timeout_ms = 2000;
+
+  // Straggler monitor: each rank feeds its busy/wait split after every step;
+  // a latched verdict is thrown by enforce() and diagnosed by the supervisor.
+  std::shared_ptr<ft::HealthMonitor> monitor;
+  if (args.health && !args.ckpt_dir.empty()) {
+    ft::HealthOptions hopts;
+    hopts.straggler_ratio = args.straggler_ratio;
+    hopts.straggler_patience = args.straggler_patience;
+    monitor = std::make_shared<ft::HealthMonitor>(hopts);
+  }
 
   // The SPMD training body. `committed_step` > 0 means a committed
   // checkpoint exists under ckpt_dir (resolved by the supervisor, or 0 on
-  // an unsupervised run); `attempt` > 0 means we are recovering.
+  // an unsupervised run); `attempt` > 0 means we are recovering. When the
+  // supervisor evicted a rank the world arrives one size smaller than the
+  // requested layout: merge the committed shards of the original layout into
+  // one serial checkpoint and resume at (1, 1, 1) — the elastic path.
   const auto body = [&](dist::Comm& comm, std::uint64_t committed_step,
                         int attempt) {
-    core::PtdpEngine engine(comm, options);
+    const bool elastic = comm.size() != static_cast<int>(args.parallel.n());
+    core::EngineOptions run_options = options;
+    if (elastic) {
+      run_options.parallel =
+          core::ParallelConfig{.p = 1, .t = 1, .d = 1, .b = args.parallel.b};
+    }
+    core::PtdpEngine engine(comm, run_options);
     int start_step = 0;
-    if (!args.ckpt_dir.empty() && committed_step > 0) {
+    if (elastic) {
+      const auto best = ckpt::find_latest_valid_checkpoint(args.ckpt_dir);
+      const auto [src_p, src_t] =
+          best ? shard_layout(best->manifest) : std::pair<int, int>{1, 1};
+      if (best && src_p * src_t > 1) {
+        const std::string merged_dir = args.ckpt_dir + "/elastic-merged";
+        if (comm.rank() == 0) {
+          std::filesystem::create_directories(merged_dir);
+          ckpt::merge_shards(best->shard_dir, src_p, src_t,
+                             ckpt::shard_path(merged_dir, 0, 0, 0));
+        }
+        comm.barrier();
+        start_step = static_cast<int>(engine.load_resharded(merged_dir));
+        if (comm.rank() == 0) {
+          std::printf("resumed from committed checkpoint at step %d "
+                      "(recovery, resharded %dx%d -> serial)\n",
+                      start_step, src_p, src_t);
+        }
+      } else if (best) {
+        start_step = static_cast<int>(engine.load_checkpoint(args.ckpt_dir));
+        if (comm.rank() == 0) {
+          std::printf("resumed from committed checkpoint at step %d (recovery)\n",
+                      start_step);
+        }
+      }
+    } else if (!args.ckpt_dir.empty() && committed_step > 0) {
       start_step = static_cast<int>(engine.load_checkpoint(args.ckpt_dir));
       if (comm.rank() == 0) {
         std::printf("resumed from committed checkpoint at step %d%s\n",
                     start_step, attempt > 0 ? " (recovery)" : "");
       }
     }
+    if (monitor) monitor->heartbeat(comm.world_rank());
     data::ShardedLoader loader(dataset, args.global_batch, args.parallel.b,
-                               args.parallel.d, engine.groups().coord().data, 77);
+                               run_options.parallel.d,
+                               engine.groups().coord().data, 77);
     for (int step = start_step; step < args.steps; ++step) {
       auto mbs = loader.next_batch(step);
       if (args.mlm) {
@@ -332,6 +452,13 @@ int main(int argc, char** argv) {
       }
       engine.train_step(mbs);
       const auto& stats = engine.last_stats();
+      if (monitor) {
+        monitor->record_step(comm.world_rank(), static_cast<std::uint64_t>(step),
+                             stats.step_seconds, stats.busy_seconds,
+                             stats.comm_wait_seconds);
+        monitor->heartbeat(comm.world_rank());
+        monitor->enforce();  // throws DegradedWorldError on a latched verdict
+      }
       if (comm.rank() == 0 &&
           (step % args.log_every == 0 || step == args.steps - 1)) {
         std::printf("step %4lld  loss %.4f  lr %.2e  %.0f tok/s  %.0f ms/step  "
@@ -370,9 +497,19 @@ int main(int argc, char** argv) {
     sup.ckpt_dir = args.ckpt_dir;
     sup.max_restarts = args.max_restarts;
     sup.fault_plan = plan;
+    sup.health = monitor;
+    sup.timeouts.op_timeout_ms = args.op_timeout_ms;
+    sup.escalation.restarts_before_evict = args.restarts_before_evict;
     ft::TrainSupervisor supervisor(sup);
     const auto& stats = supervisor.run(
-        [&](int) { return std::make_unique<dist::World>(world_size); }, body);
+        [&](const ft::RestartContext& ctx) {
+          // Elastic relayout: once any rank is evicted, fall back to a
+          // 1-rank serial world — the body reshards the committed
+          // checkpoint to match (see DESIGN.md §15).
+          const int n = ctx.evicted.empty() ? world_size : 1;
+          return std::make_unique<dist::World>(n);
+        },
+        body);
     if (stats.failures > 0) {
       std::printf("recovered from %d failure(s): %llu step(s) of work lost, "
                   "%.2f s spent recovering\n",
@@ -380,10 +517,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.steps_lost),
                   stats.total_recovery_seconds);
       for (const auto& e : stats.events) {
-        std::printf("  attempt %d: %s -> resumed at step %llu\n", e.attempt,
-                    e.cause.c_str(),
+        std::printf("  attempt %d: rank %d %s%s: %s -> resumed at step %llu\n",
+                    e.attempt, e.victim, ft::health_name(e.victim_health),
+                    e.evicted ? " (evicted)" : "", e.cause.c_str(),
                     static_cast<unsigned long long>(e.resumed_step));
       }
+      std::printf("self-healing: ft.restarts_total %d  ft.evictions_total %d  "
+                  "ft.detect_latency_steps %llu  ft.last_recovery_ms %.1f\n",
+                  stats.failures, stats.evictions,
+                  static_cast<unsigned long long>(
+                      stats.events.back().detect_latency_steps),
+                  stats.last_recovery_seconds * 1e3);
     }
   } else {
     // No checkpoint dir -> nothing to recover from; run unsupervised.

@@ -85,6 +85,13 @@ struct StepStats {
   double grad_norm = 0.0;      ///< pre-clip norm (0 when clipping is off)
   float lr = 0.0f;             ///< learning rate applied this step
   double step_seconds = 0.0;   ///< wall-clock time of train_step
+  /// Wall time this rank spent blocked in communication waits during the
+  /// step (from dist::comm_wait_ns deltas), and its complement. busy ≈
+  /// compute: in a lockstep pipeline the straggler shows high busy_seconds
+  /// while its victims show high comm_wait_seconds — feed these to
+  /// ft::HealthMonitor::record_step.
+  double comm_wait_seconds = 0.0;
+  double busy_seconds = 0.0;
   std::int64_t tokens = 0;     ///< global tokens consumed (B * s)
   double tokens_per_second = 0.0;
   /// Model FLOPs of the whole iteration per the paper's Eq. 3 (includes the

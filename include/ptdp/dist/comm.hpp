@@ -90,10 +90,16 @@ class Comm {
     requires std::is_trivially_copyable_v<T>
   Request isend(std::span<const T> data, int dst, std::uint64_t tag = 0) const {
     PTDP_CHECK_NE(dst, rank_) << "self-send";
-    fault_hook(FaultSite::kSend);
+    const FaultOutcome fault = fault_hook(FaultSite::kSend);
     if (obs::metrics_on()) {
       obs::MetricsRegistry::instance().on_comm_send(comm_id_, data.size_bytes(),
                                                     tags::is_collective(tag));
+    }
+    if (fault.drop_message) {
+      // Flaky link ate the message. The sender believes it sent (metrics
+      // counted the bytes, like a NIC that acked into the void); only the
+      // receiver's watchdog can notice.
+      return Request();
     }
     std::vector<std::uint8_t> payload(data.size_bytes());
     std::memcpy(payload.data(), data.data(), data.size_bytes());
@@ -199,9 +205,27 @@ class Comm {
   }
 
   /// Deterministic fault-injection site: counts this op on the installed
-  /// FaultPlan (no-op when none). May throw InjectedFault or sleep.
-  void fault_hook(FaultSite site) const {
-    if (FaultPlan* plan = mailbox_->fault_plan()) plan->on_op(world_rank(), site);
+  /// FaultPlan (no-op when none). May throw InjectedFault, sleep, or
+  /// busy-spin in place; drop directives are returned to the caller. A
+  /// hang-forever directive is executed right here: the rank parks until
+  /// the world is poisoned — going exactly as silent as a stuck real rank,
+  /// while still letting World::run's join complete — and then unwinds as
+  /// a secondary WorldPoisoned casualty. The *root cause* surfaces on a
+  /// peer whose watchdog expires waiting for this rank (RankTimeout with
+  /// src == this world rank), which is how the supervisor attributes the
+  /// hang. Requires watchdog timeouts to be armed (World::set_timeouts);
+  /// a hang fault without a watchdog deadlocks by design — that is the
+  /// failure mode being modeled.
+  FaultOutcome fault_hook(FaultSite site) const {
+    FaultOutcome out;
+    if (FaultPlan* plan = mailbox_->fault_plan()) {
+      out = plan->on_op(world_rank(), site);
+      if (out.hang_forever) {
+        mailbox_->wait_poisoned();
+        throw WorldPoisoned();
+      }
+    }
+    return out;
   }
 
   template <typename T>

@@ -22,6 +22,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace ptdp::dist {
@@ -55,14 +56,26 @@ class InjectedFault : public std::runtime_error {
 struct FaultSpec {
   enum class Action {
     kKill,         ///< throw InjectedFault on the victim rank
-    kDelay,        ///< sleep `delay` before the op proceeds
+    kDelay,        ///< sleep `delay` before the op proceeds (one-shot)
     kCorruptFile,  ///< flip a byte in the file being written (kCkptWrite only)
+    // Persistent degradations (the MegaScale failure modes: the machine is
+    // not dead, it is *bad*). Firing installs a per-rank degradation that
+    // afflicts every subsequent matching op, not just the nth one.
+    kSlowRank,   ///< busy-spin `delay` on every op after firing (CPU-visible straggler)
+    kFlakyLink,  ///< every `period`-th send after firing: drop (drop=true) or delay
+    kHang,       ///< at the nth op, go silent forever (park until the world poisons)
   };
   Action action = Action::kKill;
   int rank = -1;  ///< victim world rank; -1 matches any rank
   FaultSite site = FaultSite::kSend;
   std::uint64_t nth = 1;  ///< fires when the victim's counter reaches nth (1-based)
-  std::chrono::microseconds delay{0};  ///< kDelay only
+  std::chrono::microseconds delay{0};  ///< kDelay / kSlowRank spin / kFlakyLink delay
+  std::uint64_t period = 1;  ///< kFlakyLink: afflict every period-th op after firing
+  bool drop = false;         ///< kFlakyLink: silently drop instead of delaying
+  /// Degradations only: survive FaultPlan::begin_run, i.e. the restarted
+  /// world lands on the same bad machine. This is what forces the
+  /// supervisor's escalation ladder past restart-in-place to eviction.
+  bool sticky = false;
 };
 
 /// Record of a fired spec — the replay ledger.
@@ -71,6 +84,16 @@ struct FaultEvent {
   int rank = -1;            ///< rank the spec actually fired on
   std::uint64_t count = 0;  ///< counter value at fire time
   int run_index = 0;        ///< which World::run since plan install
+  std::uint64_t step = 0;   ///< training step at fire time (dist::noted_step)
+};
+
+/// What the caller of on_op must do beyond what the plan already did
+/// internally (kill throws, delays/spins happen in place). Drop and hang
+/// can only be implemented by the communication layer itself, so they are
+/// returned as directives to Comm.
+struct FaultOutcome {
+  bool drop_message = false;  ///< kSend only: discard the payload unsent
+  bool hang_forever = false;  ///< park in Mailbox::wait_poisoned, then unwind
 };
 
 /// Seeded, fully reproducible fault schedule. Thread-safe: the hot-path
@@ -93,12 +116,28 @@ class FaultPlan {
   /// [1, max_nth]) deterministically from the plan seed and the number of
   /// random specs added so far.
   FaultPlan& kill_random(int world_size, FaultSite site, std::uint64_t max_nth);
+  /// Persistent straggler: from the victim's nth op at `site` on, every op
+  /// on that rank busy-spins `spin` (busy, not asleep, so the degradation
+  /// is visible in CPU/busy time exactly like a real slow machine).
+  FaultPlan& slow_rank(int rank, FaultSite site, std::uint64_t nth,
+                       std::chrono::microseconds spin, bool sticky = true);
+  /// Flaky link: from the victim's nth send on, every period-th send is
+  /// dropped (drop=true) or delayed by `d`.
+  FaultPlan& flaky_link(int rank, std::uint64_t nth, std::uint64_t period,
+                        std::chrono::microseconds d, bool drop, bool sticky = false);
+  /// Silent hang: at the victim's nth op at `site`, the rank goes quiet
+  /// forever (no crash, no message — the failure mode only a watchdog can
+  /// see). Sticky hangs recur at the first op of every restarted run.
+  FaultPlan& hang(int rank, FaultSite site, std::uint64_t nth, bool sticky = true);
 
   // ---- hot-path hooks (called by Comm / the ckpt write-hook bridge) ----
 
   /// Counts one op at `site` for `rank`; fires any matching armed spec
-  /// (kKill throws InjectedFault, kDelay sleeps).
-  void on_op(int rank, FaultSite site);
+  /// (kKill throws InjectedFault, kDelay sleeps, kSlowRank/kFlakyLink/kHang
+  /// install persistent degradations) and applies this rank's standing
+  /// degradations. The returned outcome carries the directives only the
+  /// communication layer can execute (drop / hang).
+  FaultOutcome on_op(int rank, FaultSite site);
 
   /// Counts one checkpoint write phase for `rank` and fires matching specs.
   /// `phase_is_pre_rename` selects which file a kCorruptFile spec flips:
@@ -110,14 +149,28 @@ class FaultPlan {
 
   /// Called by World::run at the start of every run: zeroes all counters so
   /// op counts are per-run (replayable), and bumps the run index. Armed
-  /// state is NOT reset — fired specs stay fired.
+  /// state is NOT reset — fired specs stay fired. Non-sticky degradations
+  /// are lifted (restart-in-place healed them); sticky ones persist with
+  /// their flaky-period counters rewound, modeling a bad machine the
+  /// restarted world landed on again.
   void begin_run();
 
-  /// Re-arms every spec (exact-replay support) and clears history.
+  /// Re-arms every spec (exact-replay support), lifts all degradations and
+  /// quarantines, and clears history.
   void rearm();
+
+  /// Called by the supervisor when it evicts a rank: lifts the rank's
+  /// standing degradations and disarms every spec targeting it, so after
+  /// the elastic relayout the (remapped) rank ids are not re-afflicted by
+  /// the removed machine's faults. Quarantine survives begin_run; only
+  /// rearm() clears it.
+  void quarantine_rank(int rank);
 
   /// Current per-run op count for (rank, site).
   std::uint64_t count(int rank, FaultSite site) const;
+
+  /// Ranks with at least one standing degradation (diagnostic for tests).
+  std::vector<int> degraded_ranks() const;
 
   /// Every spec fired so far, in fire order.
   std::vector<FaultEvent> history() const;
@@ -128,6 +181,16 @@ class FaultPlan {
   struct Armed {
     FaultSpec spec;
     bool armed = true;
+  };
+
+  /// A standing per-rank affliction installed by a fired degradation spec.
+  struct Degradation {
+    FaultSpec::Action kind = FaultSpec::Action::kSlowRank;
+    std::chrono::microseconds delay{0};
+    std::uint64_t period = 1;
+    bool drop = false;
+    bool sticky = false;
+    std::uint64_t ops_since = 0;  ///< kFlakyLink period counter
   };
 
   static std::int64_t key(int rank, FaultSite site) {
@@ -142,11 +205,19 @@ class FaultPlan {
   };
   bool bump_and_match(int rank, FaultSite site, Fired* out);
 
+  /// Applies the rank's standing degradations to one op at `site`:
+  /// busy-spins for kSlowRank, counts/delays for kFlakyLink, and folds the
+  /// drop/hang directives into `out`. Takes and releases the lock itself
+  /// (spins/sleeps happen outside it).
+  void apply_degradations(int rank, FaultSite site, FaultOutcome* out);
+
   mutable std::mutex mu_;
   std::uint64_t seed_;
   std::uint64_t draw_;  ///< evolving state for kill_random draws
   std::vector<Armed> specs_;
   std::unordered_map<std::int64_t, std::uint64_t> counts_;
+  std::unordered_map<int, std::vector<Degradation>> degradations_;
+  std::unordered_set<int> quarantined_;
   std::vector<FaultEvent> history_;
   int run_index_ = -1;  ///< becomes 0 on the first begin_run()
 };

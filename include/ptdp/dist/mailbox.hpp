@@ -7,6 +7,7 @@
 // the property that makes complex pipeline schedules deadlock-free.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -14,12 +15,42 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace ptdp::dist {
 
 class FaultPlan;
+
+namespace detail {
+// Per-rank-thread communication wait accumulator (nanoseconds blocked in
+// Request::wait / blocking recv). The self-healing plane reads it to split
+// a step's wall time into busy vs wait: a straggler shows high busy time
+// while its peers show high wait time — the MegaScale-style signal that
+// survives the lockstep coupling of a synchronous pipeline (where plain
+// wall time converges across ranks and says nothing).
+inline thread_local std::int64_t t_comm_wait_ns = 0;
+}  // namespace detail
+
+/// Nanoseconds this rank thread has spent blocked on communication since
+/// thread start (monotonically increasing; callers diff across a step).
+inline std::int64_t comm_wait_ns() { return detail::t_comm_wait_ns; }
+inline void add_comm_wait_ns(std::int64_t ns) { detail::t_comm_wait_ns += ns; }
+
+/// Watchdog configuration for blocking receives. With op_timeout_ms == 0
+/// (the default) waits block forever — exactly the pre-watchdog behavior.
+/// With a deadline set, a blocked wait re-probes the mailbox in bounded,
+/// exponentially backed-off slices (the retry ladder for transient
+/// slowness: a delayed message arriving within the deadline completes the
+/// op normally) and converts a wait that exhausts the deadline into a
+/// structured RankTimeout instead of an infinite block.
+struct TimeoutOptions {
+  std::int64_t op_timeout_ms = 0;     ///< total deadline; 0 = no watchdog
+  std::int64_t probe_initial_ms = 5;  ///< first re-probe slice
+  double probe_backoff = 2.0;         ///< slice growth per retry
+  std::int64_t probe_max_ms = 100;    ///< slice cap
+};
 
 /// Identifies one logical message channel.
 struct ChannelKey {
@@ -46,6 +77,38 @@ struct ChannelKeyHash {
 class WorldPoisoned : public std::runtime_error {
  public:
   WorldPoisoned() : std::runtime_error("peer rank failed; world poisoned") {}
+};
+
+/// Thrown by a watchdog-armed wait when the expected message never arrived
+/// within the deadline: the structured form of "peer <src> is silently
+/// hung". Carries the channel coordinates so the supervisor can attribute
+/// the hang to the *sender* (the rank that failed to produce the message),
+/// not the rank that happened to notice.
+class RankTimeout : public std::runtime_error {
+ public:
+  RankTimeout(int src, int dst, std::uint64_t tag, std::int64_t waited_ms, int retries)
+      : std::runtime_error("timeout waiting for message from rank " +
+                           std::to_string(src) + " (dst rank " + std::to_string(dst) +
+                           ", tag " + std::to_string(tag) + ", waited " +
+                           std::to_string(waited_ms) + " ms, " + std::to_string(retries) +
+                           " probe retries)"),
+        src_(src),
+        dst_(dst),
+        tag_(tag),
+        waited_ms_(waited_ms),
+        retries_(retries) {}
+  int src() const noexcept { return src_; }        ///< the rank that went silent
+  int dst() const noexcept { return dst_; }        ///< the rank that timed out waiting
+  std::uint64_t tag() const noexcept { return tag_; }
+  std::int64_t waited_ms() const noexcept { return waited_ms_; }
+  int retries() const noexcept { return retries_; }
+
+ private:
+  int src_;
+  int dst_;
+  std::uint64_t tag_;
+  std::int64_t waited_ms_;
+  int retries_;
 };
 
 /// Process-wide message store. Sends are buffered (never block); receives
@@ -77,6 +140,40 @@ class Mailbox {
     std::vector<std::uint8_t> payload = std::move(it->second.front());
     it->second.pop_front();
     return payload;
+  }
+
+  /// Bounded take: like take(), but gives up at `deadline` and returns
+  /// std::nullopt instead of a message. Same drain-first poison rule as
+  /// take(): a queued real message is delivered even when poisoned;
+  /// poisoned with nothing queued throws WorldPoisoned. Request::wait's
+  /// watchdog loop calls this in backed-off slices.
+  std::optional<std::vector<std::uint8_t>> take_until(
+      const ChannelKey& key, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock lock(mu_);
+    bool ready = cv_.wait_until(lock, deadline, [&] {
+      if (poisoned_) return true;
+      auto it = queues_.find(key);
+      return it != queues_.end() && !it->second.empty();
+    });
+    auto it = queues_.find(key);
+    if (it != queues_.end() && !it->second.empty()) {
+      std::vector<std::uint8_t> payload = std::move(it->second.front());
+      it->second.pop_front();
+      return payload;
+    }
+    if (ready && poisoned_) throw WorldPoisoned();
+    return std::nullopt;  // deadline expired
+  }
+
+  /// Parks the calling thread until the world is poisoned, then returns.
+  /// This is how an injected hang-forever fault "hangs" without wedging
+  /// World::run's join: the hung rank blocks here (producing no messages,
+  /// exactly like a silently stuck peer) until some other rank's watchdog
+  /// times out and the World poisons the mailbox — at which point the
+  /// hung rank unwinds as a secondary WorldPoisoned casualty.
+  void wait_poisoned() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return poisoned_; });
   }
 
   /// Non-blocking take: pops the channel's front message if one is queued,
@@ -141,6 +238,19 @@ class Mailbox {
     return fault_plan_.load(std::memory_order_acquire);
   }
 
+  /// Installs the watchdog configuration. Must be called while no rank
+  /// threads are running (World::set_timeouts does); rank threads read it
+  /// via timeouts() at every blocking wait.
+  void set_timeouts(const TimeoutOptions& t) {
+    std::lock_guard lock(mu_);
+    timeouts_ = t;
+  }
+
+  TimeoutOptions timeouts() const {
+    std::lock_guard lock(mu_);
+    return timeouts_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -149,6 +259,7 @@ class Mailbox {
   bool poisoned_ = false;
   std::shared_ptr<FaultPlan> fault_plan_owner_;
   std::atomic<FaultPlan*> fault_plan_{nullptr};
+  TimeoutOptions timeouts_;
 };
 
 }  // namespace ptdp::dist

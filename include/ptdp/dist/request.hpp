@@ -17,6 +17,8 @@
 // would be silently dropped and a later receive on the same channel would
 // see the wrong payload.
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <memory>
@@ -75,11 +77,62 @@ class Request {
   }
 
   /// Blocks until the operation completes. Throws WorldPoisoned if a peer
-  /// rank died (mirroring the blocking recv path).
+  /// rank died (mirroring the blocking recv path). When the Mailbox has a
+  /// watchdog deadline configured (TimeoutOptions::op_timeout_ms > 0), the
+  /// wait re-probes in exponentially backed-off slices and throws
+  /// RankTimeout once the deadline passes with no message — attributing
+  /// the hang to the sender rank on the channel. Time spent blocked here is
+  /// charged to this thread's comm-wait accumulator (comm_wait_ns), which
+  /// is what lets the health monitor tell a straggler (high busy, low
+  /// wait) from its victims (low busy, high wait).
   void wait() {
     if (state_ == nullptr) return;
-    std::vector<std::uint8_t> payload = state_->mailbox->take(state_->key);
-    deliver(payload);
+    const auto start = std::chrono::steady_clock::now();
+    struct WaitCharge {
+      std::chrono::steady_clock::time_point t0;
+      ~WaitCharge() {
+        add_comm_wait_ns(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+      }
+    } charge{start};
+
+    const TimeoutOptions t = state_->mailbox->timeouts();
+    if (t.op_timeout_ms <= 0) {
+      std::vector<std::uint8_t> payload = state_->mailbox->take(state_->key);
+      deliver(payload);
+      return;
+    }
+    const auto deadline = start + std::chrono::milliseconds(t.op_timeout_ms);
+    std::int64_t slice_ms = std::max<std::int64_t>(1, t.probe_initial_ms);
+    int retries = 0;
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        const ChannelKey key = state_->key;
+        // Drop the recv state first: the message is declared lost, and the
+        // destructor must not re-flag this request while RankTimeout
+        // unwinds the rank.
+        state_.reset();
+        throw RankTimeout(
+            key.src, key.dst, key.tag,
+            std::chrono::duration_cast<std::chrono::milliseconds>(now - start).count(),
+            retries);
+      }
+      const auto slice_end =
+          std::min(deadline, now + std::chrono::milliseconds(slice_ms));
+      std::optional<std::vector<std::uint8_t>> payload =
+          state_->mailbox->take_until(state_->key, slice_end);
+      if (payload.has_value()) {
+        deliver(*payload);
+        return;
+      }
+      ++retries;
+      slice_ms = std::min<std::int64_t>(
+          t.probe_max_ms > 0 ? t.probe_max_ms : slice_ms,
+          static_cast<std::int64_t>(static_cast<double>(slice_ms) *
+                                    std::max(1.0, t.probe_backoff)));
+    }
   }
 
  private:

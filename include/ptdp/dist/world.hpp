@@ -110,6 +110,13 @@ class World {
   }
   const std::shared_ptr<FaultPlan>& fault_plan() const noexcept { return fault_plan_; }
 
+  /// Installs the watchdog deadline configuration consulted by every
+  /// blocking wait in subsequent run() calls (see TimeoutOptions — the
+  /// default, op_timeout_ms == 0, means waits block forever). Call while
+  /// no rank threads are running, like set_fault_plan.
+  void set_timeouts(const TimeoutOptions& t) { mailbox_->set_timeouts(t); }
+  TimeoutOptions timeouts() const { return mailbox_->timeouts(); }
+
   /// Run `fn(comm)` on every rank concurrently (one thread per rank) and
   /// block until all complete. If any rank throws, the first (root-cause)
   /// exception is rethrown on the caller wrapped in RankFailure after all

@@ -1,0 +1,152 @@
+#pragma once
+
+// HealthMonitor: the *detection* half of the self-healing loop (DESIGN.md
+// §15). MegaScale's operational lesson (PAPERS.md, arXiv:2402.15627) is
+// that at cluster scale the dominant failure mode is not a clean crash but
+// a *degraded* rank — a straggler, a flaky link, a silent hang — which no
+// exception ever reports. The monitor consumes per-rank per-step signals
+// online (step wall time, busy time = wall − comm-wait, heartbeat age) and
+// turns them into typed verdicts the supervisor can act on.
+//
+// Why busy time and not wall time: a synchronous pipeline is lockstep, so
+// every rank's *wall* time converges to the straggler's — wall time
+// identifies that the world is slow, never who slowed it. Busy time
+// separates them: the straggler computes (or spins) for the extra time
+// while its peers sit in Request::wait, so the straggler alone shows a
+// busy-time EWMA far above the median of its peers (dist::comm_wait_ns
+// provides the split).
+//
+// Determinism: verdict logic is pure threshold arithmetic over the fed
+// samples — no wall-clock randomness enters unless heartbeat checking is
+// enabled, and tests inject a virtual clock for that. The same sample
+// sequence always yields the same verdict at the same step.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ptdp::ft {
+
+enum class Health : int { kHealthy = 0, kStraggler = 1, kHung = 2, kDead = 3 };
+
+const char* health_name(Health h);
+
+/// Detection thresholds. Defaults are tuned for the thread-backed world's
+/// microsecond-scale steps; real clusters would scale them up, not change
+/// the logic.
+struct HealthOptions {
+  double ewma_alpha = 0.4;        ///< weight of the newest busy-time sample
+  double straggler_ratio = 3.0;   ///< rank is suspect when its busy EWMA
+                                  ///< exceeds ratio × median of the others
+  int straggler_patience = 3;     ///< consecutive suspect steps before verdict
+  double min_busy_seconds = 1e-4; ///< suspicion floor: below this absolute
+                                  ///< busy EWMA nothing is a straggler (noise guard)
+  std::uint64_t warmup_steps = 2; ///< steps ignored after (re)start (warm caches)
+  double heartbeat_timeout_s = 0; ///< 0 disables heartbeat-age checking
+};
+
+/// One rank's current diagnosis plus the evidence behind it.
+struct RankVerdict {
+  int rank = -1;
+  Health health = Health::kHealthy;
+  std::uint64_t step = 0;           ///< step at which the verdict was reached
+  std::uint64_t suspect_since = 0;  ///< first step of the suspect streak
+  double busy_ewma_s = 0.0;         ///< the rank's busy-time EWMA at verdict
+  double peer_median_s = 0.0;       ///< median busy EWMA of the other ranks
+  double wait_share = 0.0;          ///< comm-wait / wall of the last sample
+};
+
+/// Thrown by HealthMonitor::enforce() on every rank once a degradation
+/// verdict exists: the cooperative "stop the world, a rank is bad" signal.
+/// World::run wraps the first one in RankFailure; the supervisor reads the
+/// verdict payload (not the throwing rank — every rank throws this) to
+/// decide who to heal.
+class DegradedWorldError : public std::runtime_error {
+ public:
+  explicit DegradedWorldError(const RankVerdict& v);
+  const RankVerdict& verdict() const noexcept { return verdict_; }
+  int rank() const noexcept { return verdict_.rank; }
+  Health health() const noexcept { return verdict_.health; }
+
+ private:
+  RankVerdict verdict_;
+};
+
+/// Online, thread-safe (fed concurrently by every rank thread) health
+/// tracker. One instance is shared across a supervised run's restarts;
+/// begin_run() resets per-run state while counters like total verdicts
+/// persist for reporting.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthOptions opts = {});
+
+  /// Resets per-run state (EWMAs, streaks, the standing verdict) for a
+  /// world of `world_size` ranks. Call before every World::run.
+  void begin_run(int world_size);
+
+  /// Feeds one rank's step sample. wall_s is the step wall time, wait_s
+  /// the comm-wait portion (from dist::comm_wait_ns deltas), busy_s
+  /// typically wall_s − wait_s. Runs the straggler rule and, on a patience
+  /// overflow, latches the run's verdict (first verdict wins).
+  void record_step(int rank, std::uint64_t step, double wall_s, double busy_s,
+                   double wait_s);
+
+  /// Stamps the rank's liveness clock (used by the heartbeat-age rule when
+  /// heartbeat_timeout_s > 0). record_step() stamps it implicitly.
+  void heartbeat(int rank);
+
+  /// External attribution hooks: the supervisor calls these when a
+  /// watchdog RankTimeout (→ hung) or a crash (→ dead) identifies a victim
+  /// outside the monitor's own arithmetic, so health() reflects all
+  /// knowledge, whatever the detector.
+  void note_hung(int rank, std::uint64_t step);
+  void note_dead(int rank, std::uint64_t step);
+
+  /// Throws DegradedWorldError if a verdict is standing (also runs the
+  /// heartbeat-age rule first when enabled). Every rank calls this once
+  /// per step; all of them throw the *same* verdict.
+  void enforce();
+
+  /// The standing verdict for this run, if any.
+  std::optional<RankVerdict> verdict() const;
+
+  Health health(int rank) const;
+
+  /// Injectable monotonic clock (ns) for heartbeat tests; defaults to
+  /// ptdp::steady_now_ns.
+  void set_clock(std::function<std::int64_t()> now_ns);
+
+  const HealthOptions& options() const noexcept { return opts_; }
+  int world_size() const;
+
+ private:
+  struct RankState {
+    Health health = Health::kHealthy;
+    double busy_ewma_s = 0.0;
+    bool has_sample = false;
+    int suspect_streak = 0;
+    std::uint64_t suspect_since = 0;
+    std::int64_t last_heartbeat_ns = 0;
+    bool heartbeat_seen = false;
+  };
+
+  /// Latches `v` as the run verdict if none is standing. Caller holds mu_.
+  void latch_verdict_locked(const RankVerdict& v);
+
+  /// Median busy EWMA over all ranks except `rank` (only ranks with a
+  /// sample). Caller holds mu_. Returns false when no peer has a sample.
+  bool peer_median_locked(int rank, double* out) const;
+
+  HealthOptions opts_;
+  mutable std::mutex mu_;
+  std::function<std::int64_t()> now_ns_;
+  std::vector<RankState> ranks_;
+  std::optional<RankVerdict> verdict_;
+};
+
+}  // namespace ptdp::ft

@@ -9,6 +9,17 @@
 // re-enters the training body from there, with bounded retries and
 // exponential backoff. Recovery telemetry (failures, steps lost, time to
 // recover) is exposed so tests and experiments can assert on it.
+//
+// Self-healing escalation (DESIGN.md §15): the supervisor classifies every
+// failure by its root cause — a HealthMonitor verdict (DegradedWorldError:
+// straggler), a watchdog expiry (RankTimeout: silent hang, attributed to
+// the sender that went quiet), or anything else (crash: dead) — and walks
+// an escalation ladder per degraded victim: warn & restart-in-place first
+// (a transient might heal), then *evict* the rank once it re-offends:
+// quarantine it in the FaultPlan, hand the eviction to the elastic factory
+// so the next world is laid out without it, and resume from the newest
+// committed checkpoint. Crashes keep the PR-3 behavior (restart-in-place
+// until retries are exhausted).
 
 #include <cstdint>
 #include <functional>
@@ -19,6 +30,7 @@
 #include "ptdp/ckpt/checkpoint.hpp"
 #include "ptdp/dist/fault.hpp"
 #include "ptdp/dist/world.hpp"
+#include "ptdp/ft/health.hpp"
 
 namespace ptdp::ft {
 
@@ -38,6 +50,15 @@ class ScopedCkptFaultHook {
   bool installed_ = false;
 };
 
+/// How a degraded rank's escalation ladder proceeds.
+struct EscalationOptions {
+  /// Restart-in-place attempts granted to the *same* degraded victim
+  /// (straggler/hung verdicts only) before it is evicted. 0 = evict on the
+  /// first verdict. Crashes never trigger eviction — a dead rank's machine
+  /// slot is assumed replaceable, the classic PR-3 restart.
+  int restarts_before_evict = 1;
+};
+
 struct SupervisorOptions {
   /// Checkpoint root the training body commits to; on restart the
   /// supervisor resolves the newest valid committed checkpoint here.
@@ -52,25 +73,59 @@ struct SupervisorOptions {
   /// Installed on every world the supervisor creates (fired specs stay
   /// disarmed across runs, so a restart proceeds past the injected fault).
   std::shared_ptr<dist::FaultPlan> fault_plan;
+  /// Optional detection plane: the supervisor begin_run()s it before every
+  /// attempt and classifies DegradedWorldError failures with its verdicts.
+  /// The training body is responsible for feeding it (record_step +
+  /// enforce per step).
+  std::shared_ptr<HealthMonitor> health;
+  /// Watchdog deadlines installed on every world (default: disabled).
+  dist::TimeoutOptions timeouts;
+  EscalationOptions escalation;
+  /// Virtual sleep hook for the backoff waits; tests inject a recorder so
+  /// exact backoff schedules are asserted without real wall time. Default
+  /// (unset) sleeps for real.
+  std::function<void(double seconds)> sleep_fn;
 };
 
 /// One failure the supervisor recovered from (or gave up on).
 struct FailureRecord {
   int attempt = 0;              ///< which run died (0 = initial attempt)
-  int rank = -1;                ///< root-cause rank
+  int rank = -1;                ///< rank whose exception was the root cause
   std::uint64_t failed_step = 0;   ///< that rank's last noted step
   std::uint64_t resumed_step = 0;  ///< committed step the next run resumes from
   std::string cause;            ///< root-cause what()
   double backoff_s = 0.0;       ///< backoff slept before the restart
+  /// The rank the healing action targets. For a watchdog timeout this is
+  /// the *sender* that went quiet, not the rank that noticed; for a
+  /// monitor verdict, the diagnosed rank; for a crash, the crashed rank.
+  int victim = -1;
+  Health victim_health = Health::kDead;
+  bool evicted = false;  ///< this failure escalated to eviction
+  /// Straggler verdicts: steps from first suspicion to verdict. Timeout
+  /// and crash detections are step-instant (0).
+  std::uint64_t detect_latency_steps = 0;
 };
 
 struct RecoveryStats {
   int attempts = 0;   ///< world runs started
   int failures = 0;   ///< RankFailures caught (== events.size())
+  int evictions = 0;  ///< failures healed by evicting the victim
   std::uint64_t steps_lost = 0;  ///< sum over failures of failed - resumed
   double total_recovery_seconds = 0.0;  ///< failure caught -> body re-entered
+  double last_recovery_seconds = 0.0;   ///< most recent single recovery
   std::vector<FailureRecord> events;
   bool succeeded = false;
+};
+
+/// Everything an elastic factory needs to lay out the next world.
+struct RestartContext {
+  int attempt = 0;                 ///< 0 on the first run
+  std::uint64_t resume_step = 0;   ///< newest committed step (0 = fresh)
+  /// World ranks evicted so far, in eviction order, with ids as of the
+  /// world they were evicted from. Non-empty ⇒ lay out without them.
+  std::vector<int> evicted;
+  int last_victim = -1;            ///< victim of the failure before this restart
+  Health last_health = Health::kHealthy;
 };
 
 class TrainSupervisor {
@@ -86,12 +141,24 @@ class TrainSupervisor {
   /// committed checkpoint into the new layout.
   using WorldFactory = std::function<std::unique_ptr<dist::World>(int attempt)>;
 
+  /// Elastic factory: sees the full restart context, in particular the
+  /// evicted-rank list, so it can lay the world out one rank smaller after
+  /// an eviction (the straggler-driven elastic-recovery path).
+  using ElasticWorldFactory =
+      std::function<std::unique_ptr<dist::World>(const RestartContext&)>;
+
   explicit TrainSupervisor(SupervisorOptions options);
 
   /// Runs `body` under supervision until it completes or retries are
   /// exhausted (then the last RankFailure propagates; stats() is valid
   /// either way). Returns the stats on success.
-  const RecoveryStats& run(const WorldFactory& factory, const Body& body);
+  const RecoveryStats& run(const ElasticWorldFactory& factory, const Body& body);
+
+  /// Attempt-indexed factory convenience (the PR-3 signature).
+  const RecoveryStats& run(const WorldFactory& factory, const Body& body) {
+    return run(
+        [&factory](const RestartContext& ctx) { return factory(ctx.attempt); }, body);
+  }
 
   const RecoveryStats& stats() const { return stats_; }
   const SupervisorOptions& options() const { return options_; }

@@ -10,6 +10,7 @@
 #include "ptdp/obs/metrics.hpp"
 #include "ptdp/obs/trace.hpp"
 #include "ptdp/runtime/check.hpp"
+#include "ptdp/runtime/log.hpp"
 #include "ptdp/runtime/stopwatch.hpp"
 
 namespace ptdp::ckpt {
@@ -212,11 +213,18 @@ std::optional<CommittedCheckpoint> find_latest_valid_checkpoint(
   // goes first (fast path); then every manifest on disk by descending step,
   // so a stale or corrupt marker degrades to a scan instead of an error.
   std::vector<std::pair<std::uint64_t, std::string>> by_step;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (const auto step = step_from_manifest_name(name)) {
-      by_step.emplace_back(*step, name);
+  try {
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (const auto step = step_from_manifest_name(name)) {
+        by_step.emplace_back(*step, name);
+      }
     }
+  } catch (const std::exception& e) {
+    // directory_iterator's increment throws (the ec overload only covers
+    // construction); a racing gc/rmdir must degrade to "partial listing",
+    // not abort the recovery path.
+    PTDP_LOG_WARN << "ckpt scan: directory listing aborted early (" << e.what() << ")";
   }
   std::sort(by_step.begin(), by_step.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -243,9 +251,29 @@ std::optional<CommittedCheckpoint> find_latest_valid_checkpoint(
                    });
 
   for (const std::string& name : candidates) {
-    const auto m = read_manifest(dir + "/" + name);
-    if (!m) continue;
-    if (!validate_manifest(dir, *m)) continue;
+    // The scan must never throw past a bad candidate: a truncated or
+    // garbage manifest-<N>.json (torn write, disk corruption, a kill mid-
+    // commit) is an expected artifact of the crashes this module exists to
+    // survive. Read/parse/validate failures — including anything the
+    // filesystem or CRC layer throws — demote the candidate with a warning
+    // and the scan moves on to the next-newest.
+    std::optional<Manifest> m;
+    try {
+      m = read_manifest(dir + "/" + name);
+      if (m && !validate_manifest(dir, *m)) {
+        PTDP_LOG_WARN << "ckpt scan: skipping " << name
+                      << " (shard validation failed: missing/short/corrupt shard)";
+        continue;
+      }
+    } catch (const std::exception& e) {
+      PTDP_LOG_WARN << "ckpt scan: skipping " << name << " (" << e.what() << ")";
+      continue;
+    }
+    if (!m) {
+      PTDP_LOG_WARN << "ckpt scan: skipping " << name
+                    << " (unreadable or malformed manifest JSON)";
+      continue;
+    }
     if (expected_dtype) {
       // The newest valid checkpoint decides: resuming a run at a different
       // precision than it was checkpointed at is an operator error, not

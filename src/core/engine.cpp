@@ -120,6 +120,10 @@ PtdpEngine::PtdpEngine(dist::Comm& world, EngineOptions options)
 
 float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
   const Stopwatch stopwatch;
+  // Comm-wait snapshot: the delta over this step splits wall time into
+  // busy vs blocked-on-peers — the health monitor's straggler signal
+  // (DESIGN.md §15). Thread-local, so per-rank by construction.
+  const std::int64_t comm_wait_before = dist::comm_wait_ns();
   // Memory-plane snapshot: train_step runs on this rank's thread and
   // tensors are freed where they were allocated, so the thread-local
   // counters give byte-exact per-rank accounting. Resetting the peak here
@@ -185,6 +189,10 @@ float PtdpEngine::train_step(std::span<const model::Microbatch> microbatches) {
   stats_.grad_norm = last_grad_norm_;
   stats_.lr = optimizer_->lr();
   stats_.step_seconds = stopwatch.elapsed_seconds();
+  stats_.comm_wait_seconds =
+      static_cast<double>(dist::comm_wait_ns() - comm_wait_before) * 1e-9;
+  stats_.busy_seconds =
+      std::max(0.0, stats_.step_seconds - stats_.comm_wait_seconds);
   stats_.tokens = options_.global_batch * options_.model.seq;
   stats_.tokens_per_second =
       stats_.step_seconds > 0 ? stats_.tokens / stats_.step_seconds : 0.0;
@@ -336,6 +344,9 @@ std::uint64_t PtdpEngine::load_resharded(const std::string& dir) {
   const auto& c = groups_->coord();
   const auto meta = ckpt::load_checkpoint_by_name(
       ckpt::shard_path(dir, 0, c.tensor, 0), checkpoint_tensors());
+  // Resume the step counter like load_checkpoint does: the LR schedule and
+  // per-step stats must continue from the committed step, not restart at 0.
+  step_counter_ = static_cast<std::int64_t>(meta.step);
   return meta.step;
 }
 

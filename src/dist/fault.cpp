@@ -1,11 +1,14 @@
 #include "ptdp/dist/fault.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 
+#include "ptdp/dist/world.hpp"
 #include "ptdp/runtime/check.hpp"
 #include "ptdp/runtime/rng.hpp"
+#include "ptdp/runtime/stopwatch.hpp"
 
 namespace ptdp::dist {
 
@@ -32,6 +35,18 @@ void flip_byte(const std::string& path) {
   byte = static_cast<char>(byte ^ 0x5A);
   f.seekp(pos);
   f.write(&byte, 1);
+}
+
+// A slow *machine* burns cycles; it does not sleep. Spinning (rather than
+// sleep_for) makes the injected straggler visible in thread-CPU/busy time,
+// which is precisely the signal HealthMonitor keys on — a sleeping fake
+// straggler would look idle and test the wrong detector.
+void busy_spin(std::chrono::microseconds d) {
+  const std::int64_t until = ptdp::steady_now_ns() + d.count() * 1000;
+  while (ptdp::steady_now_ns() < until) {
+    // keep the core busy; prevent the loop from being optimized away
+    asm volatile("" ::: "memory");
+  }
 }
 
 }  // namespace
@@ -72,6 +87,29 @@ FaultPlan& FaultPlan::corrupt_ckpt(int rank, std::uint64_t nth) {
   return add({FaultSpec::Action::kCorruptFile, rank, FaultSite::kCkptWrite, nth, {}});
 }
 
+FaultPlan& FaultPlan::slow_rank(int rank, FaultSite site, std::uint64_t nth,
+                                std::chrono::microseconds spin, bool sticky) {
+  FaultSpec spec{FaultSpec::Action::kSlowRank, rank, site, nth, spin};
+  spec.sticky = sticky;
+  return add(spec);
+}
+
+FaultPlan& FaultPlan::flaky_link(int rank, std::uint64_t nth, std::uint64_t period,
+                                 std::chrono::microseconds d, bool drop, bool sticky) {
+  PTDP_CHECK_GE(period, 1u) << "flaky-link period is 1-based";
+  FaultSpec spec{FaultSpec::Action::kFlakyLink, rank, FaultSite::kSend, nth, d};
+  spec.period = period;
+  spec.drop = drop;
+  spec.sticky = sticky;
+  return add(spec);
+}
+
+FaultPlan& FaultPlan::hang(int rank, FaultSite site, std::uint64_t nth, bool sticky) {
+  FaultSpec spec{FaultSpec::Action::kHang, rank, site, nth, {}};
+  spec.sticky = sticky;
+  return add(spec);
+}
+
 FaultPlan& FaultPlan::kill_random(int world_size, FaultSite site,
                                   std::uint64_t max_nth) {
   PTDP_CHECK_GT(world_size, 0);
@@ -79,8 +117,8 @@ FaultPlan& FaultPlan::kill_random(int world_size, FaultSite site,
   std::uint64_t rank_draw, nth_draw;
   {
     std::lock_guard lock(mu_);
-    rank_draw = detail::mix64(draw_ ^ 0x9E3779B97F4A7C15ULL);
-    nth_draw = detail::mix64(rank_draw + 1);
+    rank_draw = ptdp::detail::mix64(draw_ ^ 0x9E3779B97F4A7C15ULL);
+    nth_draw = ptdp::detail::mix64(rank_draw + 1);
     draw_ = nth_draw;  // evolve so successive calls draw fresh values
   }
   return kill(static_cast<int>(rank_draw % static_cast<std::uint64_t>(world_size)),
@@ -96,29 +134,78 @@ bool FaultPlan::bump_and_match(int rank, FaultSite site, Fired* out) {
     if (a.spec.rank != -1 && a.spec.rank != rank) continue;
     if (a.spec.nth != c) continue;
     a.armed = false;
-    history_.push_back(FaultEvent{a.spec, rank, c, run_index_});
+    history_.push_back(FaultEvent{a.spec, rank, c, run_index_, noted_step()});
     *out = Fired{a.spec, c};
     return true;
   }
   return false;
 }
 
-void FaultPlan::on_op(int rank, FaultSite site) {
-  Fired fired;
-  if (!bump_and_match(rank, site, &fired)) return;
-  switch (fired.spec.action) {
-    case FaultSpec::Action::kKill:
-      throw InjectedFault(rank, site, fired.count);
-    case FaultSpec::Action::kDelay:
-      if (fired.spec.delay.count() > 0) std::this_thread::sleep_for(fired.spec.delay);
-      break;
-    case FaultSpec::Action::kCorruptFile:
-      // File corruption only makes sense at a write phase with a path; a
-      // corrupt spec matching a comm op is a plan-authoring error.
-      PTDP_CHECK(site == FaultSite::kCkptWrite)
-          << "kCorruptFile spec fired at a non-ckpt site";
-      break;
+void FaultPlan::apply_degradations(int rank, FaultSite site, FaultOutcome* out) {
+  std::chrono::microseconds spin_total{0};
+  std::chrono::microseconds sleep_total{0};
+  {
+    std::lock_guard lock(mu_);
+    auto it = degradations_.find(rank);
+    if (it == degradations_.end()) return;
+    for (Degradation& d : it->second) {
+      switch (d.kind) {
+        case FaultSpec::Action::kSlowRank:
+          spin_total += d.delay;
+          break;
+        case FaultSpec::Action::kFlakyLink:
+          if (site != FaultSite::kSend) break;
+          if (++d.ops_since % d.period == 0) {
+            if (d.drop) {
+              out->drop_message = true;
+            } else {
+              sleep_total += d.delay;
+            }
+          }
+          break;
+        case FaultSpec::Action::kHang:
+          out->hang_forever = true;
+          break;
+        default:
+          break;  // one-shot actions never become degradations
+      }
+    }
   }
+  // Burn/sleep outside the lock so a degraded rank cannot stall its peers'
+  // fault hooks (the real machine's slowness is private to it, too).
+  if (spin_total.count() > 0) busy_spin(spin_total);
+  if (sleep_total.count() > 0) std::this_thread::sleep_for(sleep_total);
+}
+
+FaultOutcome FaultPlan::on_op(int rank, FaultSite site) {
+  FaultOutcome out;
+  Fired fired;
+  if (bump_and_match(rank, site, &fired)) {
+    switch (fired.spec.action) {
+      case FaultSpec::Action::kKill:
+        throw InjectedFault(rank, site, fired.count);
+      case FaultSpec::Action::kDelay:
+        if (fired.spec.delay.count() > 0) std::this_thread::sleep_for(fired.spec.delay);
+        break;
+      case FaultSpec::Action::kCorruptFile:
+        // File corruption only makes sense at a write phase with a path; a
+        // corrupt spec matching a comm op is a plan-authoring error.
+        PTDP_CHECK(site == FaultSite::kCkptWrite)
+            << "kCorruptFile spec fired at a non-ckpt site";
+        break;
+      case FaultSpec::Action::kSlowRank:
+      case FaultSpec::Action::kFlakyLink:
+      case FaultSpec::Action::kHang: {
+        std::lock_guard lock(mu_);
+        degradations_[rank].push_back(Degradation{fired.spec.action, fired.spec.delay,
+                                                  fired.spec.period, fired.spec.drop,
+                                                  fired.spec.sticky});
+        break;
+      }
+    }
+  }
+  apply_degradations(rank, site, &out);
+  return out;
 }
 
 void FaultPlan::on_file_phase(int rank, const std::string& final_path,
@@ -135,6 +222,17 @@ void FaultPlan::on_file_phase(int rank, const std::string& final_path,
     case FaultSpec::Action::kCorruptFile:
       flip_byte(phase_is_pre_rename ? tmp_path : final_path);
       break;
+    case FaultSpec::Action::kSlowRank:
+    case FaultSpec::Action::kFlakyLink:
+    case FaultSpec::Action::kHang: {
+      // Degradations are comm-layer afflictions; firing one at a ckpt-write
+      // phase just installs it — the rank's subsequent comm ops suffer it.
+      std::lock_guard lock(mu_);
+      degradations_[rank].push_back(Degradation{fired.spec.action, fired.spec.delay,
+                                                fired.spec.period, fired.spec.drop,
+                                                fired.spec.sticky});
+      break;
+    }
   }
 }
 
@@ -142,6 +240,17 @@ void FaultPlan::begin_run() {
   std::lock_guard lock(mu_);
   counts_.clear();
   ++run_index_;
+  // Restart-in-place lifts transient degradations; sticky ones model a bad
+  // machine the relaunched world landed on again, so they persist (with
+  // their flaky-period counters rewound for replayability).
+  for (auto it = degradations_.begin(); it != degradations_.end();) {
+    auto& v = it->second;
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [](const Degradation& d) { return !d.sticky; }),
+            v.end());
+    for (Degradation& d : v) d.ops_since = 0;
+    it = v.empty() ? degradations_.erase(it) : std::next(it);
+  }
 }
 
 void FaultPlan::rearm() {
@@ -149,8 +258,29 @@ void FaultPlan::rearm() {
   for (Armed& a : specs_) a.armed = true;
   history_.clear();
   counts_.clear();
+  degradations_.clear();
+  quarantined_.clear();
   run_index_ = -1;
   draw_ = seed_;
+}
+
+void FaultPlan::quarantine_rank(int rank) {
+  std::lock_guard lock(mu_);
+  quarantined_.insert(rank);
+  degradations_.erase(rank);
+  for (Armed& a : specs_) {
+    if (a.spec.rank == rank) a.armed = false;
+  }
+}
+
+std::vector<int> FaultPlan::degraded_ranks() const {
+  std::lock_guard lock(mu_);
+  std::vector<int> out;
+  for (const auto& [rank, v] : degradations_) {
+    if (!v.empty()) out.push_back(rank);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::uint64_t FaultPlan::count(int rank, FaultSite site) const {

@@ -1,0 +1,198 @@
+#include "ptdp/ft/health.hpp"
+
+#include <algorithm>
+
+#include "ptdp/runtime/check.hpp"
+#include "ptdp/runtime/stopwatch.hpp"
+
+namespace ptdp::ft {
+
+namespace {
+
+std::string describe(const RankVerdict& v) {
+  std::string msg = "degraded world: rank " + std::to_string(v.rank) + " is " +
+                    health_name(v.health) + " (step " + std::to_string(v.step) + ")";
+  if (v.health == Health::kStraggler) {
+    msg += ": busy EWMA " + std::to_string(v.busy_ewma_s * 1e3) + " ms vs peer median " +
+           std::to_string(v.peer_median_s * 1e3) + " ms, suspect since step " +
+           std::to_string(v.suspect_since);
+  }
+  return msg;
+}
+
+}  // namespace
+
+const char* health_name(Health h) {
+  switch (h) {
+    case Health::kHealthy: return "healthy";
+    case Health::kStraggler: return "straggler";
+    case Health::kHung: return "hung";
+    case Health::kDead: return "dead";
+  }
+  return "?";
+}
+
+DegradedWorldError::DegradedWorldError(const RankVerdict& v)
+    : std::runtime_error(describe(v)), verdict_(v) {}
+
+HealthMonitor::HealthMonitor(HealthOptions opts)
+    : opts_(opts), now_ns_(&ptdp::steady_now_ns) {
+  PTDP_CHECK_GT(opts_.ewma_alpha, 0.0);
+  PTDP_CHECK_LE(opts_.ewma_alpha, 1.0);
+  PTDP_CHECK_GT(opts_.straggler_ratio, 1.0);
+  PTDP_CHECK_GE(opts_.straggler_patience, 1);
+}
+
+void HealthMonitor::begin_run(int world_size) {
+  PTDP_CHECK_GT(world_size, 0);
+  std::lock_guard lock(mu_);
+  ranks_.assign(static_cast<std::size_t>(world_size), RankState{});
+  verdict_.reset();
+}
+
+void HealthMonitor::latch_verdict_locked(const RankVerdict& v) {
+  if (!verdict_.has_value()) verdict_ = v;
+}
+
+bool HealthMonitor::peer_median_locked(int rank, double* out) const {
+  std::vector<double> peers;
+  peers.reserve(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    if (static_cast<int>(r) == rank) continue;
+    if (ranks_[r].has_sample) peers.push_back(ranks_[r].busy_ewma_s);
+  }
+  if (peers.empty()) return false;
+  // Median of the *other* ranks, so the suspect's own inflated EWMA never
+  // dilutes the baseline — this is what makes the rule work even in a
+  // 2-rank world, where a global median would sit halfway up the outlier.
+  const auto mid = peers.begin() + static_cast<std::ptrdiff_t>(peers.size() / 2);
+  std::nth_element(peers.begin(), mid, peers.end());
+  *out = *mid;
+  return true;
+}
+
+void HealthMonitor::record_step(int rank, std::uint64_t step, double wall_s,
+                                double busy_s, double wait_s) {
+  std::lock_guard lock(mu_);
+  PTDP_CHECK_GE(rank, 0);
+  PTDP_CHECK_LT(static_cast<std::size_t>(rank), ranks_.size());
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  rs.last_heartbeat_ns = now_ns_();
+  rs.heartbeat_seen = true;
+
+  if (rs.has_sample) {
+    rs.busy_ewma_s = opts_.ewma_alpha * busy_s + (1.0 - opts_.ewma_alpha) * rs.busy_ewma_s;
+  } else {
+    rs.busy_ewma_s = busy_s;
+    rs.has_sample = true;
+  }
+
+  if (step < opts_.warmup_steps) return;  // warm caches, first-touch pages
+
+  double median = 0.0;
+  const bool suspect = peer_median_locked(rank, &median) &&
+                       rs.busy_ewma_s > opts_.min_busy_seconds &&
+                       rs.busy_ewma_s > opts_.straggler_ratio * median;
+  if (!suspect) {
+    rs.suspect_streak = 0;
+    return;
+  }
+  if (rs.suspect_streak == 0) rs.suspect_since = step;
+  ++rs.suspect_streak;
+  if (rs.suspect_streak >= opts_.straggler_patience) {
+    rs.health = Health::kStraggler;
+    RankVerdict v;
+    v.rank = rank;
+    v.health = Health::kStraggler;
+    v.step = step;
+    v.suspect_since = rs.suspect_since;
+    v.busy_ewma_s = rs.busy_ewma_s;
+    v.peer_median_s = median;
+    v.wait_share = wall_s > 0.0 ? wait_s / wall_s : 0.0;
+    latch_verdict_locked(v);
+  }
+}
+
+void HealthMonitor::heartbeat(int rank) {
+  std::lock_guard lock(mu_);
+  PTDP_CHECK_GE(rank, 0);
+  PTDP_CHECK_LT(static_cast<std::size_t>(rank), ranks_.size());
+  ranks_[static_cast<std::size_t>(rank)].last_heartbeat_ns = now_ns_();
+  ranks_[static_cast<std::size_t>(rank)].heartbeat_seen = true;
+}
+
+void HealthMonitor::note_hung(int rank, std::uint64_t step) {
+  std::lock_guard lock(mu_);
+  if (rank >= 0 && static_cast<std::size_t>(rank) < ranks_.size()) {
+    ranks_[static_cast<std::size_t>(rank)].health = Health::kHung;
+  }
+  RankVerdict v;
+  v.rank = rank;
+  v.health = Health::kHung;
+  v.step = step;
+  latch_verdict_locked(v);
+}
+
+void HealthMonitor::note_dead(int rank, std::uint64_t step) {
+  std::lock_guard lock(mu_);
+  if (rank >= 0 && static_cast<std::size_t>(rank) < ranks_.size()) {
+    ranks_[static_cast<std::size_t>(rank)].health = Health::kDead;
+  }
+  RankVerdict v;
+  v.rank = rank;
+  v.health = Health::kDead;
+  v.step = step;
+  latch_verdict_locked(v);
+}
+
+void HealthMonitor::enforce() {
+  std::optional<RankVerdict> standing;
+  {
+    std::lock_guard lock(mu_);
+    if (!verdict_.has_value() && opts_.heartbeat_timeout_s > 0.0) {
+      const std::int64_t now = now_ns_();
+      const auto limit_ns =
+          static_cast<std::int64_t>(opts_.heartbeat_timeout_s * 1e9);
+      for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        RankState& rs = ranks_[r];
+        if (!rs.heartbeat_seen) continue;  // never started — not "went quiet"
+        if (now - rs.last_heartbeat_ns > limit_ns) {
+          rs.health = Health::kHung;
+          RankVerdict v;
+          v.rank = static_cast<int>(r);
+          v.health = Health::kHung;
+          latch_verdict_locked(v);
+          break;
+        }
+      }
+    }
+    standing = verdict_;
+  }
+  if (standing.has_value()) throw DegradedWorldError(*standing);
+}
+
+std::optional<RankVerdict> HealthMonitor::verdict() const {
+  std::lock_guard lock(mu_);
+  return verdict_;
+}
+
+Health HealthMonitor::health(int rank) const {
+  std::lock_guard lock(mu_);
+  if (rank >= 0 && static_cast<std::size_t>(rank) < ranks_.size()) {
+    return ranks_[static_cast<std::size_t>(rank)].health;
+  }
+  if (verdict_.has_value() && verdict_->rank == rank) return verdict_->health;
+  return Health::kHealthy;
+}
+
+void HealthMonitor::set_clock(std::function<std::int64_t()> now_ns) {
+  std::lock_guard lock(mu_);
+  now_ns_ = std::move(now_ns);
+}
+
+int HealthMonitor::world_size() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(ranks_.size());
+}
+
+}  // namespace ptdp::ft

@@ -3,12 +3,51 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <unordered_map>
 
 #include "ptdp/ckpt/manifest.hpp"
+#include "ptdp/obs/metrics.hpp"
 #include "ptdp/runtime/check.hpp"
+#include "ptdp/runtime/log.hpp"
 #include "ptdp/runtime/stopwatch.hpp"
 
 namespace ptdp::ft {
+
+namespace {
+
+/// What the escalation engine decided about one caught RankFailure.
+struct Diagnosis {
+  int victim = -1;
+  Health health = Health::kDead;
+  std::uint64_t detect_latency_steps = 0;
+};
+
+/// Classifies a RankFailure by rethrowing its root cause. The victim is
+/// the rank the *healing* must target: a DegradedWorldError names its
+/// diagnosed rank (every rank throws the same verdict, so the thrower is
+/// irrelevant); a RankTimeout names the sender that went silent; anything
+/// else is a crash of the throwing rank.
+Diagnosis diagnose(const dist::RankFailure& f) {
+  Diagnosis d;
+  d.victim = f.rank();
+  try {
+    f.rethrow_cause();
+  } catch (const DegradedWorldError& e) {
+    d.victim = e.rank();
+    d.health = e.health();
+    const RankVerdict& v = e.verdict();
+    d.detect_latency_steps =
+        v.step >= v.suspect_since ? v.step - v.suspect_since : 0;
+  } catch (const dist::RankTimeout& t) {
+    d.victim = t.src();
+    d.health = Health::kHung;
+  } catch (...) {
+    d.health = Health::kDead;  // plain crash (InjectedFault, real bug, ...)
+  }
+  return d;
+}
+
+}  // namespace
 
 ScopedCkptFaultHook::ScopedCkptFaultHook(dist::FaultPlan* plan, int rank) {
   if (plan == nullptr) return;
@@ -31,22 +70,31 @@ TrainSupervisor::TrainSupervisor(SupervisorOptions options)
   PTDP_CHECK_GE(options_.max_restarts, 0);
 }
 
-const RecoveryStats& TrainSupervisor::run(const WorldFactory& factory,
+const RecoveryStats& TrainSupervisor::run(const ElasticWorldFactory& factory,
                                           const Body& body) {
   stats_ = RecoveryStats{};
   double backoff = options_.backoff_initial_s;
   Stopwatch recovery;  // read only after a failure has been caught
   dist::FaultPlan* plan = options_.fault_plan.get();
+  RestartContext ctx;
+  // Verdict offenses per victim within this run() — the escalation ladder's
+  // memory. A sticky degradation re-offends after restart-in-place, which
+  // is what pushes the same victim past restarts_before_evict.
+  std::unordered_map<int, int> offenses;
 
   for (int attempt = 0;; ++attempt) {
-    std::unique_ptr<dist::World> world = factory(attempt);
+    ctx.attempt = attempt;
+    ctx.resume_step = 0;
+    if (const auto best = ckpt::find_latest_valid_checkpoint(options_.ckpt_dir)) {
+      ctx.resume_step = best->step();
+    }
+    std::unique_ptr<dist::World> world = factory(ctx);
     PTDP_CHECK(world != nullptr) << "world factory returned null";
     if (options_.fault_plan) world->set_fault_plan(options_.fault_plan);
+    world->set_timeouts(options_.timeouts);
+    if (options_.health) options_.health->begin_run(world->size());
 
-    std::uint64_t start_step = 0;
-    if (const auto best = ckpt::find_latest_valid_checkpoint(options_.ckpt_dir)) {
-      start_step = best->step();
-    }
+    const std::uint64_t start_step = ctx.resume_step;
     if (!stats_.events.empty() && attempt > 0) {
       stats_.events.back().resumed_step = start_step;
       const FailureRecord& f = stats_.events.back();
@@ -59,7 +107,14 @@ const RecoveryStats& TrainSupervisor::run(const WorldFactory& factory,
         // Bridge checkpoint write phases into the plan on this rank thread.
         ScopedCkptFaultHook hook(plan, comm.world_rank());
         if (attempt > 0 && comm.world_rank() == 0) {
-          stats_.total_recovery_seconds += recovery.elapsed_seconds();
+          const double elapsed = recovery.elapsed_seconds();
+          stats_.total_recovery_seconds += elapsed;
+          stats_.last_recovery_seconds = elapsed;
+          if (obs::metrics_on()) {
+            obs::MetricsRegistry::instance()
+                .gauge("ft.last_recovery_ms")
+                .set(elapsed * 1e3);
+          }
         }
         body(comm, start_step, attempt);
       });
@@ -68,13 +123,73 @@ const RecoveryStats& TrainSupervisor::run(const WorldFactory& factory,
     } catch (const dist::RankFailure& f) {
       recovery.reset();
       ++stats_.failures;
-      stats_.events.push_back(FailureRecord{attempt, f.rank(), f.step(),
-                                            /*resumed_step=*/0, f.what(),
-                                            /*backoff_s=*/0.0});
+      const Diagnosis diag = diagnose(f);
+      FailureRecord rec{attempt, f.rank(), f.step(),
+                        /*resumed_step=*/0, f.what(),
+                        /*backoff_s=*/0.0};
+      rec.victim = diag.victim;
+      rec.victim_health = diag.health;
+      rec.detect_latency_steps = diag.detect_latency_steps;
+
+      // Escalation ladder: degraded verdicts (straggler / hung) accumulate
+      // offenses per victim; past the grace budget the victim is evicted
+      // and the next layout excludes it. Crashes restart in place.
+      const bool degraded =
+          diag.health == Health::kStraggler || diag.health == Health::kHung;
+      bool evict = false;
+      if (degraded) {
+        const int n = ++offenses[diag.victim];
+        evict = n > options_.escalation.restarts_before_evict;
+        if (options_.health) {
+          if (diag.health == Health::kHung) {
+            options_.health->note_hung(diag.victim, f.step());
+          }
+        }
+      }
+      rec.evicted = evict;
+      stats_.events.push_back(rec);
+      if (obs::metrics_on()) {
+        auto& m = obs::MetricsRegistry::instance();
+        m.counter("ft.restarts_total").add(1);
+        m.gauge("ft.detect_latency_steps")
+            .set(static_cast<double>(diag.detect_latency_steps));
+      }
+
+      if (evict) {
+        ++stats_.evictions;
+        ctx.evicted.push_back(diag.victim);
+        ctx.last_victim = diag.victim;
+        ctx.last_health = diag.health;
+        if (plan != nullptr) plan->quarantine_rank(diag.victim);
+        if (obs::metrics_on()) {
+          obs::MetricsRegistry::instance().counter("ft.evictions_total").add(1);
+        }
+        PTDP_LOG_WARN << "supervisor: evicting rank " << diag.victim << " ("
+                      << health_name(diag.health) << ", offense " << offenses[diag.victim]
+                      << ") — elastic relayout without it";
+      } else {
+        ctx.last_victim = diag.victim;
+        ctx.last_health = diag.health;
+        PTDP_LOG_WARN << "supervisor: attempt " << attempt << " failed — rank "
+                      << diag.victim << " is " << health_name(diag.health)
+                      << (degraded
+                              ? ", restart-in-place (offense " +
+                                    std::to_string(offenses[diag.victim]) + "/" +
+                                    std::to_string(
+                                        options_.escalation.restarts_before_evict + 1) +
+                                    ")"
+                              : ", restart-in-place")
+                      << ": " << f.what();
+      }
+
       if (attempt >= options_.max_restarts) throw;
       if (backoff > 0.0) {
         stats_.events.back().backoff_s = backoff;
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        if (options_.sleep_fn) {
+          options_.sleep_fn(backoff);
+        } else {
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        }
       }
       backoff = std::min(backoff * options_.backoff_multiplier,
                          options_.backoff_max_s);

@@ -18,7 +18,12 @@ constexpr std::size_t kMaxClassLog2 = 24;
 constexpr std::size_t kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
 constexpr std::size_t kMaxPooledFloats = std::size_t{1} << kMaxClassLog2;
 // Per-thread cache depth per class; overflow spills to the global pool.
-constexpr std::size_t kThreadCacheCap = 16;
+// Deep enough that a rank thread's steady-state working set never spills:
+// a block that spills is re-acquired through the global pool, and whether
+// the spill lands before a peer thread's acquire drains it is a scheduling
+// race — the loser falls through to the heap, which shows up as sporadic
+// steady-state heap_allocs under machine load (ZeroPoolGrowthPerStep).
+constexpr std::size_t kThreadCacheCap = 64;
 // Global pool depth per class; overflow goes back to the heap.
 constexpr std::size_t kGlobalCacheCap = 64;
 constexpr std::size_t kAlign = 64;

@@ -179,6 +179,42 @@ TEST_F(ManifestTest, CorruptManifestJsonFallsBack) {
   EXPECT_EQ(best->step(), 4u);
 }
 
+TEST_F(ManifestTest, MalformedManifestCorpusNeverAbortsTheScan) {
+  // A whole zoo of damaged manifest-<N>.json files newer than the one
+  // survivor. The scan must skip every one of them — never throw out of
+  // find_latest_valid_checkpoint — and land on the valid step-2 commit.
+  commit(2);
+  const auto drop = [&](const std::string& name, const std::string& bytes) {
+    std::ofstream os(dir_.string() + "/" + name, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  drop("manifest-3.json", "");                                    // empty file
+  drop("manifest-4.json", "{\"step\": 4, \"shards\": [");         // truncated
+  drop("manifest-5.json", std::string("\x00\xff\xfe\x01garbage\x7f", 12));
+  drop("manifest-6.json", "{\"step\": \"six\", \"shards\": []}"); // bad number
+  drop("manifest-7.json", "[1, 2, 3]");                           // wrong shape
+  drop("manifest-8.json",
+       "{\"step\": 99999999999999999999999999999999, \"shards\": []}");
+  // Parseable JSON whose named shard doesn't exist / claims absurd size:
+  // parse succeeds, validation fails, scan keeps going.
+  drop("manifest-9.json",
+       manifest_to_json(Manifest{
+           9, 0, {ManifestEntry{"step-9/shard-p0-t0-d0.ckpt",
+                                std::uint64_t{1} << 40, 0xdeadbeef}}}));
+  // A huge step in the *filename* must not derail the ordering scan either.
+  drop("manifest-99999999999999999999.json", "{}");
+
+  const auto best = find_latest_valid_checkpoint(dir_.string());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->step(), 2u);
+
+  // Even with LATEST pointing into the corpus, the fallback scan recovers.
+  write_file_atomic(dir_.string() + "/LATEST", "manifest-5.json\n");
+  const auto again = find_latest_valid_checkpoint(dir_.string());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->step(), 2u);
+}
+
 TEST_F(ManifestTest, NoValidCheckpointReturnsNullopt) {
   EXPECT_FALSE(find_latest_valid_checkpoint(dir_.string()).has_value());
   EXPECT_FALSE(find_latest_valid_checkpoint("/nonexistent/dir").has_value());

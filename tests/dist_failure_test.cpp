@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "ptdp/dist/world.hpp"
 
@@ -272,6 +274,224 @@ TEST(FaultPlan, DelayPerturbsTimingNotResults) {
   });
   ASSERT_EQ(plan->history().size(), 1u);
   EXPECT_EQ(plan->history()[0].spec.action, FaultSpec::Action::kDelay);
+}
+
+// ---- watchdog timeouts -----------------------------------------------------
+
+TEST(WorldFailure, WatchdogConvertsSilentPeerIntoRankTimeout) {
+  // Rank 1 exits without ever sending; without a timeout rank 0 would wait
+  // forever (no failure, no poison). The watchdog converts the silence into
+  // a structured RankTimeout naming the rank that went quiet.
+  World world(2);
+  TimeoutOptions to;
+  to.op_timeout_ms = 100;
+  world.set_timeouts(to);
+  try {
+    world.run([](Comm& comm) {
+      if (comm.rank() == 1) return;  // never sends
+      float x = 0.f;
+      comm.recv(std::span<float>(&x, 1), 1, /*tag=*/4);
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& e) {
+    EXPECT_EQ(e.rank(), 0);  // the *detector* failed...
+    EXPECT_TRUE(e.caused_by<RankTimeout>());
+    try {
+      e.rethrow_cause();
+    } catch (const RankTimeout& t) {
+      EXPECT_EQ(t.src(), 1);  // ...but the cause names the silent peer
+      EXPECT_EQ(t.dst(), 0);
+      EXPECT_GE(t.waited_ms(), 100);
+      EXPECT_GT(t.retries(), 0);
+    }
+  }
+}
+
+TEST(WorldFailure, WatchdogRidesOutTransientDelay) {
+  // A late message inside the deadline is not a timeout: the backoff probe
+  // loop re-polls until the deadline, so slow-but-alive peers survive.
+  World world(2);
+  TimeoutOptions to;
+  to.op_timeout_ms = 2000;
+  world.set_timeouts(to);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const float v = 7.f;
+      comm.send(std::span<const float>(&v, 1), 0, /*tag=*/4);
+      return;
+    }
+    float x = 0.f;
+    comm.recv(std::span<float>(&x, 1), 1, /*tag=*/4);
+    EXPECT_EQ(x, 7.f);
+  });
+  EXPECT_EQ(world.pending_messages(), 0u);
+}
+
+TEST(WorldFailure, HangFaultParksVictimAndTimeoutNamesIt) {
+  // An injected hang-forever keeps the victim thread alive but silent —
+  // the failure surfaces on a *peer* as a RankTimeout attributing the hang.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->hang(1, FaultSite::kSend, /*nth=*/3);
+  World world(2);
+  world.set_fault_plan(plan);
+  TimeoutOptions to;
+  to.op_timeout_ms = 100;
+  world.set_timeouts(to);
+  try {
+    world.run([](Comm& comm) { ring_rounds(comm, 8); });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& e) {
+    EXPECT_TRUE(e.caused_by<RankTimeout>());
+    try {
+      e.rethrow_cause();
+    } catch (const RankTimeout& t) {
+      EXPECT_EQ(t.src(), 1);
+    }
+  }
+  ASSERT_EQ(plan->history().size(), 1u);
+  EXPECT_EQ(plan->history()[0].rank, 1);
+}
+
+TEST(WorldFailure, FlakyLinkDropIsDetectedByWatchdog) {
+  // From its 3rd send on, every message rank 1 sends is dropped on the
+  // floor. One-directional traffic so only the receiver's watchdog can
+  // fire: attribution is unambiguous.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->flaky_link(1, /*nth=*/3, /*period=*/1, std::chrono::microseconds(0),
+                   /*drop=*/true);
+  World world(2);
+  world.set_fault_plan(plan);
+  TimeoutOptions to;
+  to.op_timeout_ms = 100;
+  world.set_timeouts(to);
+  try {
+    world.run([](Comm& comm) {
+      if (comm.rank() == 1) {
+        for (int i = 0; i < 4; ++i) {
+          const float v = static_cast<float>(i);
+          comm.send(std::span<const float>(&v, 1), 0, /*tag=*/i);
+        }
+        return;
+      }
+      float got = 0.f;
+      for (int i = 0; i < 4; ++i) {
+        comm.recv(std::span<float>(&got, 1), 1, /*tag=*/i);
+      }
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& e) {
+    EXPECT_TRUE(e.caused_by<RankTimeout>());
+    try {
+      e.rethrow_cause();
+    } catch (const RankTimeout& t) {
+      EXPECT_EQ(t.src(), 1);
+    }
+  }
+}
+
+TEST(WorldFailure, FlakyLinkDelayOnlyPerturbsTimingNotResults) {
+  // Delay flavor (usec > 0, drop = false): every 2nd send from the 1st is
+  // late but delivered — the run completes with correct data.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->flaky_link(0, /*nth=*/1, /*period=*/2, std::chrono::microseconds(500),
+                   /*drop=*/false);
+  World world(2);
+  world.set_fault_plan(plan);
+  world.run([](Comm& comm) { ring_rounds(comm, 6); });
+  EXPECT_EQ(world.pending_messages(), 0u);
+}
+
+// ---- persistent degradations and elastic replay ----------------------------
+
+TEST(FaultPlan, StickySlowRankSurvivesRestartNonStickyDoesNot) {
+  auto sticky = std::make_shared<FaultPlan>();
+  sticky->slow_rank(0, FaultSite::kSend, /*nth=*/2,
+                    std::chrono::microseconds(50), /*sticky=*/true);
+  auto transient = std::make_shared<FaultPlan>();
+  transient->flaky_link(0, /*nth=*/2, /*period=*/2,
+                        std::chrono::microseconds(50), /*drop=*/false,
+                        /*sticky=*/false);
+
+  World world(2);
+  world.set_fault_plan(sticky);
+  world.run([](Comm& comm) { ring_rounds(comm, 4); });
+  ASSERT_EQ(sticky->degraded_ranks(), std::vector<int>{0});
+  world.run([](Comm& comm) { ring_rounds(comm, 4); });
+  // The bad-machine model: a restart does not heal the hardware.
+  EXPECT_EQ(sticky->degraded_ranks(), std::vector<int>{0});
+
+  world.set_fault_plan(transient);
+  world.run([](Comm& comm) { ring_rounds(comm, 4); });
+  ASSERT_EQ(transient->degraded_ranks(), std::vector<int>{0});
+  world.run([](Comm& comm) { ring_rounds(comm, 4); });
+  // ...but a transient blip does clear on restart (spec already fired).
+  EXPECT_TRUE(transient->degraded_ranks().empty());
+}
+
+TEST(FaultPlan, QuarantineLiftsDegradationAndDisarmsRankSpecs) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->slow_rank(1, FaultSite::kSend, /*nth=*/1,
+                  std::chrono::microseconds(50), /*sticky=*/true);
+  plan->kill(1, FaultSite::kSend, /*nth=*/6);
+
+  World world(2);
+  world.set_fault_plan(plan);
+  EXPECT_THROW(world.run([](Comm& comm) { ring_rounds(comm, 8); }),
+               RankFailure);
+  EXPECT_EQ(plan->degraded_ranks(), std::vector<int>{1});
+
+  // Eviction: the physical machine behind rank 1 leaves the job, taking its
+  // degradation with it — and any still-armed specs targeting it must never
+  // fire against whichever healthy rank inherits the id after relayout.
+  plan->quarantine_rank(1);
+  EXPECT_TRUE(plan->degraded_ranks().empty());
+  world.run([](Comm& comm) { ring_rounds(comm, 8); });  // completes clean
+  // Two recorded fires (the slow-rank arming and the kill), nothing more.
+  EXPECT_EQ(plan->history().size(), 2u);
+}
+
+TEST(FaultPlan, ElasticRelayoutReplaysExactlyAfterRearm) {
+  // The exact-replay contract across an elastic shrink: after the fault
+  // fires, quarantine + a smaller world proceed fault-free (fired specs stay
+  // disarmed even though rank ids remapped); rearm() then reproduces the
+  // original schedule bit-for-bit on the original layout.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->slow_rank(2, FaultSite::kSend, /*nth=*/2,
+                  std::chrono::microseconds(50), /*sticky=*/true);
+  plan->kill(2, FaultSite::kSend, /*nth=*/4);
+
+  const auto fire = [&](int world_size) {
+    World world(world_size);
+    world.set_fault_plan(plan);
+    std::uint64_t count = 0;
+    try {
+      world.run([](Comm& comm) { ring_rounds(comm, 8); });
+    } catch (const RankFailure& e) {
+      try {
+        e.rethrow_cause();
+      } catch (const InjectedFault& f) {
+        count = f.count();
+      } catch (...) {
+      }
+    }
+    return count;
+  };
+
+  const std::uint64_t first = fire(4);
+  EXPECT_EQ(first, 4u);
+
+  plan->quarantine_rank(2);
+  World small(3);
+  small.set_fault_plan(plan);
+  small.run([](Comm& comm) { ring_rounds(comm, 8); });  // rank 2 exists again
+  EXPECT_TRUE(plan->degraded_ranks().empty());
+  // Still just the original two fires (slow-rank arming + kill).
+  ASSERT_EQ(plan->history().size(), 2u);
+
+  plan->rearm();
+  EXPECT_EQ(fire(4), first);  // bit-exact replay of the original schedule
+  EXPECT_EQ(plan->degraded_ranks(), std::vector<int>{2});
 }
 
 TEST(FaultPlan, CountersArePerRunAndPerSite) {

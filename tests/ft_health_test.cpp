@@ -1,0 +1,446 @@
+// HealthMonitor unit tests plus the self-healing acceptance tests: an
+// injected *degradation* (busy-spinning straggler, silent hang) — not a
+// clean crash — must be detected within a bounded number of steps,
+// escalated warn -> restart-in-place -> evict, healed by an elastic
+// relayout onto one fewer rank, and the run must finish with final weights
+// BITWISE identical to a trajectory-matched fault-free reference.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ptdp/ckpt/manifest.hpp"
+#include "ptdp/ckpt/reshard.hpp"
+#include "ptdp/core/engine.hpp"
+#include "ptdp/data/dataset.hpp"
+#include "ptdp/dist/fault.hpp"
+#include "ptdp/dist/world.hpp"
+#include "ptdp/ft/health.hpp"
+#include "ptdp/ft/supervisor.hpp"
+
+namespace ptdp::ft {
+namespace {
+
+using core::EngineOptions;
+using core::PtdpEngine;
+
+// ---- HealthMonitor unit tests ----------------------------------------------
+
+// Feeds `steps` uniform samples to every rank except `slow_rank`, which gets
+// busy = `slow_busy`. Returns the monitor's standing verdict (if any).
+std::optional<RankVerdict> feed(HealthMonitor& m, int world, int steps,
+                                int slow_rank, double base_busy,
+                                double slow_busy) {
+  for (int step = 0; step < steps; ++step) {
+    for (int r = 0; r < world; ++r) {
+      const double busy = r == slow_rank ? slow_busy : base_busy;
+      m.record_step(r, static_cast<std::uint64_t>(step), busy + 1e-4, busy,
+                    1e-4);
+    }
+  }
+  return m.verdict();
+}
+
+TEST(HealthMonitor, HealthyWorldStaysHealthy) {
+  HealthMonitor m;
+  m.begin_run(4);
+  const auto v = feed(m, 4, 10, /*slow_rank=*/-1, 1e-3, 0.0);
+  EXPECT_FALSE(v.has_value());
+  EXPECT_NO_THROW(m.enforce());
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(m.health(r), Health::kHealthy);
+}
+
+TEST(HealthMonitor, StragglerLatchedAfterPatience) {
+  HealthOptions o;
+  o.warmup_steps = 2;
+  o.straggler_patience = 3;
+  HealthMonitor m(o);
+  m.begin_run(4);
+  const auto v = feed(m, 4, 10, /*slow_rank=*/2, 1e-3, 1e-2);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->rank, 2);
+  EXPECT_EQ(v->health, Health::kStraggler);
+  // Suspect from the first post-warmup step; verdict `patience` steps later.
+  EXPECT_EQ(v->suspect_since, o.warmup_steps);
+  EXPECT_EQ(v->step, o.warmup_steps + static_cast<std::uint64_t>(o.straggler_patience) - 1);
+  EXPECT_GT(v->busy_ewma_s, v->peer_median_s * m.options().straggler_ratio);
+  EXPECT_EQ(m.health(2), Health::kStraggler);
+  EXPECT_THROW(m.enforce(), DegradedWorldError);
+  try {
+    m.enforce();
+  } catch (const DegradedWorldError& e) {
+    EXPECT_EQ(e.rank(), 2);
+    EXPECT_EQ(e.health(), Health::kStraggler);
+  }
+}
+
+TEST(HealthMonitor, WarmupStepsAreNeverJudged) {
+  HealthOptions o;
+  o.warmup_steps = 5;
+  o.straggler_patience = 2;
+  HealthMonitor m(o);
+  m.begin_run(2);
+  // Rank 1 is 100x slower, but only during warmup — no verdict may latch.
+  const auto v = feed(m, 2, 5, /*slow_rank=*/1, 1e-3, 1e-1);
+  EXPECT_FALSE(v.has_value());
+  EXPECT_NO_THROW(m.enforce());
+}
+
+TEST(HealthMonitor, MinBusyFloorSuppressesNoise) {
+  HealthOptions o;
+  o.min_busy_seconds = 1e-4;
+  HealthMonitor m(o);
+  m.begin_run(4);
+  // 10x relative skew, but far below the absolute floor: still healthy.
+  const auto v = feed(m, 4, 10, /*slow_rank=*/1, 1e-6, 1e-5);
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(HealthMonitor, SuspectStreakResetsOnRecovery) {
+  HealthOptions o;
+  o.warmup_steps = 0;
+  o.straggler_patience = 3;
+  o.ewma_alpha = 1.0;  // no smoothing: each sample IS the EWMA
+  HealthMonitor m(o);
+  m.begin_run(2);
+  auto sample = [&](int step, double r1_busy) {
+    m.record_step(0, static_cast<std::uint64_t>(step), 1e-3, 1e-3, 0.0);
+    m.record_step(1, static_cast<std::uint64_t>(step), 1e-3, r1_busy, 0.0);
+  };
+  // Two suspect steps, one healthy step, two suspect steps: never hits
+  // three consecutive, so no verdict.
+  sample(0, 1e-2);
+  sample(1, 1e-2);
+  sample(2, 1e-3);
+  sample(3, 1e-2);
+  sample(4, 1e-2);
+  EXPECT_FALSE(m.verdict().has_value());
+  sample(5, 1e-2);  // third consecutive suspect step — verdict
+  ASSERT_TRUE(m.verdict().has_value());
+  EXPECT_EQ(m.verdict()->rank, 1);
+  EXPECT_EQ(m.verdict()->suspect_since, 3u);
+}
+
+TEST(HealthMonitor, FirstVerdictWins) {
+  HealthOptions o;
+  o.warmup_steps = 0;
+  o.straggler_patience = 1;
+  HealthMonitor m(o);
+  m.begin_run(4);
+  feed(m, 4, 3, /*slow_rank=*/3, 1e-3, 1e-2);
+  ASSERT_TRUE(m.verdict().has_value());
+  EXPECT_EQ(m.verdict()->rank, 3);
+  m.note_hung(0, 9);  // later knowledge must not displace the latched verdict
+  EXPECT_EQ(m.verdict()->rank, 3);
+  EXPECT_EQ(m.health(0), Health::kHung);  // ...but per-rank health reflects it
+}
+
+TEST(HealthMonitor, TwoRankWorldUsesTheOtherRankAsMedian) {
+  HealthOptions o;
+  o.warmup_steps = 0;
+  o.straggler_patience = 2;
+  HealthMonitor m(o);
+  m.begin_run(2);
+  const auto v = feed(m, 2, 6, /*slow_rank=*/1, 1e-3, 1e-2);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->rank, 1);
+  EXPECT_NEAR(v->peer_median_s, 1e-3, 1e-4);
+}
+
+TEST(HealthMonitor, HeartbeatAgeRuleWithVirtualClock) {
+  HealthOptions o;
+  o.heartbeat_timeout_s = 1.0;
+  HealthMonitor m(o);
+  std::int64_t now = 0;
+  m.set_clock([&now] { return now; });
+  m.begin_run(3);
+  for (int r = 0; r < 3; ++r) m.heartbeat(r);
+  now = 500'000'000;  // +0.5 s: everyone fresh
+  EXPECT_NO_THROW(m.enforce());
+  now = 1'000'000'000;
+  for (int r = 0; r < 3; ++r)
+    if (r != 1) m.heartbeat(r);  // ranks 0 and 2 keep beating; rank 1 goes quiet
+  now = 1'600'000'000;  // rank 1's last beat is now 1.6 s old, others 0.6 s
+  EXPECT_THROW(m.enforce(), DegradedWorldError);
+  ASSERT_TRUE(m.verdict().has_value());
+  EXPECT_EQ(m.verdict()->rank, 1);
+  EXPECT_EQ(m.verdict()->health, Health::kHung);
+}
+
+TEST(HealthMonitor, NoteHungLatchesVerdictAndBeginRunClearsIt) {
+  HealthMonitor m;
+  m.begin_run(4);
+  m.note_hung(2, 7);
+  ASSERT_TRUE(m.verdict().has_value());
+  EXPECT_EQ(m.verdict()->rank, 2);
+  EXPECT_EQ(m.verdict()->health, Health::kHung);
+  EXPECT_THROW(m.enforce(), DegradedWorldError);
+  m.begin_run(4);
+  EXPECT_FALSE(m.verdict().has_value());
+  EXPECT_NO_THROW(m.enforce());
+  EXPECT_EQ(m.health(2), Health::kHealthy);
+}
+
+// ---- end-to-end self-healing -----------------------------------------------
+
+constexpr int kSteps = 6;
+constexpr int kCkptEvery = 2;
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(is),
+                           std::istreambuf_iterator<char>());
+}
+
+class SelfHealingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("ptdp_heal_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(root_);
+    config_.num_layers = 2;
+    config_.hidden = 16;
+    config_.heads = 4;
+    config_.vocab = 32;
+    config_.seq = 8;
+    config_.seed = 99;
+    corpus_ = std::make_unique<data::SyntheticCorpus>(config_.vocab, 4);
+    dataset_ = std::make_unique<data::TokenDataset>(corpus_->generate(4000),
+                                                    config_.seq);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  EngineOptions options_for(int p, int t, int d) {
+    EngineOptions o;
+    o.model = config_;
+    o.parallel.p = p;
+    o.parallel.t = t;
+    o.parallel.d = d;
+    o.parallel.b = 1;
+    o.parallel.recompute = false;
+    o.global_batch = 8;
+    o.optimizer = EngineOptions::Opt::kAdam;
+    o.adam.lr = 2e-3f;
+    o.ckpt_keep = 8;  // every commit survives — references need mid-run ones
+    return o;
+  }
+
+  // The elastic SPMD body: on the full 2-rank world trains under t=2 with
+  // the monitor fed from each step's busy/wait split; on the shrunken
+  // 1-rank world (post-eviction) merges the newest committed t=2 shards
+  // into a serial checkpoint and resumes under t=1 — the same recipe
+  // train_main's supervised mode uses.
+  void elastic_body(dist::Comm& comm, const std::string& dir,
+                    std::uint64_t committed,
+                    const std::shared_ptr<HealthMonitor>& monitor) {
+    if (comm.size() == 2) {
+      PtdpEngine engine(comm, options_for(1, 2, 1));
+      int start = 0;
+      if (committed > 0) start = static_cast<int>(engine.load_checkpoint(dir));
+      data::ShardedLoader loader(*dataset_, 8, 1, 1, 0, 8);
+      for (int step = start; step < kSteps; ++step) {
+        engine.train_step(loader.next_batch(step));
+        if (monitor) {
+          const auto& s = engine.last_stats();
+          monitor->record_step(comm.world_rank(),
+                               static_cast<std::uint64_t>(step),
+                               s.step_seconds, s.busy_seconds,
+                               s.comm_wait_seconds);
+          monitor->enforce();
+        }
+        if ((step + 1) % kCkptEvery == 0) {
+          engine.save_checkpoint(dir, static_cast<std::uint64_t>(step + 1));
+        }
+      }
+      return;
+    }
+    ASSERT_EQ(comm.size(), 1);
+    const auto best = ckpt::find_latest_valid_checkpoint(dir);
+    ASSERT_TRUE(best.has_value());
+    const std::string merged = dir + "/merged";
+    std::filesystem::create_directories(merged);
+    ckpt::merge_shards(best->shard_dir, 1, 2, ckpt::shard_path(merged, 0, 0, 0));
+    PtdpEngine engine(comm, options_for(1, 1, 1));
+    const int start = static_cast<int>(engine.load_resharded(merged));
+    data::ShardedLoader loader(*dataset_, 8, 1, 1, 0, 8);
+    for (int step = start; step < kSteps; ++step) {
+      engine.train_step(loader.next_batch(step));
+      if ((step + 1) % kCkptEvery == 0) {
+        engine.save_checkpoint(dir, static_cast<std::uint64_t>(step + 1));
+      }
+    }
+  }
+
+  // Trajectory-matched fault-free reference for an elastic run that was
+  // evicted down to 1 rank after resuming from committed step `s`: a clean
+  // t=2 run's step-`s` commit is bitwise identical to the faulty run's (the
+  // PR-3 determinism guarantee), so merging it and continuing serially
+  // reproduces the faulty run's post-eviction trajectory exactly.
+  std::string reference_final(const std::string& name, std::uint64_t s) {
+    const std::string ref = dir((name + std::string("-ref")).c_str());
+    std::filesystem::create_directories(ref);
+    {
+      dist::World world(2);
+      world.run([&](dist::Comm& comm) {
+        elastic_body(comm, ref, 0, nullptr);
+      });
+    }
+    const std::string cont = dir((name + std::string("-cont")).c_str());
+    std::filesystem::create_directories(cont + "/merged");
+    ckpt::merge_shards(ref + "/step-" + std::to_string(s), 1, 2,
+                       ckpt::shard_path(cont + "/merged", 0, 0, 0));
+    dist::World world(1);
+    world.run([&](dist::Comm& comm) {
+      PtdpEngine engine(comm, options_for(1, 1, 1));
+      ASSERT_EQ(engine.load_resharded(cont + "/merged"), s);
+      data::ShardedLoader loader(*dataset_, 8, 1, 1, 0, 8);
+      for (int step = static_cast<int>(s); step < kSteps; ++step) {
+        engine.train_step(loader.next_batch(step));
+        if ((step + 1) % kCkptEvery == 0) {
+          engine.save_checkpoint(cont, static_cast<std::uint64_t>(step + 1));
+        }
+      }
+    });
+    return cont;
+  }
+
+  void expect_bitwise_identical_final(const std::string& a,
+                                      const std::string& b) {
+    const auto ca = ckpt::find_latest_valid_checkpoint(a);
+    const auto cb = ckpt::find_latest_valid_checkpoint(b);
+    ASSERT_TRUE(ca.has_value());
+    ASSERT_TRUE(cb.has_value());
+    EXPECT_EQ(ca->step(), static_cast<std::uint64_t>(kSteps));
+    EXPECT_EQ(cb->step(), static_cast<std::uint64_t>(kSteps));
+    ASSERT_EQ(ca->manifest.shards.size(), cb->manifest.shards.size());
+    for (std::size_t i = 0; i < ca->manifest.shards.size(); ++i) {
+      const auto& ea = ca->manifest.shards[i];
+      const auto& eb = cb->manifest.shards[i];
+      EXPECT_EQ(ea.file, eb.file);
+      EXPECT_EQ(ea.crc, eb.crc) << ea.file;
+      EXPECT_EQ(read_bytes(a + "/" + ea.file), read_bytes(b + "/" + eb.file))
+          << ea.file;
+    }
+  }
+
+  std::string dir(const char* name) { return (root_ / name).string(); }
+
+  std::filesystem::path root_;
+  model::GptConfig config_;
+  std::unique_ptr<data::SyntheticCorpus> corpus_;
+  std::unique_ptr<data::TokenDataset> dataset_;
+};
+
+TEST_F(SelfHealingFixture, StragglerIsEvictedAndElasticResumeIsBitwise) {
+  // Rank 1 develops a persistent (sticky) slowdown: every send busy-spins.
+  // The ladder must go restart-in-place (offense 1) -> evict (offense 2),
+  // and the serial continuation must match the fault-free reference.
+  const std::string d = dir("straggler");
+  std::filesystem::create_directories(d);
+  auto plan = std::make_shared<dist::FaultPlan>();
+  plan->slow_rank(1, dist::FaultSite::kSend, 1,
+                  std::chrono::microseconds(300));
+
+  HealthOptions ho;
+  ho.straggler_patience = 2;
+  auto monitor = std::make_shared<HealthMonitor>(ho);
+
+  SupervisorOptions sup;
+  sup.ckpt_dir = d;
+  sup.max_restarts = 4;
+  sup.fault_plan = plan;
+  sup.health = monitor;
+  sup.backoff_initial_s = 0.0;
+  TrainSupervisor supervisor(sup);
+  const auto& stats = supervisor.run(
+      [](const RestartContext& ctx) {
+        return std::make_unique<dist::World>(ctx.evicted.empty() ? 2 : 1);
+      },
+      [&](dist::Comm& comm, std::uint64_t committed, int) {
+        elastic_body(comm, d, committed, monitor);
+      });
+
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_EQ(stats.evictions, 1);
+  ASSERT_GE(stats.events.size(), 2u);
+  for (const auto& e : stats.events) {
+    EXPECT_EQ(e.victim, 1);
+    EXPECT_EQ(e.victim_health, Health::kStraggler);
+    // Detection within K = patience steps of the streak's start.
+    EXPECT_LE(e.detect_latency_steps,
+              static_cast<std::uint64_t>(ho.straggler_patience));
+  }
+  EXPECT_FALSE(stats.events.front().evicted);  // first offense: warn + restart
+  EXPECT_TRUE(stats.events.back().evicted);    // second offense: evict
+
+  const std::uint64_t s = stats.events.back().resumed_step;
+  ASSERT_GT(s, 0u);  // the post-eviction resume came from a committed step
+  expect_bitwise_identical_final(d, reference_final("straggler", s));
+}
+
+TEST_F(SelfHealingFixture, SilentHangIsTimedOutEvictedAndResumed) {
+  // Probe a clean run to place the hang after the step-2 commit: rank 1
+  // stops answering mid-run, forever. Without watchdogs this deadlocks; with
+  // them rank 0's RankTimeout names rank 1 as the root cause.
+  const std::string probe_dir = dir("hang-probe");
+  std::filesystem::create_directories(probe_dir);
+  auto probe = std::make_shared<dist::FaultPlan>();
+  {
+    SupervisorOptions psup;
+    psup.ckpt_dir = probe_dir;
+    psup.fault_plan = probe;
+    TrainSupervisor psupervisor(psup);
+    psupervisor.run(
+        [](int) { return std::make_unique<dist::World>(2); },
+        [&](dist::Comm& comm, std::uint64_t committed, int) {
+          elastic_body(comm, probe_dir, committed, nullptr);
+        });
+  }
+  const std::uint64_t total = probe->count(1, dist::FaultSite::kSend);
+  ASSERT_GT(total, 2u);
+
+  const std::string d = dir("hang");
+  std::filesystem::create_directories(d);
+  auto plan = std::make_shared<dist::FaultPlan>();
+  plan->hang(1, dist::FaultSite::kSend, total / 2);
+
+  SupervisorOptions sup;
+  sup.ckpt_dir = d;
+  sup.max_restarts = 2;
+  sup.fault_plan = plan;
+  sup.timeouts.op_timeout_ms = 300;
+  sup.escalation.restarts_before_evict = 0;  // hung ranks get no grace here
+  sup.backoff_initial_s = 0.0;
+  TrainSupervisor supervisor(sup);
+  const auto& stats = supervisor.run(
+      [](const RestartContext& ctx) {
+        return std::make_unique<dist::World>(ctx.evicted.empty() ? 2 : 1);
+      },
+      [&](dist::Comm& comm, std::uint64_t committed, int) {
+        elastic_body(comm, d, committed, nullptr);
+      });
+
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_EQ(stats.failures, 1);
+  EXPECT_EQ(stats.evictions, 1);
+  ASSERT_EQ(stats.events.size(), 1u);
+  EXPECT_EQ(stats.events[0].victim, 1);
+  EXPECT_EQ(stats.events[0].victim_health, Health::kHung);
+  EXPECT_TRUE(stats.events[0].evicted);
+  EXPECT_NE(std::string(stats.events[0].cause).find("timeout"),
+            std::string::npos);
+
+  const std::uint64_t s = stats.events[0].resumed_step;
+  ASSERT_GT(s, 0u);
+  expect_bitwise_identical_final(d, reference_final("hang", s));
+}
+
+}  // namespace
+}  // namespace ptdp::ft

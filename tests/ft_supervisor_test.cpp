@@ -314,5 +314,53 @@ TEST_F(SupervisorFixture, StepsLostAccountsFailedMinusResumed) {
             static_cast<std::uint64_t>(kCkptEvery));
 }
 
+TEST_F(SupervisorFixture, BackoffScheduleIsExactViaInjectedSleep) {
+  // Four consecutive injected kills; the recorded virtual sleeps must follow
+  // the exact exponential schedule 0.5, 1.0, 2.0, 2.0 (capped) — asserted
+  // without a single real sleep thanks to the sleep_fn hook.
+  const std::string d = dir("backoff");
+  std::filesystem::create_directories(d);
+  auto plan = std::make_shared<dist::FaultPlan>();
+  // Each restart resets the op counters, so one spec fires per attempt.
+  plan->kill(1, dist::FaultSite::kSend, 3);
+  plan->kill(1, dist::FaultSite::kSend, 4);
+  plan->kill(1, dist::FaultSite::kSend, 5);
+  plan->kill(1, dist::FaultSite::kSend, 6);
+
+  std::vector<double> sleeps;
+  SupervisorOptions sup;
+  sup.ckpt_dir = d;
+  sup.max_restarts = 4;
+  sup.fault_plan = plan;
+  sup.backoff_initial_s = 0.5;
+  sup.backoff_multiplier = 2.0;
+  sup.backoff_max_s = 2.0;
+  sup.sleep_fn = [&](double s) { sleeps.push_back(s); };
+  TrainSupervisor supervisor(sup);
+  // A cheap deterministic SPMD body — the schedule under test lives in the
+  // supervisor, not the engine.
+  const auto& stats = supervisor.run(
+      [](int) { return std::make_unique<dist::World>(2); },
+      [](dist::Comm& comm, std::uint64_t, int) {
+        for (int i = 0; i < 8; ++i) {
+          const int peer = 1 - comm.rank();
+          const float v = static_cast<float>(i);
+          float got = 0.f;
+          dist::Request s =
+              comm.isend(std::span<const float>(&v, 1), peer, /*tag=*/i);
+          comm.recv(std::span<float>(&got, 1), peer, /*tag=*/i);
+          s.wait();
+        }
+      });
+
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_EQ(stats.failures, 4);
+  ASSERT_EQ(sleeps, (std::vector<double>{0.5, 1.0, 2.0, 2.0}));
+  ASSERT_EQ(stats.events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(stats.events[i].backoff_s, sleeps[i]) << i;
+  }
+}
+
 }  // namespace
 }  // namespace ptdp::ft
