@@ -64,6 +64,12 @@ int main() {
     sampled.temperature = 0.8f;
     sampled.seed = 5;
     const auto tokens2 = model::generate(stage, prompt, sampled);
+    // Decoding above ran through the paged-attention KV cache (O(n) per
+    // token). Replay through the full-forward oracle (O(n²)) and confirm
+    // the streams are bit-identical.
+    model::GenerateOptions oracle = gen;
+    oracle.use_kv_cache = false;
+    const auto tokens_full = model::generate(stage, prompt, oracle);
     if (comm.rank() == 0) {
       std::printf("greedy continuation of [3 7]: ");
       for (auto t : tokens) std::printf("%d ", t);
@@ -71,6 +77,8 @@ int main() {
       std::printf("sampled (T=0.8):             ");
       for (auto t : tokens2) std::printf("%d ", t);
       std::printf("\n");
+      std::printf("KV-cached decode %s the full-forward oracle\n",
+                  tokens == tokens_full ? "matches" : "DIVERGES FROM");
     }
   });
   std::printf("done.\n");

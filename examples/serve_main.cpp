@@ -1,0 +1,209 @@
+// Serving front-end: run the continuous-batching engine under a seeded
+// closed-loop load, optionally across tensor-parallel ranks, and validate
+// every response against the full-forward oracle (model::generate with the
+// KV cache disabled) — the engine's paged, preempted, batched decode must
+// produce bit-identical token streams. With --trace-out/--metrics-out the
+// run records serve.* spans and metrics (serve.step spans, per-request
+// serve.request_done instants, serve.kv.peak_bytes, TTFT histograms, ...)
+// in the same ptdp-trace-v1 format train_main emits, so
+// tools/validate_trace.py can gate on them in CI.
+//
+//   serve_main [--users N] [--requests N] [--capacity-blocks N] [--tp N]
+//              [--seed N] [--no-check] [--trace-out F] [--metrics-out F]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ptdp/dist/world.hpp"
+#include "ptdp/model/generate.hpp"
+#include "ptdp/obs/metrics.hpp"
+#include "ptdp/obs/trace.hpp"
+#include "ptdp/serve/loadgen.hpp"
+
+using namespace ptdp;
+
+namespace {
+
+struct Args {
+  std::int64_t users = 16;
+  std::int64_t requests = 2;
+  std::int64_t capacity_blocks = 96;
+  std::int64_t tp = 1;
+  std::uint64_t seed = 7;
+  bool check = true;
+  std::string trace_out;
+  std::string metrics_out;
+};
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](std::int64_t& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atoll(argv[++i]);
+      return true;
+    };
+    if (flag == "--users") {
+      if (!next(a.users)) return false;
+    } else if (flag == "--requests") {
+      if (!next(a.requests)) return false;
+    } else if (flag == "--capacity-blocks") {
+      if (!next(a.capacity_blocks)) return false;
+    } else if (flag == "--tp") {
+      if (!next(a.tp)) return false;
+    } else if (flag == "--seed") {
+      std::int64_t s;
+      if (!next(s)) return false;
+      a.seed = static_cast<std::uint64_t>(s);
+    } else if (flag == "--no-check") {
+      a.check = false;
+    } else if (flag == "--trace-out") {
+      if (i + 1 >= argc) return false;
+      a.trace_out = argv[++i];
+    } else if (flag == "--metrics-out") {
+      if (i + 1 >= argc) return false;
+      a.metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return 2;
+
+  if (!args.trace_out.empty()) {
+    obs::Tracer::instance().set_mode(obs::TraceMode::kFull);
+  } else if (!args.metrics_out.empty()) {
+    obs::Tracer::instance().set_mode(obs::TraceMode::kMetricsOnly);
+  }
+
+  model::GptConfig config;
+  config.num_layers = 2;
+  config.hidden = 32;
+  config.heads = 4;
+  config.vocab = 32;
+  config.seq = 48;
+  config.dropout = 0.0f;
+  config.seed = 41;
+
+  std::printf("serving a %lld-layer GPT to %lld users x %lld requests "
+              "(tp=%lld, kv capacity %lld blocks)...\n",
+              static_cast<long long>(config.num_layers),
+              static_cast<long long>(args.users),
+              static_cast<long long>(args.requests),
+              static_cast<long long>(args.tp),
+              static_cast<long long>(args.capacity_blocks));
+
+  int mismatches = 0;
+  auto body = [&](dist::Comm& comm) {
+    model::GptStage stage(
+        config, comm, model::StageSpec{true, true, 0, config.num_layers, false});
+
+    serve::EngineOptions eo;
+    eo.block_tokens = 8;
+    eo.capacity_blocks = args.capacity_blocks;
+    eo.max_batch_tokens = 64;
+    eo.prefill_chunk = 8;
+    eo.max_running = 64;
+    eo.record_metrics = comm.rank() == 0;  // obs values are rank-identical
+    serve::ServeEngine engine(stage, eo);
+
+    serve::LoadGenOptions lo;
+    lo.users = args.users;
+    lo.requests_per_user = args.requests;
+    lo.prompt_min = 3;
+    lo.prompt_max = 12;
+    lo.max_new_min = 4;
+    lo.max_new_max = 16;
+    lo.think_steps_max = 3;
+    lo.window = config.seq;
+    lo.vocab = config.vocab;
+    lo.seed = args.seed;
+    serve::LoadGen lg(lo);
+
+    std::int64_t step = 0;
+    while (!lg.done()) {
+      PTDP_CHECK_LT(step, 100000) << "serving loop did not drain";
+      lg.tick(step, engine);
+      const auto done = engine.step();
+      lg.on_finished(done, step);
+      ++step;
+    }
+
+    const auto& st = engine.stats();
+    if (comm.rank() == 0) {
+      std::printf("completed %lld requests in %lld engine steps "
+                  "(%lld tokens, peak %lld concurrent, %lld preemptions)\n",
+                  static_cast<long long>(st.completed),
+                  static_cast<long long>(st.steps),
+                  static_cast<long long>(st.generated_tokens),
+                  static_cast<long long>(st.peak_running),
+                  static_cast<long long>(st.preemptions));
+    }
+
+    if (args.check) {
+      // Replay every request through the full-forward oracle. generate()
+      // is collective over the tensor group, so all ranks replay.
+      for (const auto& fin : lg.finished()) {
+        const serve::Request& req = lg.request(fin.id);
+        model::GenerateOptions oracle_opts = req.options;
+        oracle_opts.use_kv_cache = false;
+        oracle_opts.max_new_tokens =
+            static_cast<std::int64_t>(fin.tokens.size());
+        const auto oracle = model::generate(stage, req.prompt, oracle_opts);
+        const bool ok =
+            std::equal(fin.tokens.begin(), fin.tokens.end(),
+                       oracle.begin() + static_cast<std::ptrdiff_t>(
+                                            req.prompt.size()));
+        if (!ok && comm.rank() == 0) {
+          ++mismatches;
+          std::fprintf(stderr, "request %llu: engine tokens != oracle\n",
+                       static_cast<unsigned long long>(fin.id));
+        }
+      }
+      if (comm.rank() == 0 && mismatches == 0) {
+        std::printf("oracle check: %zu/%zu responses bit-identical to "
+                    "full-forward decode\n",
+                    lg.finished().size(), lg.finished().size());
+      }
+    }
+  };
+
+  if (args.tp > 1) {
+    dist::World world(static_cast<int>(args.tp));
+    world.run(body);
+  } else {
+    dist::Comm solo = dist::Comm::solo();
+    body(solo);
+  }
+
+  if (!args.trace_out.empty()) {
+    auto& tracer = obs::Tracer::instance();
+    if (!tracer.write_chrome_json(args.trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   args.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace -> %s\n", args.trace_out.c_str());
+  }
+  if (!args.metrics_out.empty()) {
+    if (!obs::MetricsRegistry::instance().write_json(args.metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   args.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics -> %s\n", args.metrics_out.c_str());
+  }
+  if (mismatches > 0) return 1;
+  std::printf("done.\n");
+  return 0;
+}

@@ -8,8 +8,11 @@
 // bias+dropout+residual kernel. Data layout follows §4.2: activations flow
 // as [s, b, h] (sequence-major) to avoid transposes in the hot path.
 
+#include <span>
+
 #include "ptdp/dist/comm.hpp"
 #include "ptdp/model/config.hpp"
+#include "ptdp/model/kv_cache.hpp"
 #include "ptdp/model/linear.hpp"
 #include "ptdp/model/rng_sites.hpp"
 
@@ -38,6 +41,16 @@ class ParallelAttention {
 
   /// dy: [s, b, h] replicated. Returns dx [s, b, h]; accumulates grads.
   tensor::Tensor backward(const tensor::Tensor& dy, const AttentionCache& cache);
+
+  /// Incremental decode over a KV cache: x is [rows, h], the concatenated
+  /// new-token activations of `seqs` in order (rows == Σ seq.len). Each
+  /// sequence's new K/V rows are appended to `kv`, and its new queries
+  /// attend over the full cached prefix. Returns [rows, h] (all-reduced by
+  /// the row-parallel projection, bias NOT applied) — bitwise-identical to
+  /// the corresponding rows of forward() on the full prefix (DESIGN.md §16).
+  /// Requires causal attention and dropout == 0.
+  tensor::Tensor forward_decode(const tensor::Tensor& x,
+                                std::span<const DecodeSeq> seqs, KvStore& kv);
 
   Param& proj_bias() { return proj_.bias(); }
   void collect_params(ParamRefs& out);

@@ -33,6 +33,13 @@ class VocabParallelEmbedding {
   /// dy: [s, b, h]. Accumulates word/position grads; there is no input grad.
   void backward(const tensor::Tensor& dy, const EmbeddingCache& cache);
 
+  /// Decode-path lookup: embeds tokens[i] at explicit global position
+  /// positions[i] (each < config.seq). Returns [n, h]; per-row arithmetic
+  /// is identical to forward()'s row at that position. Requires dropout 0;
+  /// nothing is cached (inference only).
+  tensor::Tensor forward_at(std::span<const std::int32_t> tokens,
+                            std::span<const std::int32_t> positions);
+
   Param& word() { return word_; }
   Param& position() { return position_; }
   std::int64_t vocab_begin() const { return vocab_begin_; }

@@ -1,16 +1,21 @@
 #pragma once
 
-// Autoregressive text generation from a trained GptStage (greedy or
-// temperature sampling). Works with any tensor-parallel width: the
-// vocab-parallel logit shards are gathered across the tensor group, so a
-// t-way sharded model generates exactly the tokens the serial model would.
+// Autoregressive text generation from a trained GptStage (greedy,
+// temperature, or top-k sampling). Works with any tensor-parallel width:
+// the vocab-parallel logit shards are gathered across the tensor group, so
+// a t-way sharded model generates exactly the tokens the serial model
+// would — and all ranks draw from the same counter-based sampling stream,
+// so they sample identical tokens without communicating.
 //
-// No KV cache — each step re-runs the full prefix (fine at this
-// repository's scale; the paper's system is a trainer, not a server).
+// Decoding is KV-cached by default: each step embeds only the new token
+// and attends over the cached prefix (O(n) per token instead of O(n²)),
+// bitwise-identical to the full-forward path, which remains available as
+// the reference oracle behind use_kv_cache = false.
 
 #include <span>
 #include <vector>
 
+#include "ptdp/model/kv_cache.hpp"
 #include "ptdp/model/stage.hpp"
 
 namespace ptdp::model {
@@ -19,8 +24,19 @@ struct GenerateOptions {
   std::int64_t max_new_tokens = 32;
   bool greedy = true;          ///< argmax decoding; otherwise sample
   float temperature = 1.0f;    ///< softmax temperature when sampling
+  std::int64_t top_k = 0;      ///< sample from the k highest logits (0 = all)
   std::uint64_t seed = 0;      ///< sampling stream (ignored for greedy)
+  bool use_kv_cache = true;    ///< false = full-forward reference oracle
 };
+
+/// Picks the next token from one full-vocabulary logits row. Greedy =
+/// argmax; otherwise temperature softmax over the top-k logits (ties at
+/// the k-th value resolved toward lower token ids) with an inverse-CDF
+/// draw from `rng`. A pure function of (row bits, options, rng state), so
+/// every tensor rank — given the gathered, bitwise-identical logits —
+/// selects the same token from its own identically-seeded stream.
+std::int32_t sample_token(std::span<const float> logits_row,
+                          const GenerateOptions& options, Rng& rng);
 
 /// Full-vocabulary logits for inputs `tokens` ([s*b] sequence-major) —
 /// embedding, all transformer layers, final LayerNorm, and the tied-

@@ -1,0 +1,82 @@
+#pragma once
+
+// KV-cache interface for incremental (single-token / chunked-prefill)
+// decoding, plus a plain contiguous reference implementation.
+//
+// The decode path (GptStage::decode) persists each layer's per-position
+// key/value projections through a KvStore so the next step attends over
+// the cached prefix instead of recomputing it. The store is pure storage:
+// rows go in and come back out byte-identical, so the arithmetic — and
+// therefore the sampled token stream — is exactly the full-forward path's
+// (see DESIGN.md §16 for why the kernels make that bitwise, not just
+// approximately true). The paged, capacity-bounded implementation the
+// serving plane schedules against is serve::PagedKvCache; SimpleKvStore
+// below is the unbounded reference used by model::generate and by tests
+// that byte-compare the paged gather against it.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ptdp/tensor/tensor.hpp"
+
+namespace ptdp::model {
+
+/// One sequence's slice of a decode batch: `len` new tokens whose first
+/// global position is `pos` (== the number of positions already cached).
+/// `len == 1` is steady-state decoding; `len > 1` is a prefill chunk.
+struct DecodeSeq {
+  std::uint64_t id = 0;
+  std::int64_t pos = 0;
+  std::int64_t len = 0;
+};
+
+/// Per-(sequence, layer) K/V persistence the decode path reads and writes
+/// through. Rows are [hidden_local] floats, head-major (head h occupies
+/// columns [h·dk, (h+1)·dk)) — the natural per-token slice of the QKV
+/// projection output on this tensor rank.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  /// Stores `k2d`/`v2d` ([c, hidden_local] each) for sequence `seq` at
+  /// layer `layer`, positions [pos, pos+c). `pos` must equal the number of
+  /// rows already written for that (seq, layer) — appends only.
+  virtual void write(std::uint64_t seq, std::int64_t layer, std::int64_t pos,
+                     const tensor::Tensor& k2d, const tensor::Tensor& v2d) = 0;
+
+  /// Copies positions [0, len) into `k`/`v`, both pre-shaped
+  /// [heads_local, len, dk] with heads_local·dk == hidden_local — the
+  /// batched-GEMM layout attention consumes directly. Pure copy: the
+  /// gathered bytes equal the bytes written.
+  virtual void gather(std::uint64_t seq, std::int64_t layer, std::int64_t len,
+                      tensor::Tensor& k, tensor::Tensor& v) const = 0;
+
+  /// Discards all state for `seq` (no-op if unknown).
+  virtual void drop(std::uint64_t seq) = 0;
+};
+
+/// Unbounded contiguous KvStore: one growable [cap, 2·hidden_local] tensor
+/// per (sequence, layer), K in the left half of each row. Geometry is
+/// inferred from the first write, so construction needs no model config.
+class SimpleKvStore final : public KvStore {
+ public:
+  void write(std::uint64_t seq, std::int64_t layer, std::int64_t pos,
+             const tensor::Tensor& k2d, const tensor::Tensor& v2d) override;
+  void gather(std::uint64_t seq, std::int64_t layer, std::int64_t len,
+              tensor::Tensor& k, tensor::Tensor& v) const override;
+  void drop(std::uint64_t seq) override;
+
+  /// Rows stored for (seq, layer); 0 when unknown.
+  std::int64_t length(std::uint64_t seq, std::int64_t layer) const;
+
+ private:
+  struct LayerRows {
+    tensor::Tensor rows;  ///< [cap, 2·hidden_local]
+    std::int64_t len = 0;
+  };
+  std::unordered_map<std::uint64_t, std::vector<LayerRows>> seqs_;
+};
+
+}  // namespace ptdp::model

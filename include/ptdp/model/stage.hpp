@@ -88,6 +88,21 @@ class GptStage {
   tensor::Tensor logits(std::span<const std::int32_t> tokens, std::int64_t s,
                         std::int64_t b);
 
+  /// Incremental inference over a KV cache: `tokens` ([Σ len]) holds the
+  /// new tokens of every sequence in `seqs`, concatenated in order. Embeds
+  /// them at their global positions, runs every layer's KV-cached decode
+  /// body, and returns full-vocabulary logits [seqs.size(), V] for the
+  /// LAST new position of each sequence — bitwise-identical to the last
+  /// row of logits() on that sequence's full prefix (DESIGN.md §16).
+  /// Requires a whole-model stage (layer_begin == 0) and dropout == 0.
+  tensor::Tensor decode(std::span<const DecodeSeq> seqs,
+                        std::span<const std::int32_t> tokens, KvStore& kv);
+
+  /// Per-tensor-rank KV geometry (what a KvStore row holds): local head
+  /// count and head dimension of this rank's attention shard.
+  std::int64_t kv_heads_local() const;
+  std::int64_t kv_head_dim() const;
+
   /// Eval-mode switch: sets the dropout probability on every submodule
   /// (0 for evaluation/generation, the configured value for training).
   void set_dropout(float p);

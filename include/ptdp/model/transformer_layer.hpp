@@ -51,6 +51,15 @@ class TransformerLayer {
   /// mode the cache's frame slots are released at their planned last use.
   tensor::Tensor backward(const tensor::Tensor& dy, LayerCache& cache);
 
+  /// Incremental decode over a KV cache: x is [rows, h] (see
+  /// ParallelAttention::forward_decode for the batch layout). Runs the
+  /// eager block body with the attention swapped for the KV-cached path;
+  /// row-wise ops are batched across sequences. Returns [rows, h],
+  /// bitwise the full forward's rows at the same positions. Dropout must
+  /// be 0 (no mask sites fire, so no mb_tag is needed).
+  tensor::Tensor forward_decode(const tensor::Tensor& x,
+                                std::span<const DecodeSeq> seqs, KvStore& kv);
+
   /// Backward with activation recomputation (§3.5): the cache holds only the
   /// layer input. Graph mode runs the fwd ++ bwd recompute plan; eager mode
   /// replays forward() then runs backward(). `mb_tag` must match the

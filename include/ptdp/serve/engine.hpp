@@ -1,0 +1,144 @@
+#pragma once
+
+// ptdp::serve continuous-batching engine (DESIGN.md §16): an admission
+// queue, chunked prefill interleaved with single-token decode, and
+// KV-pressure preemption/eviction with re-admission — vLLM/Orca-style
+// iteration-level scheduling over this repo's tensor-parallel GptStage.
+//
+// The scheduler is step-driven and deterministic: decisions depend only on
+// (submitted requests, options, step count), never on wall time, so every
+// tensor-parallel rank — running its own engine instance over its own model
+// shard and identically-seeded sampling streams — forms the same batches,
+// issues the same collectives, and samples the same tokens. Wall clocks
+// are used for *measurement* only (TTFT / per-token latency).
+//
+// State machine per request:
+//   Queued --admit--> Running(prefill) --chunks done--> Running(decode)
+//   Running --KV pressure--> Queued (evicted: blocks freed, tokens kept)
+//   Running --max_new_tokens / window full--> Finished
+// An evicted request re-prefills prompt+generated on re-admission; its
+// sampling Rng's counter survives eviction, so the resumed token stream is
+// bitwise the stream it would have produced uninterrupted.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ptdp/model/generate.hpp"
+#include "ptdp/serve/kv_cache.hpp"
+
+namespace ptdp::serve {
+
+struct Request {
+  std::uint64_t id = 0;
+  std::vector<std::int32_t> prompt;
+  /// Sampling + length config. max_new_tokens is clamped so that
+  /// prompt + generation never outgrows the model's trained window
+  /// (positions past it have no KV-cache representation).
+  model::GenerateOptions options;
+};
+
+struct FinishedRequest {
+  std::uint64_t id = 0;
+  std::vector<std::int32_t> tokens;  ///< generated continuation only
+  std::int64_t submit_step = 0;
+  std::int64_t finish_step = 0;
+  std::int64_t preemptions = 0;    ///< times this request was evicted
+  double submit_ms = 0.0;          ///< engine-clock timestamps (monotonic)
+  double first_token_ms = 0.0;     ///< 0 when nothing was generated
+  double finish_ms = 0.0;
+  std::vector<double> token_ms;    ///< timestamp of every generated token
+};
+
+struct EngineOptions {
+  std::int64_t block_tokens = 8;
+  std::int64_t capacity_blocks = 128;  ///< shared KV budget (whole engine)
+  std::int64_t max_batch_tokens = 64;  ///< rows per decode() call
+  std::int64_t prefill_chunk = 8;      ///< chunked-prefill granularity
+  std::int64_t max_running = 64;       ///< admission bound on live sequences
+  /// Feed serve.* obs metrics/spans. Set true on exactly one tensor rank
+  /// (they all observe identical values; recording once keeps counts exact).
+  bool record_metrics = true;
+};
+
+struct EngineStats {
+  std::int64_t steps = 0;
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t preemptions = 0;
+  std::int64_t decode_tokens = 0;   ///< single-token decode rows issued
+  std::int64_t prefill_tokens = 0;  ///< prefill-chunk rows issued
+  std::int64_t generated_tokens = 0;
+  std::int64_t peak_running = 0;    ///< concurrent-sequence high-water
+  std::int64_t peak_batch_tokens = 0;
+};
+
+class ServeEngine {
+ public:
+  ServeEngine(model::GptStage& stage, EngineOptions options);
+
+  /// Enqueues a request (takes effect at the next step()). Ids must be
+  /// unique across the engine's lifetime. CHECK-fails if one maximal
+  /// sequence could not fit the KV budget even alone.
+  void submit(Request request);
+
+  /// Runs one scheduler iteration: admit, form a batch (decode first, then
+  /// prefill chunks), one tensor-parallel decode() over the batch, sample,
+  /// retire. Returns the requests that finished this step (possibly none).
+  /// A no-work step is a cheap no-op returning {}.
+  std::vector<FinishedRequest> step();
+
+  bool idle() const { return waiting_.empty() && running_.empty(); }
+  std::int64_t waiting() const { return static_cast<std::int64_t>(waiting_.size()); }
+  std::int64_t running() const { return static_cast<std::int64_t>(running_.size()); }
+  const EngineStats& stats() const { return stats_; }
+  PagedKvCache& kv() { return kv_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Seq {
+    Request req;
+    std::int64_t ordinal = 0;            ///< admission priority (arrival order)
+    std::vector<std::int32_t> context;   ///< prompt + generated so far
+    std::int64_t generated = 0;
+    std::int64_t max_context = 0;        ///< prompt + clamped max_new_tokens
+    std::int64_t cached = 0;             ///< KV positions materialized
+    Rng rng;                             ///< survives eviction (counter-based)
+    std::int64_t submit_step = 0;
+    std::int64_t preemptions = 0;
+    double submit_ms = 0.0, first_token_ms = 0.0;
+    std::vector<double> token_ms;
+
+    Seq() : rng(0) {}
+  };
+
+  double now_ms() const;
+  Seq& seq(std::uint64_t id);
+  /// Inserts into a queue keeping ordinal (arrival) order.
+  static void insert_by_ordinal(
+      std::vector<std::uint64_t>& queue,
+      const std::unordered_map<std::uint64_t, Seq>& seqs, std::uint64_t id);
+  /// Evicts `id`: drops its KV blocks and moves it back to the waiting
+  /// queue (ordinal position preserved); generated tokens and Rng survive.
+  void preempt(std::uint64_t id);
+  /// Reserves KV for `len` positions of `id`, evicting strictly-younger
+  /// running sequences (youngest first, never ones in `pinned`) until the
+  /// reservation fits. False when it cannot fit even then.
+  bool reserve_with_eviction(std::uint64_t id, std::int64_t len,
+                             const std::unordered_set<std::uint64_t>& pinned);
+  void finish(std::uint64_t id, std::vector<FinishedRequest>& done);
+
+  model::GptStage& stage_;
+  EngineOptions options_;
+  PagedKvCache kv_;
+  std::unordered_map<std::uint64_t, Seq> seqs_;
+  std::vector<std::uint64_t> waiting_;  ///< arrival order (front = oldest)
+  std::vector<std::uint64_t> running_;  ///< arrival order
+  std::vector<FinishedRequest> pending_finished_;  ///< zero-work retirements
+  EngineStats stats_;
+  std::int64_t next_ordinal_ = 0;
+  std::int64_t epoch_ns_ = 0;  ///< engine-construction timestamp
+};
+
+}  // namespace ptdp::serve

@@ -1,0 +1,76 @@
+#pragma once
+
+// Closed-loop, seeded load generator for the serving engine: N simulated
+// users each issue a fixed count of requests, waiting for the previous
+// response (plus a random think time) before the next. Everything —
+// prompts, lengths, sampling config, think times — is drawn from
+// counter-based Rng streams keyed on (seed, user), and pacing is measured
+// in *scheduler steps*, not wall time, so two tensor-parallel ranks driving
+// their own LoadGen instance submit byte-identical request streams.
+//
+// Every submitted Request is kept so callers can replay any request
+// through model::generate's full-forward oracle and compare token streams.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ptdp/serve/engine.hpp"
+
+namespace ptdp::serve {
+
+struct LoadGenOptions {
+  std::int64_t users = 64;
+  std::int64_t requests_per_user = 2;
+  std::int64_t prompt_min = 4;      ///< prompt length range (inclusive)
+  std::int64_t prompt_max = 12;
+  std::int64_t max_new_min = 4;     ///< generation budget range (inclusive)
+  std::int64_t max_new_max = 16;
+  std::int64_t think_steps_max = 4; ///< uniform [0, max] steps between requests
+  std::int64_t window = 0;          ///< model seq; prompt+max_new clamped to it
+  std::int64_t vocab = 0;           ///< token ids drawn uniform below this
+  double sampled_fraction = 0.5;    ///< chance a request samples vs greedy
+  float temperature = 0.8f;         ///< for sampled requests
+  std::int64_t top_k = 8;           ///< for sampled requests (0 = all)
+  std::uint64_t seed = 0;
+};
+
+class LoadGen {
+ public:
+  explicit LoadGen(LoadGenOptions options);
+
+  /// Submits every request due at `step` (user idle, think time elapsed).
+  void tick(std::int64_t step, ServeEngine& engine);
+  /// Feed back the results of an engine step; unblocks those users.
+  void on_finished(std::span<const FinishedRequest> done, std::int64_t step);
+
+  /// True once every user has issued and received all its requests.
+  bool done() const;
+  std::int64_t submitted() const { return submitted_; }
+  std::int64_t outstanding() const { return outstanding_; }
+  const std::vector<FinishedRequest>& finished() const { return finished_; }
+  /// The request as submitted (for oracle replay / validation).
+  const Request& request(std::uint64_t id) const;
+  const LoadGenOptions& options() const { return options_; }
+
+ private:
+  struct User {
+    Rng rng;
+    std::int64_t sent = 0;
+    std::int64_t due_step = 0;
+    bool busy = false;
+    User() : rng(0) {}
+  };
+
+  Request make_request(std::int64_t user);
+
+  LoadGenOptions options_;
+  std::vector<User> users_;
+  std::unordered_map<std::uint64_t, Request> requests_;
+  std::vector<FinishedRequest> finished_;
+  std::int64_t submitted_ = 0;
+  std::int64_t outstanding_ = 0;
+};
+
+}  // namespace ptdp::serve

@@ -1,5 +1,6 @@
 #include "ptdp/model/attention.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ptdp/runtime/parallel_for.hpp"
@@ -112,6 +113,75 @@ Tensor ParallelAttention::forward(const Tensor& x, AttentionCache& cache,
                      .view({s * b, hidden_local_});
   Tensor out2d = proj_.forward(ctx2d, cache.proj);  // [sb, h], bias skipped
   return out2d.view({s, b, config_.hidden});
+}
+
+Tensor ParallelAttention::forward_decode(const Tensor& x,
+                                         std::span<const DecodeSeq> seqs,
+                                         KvStore& kv) {
+  PTDP_CHECK_EQ(x.ndim(), 2) << "decode input must be [rows, h]";
+  PTDP_CHECK_EQ(x.dim(1), config_.hidden);
+  PTDP_CHECK(config_.causal) << "incremental decode is causal-only";
+  PTDP_CHECK_EQ(config_.dropout, 0.0f) << "disable dropout for decoding";
+  const std::int64_t rows = x.dim(0);
+  const std::int64_t dk = head_dim_;
+
+  LinearCache qkv_cache;
+  Tensor qkv2d = qkv_.forward(x, qkv_cache);  // [rows, 3*hidden_local]
+  auto qkv = qkv2d.data();
+
+  Tensor ctx2d = Tensor::empty({rows, hidden_local_});
+  auto ctx_out = ctx2d.data();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+
+  std::int64_t r0 = 0;
+  for (const DecodeSeq& seq : seqs) {
+    const std::int64_t c = seq.len;
+    const std::int64_t kv_len = seq.pos + c;
+    PTDP_CHECK_GT(c, 0);
+
+    // Per-row qkv layout is [a_l, 3dk] (q | k | v per head): split the new
+    // rows into the store's head-major K/V rows and the batched-GEMM query.
+    Tensor k2d = Tensor::empty({c, hidden_local_});
+    Tensor v2d = Tensor::empty({c, hidden_local_});
+    Tensor q3d = Tensor::empty({heads_local_, c, dk});
+    auto kd = k2d.data();
+    auto vd = v2d.data();
+    auto qd = q3d.data();
+    for (std::int64_t i = 0; i < c; ++i) {
+      const float* src = qkv.data() + (r0 + i) * 3 * hidden_local_;
+      for (std::int64_t a = 0; a < heads_local_; ++a) {
+        std::copy_n(src + a * 3 * dk, static_cast<std::size_t>(dk),
+                    qd.data() + (a * c + i) * dk);
+        std::copy_n(src + a * 3 * dk + dk, static_cast<std::size_t>(dk),
+                    kd.data() + i * hidden_local_ + a * dk);
+        std::copy_n(src + a * 3 * dk + 2 * dk, static_cast<std::size_t>(dk),
+                    vd.data() + i * hidden_local_ + a * dk);
+      }
+    }
+    kv.write(seq.id, layer_idx_, seq.pos, k2d, v2d);
+
+    // Contiguous prefix+chunk K/V, then the exact full-path kernel sequence
+    // on [a_l, c, kv_len] — bitwise the full forward's last c rows.
+    Tensor kc = Tensor::empty({heads_local_, kv_len, dk});
+    Tensor vc = Tensor::empty({heads_local_, kv_len, dk});
+    kv.gather(seq.id, layer_idx_, kv_len, kc, vc);
+    Tensor scores = tensor::bmm_nt(q3d, kc);  // [a_l, c, kv_len]
+    Tensor probs = tensor::fused_scale_causal_softmax(scores, scale);
+    Tensor ctx = tensor::bmm(probs, vc);  // [a_l, c, dk]
+    auto cd = ctx.data();
+    for (std::int64_t i = 0; i < c; ++i) {
+      float* dst = ctx_out.data() + (r0 + i) * hidden_local_;
+      for (std::int64_t a = 0; a < heads_local_; ++a) {
+        std::copy_n(cd.data() + (a * c + i) * dk, static_cast<std::size_t>(dk),
+                    dst + a * dk);
+      }
+    }
+    r0 += c;
+  }
+  PTDP_CHECK_EQ(r0, rows) << "decode batch rows must equal the sum of seq lens";
+
+  LinearCache proj_cache;
+  return proj_.forward(ctx2d, proj_cache);  // [rows, h], bias skipped
 }
 
 Tensor ParallelAttention::backward(const Tensor& dy, const AttentionCache& cache) {

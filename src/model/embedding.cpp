@@ -73,6 +73,40 @@ Tensor VocabParallelEmbedding::forward(std::span<const std::int32_t> tokens,
   return out.view({s, b, h});
 }
 
+Tensor VocabParallelEmbedding::forward_at(std::span<const std::int32_t> tokens,
+                                          std::span<const std::int32_t> positions) {
+  PTDP_CHECK_EQ(tokens.size(), positions.size());
+  PTDP_CHECK_EQ(config_.dropout, 0.0f) << "disable dropout for decoding";
+  const std::int64_t n = static_cast<std::int64_t>(tokens.size());
+  const std::int64_t h = config_.hidden;
+
+  // Same shard lookup + all-reduce + position add as forward(), with the
+  // position row chosen per token instead of by row index.
+  Tensor out({n, h});
+  auto dw = word_.value.data();
+  auto dout = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t id = tokens[static_cast<std::size_t>(i)];
+    PTDP_CHECK(id >= 0 && id < config_.vocab) << "token id " << id;
+    const std::int64_t local = id - vocab_begin_;
+    if (local >= 0 && local < vocab_per_rank_) {
+      std::copy_n(dw.data() + local * h, h, dout.data() + i * h);
+    }
+  }
+  tp_.all_reduce(out.data());
+
+  auto dp = position_.value.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t pos = positions[static_cast<std::size_t>(i)];
+    PTDP_CHECK(pos >= 0 && pos < config_.seq)
+        << "position " << pos << " outside the trained window";
+    const float* prow = dp.data() + pos * h;
+    float* row = dout.data() + i * h;
+    for (std::int64_t j = 0; j < h; ++j) row[j] += prow[j];
+  }
+  return out;
+}
+
 void VocabParallelEmbedding::backward(const Tensor& dy, const EmbeddingCache& cache) {
   const std::int64_t s = cache.s;
   const std::int64_t b = cache.b;

@@ -1,0 +1,82 @@
+#include "ptdp/model/kv_cache.hpp"
+
+#include <algorithm>
+
+namespace ptdp::model {
+
+using tensor::Tensor;
+
+void SimpleKvStore::write(std::uint64_t seq, std::int64_t layer, std::int64_t pos,
+                          const Tensor& k2d, const Tensor& v2d) {
+  PTDP_CHECK_EQ(k2d.ndim(), 2);
+  PTDP_CHECK(k2d.same_shape(v2d));
+  const std::int64_t c = k2d.dim(0);
+  const std::int64_t hl = k2d.dim(1);
+  auto& layers = seqs_[seq];
+  if (static_cast<std::int64_t>(layers.size()) <= layer) {
+    layers.resize(static_cast<std::size_t>(layer + 1));
+  }
+  LayerRows& lr = layers[static_cast<std::size_t>(layer)];
+  PTDP_CHECK_EQ(lr.len, pos) << "KvStore is append-only";
+  const std::int64_t need = pos + c;
+  const std::int64_t cap = lr.rows.defined() ? lr.rows.dim(0) : 0;
+  if (need > cap) {
+    std::int64_t new_cap = std::max<std::int64_t>(cap * 2, 8);
+    new_cap = std::max(new_cap, need);
+    Tensor grown = Tensor::empty({new_cap, 2 * hl});
+    if (lr.len > 0) {
+      std::copy_n(lr.rows.data().data(),
+                  static_cast<std::size_t>(lr.len * 2 * hl), grown.data().data());
+    }
+    lr.rows = grown;
+  }
+  auto dst = lr.rows.data();
+  auto k = k2d.data();
+  auto v = v2d.data();
+  for (std::int64_t i = 0; i < c; ++i) {
+    float* row = dst.data() + (pos + i) * 2 * hl;
+    std::copy_n(k.data() + i * hl, static_cast<std::size_t>(hl), row);
+    std::copy_n(v.data() + i * hl, static_cast<std::size_t>(hl), row + hl);
+  }
+  lr.len = need;
+}
+
+void SimpleKvStore::gather(std::uint64_t seq, std::int64_t layer, std::int64_t len,
+                           Tensor& k, Tensor& v) const {
+  PTDP_CHECK_EQ(k.ndim(), 3);
+  PTDP_CHECK(k.same_shape(v));
+  const std::int64_t heads = k.dim(0);
+  const std::int64_t dk = k.dim(2);
+  PTDP_CHECK_EQ(k.dim(1), len);
+  auto it = seqs_.find(seq);
+  PTDP_CHECK(it != seqs_.end()) << "unknown sequence " << seq;
+  const auto& layers = it->second;
+  PTDP_CHECK_LT(layer, static_cast<std::int64_t>(layers.size()));
+  const LayerRows& lr = layers[static_cast<std::size_t>(layer)];
+  PTDP_CHECK_LE(len, lr.len);
+  const std::int64_t hl = lr.rows.dim(1) / 2;
+  PTDP_CHECK_EQ(heads * dk, hl);
+  auto src = lr.rows.data();
+  auto dk_out = k.data();
+  auto dv_out = v.data();
+  for (std::int64_t p = 0; p < len; ++p) {
+    const float* row = src.data() + p * 2 * hl;
+    for (std::int64_t a = 0; a < heads; ++a) {
+      std::copy_n(row + a * dk, static_cast<std::size_t>(dk),
+                  dk_out.data() + (a * len + p) * dk);
+      std::copy_n(row + hl + a * dk, static_cast<std::size_t>(dk),
+                  dv_out.data() + (a * len + p) * dk);
+    }
+  }
+}
+
+void SimpleKvStore::drop(std::uint64_t seq) { seqs_.erase(seq); }
+
+std::int64_t SimpleKvStore::length(std::uint64_t seq, std::int64_t layer) const {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) return 0;
+  if (layer >= static_cast<std::int64_t>(it->second.size())) return 0;
+  return it->second[static_cast<std::size_t>(layer)].len;
+}
+
+}  // namespace ptdp::model

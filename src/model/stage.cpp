@@ -1,5 +1,7 @@
 #include "ptdp/model/stage.hpp"
 
+#include <algorithm>
+
 namespace ptdp::model {
 
 using tensor::Tensor;
@@ -98,6 +100,57 @@ tensor::Tensor GptStage::logits(std::span<const std::int32_t> tokens, std::int64
     act = layer->forward(act, lcache, /*mb_tag=*/0);
   }
   return head_->full_logits(act);
+}
+
+tensor::Tensor GptStage::decode(std::span<const DecodeSeq> seqs,
+                                std::span<const std::int32_t> tokens, KvStore& kv) {
+  PTDP_CHECK(spec_.has_embedding && spec_.has_head)
+      << "decode() needs a whole-model stage";
+  PTDP_CHECK_EQ(spec_.layer_begin, 0);
+  PTDP_CHECK_EQ(config_.dropout, 0.0f) << "disable dropout for inference";
+  PTDP_CHECK(!seqs.empty());
+
+  std::int64_t rows = 0;
+  std::vector<std::int32_t> positions(tokens.size());
+  for (const DecodeSeq& seq : seqs) {
+    for (std::int64_t i = 0; i < seq.len; ++i) {
+      positions[static_cast<std::size_t>(rows + i)] =
+          static_cast<std::int32_t>(seq.pos + i);
+    }
+    rows += seq.len;
+  }
+  PTDP_CHECK_EQ(rows, static_cast<std::int64_t>(tokens.size()));
+
+  Tensor act = embedding_->forward_at(tokens, positions);  // [rows, h]
+  for (auto& layer : layers_) {
+    act = layer->forward_decode(act, seqs, kv);
+  }
+
+  // Head input: the last new position of each sequence. Row-wise LN and
+  // the tied projection make per-row results independent of which rows
+  // ride along, so selecting before the head changes no bits.
+  const std::int64_t n = static_cast<std::int64_t>(seqs.size());
+  const std::int64_t h = config_.hidden;
+  Tensor last = Tensor::empty({n, 1, h});
+  auto src = act.data();
+  auto dst = last.data();
+  std::int64_t r0 = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    r0 += seqs[static_cast<std::size_t>(i)].len;
+    std::copy_n(src.data() + (r0 - 1) * h, static_cast<std::size_t>(h),
+                dst.data() + i * h);
+  }
+  return head_->full_logits(last);  // [n, V]
+}
+
+std::int64_t GptStage::kv_heads_local() const {
+  PTDP_CHECK(!layers_.empty());
+  return layers_.front()->binding().attn->heads_local();
+}
+
+std::int64_t GptStage::kv_head_dim() const {
+  PTDP_CHECK(!layers_.empty());
+  return layers_.front()->binding().attn->head_dim();
 }
 
 void GptStage::set_dropout(float p) {

@@ -62,6 +62,27 @@ Tensor TransformerLayer::forward(const Tensor& x, LayerCache& cache,
   return graph::SequentialExecutor::run_forward(plan, cache.frame, binding_, ctx);
 }
 
+Tensor TransformerLayer::forward_decode(const Tensor& x,
+                                        std::span<const DecodeSeq> seqs,
+                                        KvStore& kv) {
+  PTDP_CHECK_EQ(x.ndim(), 2);
+  PTDP_CHECK_EQ(config_.dropout, 0.0f) << "disable dropout for decoding";
+  const std::int64_t rows = x.dim(0);
+  const std::int64_t h = config_.hidden;
+
+  // Eager block body with p = 0: bias-add then residual-add is the exact
+  // elementwise sequence fused_bias_dropout_add performs at p = 0, so the
+  // residual stream stays bitwise the training path's.
+  auto ln1 = tensor::layernorm(x, ln1_gamma_.value, ln1_beta_.value);
+  Tensor attn_out = attention_.forward_decode(ln1.y, seqs, kv);
+  Tensor h1 = tensor::add(tensor::add_bias(attn_out, attention_.proj_bias().value), x);
+
+  auto ln2 = tensor::layernorm(h1, ln2_gamma_.value, ln2_beta_.value);
+  MlpCache mlp_cache;
+  Tensor mlp_out = mlp_.forward(ln2.y.view({rows, 1, h}), mlp_cache).view({rows, h});
+  return tensor::add(tensor::add_bias(mlp_out, mlp_.fc2_bias().value), h1);
+}
+
 Tensor TransformerLayer::backward(const Tensor& dy, LayerCache& cache) {
   if (!(graph::enabled() && cache.frame.active()))
     return backward_eager(dy, cache);

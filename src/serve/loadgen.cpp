@@ -1,0 +1,107 @@
+#include "ptdp/serve/loadgen.hpp"
+
+#include <algorithm>
+
+namespace ptdp::serve {
+
+LoadGen::LoadGen(LoadGenOptions options) : options_(options) {
+  PTDP_CHECK_GT(options_.users, 0);
+  PTDP_CHECK_GT(options_.requests_per_user, 0);
+  PTDP_CHECK_GT(options_.vocab, 0);
+  PTDP_CHECK_GT(options_.window, 0);
+  PTDP_CHECK_GE(options_.prompt_min, 1);
+  PTDP_CHECK_LE(options_.prompt_min, options_.prompt_max);
+  PTDP_CHECK_LE(options_.prompt_max, options_.window);
+  PTDP_CHECK_GE(options_.max_new_min, 1);
+  PTDP_CHECK_LE(options_.max_new_min, options_.max_new_max);
+  users_.resize(static_cast<std::size_t>(options_.users));
+  for (std::int64_t u = 0; u < options_.users; ++u) {
+    users_[static_cast<std::size_t>(u)].rng =
+        Rng(options_.seed, substream(0x10adULL, static_cast<std::uint64_t>(u)));
+  }
+}
+
+Request LoadGen::make_request(std::int64_t user) {
+  User& usr = users_[static_cast<std::size_t>(user)];
+  Request r;
+  r.id = static_cast<std::uint64_t>(user * options_.requests_per_user +
+                                    usr.sent + 1);
+  const std::int64_t plen =
+      options_.prompt_min +
+      static_cast<std::int64_t>(usr.rng.next_below(static_cast<std::uint64_t>(
+          options_.prompt_max - options_.prompt_min + 1)));
+  r.prompt.resize(static_cast<std::size_t>(plen));
+  for (auto& tok : r.prompt) {
+    tok = static_cast<std::int32_t>(
+        usr.rng.next_below(static_cast<std::uint64_t>(options_.vocab)));
+  }
+  std::int64_t max_new =
+      options_.max_new_min +
+      static_cast<std::int64_t>(usr.rng.next_below(static_cast<std::uint64_t>(
+          options_.max_new_max - options_.max_new_min + 1)));
+  // Keep prompt + generation inside the trained window so the engine's
+  // token stream is directly comparable to the full-forward oracle.
+  max_new = std::max<std::int64_t>(
+      1, std::min(max_new, options_.window - plen));
+  r.options.max_new_tokens = max_new;
+  if (usr.rng.next_bernoulli(options_.sampled_fraction)) {
+    r.options.greedy = false;
+    r.options.temperature = options_.temperature;
+    r.options.top_k = options_.top_k;
+    r.options.seed = usr.rng.next_u64();
+  }
+  return r;
+}
+
+void LoadGen::tick(std::int64_t step, ServeEngine& engine) {
+  for (std::int64_t u = 0; u < options_.users; ++u) {
+    User& usr = users_[static_cast<std::size_t>(u)];
+    if (usr.busy || usr.sent >= options_.requests_per_user ||
+        step < usr.due_step) {
+      continue;
+    }
+    Request r = make_request(u);
+    const std::uint64_t id = r.id;
+    requests_.emplace(id, r);
+    usr.busy = true;
+    ++usr.sent;
+    ++submitted_;
+    ++outstanding_;
+    engine.submit(std::move(r));
+  }
+}
+
+void LoadGen::on_finished(std::span<const FinishedRequest> done,
+                          std::int64_t step) {
+  for (const FinishedRequest& fin : done) {
+    const std::int64_t u =
+        static_cast<std::int64_t>(fin.id - 1) / options_.requests_per_user;
+    PTDP_CHECK(u >= 0 && u < options_.users) << "foreign request id " << fin.id;
+    User& usr = users_[static_cast<std::size_t>(u)];
+    PTDP_CHECK(usr.busy) << "finish for a request user " << u << " never sent";
+    usr.busy = false;
+    usr.due_step =
+        step + 1 +
+        (options_.think_steps_max > 0
+             ? static_cast<std::int64_t>(usr.rng.next_below(
+                   static_cast<std::uint64_t>(options_.think_steps_max + 1)))
+             : 0);
+    --outstanding_;
+    finished_.push_back(fin);
+  }
+}
+
+bool LoadGen::done() const {
+  if (outstanding_ > 0) return false;
+  return std::all_of(users_.begin(), users_.end(), [&](const User& u) {
+    return u.sent >= options_.requests_per_user;
+  });
+}
+
+const Request& LoadGen::request(std::uint64_t id) const {
+  auto it = requests_.find(id);
+  PTDP_CHECK(it != requests_.end()) << "unknown request " << id;
+  return it->second;
+}
+
+}  // namespace ptdp::serve
