@@ -8,19 +8,35 @@
 // in the same ptdp-trace-v1 format train_main emits, so
 // tools/validate_trace.py can gate on them in CI.
 //
+// --weight-dtype selects the serving weight format (DESIGN.md §17): f32,
+// bf16, or the weight-only quantized int8 / q4 formats. Quantized runs
+// build the stage in f32, quantize-once through the graph planner's
+// kernel-selection pass, and validate against a SECOND fp32 stage (same
+// config + seed => identical initial weights): int8 greedy decode must be
+// token-identical to the fp32 oracle; q4 reports teacher-forced top-1
+// agreement (gated at 0.90). --dump-plan writes the planner's inference
+// plan (kernel selection visible as "linear_fwd_quant" nodes);
+// --save/load-quant-ckpt exercise the dtype-tagged quantized checkpoint.
+//
 //   serve_main [--users N] [--requests N] [--capacity-blocks N] [--tp N]
 //              [--seed N] [--no-check] [--trace-out F] [--metrics-out F]
+//              [--weight-dtype f32|bf16|int8|q4] [--group-size N]
+//              [--dump-plan F] [--save-quant-ckpt D] [--load-quant-ckpt D]
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "ptdp/dist/world.hpp"
+#include "ptdp/graph/builder.hpp"
+#include "ptdp/graph/passes.hpp"
 #include "ptdp/model/generate.hpp"
 #include "ptdp/obs/metrics.hpp"
 #include "ptdp/obs/trace.hpp"
+#include "ptdp/quant/quant.hpp"
 #include "ptdp/serve/loadgen.hpp"
 
 using namespace ptdp;
@@ -36,6 +52,11 @@ struct Args {
   bool check = true;
   std::string trace_out;
   std::string metrics_out;
+  std::string weight_dtype = "f32";
+  std::int64_t group_size = 64;
+  std::string dump_plan;
+  std::string save_quant_ckpt;
+  std::string load_quant_ckpt;
 };
 
 bool parse(int argc, char** argv, Args& a) {
@@ -66,6 +87,20 @@ bool parse(int argc, char** argv, Args& a) {
     } else if (flag == "--metrics-out") {
       if (i + 1 >= argc) return false;
       a.metrics_out = argv[++i];
+    } else if (flag == "--weight-dtype") {
+      if (i + 1 >= argc) return false;
+      a.weight_dtype = argv[++i];
+    } else if (flag == "--group-size") {
+      if (!next(a.group_size)) return false;
+    } else if (flag == "--dump-plan") {
+      if (i + 1 >= argc) return false;
+      a.dump_plan = argv[++i];
+    } else if (flag == "--save-quant-ckpt") {
+      if (i + 1 >= argc) return false;
+      a.save_quant_ckpt = argv[++i];
+    } else if (flag == "--load-quant-ckpt") {
+      if (i + 1 >= argc) return false;
+      a.load_quant_ckpt = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -86,6 +121,17 @@ int main(int argc, char** argv) {
     obs::Tracer::instance().set_mode(obs::TraceMode::kMetricsOnly);
   }
 
+  const bool quantized = args.weight_dtype == "int8" || args.weight_dtype == "q4";
+  if (!quantized && args.weight_dtype != "f32" && args.weight_dtype != "bf16") {
+    std::fprintf(stderr, "unknown --weight-dtype %s (f32|bf16|int8|q4)\n",
+                 args.weight_dtype.c_str());
+    return 2;
+  }
+  graph::QuantPolicy policy;
+  policy.kind = args.weight_dtype == "q4" ? tensor::QuantKind::kQ4
+                                          : tensor::QuantKind::kInt8;
+  policy.group_size = args.group_size;
+
   model::GptConfig config;
   config.num_layers = 2;
   config.hidden = 32;
@@ -94,19 +140,84 @@ int main(int argc, char** argv) {
   config.seq = 48;
   config.dropout = 0.0f;
   config.seed = 41;
+  if (args.weight_dtype == "bf16") config.dtype = tensor::DType::kBf16;
 
   std::printf("serving a %lld-layer GPT to %lld users x %lld requests "
-              "(tp=%lld, kv capacity %lld blocks)...\n",
+              "(tp=%lld, kv capacity %lld blocks, weights %s)...\n",
               static_cast<long long>(config.num_layers),
               static_cast<long long>(args.users),
               static_cast<long long>(args.requests),
               static_cast<long long>(args.tp),
-              static_cast<long long>(args.capacity_blocks));
+              static_cast<long long>(args.capacity_blocks),
+              args.weight_dtype.c_str());
+
+  if (!args.dump_plan.empty()) {
+    // The inference plan the serving stage will follow, kernel selection
+    // included ("linear_fwd_quant" nodes carry a "quant" attribute).
+    graph::PlannerOptions popts;
+    popts.tp_size = args.tp;
+    popts.inference = true;
+    if (quantized) popts.quant = &policy;
+    const graph::StagePlan splan = graph::build_stage_plan(
+        config, 0, config.num_layers, true, true, false, popts);
+    std::FILE* f = std::fopen(args.dump_plan.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", args.dump_plan.c_str());
+      return 2;
+    }
+    graph::dump_stage_plan_json(splan, config, f);
+    std::fclose(f);
+    std::printf("plan -> %s\n", args.dump_plan.c_str());
+  }
 
   int mismatches = 0;
+  int q4_disagreements = 0;
   auto body = [&](dist::Comm& comm) {
     model::GptStage stage(
         config, comm, model::StageSpec{true, true, 0, config.num_layers, false});
+
+    // The fp32 accuracy oracle: same config + seed => identical initial
+    // weights, kept at full precision while `stage` is quantized below.
+    std::optional<model::GptStage> oracle_stage;
+    if (quantized) {
+      if (args.check) {
+        oracle_stage.emplace(config, comm,
+                             model::StageSpec{true, true, 0, config.num_layers,
+                                              false});
+      }
+      const model::QuantizeReport report = stage.quantize_for_serving(policy);
+      if (comm.rank() == 0) {
+        std::printf("quantized %d linears to %s: %lld weight bytes -> %lld "
+                    "(%.2fx smaller)\n",
+                    report.linears, args.weight_dtype.c_str(),
+                    static_cast<long long>(report.weight_bytes_f32),
+                    static_cast<long long>(report.weight_bytes),
+                    report.weight_bytes > 0
+                        ? static_cast<double>(report.weight_bytes_f32) /
+                              static_cast<double>(report.weight_bytes)
+                        : 0.0);
+      }
+      if (!args.save_quant_ckpt.empty()) {
+        quant::save_quantized_checkpoint(args.save_quant_ckpt, 0, comm,
+                                         stage.quantized_weights(), policy.kind);
+        if (comm.rank() == 0) {
+          std::printf("quantized checkpoint -> %s\n",
+                      args.save_quant_ckpt.c_str());
+        }
+      }
+      if (!args.load_quant_ckpt.empty()) {
+        const auto step = quant::load_quantized_checkpoint(
+            args.load_quant_ckpt, comm, stage.quantized_weights(), policy.kind);
+        PTDP_CHECK(step.has_value())
+            << "no committed " << args.weight_dtype << " checkpoint under "
+            << args.load_quant_ckpt;
+        if (comm.rank() == 0) {
+          std::printf("quantized checkpoint <- %s (step %llu)\n",
+                      args.load_quant_ckpt.c_str(),
+                      static_cast<unsigned long long>(*step));
+        }
+      }
+    }
 
     serve::EngineOptions eo;
     eo.block_tokens = 8;
@@ -128,6 +239,11 @@ int main(int argc, char** argv) {
     lo.window = config.seq;
     lo.vocab = config.vocab;
     lo.seed = args.seed;
+    // The quantized accuracy gates are statements about GREEDY decode
+    // (§17 accuracy policy): sampled requests draw through the inverse CDF
+    // of *different* logits, so token equality is not the right contract
+    // for them. Keep the default greedy/sampled mix for f32/bf16.
+    if (quantized) lo.sampled_fraction = 0.0;
     serve::LoadGen lg(lo);
 
     std::int64_t step = 0;
@@ -151,8 +267,10 @@ int main(int argc, char** argv) {
     }
 
     if (args.check) {
-      // Replay every request through the full-forward oracle. generate()
-      // is collective over the tensor group, so all ranks replay.
+      // Replay every request through the full-forward path of the SAME
+      // stage: the engine's paged, preempted, batched decode must be
+      // bit-identical to it at any weight dtype. generate() is collective
+      // over the tensor group, so all ranks replay.
       for (const auto& fin : lg.finished()) {
         const serve::Request& req = lg.request(fin.id);
         model::GenerateOptions oracle_opts = req.options;
@@ -174,6 +292,88 @@ int main(int argc, char** argv) {
         std::printf("oracle check: %zu/%zu responses bit-identical to "
                     "full-forward decode\n",
                     lg.finished().size(), lg.finished().size());
+      }
+    }
+
+    if (args.check && quantized &&
+        policy.kind == tensor::QuantKind::kInt8) {
+      // Accuracy gate (DESIGN.md §17): int8 greedy decode must pick the
+      // SAME tokens the fp32 model picks — not bitwise logits, identical
+      // argmax at every step.
+      int int8_mismatches = 0;
+      for (const auto& fin : lg.finished()) {
+        const serve::Request& req = lg.request(fin.id);
+        model::GenerateOptions oracle_opts = req.options;
+        oracle_opts.use_kv_cache = false;
+        oracle_opts.max_new_tokens =
+            static_cast<std::int64_t>(fin.tokens.size());
+        const auto oracle =
+            model::generate(*oracle_stage, req.prompt, oracle_opts);
+        const bool ok =
+            std::equal(fin.tokens.begin(), fin.tokens.end(),
+                       oracle.begin() + static_cast<std::ptrdiff_t>(
+                                            req.prompt.size()));
+        if (!ok) {
+          ++int8_mismatches;
+          if (comm.rank() == 0) {
+            std::fprintf(stderr, "request %llu: int8 tokens != fp32 oracle\n",
+                         static_cast<unsigned long long>(fin.id));
+          }
+        }
+      }
+      if (comm.rank() == 0) {
+        mismatches += int8_mismatches;
+        if (int8_mismatches == 0) {
+          std::printf("oracle check: %zu/%zu responses token-identical to "
+                      "the fp32 oracle\n",
+                      lg.finished().size(), lg.finished().size());
+        }
+      }
+    }
+
+    if (args.check && quantized && policy.kind == tensor::QuantKind::kQ4) {
+      // Q4 is gated on measured agreement, not exactness: teacher-force
+      // the fp32 oracle's continuation through the quantized model and
+      // count top-1 matches at every generated position.
+      std::int64_t agree = 0, total = 0;
+      Rng rng(0);  // unused for greedy picks
+      for (const auto& fin : lg.finished()) {
+        const serve::Request& req = lg.request(fin.id);
+        model::GenerateOptions oracle_opts = req.options;
+        oracle_opts.use_kv_cache = false;
+        oracle_opts.max_new_tokens =
+            static_cast<std::int64_t>(fin.tokens.size());
+        const auto oracle =
+            model::generate(*oracle_stage, req.prompt, oracle_opts);
+        for (std::size_t p = req.prompt.size(); p < oracle.size(); ++p) {
+          const std::vector<std::int32_t> prefix(oracle.begin(),
+                                                 oracle.begin() +
+                                                     static_cast<std::ptrdiff_t>(p));
+          const tensor::Tensor logits = model::forward_logits(
+              stage, prefix, static_cast<std::int64_t>(prefix.size()), 1);
+          const auto row = logits.data();
+          const std::int64_t v = logits.dim(-1);
+          const std::int32_t pick = model::sample_token(
+              std::span<const float>(
+                  row.data() + (static_cast<std::int64_t>(prefix.size()) - 1) * v,
+                  static_cast<std::size_t>(v)),
+              oracle_opts, rng);
+          agree += pick == oracle[p] ? 1 : 0;
+          ++total;
+        }
+      }
+      const double frac =
+          total > 0 ? static_cast<double>(agree) / static_cast<double>(total)
+                    : 1.0;
+      if (comm.rank() == 0) {
+        std::printf("q4 top-1 agreement with the fp32 oracle: %lld/%lld "
+                    "(%.3f)\n",
+                    static_cast<long long>(agree),
+                    static_cast<long long>(total), frac);
+        if (frac < 0.90) {
+          std::fprintf(stderr, "FAIL: q4 top-1 agreement %.3f < 0.90\n", frac);
+          ++mismatches;
+        }
       }
     }
   };

@@ -12,6 +12,8 @@
 
 namespace ptdp::graph {
 
+struct QuantPolicy;
+
 struct PlannerOptions {
   bool fuse = true;               ///< run the §4.2 operator-fusion pass
   bool plan_buffers = true;       ///< run lifetime analysis + slot assignment
@@ -19,6 +21,10 @@ struct PlannerOptions {
   std::int64_t tp_size = 1;       ///< tensor-parallel degree (sizes sharded
                                   ///< tensors for the buffer plan; topology
                                   ///< is t-independent)
+  bool inference = false;         ///< decode/serving plan: drop the backward
+                                  ///< graph after fusion (no grads at serve)
+  const QuantPolicy* quant = nullptr;  ///< with `inference`, run the §17
+                                       ///< kernel-selection pass (passes.hpp)
 };
 
 /// The raw unfused plan for one block (no passes run). `with_dropout`

@@ -73,6 +73,10 @@ enum class OpKind : std::uint8_t {
   kScaleCausalSoftmax,
   kScaleMaskSoftmax,
   kScaleSoftmaxBwd,
+  // serving-only kernel selections (§17): rewritten from kLinearFwd by the
+  // select_kernels pass on inference plans — same module call, but the GEMM
+  // streams blockwise-quantized weight bytes (Node::quant names the format)
+  kLinearFwdQuant,
 };
 
 /// Stable span/dump name for an op ("graph.layernorm", ...). Static storage;
@@ -104,6 +108,7 @@ struct Node {
   model::DropSite site = model::DropSite::kEmbedding;  ///< RNG site for dropout kinds
   float scale = 0.0f;       ///< softmax scale / kScale factor
   bool causal = false;      ///< kMaskFill / kScale*Softmax variant
+  std::int8_t quant = -1;   ///< tensor::QuantKind, for kLinearFwdQuant
 };
 
 /// One tensor in the plan. Shape is symbolic (for dumps) plus a concrete

@@ -13,6 +13,7 @@
 
 #include "ptdp/dist/comm.hpp"
 #include "ptdp/model/param.hpp"
+#include "ptdp/quant/quant.hpp"
 #include "ptdp/tensor/tensor.hpp"
 
 namespace ptdp::model {
@@ -46,6 +47,17 @@ class ColumnParallelLinear {
   std::int64_t out_per_rank() const { return out_per_rank_; }
   void collect_params(ParamRefs& out);
 
+  /// Serving-only: repack the weight shard into blockwise-quantized form
+  /// (DESIGN.md §17). Forward then dispatches the quantized GEMM; backward
+  /// CHECK-fails (quantized weights have no gradient). `drop_f32` releases
+  /// the f32/bf16 master storage — training worlds must keep it.
+  void quantize_weight(tensor::QuantKind kind, std::int64_t group_size,
+                       bool drop_f32);
+  bool quantized() const { return qweight_.defined(); }
+  quant::QuantizedWeight& quantized_weight() { return qweight_; }
+  const quant::QuantizedWeight& quantized_weight() const { return qweight_; }
+  const std::string& weight_name() const { return weight_.name; }
+
  private:
   std::string name_;
   dist::Comm tp_;
@@ -53,6 +65,7 @@ class ColumnParallelLinear {
   bool skip_bias_add_;
   Param weight_;  ///< [in, out/t]
   Param bias_;    ///< [out/t]
+  quant::QuantizedWeight qweight_;  ///< serving-only packed form of weight_
 };
 
 class RowParallelLinear {
@@ -80,6 +93,16 @@ class RowParallelLinear {
   std::int64_t in_per_rank() const { return in_per_rank_; }
   void collect_params(ParamRefs& out);
 
+  /// See ColumnParallelLinear::quantize_weight. Groups run along the local
+  /// K shard (in/t rows); a policy group size dividing in/t keeps t=1 and
+  /// t=2 quantization bitwise-consistent (quant.hpp shard-alignment rule).
+  void quantize_weight(tensor::QuantKind kind, std::int64_t group_size,
+                       bool drop_f32);
+  bool quantized() const { return qweight_.defined(); }
+  quant::QuantizedWeight& quantized_weight() { return qweight_; }
+  const quant::QuantizedWeight& quantized_weight() const { return qweight_; }
+  const std::string& weight_name() const { return weight_.name; }
+
  private:
   std::string name_;
   dist::Comm tp_;
@@ -87,6 +110,7 @@ class RowParallelLinear {
   bool skip_bias_add_;
   Param weight_;  ///< [in/t, out]
   Param bias_;    ///< [out], replicated across tensor ranks
+  quant::QuantizedWeight qweight_;  ///< serving-only packed form of weight_
 };
 
 }  // namespace ptdp::model

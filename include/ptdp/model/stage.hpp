@@ -17,6 +17,11 @@
 #include "ptdp/model/embedding.hpp"
 #include "ptdp/model/head.hpp"
 #include "ptdp/model/transformer_layer.hpp"
+#include "ptdp/quant/quant.hpp"
+
+namespace ptdp::graph {
+struct QuantPolicy;
+}
 
 namespace ptdp::model {
 
@@ -49,6 +54,15 @@ struct StageCache {
 struct StageForward {
   tensor::Tensor activation;  ///< [s, b, h]; undefined when the stage has the head
   float loss = 0.0f;          ///< defined when the stage has the head
+};
+
+/// What quantize_for_serving did: how many linears went quantized, and the
+/// weight footprint before (f32-equivalent) and after. bytes_f32 / bytes is
+/// ~4x for int8, ~7x for q4 (per-group scale + zero-point overhead).
+struct QuantizeReport {
+  int linears = 0;
+  std::int64_t weight_bytes_f32 = 0;
+  std::int64_t weight_bytes = 0;
 };
 
 class GptStage {
@@ -106,6 +120,20 @@ class GptStage {
   /// Eval-mode switch: sets the dropout probability on every submodule
   /// (0 for evaluation/generation, the configured value for training).
   void set_dropout(float p);
+
+  /// Serving-only weight quantization (DESIGN.md §17). Builds one inference
+  /// plan for this config, runs the graph-planner kernel-selection pass, and
+  /// applies its per-slot decision to every layer's linear modules
+  /// (quantize-once at load; with policy.drop_f32 the f32 masters are
+  /// released). Requires dropout == 0. Records quant.* metrics when the
+  /// registry is on. Training stages must never call this — backward through
+  /// a quantized linear CHECK-fails.
+  QuantizeReport quantize_for_serving(const graph::QuantPolicy& policy);
+
+  /// Name -> packed-weight views over every quantized linear, in
+  /// deterministic (layer, slot) order — the unit of quantized
+  /// checkpointing and weight distribution (ptdp::quant).
+  std::vector<quant::NamedQuant> quantized_weights();
 
  private:
   GptConfig config_;

@@ -1,0 +1,123 @@
+#pragma once
+
+// ptdp::quant — weight-only quantized storage for the serving path
+// (DESIGN.md §17). A QuantizedWeight is the packed form of one linear
+// layer's [k, n] weight shard: payload bytes, per-(group, column) f32
+// scales, and u8 zero-points, in the ptdp::tensor panel layout
+// (tensor/quant_ops.hpp). All three live in Tensors drawn from the
+// ptdp::mem pool, so byte accounting, checkpoint CRCs, and dist transport
+// come for free.
+//
+// Shard-alignment rule: quantization groups run along K (the reduction
+// dimension). Column-parallel shards split N, so per-column groups are
+// unaffected by t; row-parallel shards split K, so a group size dividing
+// K/t makes each rank's groups a contiguous sub-range of the full-weight
+// groups. Under that rule quantize(full) restricted to a rank's shard is
+// BITWISE equal to quantize(shard) — t ∈ {1, 2} stays rank-deterministic,
+// and shard_rows/slice_cols below are exact (pure byte shuffles).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ptdp/dist/comm.hpp"
+#include "ptdp/tensor/quant_ops.hpp"
+#include "ptdp/tensor/tensor.hpp"
+
+namespace ptdp::quant {
+
+struct QuantizedWeight {
+  tensor::QuantKind kind = tensor::QuantKind::kInt8;
+  std::int64_t rows = 0;        ///< k (reduction dim of the GEMM)
+  std::int64_t cols = 0;        ///< n (output dim)
+  std::int64_t group_size = 0;  ///< rows per (scale, zero-point) group
+  // Storage: payload/zeros are byte arrays carried in f32 tensors (numel =
+  // ceil(bytes/4), tail zero-filled) so the pool, checkpoint CRC, and comm
+  // layers see ordinary tensors.
+  tensor::Tensor payload;
+  tensor::Tensor scales;  ///< f32 [ngroups * npanels * kQuantPanel]
+  tensor::Tensor zeros;   ///< u8, packed like payload
+
+  bool defined() const { return rows > 0; }
+  std::int64_t payload_bytes() const;
+  std::int64_t meta_elems() const;
+  /// Exact quantized footprint: payload + scales (4B) + zeros (1B each).
+  std::int64_t quant_bytes() const;
+
+  std::uint8_t* payload_u8();
+  const std::uint8_t* payload_u8() const;
+  std::uint8_t* zeros_u8();
+  const std::uint8_t* zeros_u8() const;
+};
+
+/// Largest divisor of k_rows that is <= requested: the group size actually
+/// used, so any (policy, shard) combination quantizes instead of failing.
+/// For exact t=1 vs t=2 row-shard equality pick a policy group dividing K/t.
+std::int64_t effective_group_size(std::int64_t requested, std::int64_t k_rows);
+
+/// Quantize a [k, n] f32 (or bf16, widened first) weight. group_size is
+/// clamped via effective_group_size.
+QuantizedWeight quantize(const tensor::Tensor& w, tensor::QuantKind kind,
+                         std::int64_t group_size);
+
+/// ŵ [k, n] f32 — exactly what the quantized GEMM multiplies by.
+tensor::Tensor dequantize(const QuantizedWeight& w);
+
+/// C = a · dequant(w): a is [..., k] f32, result [..., n] f32. Dispatches
+/// gemm_f32xq{8,4}; bitwise-deterministic across thread counts.
+tensor::Tensor matmul(const tensor::Tensor& a, const QuantizedWeight& w);
+
+// ---- wire format (dist broadcast/scatter at world bring-up) ----------------
+
+/// Self-describing byte image: header (magic, kind, geometry) + payload +
+/// scales + zeros. ~4x (int8) / ~7x (q4) smaller than the f32 weight, which
+/// multiplies the effective bandwidth of weight distribution.
+std::vector<std::uint8_t> serialize(const QuantizedWeight& w);
+QuantizedWeight deserialize(std::span<const std::uint8_t> bytes);
+
+/// Collective: root serializes `w` (others pass anything) and every rank
+/// returns the root's weight. `wire_bytes` (optional) receives the payload
+/// size actually broadcast.
+QuantizedWeight broadcast(const dist::Comm& comm, const QuantizedWeight& w,
+                          int root, std::int64_t* wire_bytes = nullptr);
+
+/// Row slice [r0, r1) — a row-parallel TP shard. r0 and r1 - r0 must be
+/// multiples of group_size; the result is bitwise what quantizing the f32
+/// row slice directly produces.
+QuantizedWeight shard_rows(const QuantizedWeight& w, std::int64_t r0,
+                           std::int64_t r1);
+
+/// Column slice [c0, c1) — a column-parallel TP shard. c0 must be panel-
+/// aligned (multiple of tensor::kQuantPanel) and c1 panel-aligned or == cols.
+QuantizedWeight slice_cols(const QuantizedWeight& w, std::int64_t c0,
+                           std::int64_t c1);
+
+// ---- dtype-tagged checkpoints ----------------------------------------------
+
+/// A named quantized weight for checkpoint/wire helpers.
+struct NamedQuant {
+  std::string name;
+  QuantizedWeight* weight = nullptr;
+};
+
+/// Two-phase committed save (ckpt/manifest.hpp protocol) of every rank's
+/// quantized shards under `dir`, manifest dtype-tagged "int8"/"q4" so a
+/// resume at the wrong precision regime is rejected before any shard opens.
+/// Collective over `tp` (the all-gather of per-shard CRCs is the barrier).
+void save_quantized_checkpoint(const std::string& dir, std::uint64_t step,
+                               const dist::Comm& tp,
+                               const std::vector<NamedQuant>& weights,
+                               tensor::QuantKind kind);
+
+/// Loads the newest valid checkpoint whose manifest dtype matches `kind`
+/// into `weights` (matched by name; geometry must agree — quantize first to
+/// size the tensors, then load overwrites the bytes). Returns the step, or
+/// nullopt when no committed checkpoint exists. CHECK-fails if the newest
+/// valid checkpoint was written at a different dtype.
+std::optional<std::uint64_t> load_quantized_checkpoint(
+    const std::string& dir, const dist::Comm& tp,
+    const std::vector<NamedQuant>& weights, tensor::QuantKind kind);
+
+}  // namespace ptdp::quant

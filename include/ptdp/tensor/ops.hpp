@@ -64,6 +64,17 @@ Tensor gelu(const Tensor& x);
 /// dX given upstream dy and the forward *input* x.
 Tensor gelu_backward(const Tensor& dy, const Tensor& x);
 
+/// GeLU kernel-path switch. The default path evaluates tanh through a
+/// vectorized exp (relative error ~1e-7, ~20x the scalar-libm throughput);
+/// the exact path calls std::tanh per element, bitwise-matching pre-§17
+/// outputs. Both paths are bitwise-deterministic across thread counts, and
+/// gelu / gelu_backward / fused_bias_gelu / fused_bias_gelu_backward always
+/// switch together (the fused and unfused compositions stay equal). Initial
+/// value comes from PTDP_GELU_EXACT=1; set_gelu_exact flips it at runtime
+/// and returns the previous value.
+bool gelu_exact();
+bool set_gelu_exact(bool on);
+
 /// Dropout at probability p. Returns y and writes the kept-mask (0/1 scaled
 /// by 1/(1-p)) into `mask` (allocated to x's shape). p == 0 is identity.
 Tensor dropout(const Tensor& x, float p, Rng& rng, Tensor& mask);

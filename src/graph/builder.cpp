@@ -257,6 +257,15 @@ LayerPlan build_layer_plan(const model::GptConfig& config, bool with_dropout,
                            const PlannerOptions& opts) {
   LayerPlan plan = build_unfused_layer_plan(config, with_dropout, opts.tp_size);
   if (opts.fuse) fuse_operators(plan);
+  if (opts.inference) {
+    // Decode/serving plans never run backward; dropping it after fusion
+    // keeps the fused forward topology identical to the training plan's.
+    plan.bwd.clear();
+    if (opts.quant != nullptr) {
+      const int nsel = select_kernels(plan, *opts.quant);
+      PTDP_CHECK_GE(nsel, 0);
+    }
+  }
   if (opts.propagate_dtypes) propagate_dtypes(plan, config);
   analyze_lifetimes(plan);
   if (opts.plan_buffers) plan_buffers(plan);

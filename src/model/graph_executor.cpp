@@ -92,7 +92,11 @@ struct Runner {
         at(n.out[0]) = g.dx;
         break;
       }
-      case OpKind::kLinearFwd: {
+      case OpKind::kLinearFwd:
+      case OpKind::kLinearFwdQuant: {
+        // Same dispatch: the linear module itself routes to the quantized
+        // GEMM when its weight has been quantized (stage.quantize_for_serving
+        // applies the plan's kernel selection to the modules).
         model::LinearCache c;
         switch (static_cast<LinearSlot>(n.linear)) {
           case LinearSlot::kQkv: at(n.out[0]) = bind.qkv->forward(at(n.in[0]), c); break;

@@ -22,6 +22,22 @@ Tensor gemm_input(const Tensor& x, const Tensor& weight) {
   return x;
 }
 
+// Quantize-once at serving load: repack the (widened-to-f32) weight shard,
+// optionally dropping the master storage. Shared by both layer flavors.
+void quantize_param(Param& weight, quant::QuantizedWeight& qweight,
+                    tensor::QuantKind kind, std::int64_t group_size,
+                    bool drop_f32) {
+  Tensor w = weight.value.dtype() == tensor::DType::kF32
+                 ? weight.value
+                 : weight.value.to(tensor::DType::kF32);
+  qweight = quant::quantize(
+      w, kind, quant::effective_group_size(group_size, w.dim(0)));
+  if (drop_f32) {
+    weight.value = Tensor();
+    weight.grad = Tensor();
+  }
+}
+
 }  // namespace
 
 ColumnParallelLinear::ColumnParallelLinear(std::string name, std::int64_t in,
@@ -46,6 +62,13 @@ ColumnParallelLinear::ColumnParallelLinear(std::string name, std::int64_t in,
 
 Tensor ColumnParallelLinear::forward(const Tensor& x, LinearCache& cache) {
   PTDP_CHECK_EQ(x.dim(-1), in_) << name_;
+  if (quantized()) {
+    PTDP_CHECK(x.dtype() == tensor::DType::kF32) << name_;
+    cache.input = x;
+    Tensor y = quant::matmul(x, qweight_);
+    if (!skip_bias_add_) y = tensor::add_bias(y, bias_.value);
+    return y;
+  }
   cache.input = gemm_input(x, weight_.value);  // f32: shares storage; cheap
   Tensor y = tensor::matmul(cache.input, weight_.value);
   if (!skip_bias_add_) y = tensor::add_bias(y, bias_.value);
@@ -53,6 +76,7 @@ Tensor ColumnParallelLinear::forward(const Tensor& x, LinearCache& cache) {
 }
 
 Tensor ColumnParallelLinear::backward(const Tensor& dy, const LinearCache& cache) {
+  PTDP_CHECK(!quantized()) << name_ << ": quantized weights have no gradient";
   PTDP_CHECK_EQ(dy.dim(-1), out_per_rank_) << name_;
   // dW += xᵀ·dy ; dbias += colsum(dy) unless a fused kernel owns it.
   tensor::add_(weight_.grad, tensor::matmul_tn(cache.input, dy));
@@ -66,6 +90,12 @@ Tensor ColumnParallelLinear::backward(const Tensor& dy, const LinearCache& cache
 void ColumnParallelLinear::collect_params(ParamRefs& out) {
   out.push_back(&weight_);
   out.push_back(&bias_);
+}
+
+void ColumnParallelLinear::quantize_weight(tensor::QuantKind kind,
+                                           std::int64_t group_size,
+                                           bool drop_f32) {
+  quantize_param(weight_, qweight_, kind, group_size, drop_f32);
 }
 
 RowParallelLinear::RowParallelLinear(std::string name, std::int64_t in,
@@ -90,6 +120,15 @@ RowParallelLinear::RowParallelLinear(std::string name, std::int64_t in,
 
 Tensor RowParallelLinear::forward(const Tensor& x, LinearCache& cache) {
   PTDP_CHECK_EQ(x.dim(-1), in_per_rank_) << name_;
+  if (quantized()) {
+    PTDP_CHECK(x.dtype() == tensor::DType::kF32) << name_;
+    cache.input = x;
+    Tensor y = quant::matmul(x, qweight_);
+    // Operator g forward still applies: partial products across tensor ranks.
+    tp_.all_reduce(y.data());
+    if (!skip_bias_add_) y = tensor::add_bias(y, bias_.value);
+    return y;
+  }
   cache.input = gemm_input(x, weight_.value);
   Tensor y = tensor::matmul(cache.input, weight_.value);
   // Operator g forward: sum partial products across tensor ranks.
@@ -99,6 +138,7 @@ Tensor RowParallelLinear::forward(const Tensor& x, LinearCache& cache) {
 }
 
 Tensor RowParallelLinear::backward(const Tensor& dy, const LinearCache& cache) {
+  PTDP_CHECK(!quantized()) << name_ << ": quantized weights have no gradient";
   PTDP_CHECK_EQ(dy.dim(-1), out_) << name_;
   tensor::add_(weight_.grad, tensor::matmul_tn(cache.input, dy));
   if (!skip_bias_add_) tensor::add_(bias_.grad, tensor::bias_grad(dy));
@@ -110,6 +150,12 @@ Tensor RowParallelLinear::backward(const Tensor& dy, const LinearCache& cache) {
 void RowParallelLinear::collect_params(ParamRefs& out) {
   out.push_back(&weight_);
   out.push_back(&bias_);
+}
+
+void RowParallelLinear::quantize_weight(tensor::QuantKind kind,
+                                        std::int64_t group_size,
+                                        bool drop_f32) {
+  quantize_param(weight_, qweight_, kind, group_size, drop_f32);
 }
 
 }  // namespace ptdp::model

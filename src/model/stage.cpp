@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "ptdp/graph/builder.hpp"
+#include "ptdp/graph/passes.hpp"
+#include "ptdp/obs/metrics.hpp"
+
 namespace ptdp::model {
 
 using tensor::Tensor;
@@ -157,6 +161,69 @@ void GptStage::set_dropout(float p) {
   config_.dropout = p;
   if (embedding_) embedding_->set_dropout(p);
   for (auto& layer : layers_) layer->set_dropout(p);
+}
+
+QuantizeReport GptStage::quantize_for_serving(const graph::QuantPolicy& policy) {
+  PTDP_CHECK_EQ(config_.dropout, 0.0f)
+      << "quantize_for_serving is inference-only; set_dropout(0) first";
+  // The plan decides, the modules follow: build ONE inference layer plan for
+  // this config, let the §17 kernel-selection pass rewrite it, then read back
+  // which linear slots it chose. Every layer shares the topology, so the one
+  // decision applies to all of them.
+  graph::PlannerOptions opts;
+  opts.inference = true;
+  opts.quant = &policy;
+  const graph::LayerPlan plan =
+      graph::build_layer_plan(config_, /*with_dropout=*/false, opts);
+  bool slot_quant[4] = {false, false, false, false};
+  for (const graph::Node& n : plan.fwd) {
+    if (n.kind == graph::OpKind::kLinearFwdQuant && n.linear >= 0) {
+      slot_quant[n.linear] = true;
+    }
+  }
+
+  QuantizeReport report;
+  auto quantize_one = [&](auto* lin) {
+    lin->quantize_weight(policy.kind, policy.group_size, policy.drop_f32);
+    const quant::QuantizedWeight& qw = lin->quantized_weight();
+    report.weight_bytes_f32 += qw.rows * qw.cols * 4;
+    report.weight_bytes += qw.quant_bytes();
+    ++report.linears;
+  };
+  for (auto& layer : layers_) {
+    const graph::LayerBinding& bind = layer->binding();
+    if (slot_quant[static_cast<int>(graph::LinearSlot::kQkv)]) quantize_one(bind.qkv);
+    if (slot_quant[static_cast<int>(graph::LinearSlot::kProj)]) quantize_one(bind.proj);
+    if (slot_quant[static_cast<int>(graph::LinearSlot::kFc1)]) quantize_one(bind.fc1);
+    if (slot_quant[static_cast<int>(graph::LinearSlot::kFc2)]) quantize_one(bind.fc2);
+  }
+
+  if (obs::metrics_on()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("quant.weight_bytes_saved")
+        .add(report.weight_bytes_f32 - report.weight_bytes);
+    reg.gauge("quant.weight_bytes").set(static_cast<double>(report.weight_bytes));
+    reg.gauge("quant.weight_bytes_f32")
+        .set(static_cast<double>(report.weight_bytes_f32));
+  }
+  return report;
+}
+
+std::vector<quant::NamedQuant> GptStage::quantized_weights() {
+  std::vector<quant::NamedQuant> out;
+  auto add = [&](auto* lin) {
+    if (lin->quantized()) {
+      out.push_back({lin->weight_name(), &lin->quantized_weight()});
+    }
+  };
+  for (auto& layer : layers_) {
+    const graph::LayerBinding& bind = layer->binding();
+    add(bind.qkv);
+    add(bind.proj);
+    add(bind.fc1);
+    add(bind.fc2);
+  }
+  return out;
 }
 
 Param* GptStage::word_embedding_param() {

@@ -1,7 +1,10 @@
 #include "ptdp/tensor/ops.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <type_traits>
 #include <vector>
@@ -649,7 +652,165 @@ inline float gelu_grad_scalar(float x) {
   const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
   return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
 }
+
+std::atomic<bool>& gelu_exact_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("PTDP_GELU_EXACT");
+    return env != nullptr && env[0] == '1' && env[1] == '\0';
+  }();
+  return flag;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+// Vectorized GeLU (ops.hpp gelu_exact() contract). The scalar path above
+// spends ~95% of its time in libm tanh; here tanh(u) is evaluated as
+// sign(u) * (1 - e) / (1 + e) with e = exp(-2|u|), and exp through the
+// classic 2^n * 2^f split: n = round(t), t = v*log2(e), with the round
+// done by the add-magic-constant trick (2^23 + 2^22 puts any |t| < 2^21
+// in the 1-ulp-per-integer regime, so the float's low mantissa bits ARE
+// the integer) and 2^f a degree-5 polynomial on f in [-0.5, 0.5].
+// Everything is elementwise, so results are bitwise independent of both
+// chunking and lane position — thread-count determinism comes for free.
+using VecNI = std::int32_t __attribute__((vector_size(sizeof(float) * kNR),
+                                          aligned(alignof(float))));
+
+inline VecNR gelu_loadu(const float* p) {
+  VecNR v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline VecNR gelu_splat(float x) {
+  VecNR v;
+  for (std::int64_t j = 0; j < kNR; ++j) v[j] = x;
+  return v;
+}
+
+// exp(v) for v <= 0. Inputs are clamped at -87 (exp(-87) ~ 1.6e-38, still
+// a normal float) so the exponent bit-build below never underflows.
+inline VecNR exp_neg_vec(VecNR v) {
+  const VecNR lo = gelu_splat(-87.0f);
+  v = v < lo ? lo : v;
+  const VecNR t = v * 1.4426950408889634f;  // log2(e)
+  const VecNR magic = gelu_splat(12582912.0f);  // 2^23 + 2^22
+  const VecNR r = t + magic;
+  const VecNI n = (VecNI)r - (VecNI)magic;  // same-size vector cast = bit view
+  const VecNR f = t - (r - magic);          // in [-0.5, 0.5]
+  // 2^f: minimax-ish Taylor in ln2 * f, max relative error ~2e-8.
+  VecNR p = gelu_splat(0.00133335581f);
+  p = p * f + 0.00961812911f;
+  p = p * f + 0.0555041087f;
+  p = p * f + 0.240226507f;
+  p = p * f + 0.693147180f;
+  p = p * f + 1.0f;
+  const VecNI bits = (n + 127) << 23;  // 2^n
+  return p * (VecNR)bits;
+}
+
+inline VecNR tanh_vec(VecNR u) {
+  const VecNI sign_mask = (VecNI)u & static_cast<std::int32_t>(0x80000000);
+  const VecNR au = (VecNR)((VecNI)u & 0x7fffffff);
+  const VecNR e = exp_neg_vec(-2.0f * au);
+  const VecNR t = (1.0f - e) / (1.0f + e);
+  return (VecNR)((VecNI)t | sign_mask);
+}
+
+inline VecNR gelu_vec(VecNR x) {
+  const VecNR u = kGeluC * (x + kGeluA * x * x * x);
+  return 0.5f * x * (1.0f + tanh_vec(u));
+}
+
+inline VecNR gelu_grad_vec(VecNR x) {
+  const VecNR u = kGeluC * (x + kGeluA * x * x * x);
+  const VecNR t = tanh_vec(u);
+  const VecNR du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+#endif  // __GNUC__ || __clang__
+
+// out[j] = GeLU(x[j] + bias[j]) over [0, n); bias may be null. The tail
+// (< kNR elements) runs the SAME vector code over a zero-padded buffer, so
+// every element sees one arithmetic sequence regardless of where chunk
+// boundaries fall.
+void gelu_forward_span(const float* x, const float* bias, float* out,
+                       std::int64_t n) {
+#if defined(__GNUC__) || defined(__clang__)
+  if (!gelu_exact_flag().load(std::memory_order_relaxed)) {
+    std::int64_t j = 0;
+    for (; j + kNR <= n; j += kNR) {
+      VecNR v = gelu_loadu(x + j);
+      if (bias != nullptr) v += gelu_loadu(bias + j);
+      const VecNR g = gelu_vec(v);
+      std::memcpy(out + j, &g, sizeof g);
+    }
+    if (j < n) {
+      const std::int64_t nr = n - j;
+      float buf[kNR] = {};
+      std::memcpy(buf, x + j, static_cast<std::size_t>(nr) * sizeof(float));
+      VecNR v = gelu_loadu(buf);
+      if (bias != nullptr) {
+        float bbuf[kNR] = {};
+        std::memcpy(bbuf, bias + j, static_cast<std::size_t>(nr) * sizeof(float));
+        v += gelu_loadu(bbuf);
+      }
+      const VecNR g = gelu_vec(v);
+      std::memcpy(out + j, &g, static_cast<std::size_t>(nr) * sizeof(float));
+    }
+    return;
+  }
+#endif
+  if (bias != nullptr) {
+    for (std::int64_t j = 0; j < n; ++j) out[j] = gelu_scalar(x[j] + bias[j]);
+  } else {
+    for (std::int64_t j = 0; j < n; ++j) out[j] = gelu_scalar(x[j]);
+  }
+}
+
+/// out[j] = dy[j] * GeLU'(x[j] + bias[j]) over [0, n); bias may be null.
+void gelu_grad_span(const float* dy, const float* x, const float* bias,
+                    float* out, std::int64_t n) {
+#if defined(__GNUC__) || defined(__clang__)
+  if (!gelu_exact_flag().load(std::memory_order_relaxed)) {
+    std::int64_t j = 0;
+    for (; j + kNR <= n; j += kNR) {
+      VecNR v = gelu_loadu(x + j);
+      if (bias != nullptr) v += gelu_loadu(bias + j);
+      const VecNR g = gelu_loadu(dy + j) * gelu_grad_vec(v);
+      std::memcpy(out + j, &g, sizeof g);
+    }
+    if (j < n) {
+      const std::int64_t nr = n - j;
+      float buf[kNR] = {};
+      float dbuf[kNR] = {};
+      std::memcpy(buf, x + j, static_cast<std::size_t>(nr) * sizeof(float));
+      std::memcpy(dbuf, dy + j, static_cast<std::size_t>(nr) * sizeof(float));
+      VecNR v = gelu_loadu(buf);
+      if (bias != nullptr) {
+        float bbuf[kNR] = {};
+        std::memcpy(bbuf, bias + j, static_cast<std::size_t>(nr) * sizeof(float));
+        v += gelu_loadu(bbuf);
+      }
+      const VecNR g = gelu_loadu(dbuf) * gelu_grad_vec(v);
+      std::memcpy(out + j, &g, static_cast<std::size_t>(nr) * sizeof(float));
+    }
+    return;
+  }
+#endif
+  if (bias != nullptr) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      out[j] = dy[j] * gelu_grad_scalar(x[j] + bias[j]);
+    }
+  } else {
+    for (std::int64_t j = 0; j < n; ++j) out[j] = dy[j] * gelu_grad_scalar(x[j]);
+  }
+}
 }  // namespace
+
+bool gelu_exact() { return gelu_exact_flag().load(std::memory_order_relaxed); }
+
+bool set_gelu_exact(bool on) {
+  return gelu_exact_flag().exchange(on, std::memory_order_relaxed);
+}
 
 Tensor gelu(const Tensor& x) {
   Tensor out = Tensor::empty(x.shape());
@@ -657,7 +818,8 @@ Tensor gelu(const Tensor& x) {
   auto dout = out.data();
   parallel_for(0, static_cast<std::int64_t>(dx.size()), kElemGrain,
                [&](std::int64_t i0, std::int64_t i1) {
-                 for (std::int64_t i = i0; i < i1; ++i) dout[i] = gelu_scalar(dx[i]);
+                 gelu_forward_span(dx.data() + i0, nullptr, dout.data() + i0,
+                                   i1 - i0);
                });
   return out;
 }
@@ -670,9 +832,8 @@ Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
   auto dout = out.data();
   parallel_for(0, static_cast<std::int64_t>(dx.size()), kElemGrain,
                [&](std::int64_t i0, std::int64_t i1) {
-                 for (std::int64_t i = i0; i < i1; ++i) {
-                   dout[i] = ddy[i] * gelu_grad_scalar(dx[i]);
-                 }
+                 gelu_grad_span(ddy.data() + i0, dx.data() + i0, nullptr,
+                                dout.data() + i0, i1 - i0);
                });
   return out;
 }
@@ -875,11 +1036,7 @@ Tensor fused_bias_gelu(const Tensor& x, const Tensor& bias) {
   auto dout = out.data();
   parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r) {
-      const float* xrow = dx.data() + r * n;
-      float* orow = dout.data() + r * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        orow[j] = gelu_scalar(xrow[j] + db[static_cast<std::size_t>(j)]);
-      }
+      gelu_forward_span(dx.data() + r * n, db.data(), dout.data() + r * n, n);
     }
   });
   return out;
@@ -902,13 +1059,8 @@ Tensor fused_bias_gelu_backward(const Tensor& dy, const Tensor& x, const Tensor&
   // ascending order no matter the thread count.
   parallel_for(0, rows, row_grain(n), [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r) {
-      const float* xrow = dx.data() + r * n;
-      const float* dyrow = ddy.data() + r * n;
-      float* orow = dout.data() + r * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        orow[j] =
-            dyrow[j] * gelu_grad_scalar(xrow[j] + db[static_cast<std::size_t>(j)]);
-      }
+      gelu_grad_span(ddy.data() + r * n, dx.data() + r * n, db.data(),
+                     dout.data() + r * n, n);
     }
   });
   parallel_for(0, n, row_grain(rows), [&](std::int64_t j0, std::int64_t j1) {

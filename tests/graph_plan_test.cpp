@@ -366,5 +366,62 @@ TEST(GraphBuilder, StagePlanCoversLayerRange) {
   EXPECT_TRUE(sp.recompute);
 }
 
+// ---- §17 kernel selection --------------------------------------------------
+
+TEST(GraphKernelSelection, RefusesTrainingPlans) {
+  LayerPlan plan = build_layer_plan(tiny_config(), /*with_dropout=*/false);
+  ASSERT_FALSE(plan.bwd.empty());
+  const std::vector<OpKind> before = kinds(plan.fwd);
+  QuantPolicy policy;
+  EXPECT_EQ(select_kernels(plan, policy), -1);
+  EXPECT_EQ(kinds(plan.fwd), before) << "refused pass must leave the plan untouched";
+}
+
+TEST(GraphKernelSelection, RewritesExactlyTheEligibleLinears) {
+  QuantPolicy policy;  // every slot eligible, int8
+  PlannerOptions opts;
+  opts.inference = true;
+  opts.quant = &policy;
+  const LayerPlan plan = build_layer_plan(tiny_config(), false, opts);
+  EXPECT_TRUE(plan.bwd.empty());
+  int quantized = 0;
+  for (const Node& n : plan.fwd) {
+    EXPECT_NE(n.kind, OpKind::kLinearFwd)
+        << "all-slots policy left an unquantized linear";
+    if (n.kind == OpKind::kLinearFwdQuant) {
+      ++quantized;
+      EXPECT_EQ(n.quant,
+                static_cast<std::int8_t>(tensor::QuantKind::kInt8));
+    }
+  }
+  EXPECT_EQ(quantized, 4);  // qkv, proj, fc1, fc2
+}
+
+TEST(GraphKernelSelection, PartialPolicyLeavesOtherSlotsAlone) {
+  QuantPolicy policy;
+  policy.kind = tensor::QuantKind::kQ4;
+  policy.slots[static_cast<int>(LinearSlot::kQkv)] = false;
+  policy.slots[static_cast<int>(LinearSlot::kProj)] = false;
+  PlannerOptions opts;
+  opts.inference = true;
+  opts.quant = &policy;
+  const LayerPlan plan = build_layer_plan(tiny_config(), false, opts);
+  std::map<int, OpKind> by_slot;
+  for (const Node& n : plan.fwd) {
+    if (n.kind == OpKind::kLinearFwd || n.kind == OpKind::kLinearFwdQuant) {
+      by_slot[n.linear] = n.kind;
+      if (n.kind == OpKind::kLinearFwdQuant) {
+        EXPECT_EQ(n.quant, static_cast<std::int8_t>(tensor::QuantKind::kQ4));
+      }
+    }
+  }
+  EXPECT_EQ(by_slot.at(static_cast<int>(LinearSlot::kQkv)), OpKind::kLinearFwd);
+  EXPECT_EQ(by_slot.at(static_cast<int>(LinearSlot::kProj)), OpKind::kLinearFwd);
+  EXPECT_EQ(by_slot.at(static_cast<int>(LinearSlot::kFc1)),
+            OpKind::kLinearFwdQuant);
+  EXPECT_EQ(by_slot.at(static_cast<int>(LinearSlot::kFc2)),
+            OpKind::kLinearFwdQuant);
+}
+
 }  // namespace
 }  // namespace ptdp::graph

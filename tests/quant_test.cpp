@@ -1,0 +1,402 @@
+// ptdp::quant tests (DESIGN.md §17):
+//   1. Pack/unpack round-trip error stays within the per-group bound
+//      (max - min) / levels for every group size, including tail panels
+//      (n not a multiple of kQuantPanel), degenerate constant groups, and
+//      the lossless group_size = 1 case.
+//   2. quant::matmul multiplies by exactly dequantize(w) and is bitwise
+//      deterministic across thread counts.
+//   3. TP-shard-aligned grouping: shard_rows / slice_cols of a full-weight
+//      quantization are bitwise what quantizing the f32 shard directly
+//      produces, so t = 1 and t = 2 stay rank-deterministic.
+//   4. Wire format: serialize/deserialize round-trips bitwise, broadcast
+//      delivers the root's weight to every rank at < 1/3 the f32 bytes.
+//   5. Dtype-tagged checkpoints: round-trip bitwise, wrong-kind load is
+//      rejected.
+//   6. A quantized serving engine has zero steady-state pool growth, and
+//      2-way tensor-parallel quantized decode matches the serial quantized
+//      engine token-for-token.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ptdp/dist/world.hpp"
+#include "ptdp/graph/passes.hpp"
+#include "ptdp/quant/quant.hpp"
+#include "ptdp/runtime/parallel_for.hpp"
+#include "ptdp/serve/loadgen.hpp"
+#include "ptdp/tensor/ops.hpp"
+
+namespace ptdp::quant {
+namespace {
+
+using tensor::QuantKind;
+using tensor::Tensor;
+
+// Restores the ambient intra-op thread count on scope exit.
+struct ThreadGuard {
+  std::size_t saved = runtime::intra_op_threads();
+  ~ThreadGuard() { runtime::set_intra_op_threads(saved); }
+};
+
+Tensor random_weight(std::int64_t k, std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn({k, n}, rng);
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  const auto da = a.data();
+  const auto db = b.data();
+  if (da.size() != db.size()) return false;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (std::memcmp(&da[i], &db[i], sizeof(float)) != 0) return false;
+  }
+  return true;
+}
+
+bool quant_bitwise_equal(const QuantizedWeight& a, const QuantizedWeight& b) {
+  if (a.kind != b.kind || a.rows != b.rows || a.cols != b.cols ||
+      a.group_size != b.group_size) {
+    return false;
+  }
+  const auto sb = serialize(a);
+  const auto sc = serialize(b);
+  return sb == sc;
+}
+
+// ---- 1. round-trip error bounds --------------------------------------------
+
+TEST(QuantRoundTrip, ErrorWithinPerGroupBound) {
+  // n = 40 is 2 full panels + an 8-column tail panel.
+  const Tensor w = random_weight(128, 40, 3);
+  const auto dw = w.data();
+  for (const QuantKind kind : {QuantKind::kInt8, QuantKind::kQ4}) {
+    for (const std::int64_t group : {16LL, 32LL, 128LL}) {
+      SCOPED_TRACE(std::string(tensor::quant_kind_name(kind)) + " group " +
+                   std::to_string(group));
+      const QuantizedWeight q = quantize(w, kind, group);
+      const Tensor deq = dequantize(q);
+      const auto dd = deq.data();
+      const double levels =
+          static_cast<double>(tensor::quant_levels(kind));
+      for (std::int64_t j = 0; j < 40; ++j) {
+        for (std::int64_t g0 = 0; g0 < 128; g0 += group) {
+          float mn = dw[static_cast<std::size_t>(g0 * 40 + j)];
+          float mx = mn;
+          for (std::int64_t i = g0; i < g0 + group; ++i) {
+            const float v = dw[static_cast<std::size_t>(i * 40 + j)];
+            mn = std::min(mn, v);
+            mx = std::max(mx, v);
+          }
+          const double bound = static_cast<double>(mx - mn) / levels + 1e-6;
+          for (std::int64_t i = g0; i < g0 + group; ++i) {
+            const std::size_t at = static_cast<std::size_t>(i * 40 + j);
+            ASSERT_NEAR(dd[at], dw[at], bound) << "row " << i << " col " << j;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantRoundTrip, GroupOneIsLossless) {
+  const Tensor w = random_weight(32, 24, 5);
+  for (const QuantKind kind : {QuantKind::kInt8, QuantKind::kQ4}) {
+    const QuantizedWeight q = quantize(w, kind, 1);
+    EXPECT_TRUE(bitwise_equal(dequantize(q), w))
+        << tensor::quant_kind_name(kind);
+  }
+}
+
+TEST(QuantRoundTrip, DegenerateGroupsAreExact) {
+  // Constant columns (including all-zero) round-trip exactly at any group.
+  std::vector<float> data(static_cast<std::size_t>(64 * 20));
+  for (std::int64_t i = 0; i < 64; ++i) {
+    for (std::int64_t j = 0; j < 20; ++j) {
+      data[static_cast<std::size_t>(i * 20 + j)] =
+          j == 0 ? 0.0f : static_cast<float>(j) * 0.25f;
+    }
+  }
+  const Tensor w = Tensor::from_vector({64, 20}, data);
+  for (const QuantKind kind : {QuantKind::kInt8, QuantKind::kQ4}) {
+    const QuantizedWeight q = quantize(w, kind, 16);
+    EXPECT_TRUE(bitwise_equal(dequantize(q), w))
+        << tensor::quant_kind_name(kind);
+  }
+}
+
+TEST(QuantRoundTrip, EffectiveGroupSizeIsLargestDivisor) {
+  EXPECT_EQ(effective_group_size(64, 128), 64);
+  EXPECT_EQ(effective_group_size(64, 48), 48);
+  EXPECT_EQ(effective_group_size(7, 128), 4);
+  EXPECT_EQ(effective_group_size(1, 9), 1);
+}
+
+// ---- 2. quantized GEMM -----------------------------------------------------
+
+TEST(QuantMatmul, MatchesDequantizedReference) {
+  Rng rng(11);
+  const Tensor a = Tensor::randn({5, 96}, rng);
+  const Tensor w = random_weight(96, 40, 7);
+  for (const QuantKind kind : {QuantKind::kInt8, QuantKind::kQ4}) {
+    const QuantizedWeight q = quantize(w, kind, 32);
+    const Tensor got = matmul(a, q);
+    const Tensor want = tensor::matmul(a, dequantize(q));
+    EXPECT_LT(tensor::max_abs_diff(got, want), 1e-4f)
+        << tensor::quant_kind_name(kind);
+  }
+}
+
+TEST(QuantMatmul, BitwiseAcrossThreadCounts) {
+  ThreadGuard guard;
+  Rng rng(13);
+  const Tensor a = Tensor::randn({3, 128}, rng);
+  const Tensor w = random_weight(128, 80, 17);
+  for (const QuantKind kind : {QuantKind::kInt8, QuantKind::kQ4}) {
+    const QuantizedWeight q = quantize(w, kind, 32);
+    runtime::set_intra_op_threads(1);
+    const Tensor serial = matmul(a, q);
+    for (const std::size_t t : {2u, 4u}) {
+      runtime::set_intra_op_threads(t);
+      EXPECT_TRUE(bitwise_equal(matmul(a, q), serial))
+          << tensor::quant_kind_name(kind) << " at " << t << " threads";
+    }
+  }
+}
+
+// ---- 3. TP-shard-aligned grouping ------------------------------------------
+
+TEST(QuantSharding, ShardRowsMatchesDirectShardQuantization) {
+  // Row-parallel t = 2: each rank owns rows [r*64, (r+1)*64). With group 16
+  // dividing K/t = 64, shard-of-quantize must be bitwise quantize-of-shard.
+  const std::int64_t k = 128, n = 48, group = 16;
+  const Tensor w = random_weight(k, n, 19);
+  const auto dw = w.data();
+  const QuantizedWeight full = quantize(w, QuantKind::kInt8, group);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    const std::int64_t r0 = r * (k / 2), r1 = (r + 1) * (k / 2);
+    std::vector<float> shard(static_cast<std::size_t>((r1 - r0) * n));
+    std::copy(dw.begin() + r0 * n, dw.begin() + r1 * n, shard.begin());
+    const QuantizedWeight direct =
+        quantize(Tensor::from_vector({r1 - r0, n}, shard), QuantKind::kInt8,
+                 group);
+    EXPECT_TRUE(quant_bitwise_equal(shard_rows(full, r0, r1), direct))
+        << "rank " << r;
+  }
+}
+
+TEST(QuantSharding, SliceColsMatchesDirectShardQuantization) {
+  // Column-parallel t = 2 on panel-aligned halves of n = 64.
+  const std::int64_t k = 64, n = 64, group = 16;
+  const Tensor w = random_weight(k, n, 23);
+  const auto dw = w.data();
+  const QuantizedWeight full = quantize(w, QuantKind::kQ4, group);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    const std::int64_t c0 = r * (n / 2), c1 = (r + 1) * (n / 2);
+    std::vector<float> shard(static_cast<std::size_t>(k * (c1 - c0)));
+    for (std::int64_t i = 0; i < k; ++i) {
+      std::copy(dw.begin() + i * n + c0, dw.begin() + i * n + c1,
+                shard.begin() + i * (c1 - c0));
+    }
+    const QuantizedWeight direct = quantize(
+        Tensor::from_vector({k, c1 - c0}, shard), QuantKind::kQ4, group);
+    EXPECT_TRUE(quant_bitwise_equal(slice_cols(full, c0, c1), direct))
+        << "rank " << r;
+  }
+}
+
+// ---- 4. wire format --------------------------------------------------------
+
+TEST(QuantWire, SerializeRoundTripsBitwise) {
+  const Tensor w = random_weight(128, 64, 29);
+  for (const QuantKind kind : {QuantKind::kInt8, QuantKind::kQ4}) {
+    const QuantizedWeight q = quantize(w, kind, 64);
+    const auto bytes = serialize(q);
+    EXPECT_TRUE(quant_bitwise_equal(deserialize(bytes), q));
+    // The wire image must beat f32 by > 3x (the §17 bandwidth claim).
+    EXPECT_LT(bytes.size() * 3, static_cast<std::size_t>(128 * 64 * 4))
+        << tensor::quant_kind_name(kind);
+  }
+}
+
+TEST(QuantWire, BroadcastDeliversRootWeightToEveryRank) {
+  const Tensor w = random_weight(64, 32, 31);
+  dist::World world(2);
+  world.run([&](dist::Comm& comm) {
+    QuantizedWeight mine;  // non-root starts empty
+    if (comm.rank() == 0) mine = quantize(w, QuantKind::kInt8, 16);
+    std::int64_t wire_bytes = 0;
+    const QuantizedWeight got = broadcast(comm, mine, /*root=*/0, &wire_bytes);
+    const QuantizedWeight want = quantize(w, QuantKind::kInt8, 16);
+    EXPECT_TRUE(quant_bitwise_equal(got, want)) << "rank " << comm.rank();
+    EXPECT_LT(wire_bytes * 3, 64 * 32 * 4);
+  });
+}
+
+// ---- 5. dtype-tagged checkpoints -------------------------------------------
+
+class QuantCkptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("ptdp_quant_ckpt_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(QuantCkptTest, RoundTripsBitwiseAndRejectsWrongKind) {
+  dist::Comm solo = dist::Comm::solo();
+  const Tensor w = random_weight(64, 32, 37);
+  QuantizedWeight saved = quantize(w, QuantKind::kInt8, 16);
+  save_quantized_checkpoint(dir_, 5, solo, {{"blk.qkv", &saved}},
+                            QuantKind::kInt8);
+
+  QuantizedWeight loaded = quantize(random_weight(64, 32, 38),
+                                    QuantKind::kInt8, 16);
+  const auto step =
+      load_quantized_checkpoint(dir_, solo, {{"blk.qkv", &loaded}},
+                                QuantKind::kInt8);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(*step, 5u);
+  EXPECT_TRUE(quant_bitwise_equal(loaded, saved));
+
+  // The manifest is dtype-tagged: resuming the same directory at q4 must be
+  // rejected before any shard opens.
+  QuantizedWeight q4 = quantize(w, QuantKind::kQ4, 16);
+  EXPECT_THROW(load_quantized_checkpoint(dir_, solo, {{"blk.qkv", &q4}},
+                                         QuantKind::kQ4),
+               CheckError);
+}
+
+// ---- 6. quantized serving engine -------------------------------------------
+
+model::GptConfig tiny() {
+  model::GptConfig c;
+  c.num_layers = 2;
+  c.hidden = 32;
+  c.heads = 4;
+  c.vocab = 32;
+  c.seq = 24;
+  c.dropout = 0.0f;
+  c.seed = 41;
+  return c;
+}
+
+model::StageSpec whole(const model::GptConfig& c) {
+  return model::StageSpec{true, true, 0, c.num_layers, false};
+}
+
+serve::EngineOptions small_engine(std::int64_t capacity_blocks) {
+  serve::EngineOptions eo;
+  eo.block_tokens = 4;
+  eo.capacity_blocks = capacity_blocks;
+  eo.max_batch_tokens = 32;
+  eo.prefill_chunk = 4;
+  eo.max_running = 16;
+  eo.record_metrics = false;
+  return eo;
+}
+
+graph::QuantPolicy int8_policy() {
+  graph::QuantPolicy policy;
+  policy.kind = QuantKind::kInt8;
+  policy.group_size = 8;  // divides every per-rank K at t in {1, 2}
+  return policy;
+}
+
+TEST(QuantServe, ZeroSteadyStatePoolGrowth) {
+  const model::GptConfig c = tiny();
+  dist::Comm solo = dist::Comm::solo();
+  model::GptStage stage(c, solo, whole(c));
+  const auto report = stage.quantize_for_serving(int8_policy());
+  EXPECT_EQ(report.linears, 2 * 4);
+  EXPECT_LT(report.weight_bytes * 2, report.weight_bytes_f32);
+  serve::ServeEngine engine(stage, small_engine(/*capacity=*/24));
+
+  auto wave = [&](std::uint64_t base) {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      serve::Request r;
+      r.id = base + i;
+      r.prompt = {1, 2, 3, 4};
+      r.options.max_new_tokens = 6;
+      engine.submit(std::move(r));
+    }
+    std::int64_t step = 0;
+    while (!engine.idle()) {
+      ASSERT_LT(step++, 20000);
+      engine.step();
+    }
+  };
+
+  wave(100);  // warm-up: KV blocks and activation buffers enter the pool
+  const std::int64_t acquires = engine.kv().allocator().pool_acquires();
+  for (std::uint64_t w = 1; w <= 10; ++w) wave(1000 * w);
+  EXPECT_EQ(engine.kv().allocator().pool_acquires(), acquires)
+      << "steady-state quantized serving grew the pool";
+  EXPECT_EQ(engine.kv().allocator().live_blocks(), 0);
+}
+
+TEST(QuantServe, TensorParallelQuantizedMatchesSerialQuantized) {
+  const model::GptConfig c = tiny();
+  const std::uint64_t seed = 9;
+  serve::LoadGenOptions lo;
+  lo.users = 6;
+  lo.requests_per_user = 2;
+  lo.prompt_min = 2;
+  lo.prompt_max = 8;
+  lo.max_new_min = 3;
+  lo.max_new_max = 8;
+  lo.think_steps_max = 2;
+  lo.window = c.seq;
+  lo.vocab = c.vocab;
+  lo.seed = seed;
+
+  auto drive = [](serve::ServeEngine& engine, serve::LoadGen& lg) {
+    std::map<std::uint64_t, std::vector<std::int32_t>> out;
+    std::int64_t step = 0;
+    while (!lg.done()) {
+      EXPECT_LT(step, 20000);
+      lg.tick(step, engine);
+      const auto done = engine.step();
+      lg.on_finished(done, step);
+      ++step;
+    }
+    for (const auto& fin : lg.finished()) out[fin.id] = fin.tokens;
+    return out;
+  };
+
+  dist::Comm solo = dist::Comm::solo();
+  model::GptStage serial(c, solo, whole(c));
+  serial.quantize_for_serving(int8_policy());
+  serve::ServeEngine ref_engine(serial, small_engine(/*capacity=*/16));
+  serve::LoadGen ref_lg(lo);
+  const auto expected = drive(ref_engine, ref_lg);
+  ASSERT_EQ(expected.size(), 12u);
+
+  dist::World world(2);
+  world.run([&](dist::Comm& comm) {
+    model::GptStage stage(c, comm, whole(c));
+    stage.quantize_for_serving(int8_policy());
+    serve::ServeEngine engine(stage, small_engine(/*capacity=*/16));
+    serve::LoadGen lg(lo);
+    const auto got = drive(engine, lg);
+    ASSERT_EQ(got.size(), expected.size());
+    for (const auto& [id, tokens] : expected) {
+      EXPECT_EQ(got.at(id), tokens) << "rank " << comm.rank() << " request "
+                                    << id;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ptdp::quant

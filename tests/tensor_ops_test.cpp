@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "ptdp/runtime/parallel_for.hpp"
 #include "ptdp/tensor/ops.hpp"
 
 namespace ptdp::tensor {
@@ -164,6 +165,47 @@ TEST(Gelu, GradientMatchesFiniteDifference) {
   Tensor w = Tensor::randn({3, 4}, rng);
   Tensor dx = gelu_backward(w, x);
   check_grad([](const Tensor& t) { return gelu(t); }, x, dx, w);
+}
+
+TEST(Gelu, VectorPathMatchesExactScalarPath) {
+  // The default (vectorized polynomial-exp) path must track the exact
+  // libm tanh path to float ulp noise across the whole useful range,
+  // including a ragged tail that doesn't fill a vector register.
+  const bool saved = gelu_exact();
+  Rng rng(17);
+  Tensor x = Tensor::randn({7, 53}, rng);
+  Tensor w = Tensor::randn({7, 53}, rng);
+  set_gelu_exact(false);
+  Tensor y_vec = gelu(x);
+  Tensor dx_vec = gelu_backward(w, x);
+  set_gelu_exact(true);
+  Tensor y_exact = gelu(x);
+  Tensor dx_exact = gelu_backward(w, x);
+  set_gelu_exact(saved);
+  EXPECT_TRUE(allclose(y_vec, y_exact, 1e-5f, 1e-6f));
+  EXPECT_TRUE(allclose(dx_vec, dx_exact, 1e-4f, 1e-5f));
+}
+
+TEST(Gelu, VectorPathIsBitwiseThreadCountStable) {
+  struct ThreadGuard {
+    std::size_t saved = runtime::intra_op_threads();
+    ~ThreadGuard() { runtime::set_intra_op_threads(saved); }
+  } guard;
+  Rng rng(19);
+  Tensor x = Tensor::randn({64, 96}, rng);
+  Tensor bias = Tensor::randn({96}, rng);
+  runtime::set_intra_op_threads(1);
+  const Tensor serial = fused_bias_gelu(x, bias);
+  for (const std::size_t t : {2u, 4u}) {
+    runtime::set_intra_op_threads(t);
+    const Tensor parallel = fused_bias_gelu(x, bias);
+    const auto a = serial.data();
+    const auto b = parallel.data();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "lane " << i << " at " << t << " threads";
+    }
+  }
 }
 
 TEST(Dropout, ZeroProbabilityIsIdentity) {
